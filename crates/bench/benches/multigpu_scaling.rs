@@ -1,0 +1,30 @@
+//! Criterion bench for the multi-GPU driver (Fig. 17): host-side cost of
+//! splitting instances across 1/3/6 simulated devices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csaw_core::algorithms::BiasedNeighborSampling;
+use csaw_core::engine::RunOptions;
+use csaw_graph::datasets;
+use csaw_oom::MultiGpu;
+use std::hint::black_box;
+
+fn bench_multigpu(c: &mut Criterion) {
+    let g = datasets::by_abbr("CP").unwrap().build();
+    let algo = BiasedNeighborSampling { neighbor_size: 2, depth: 2 };
+    let seeds: Vec<u32> = (0..512u32).map(|i| i * 31 % g.num_vertices() as u32).collect();
+    let mut group = c.benchmark_group("multigpu");
+    group.sample_size(10);
+    for gpus in [1usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(gpus), &gpus, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    MultiGpu::new(n).run_single_seeds(&g, &algo, &seeds, RunOptions::default()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multigpu);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the out-of-memory scheduler (Fig. 13 ladder) on
+//! the WG stand-in with the paper's 4-partition / 2-stream / 2-resident
+//! frame.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csaw_core::algorithms::UnbiasedNeighborSampling;
+use csaw_graph::datasets;
+use csaw_gpu::config::DeviceConfig;
+use csaw_oom::{OomConfig, OomRunner};
+use std::hint::black_box;
+
+fn bench_oom(c: &mut Criterion) {
+    let g = datasets::by_abbr("WG").unwrap().build();
+    let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+    let seeds: Vec<u32> = (0..128u32).map(|i| i * 61 % g.num_vertices() as u32).collect();
+    let mut group = c.benchmark_group("oom");
+    group.sample_size(10);
+    for (label, cfg) in OomConfig::figure13_ladder() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    OomRunner::new(&g, &algo, cfg)
+                        .with_device(DeviceConfig::tiny(1 << 20))
+                        .run(&seeds),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unified(c: &mut Criterion) {
+    use csaw_oom::UnifiedRunner;
+    let g = datasets::by_abbr("WG").unwrap().build();
+    let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+    let seeds: Vec<u32> = (0..128u32).map(|i| i * 61 % g.num_vertices() as u32).collect();
+    c.bench_function("oom/unified-memory", |b| {
+        b.iter(|| {
+            black_box(
+                UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(1 << 20)).run(&seeds),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_oom, bench_unified);
+criterion_main!(benches);

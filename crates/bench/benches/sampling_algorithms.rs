@@ -1,0 +1,78 @@
+//! Criterion bench across the Table-I algorithm zoo and the Fig. 9
+//! head-to-head workloads (host-side simulation throughput on the WG
+//! stand-in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csaw_baselines::knightking::WalkBias;
+use csaw_baselines::{GraphSaintMdrw, KnightKing};
+use csaw_core::algorithms::*;
+use csaw_core::engine::Sampler;
+use csaw_graph::datasets;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = datasets::by_abbr("WG").unwrap().build();
+    let seeds: Vec<u32> = (0..64u32).map(|i| i * 97 % g.num_vertices() as u32).collect();
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+
+    group.bench_function("simple-walk-32", |b| {
+        let a = SimpleRandomWalk { length: 32 };
+        b.iter(|| black_box(Sampler::new(&g, &a).run_single_seeds(&seeds)))
+    });
+    group.bench_function("biased-walk-32", |b| {
+        let a = BiasedRandomWalk { length: 32 };
+        b.iter(|| black_box(Sampler::new(&g, &a).run_single_seeds(&seeds)))
+    });
+    group.bench_function("node2vec-32", |b| {
+        let a = Node2Vec { length: 32, p: 0.5, q: 2.0 };
+        b.iter(|| black_box(Sampler::new(&g, &a).run_single_seeds(&seeds)))
+    });
+    group.bench_function("neighbor-sampling-d3", |b| {
+        let a = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        b.iter(|| black_box(Sampler::new(&g, &a).run_single_seeds(&seeds)))
+    });
+    group.bench_function("forest-fire-d3", |b| {
+        let a = ForestFire::paper(3);
+        b.iter(|| black_box(Sampler::new(&g, &a).run_single_seeds(&seeds)))
+    });
+    group.bench_function("layer-sampling-d3", |b| {
+        let a = LayerSampling { layer_size: 8, depth: 3 };
+        b.iter(|| black_box(Sampler::new(&g, &a).run_single_seeds(&seeds)))
+    });
+    group.bench_function("mdrw-b64", |b| {
+        let a = MultiDimRandomWalk { budget: 64 };
+        let pools = MultiDimRandomWalk::seed_pools(g.num_vertices(), 8, 64, 1);
+        b.iter(|| black_box(Sampler::new(&g, &a).run(&pools)))
+    });
+    group.finish();
+}
+
+fn bench_vs_baselines(c: &mut Criterion) {
+    let g = datasets::by_abbr("WG").unwrap().build();
+    let seeds: Vec<u32> = (0..64u32).map(|i| i * 97 % g.num_vertices() as u32).collect();
+    let mut group = c.benchmark_group("fig9-comparators");
+    group.sample_size(10);
+
+    group.bench_function("csaw-biased-walk", |b| {
+        let a = BiasedRandomWalk { length: 32 };
+        b.iter(|| black_box(Sampler::new(&g, &a).run_single_seeds(&seeds)))
+    });
+    let kk = KnightKing::new(&g, WalkBias::Degree);
+    group.bench_function("knightking-biased-walk", |b| {
+        b.iter(|| black_box(kk.run(&seeds, 32, 1)))
+    });
+    let pools = MultiDimRandomWalk::seed_pools(g.num_vertices(), 8, 64, 1);
+    group.bench_function("csaw-mdrw", |b| {
+        let a = MultiDimRandomWalk { budget: 64 };
+        b.iter(|| black_box(Sampler::new(&g, &a).run(&pools)))
+    });
+    group.bench_function("graphsaint-mdrw", |b| {
+        let gs = GraphSaintMdrw::published(64);
+        b.iter(|| black_box(gs.run(&g, &pools, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_vs_baselines);
+criterion_main!(benches);

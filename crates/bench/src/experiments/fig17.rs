@@ -1,0 +1,68 @@
+//! Fig. 17 — multi-GPU scaling of biased neighbor sampling, 1–6 GPUs,
+//! with 2,000 and 8,000 instances (kept at the paper's counts: device
+//! saturation is the phenomenon under study).
+
+use crate::experiments::graph_for;
+use crate::report::{f2, Table};
+use crate::scale::{seeds, Scale};
+use csaw_core::algorithms::BiasedNeighborSampling;
+use csaw_core::engine::RunOptions;
+use csaw_graph::datasets;
+use csaw_oom::MultiGpu;
+
+/// One panel per instance count: speedup over 1 GPU for 1..=6 GPUs.
+pub fn fig17(scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for instances in scale.fig17_instances() {
+        let mut t = Table::new(
+            format!("Fig. 17 - multi-GPU speedup, biased neighbor sampling, {instances} instances"),
+            &["graph", "1", "2", "3", "4", "5", "6"],
+        );
+        let algo = BiasedNeighborSampling { neighbor_size: 2, depth: 2 };
+        for spec in datasets::ALL {
+            let g = graph_for(&spec);
+            let s = seeds(instances, g.num_vertices());
+            let t1 = MultiGpu::new(1)
+                .run_single_seeds(&g, &algo, &s, RunOptions::default())
+                .total_seconds();
+            let mut cells = vec![spec.abbr.to_string()];
+            for n in 1..=6 {
+                let tn = MultiGpu::new(n)
+                    .run_single_seeds(&g, &algo, &s, RunOptions::default())
+                    .total_seconds();
+                cells.push(f2(t1 / tn));
+            }
+            t.row(cells);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturated_counts_scale_better() {
+        // The Fig. 17 shape on one graph: 8,000 instances scale further
+        // on 6 GPUs than 2,000 do.
+        let spec = datasets::by_abbr("CP").unwrap();
+        let g = graph_for(&spec);
+        let algo = BiasedNeighborSampling { neighbor_size: 2, depth: 2 };
+        let speedup = |n_inst: usize| {
+            let s = seeds(n_inst, g.num_vertices());
+            let t1 = MultiGpu::new(1)
+                .run_single_seeds(&g, &algo, &s, RunOptions::default())
+                .total_seconds();
+            let t6 = MultiGpu::new(6)
+                .run_single_seeds(&g, &algo, &s, RunOptions::default())
+                .total_seconds();
+            t1 / t6
+        };
+        let s2k = speedup(2_000);
+        let s8k = speedup(8_000);
+        assert!(s8k > s2k, "8k should scale better: {s8k} vs {s2k}");
+        assert!(s8k > 3.0, "8k should approach linear: {s8k}");
+    }
+}

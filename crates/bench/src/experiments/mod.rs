@@ -1,0 +1,53 @@
+//! One module per paper artifact. Each exposes a `run(scale) -> Vec<Table>`
+//! entry the `repro` binary dispatches to.
+
+pub mod ablations;
+pub mod fig10_12;
+pub mod fig13_15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig9;
+mod smoke_tests;
+pub mod sweeps;
+pub mod tables;
+
+use csaw_graph::datasets::DatasetSpec;
+use csaw_graph::Csr;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide dataset cache: the stand-ins are deterministic, so build
+/// each at most once per run of the harness.
+static CACHE: OnceLock<Mutex<HashMap<&'static str, Arc<Csr>>>> = OnceLock::new();
+
+/// Builds (or fetches) the stand-in for `spec`.
+pub fn graph_for(spec: &DatasetSpec) -> Arc<Csr> {
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap();
+    map.entry(spec.abbr).or_insert_with(|| Arc::new(spec.build())).clone()
+}
+
+/// Weighted-variant cache (heavy-tailed synthetic weights; see
+/// [`DatasetSpec::build_weighted`]).
+static WCACHE: OnceLock<Mutex<HashMap<&'static str, Arc<Csr>>>> = OnceLock::new();
+
+/// Builds (or fetches) the weighted stand-in for `spec`.
+pub fn weighted_graph_for(spec: &DatasetSpec) -> Arc<Csr> {
+    let cache = WCACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap();
+    map.entry(spec.abbr).or_insert_with(|| Arc::new(spec.build_weighted())).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_graph::datasets;
+
+    #[test]
+    fn cache_returns_same_instance() {
+        let spec = datasets::by_abbr("AM").unwrap();
+        let a = graph_for(&spec);
+        let b = graph_for(&spec);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,136 @@
+//! Sensitivity sweeps beyond the paper's Fig. 16: sampling depth (the
+//! exponential-frontier claim behind the Fig. 14 analysis) and the
+//! out-of-memory runtime's structural knobs (streams, resident
+//! partitions).
+
+use crate::experiments::graph_for;
+use crate::report::{f2, ms, Table};
+use crate::scale::{seeds, Scale};
+use csaw_core::algorithms::BiasedNeighborSampling;
+use csaw_core::engine::Sampler;
+use csaw_graph::datasets;
+use csaw_gpu::config::DeviceConfig;
+use csaw_oom::{OomConfig, OomRunner};
+
+/// Depth sweep: "active vertices increase exponentially with depth
+/// during sampling" (§VI-C's explanation of the Fig. 14 trends). Sampled
+/// edges per instance ≈ NS^depth until without-replacement saturates.
+pub fn sweep_depth(scale: Scale) -> Vec<Table> {
+    let dev = DeviceConfig::v100();
+    let mut t = Table::new(
+        "Depth sweep - biased neighbor sampling, NS = 2 (edges/instance and time)",
+        &["graph", "d=1", "d=2", "d=3", "d=4", "d=5", "time d=5 ms"],
+    );
+    for spec in datasets::in_memory() {
+        let g = graph_for(&spec);
+        let s = seeds(scale.sampling_instances() / 2, g.num_vertices());
+        let mut cells = vec![spec.abbr.to_string()];
+        let mut last_time = 0.0;
+        for depth in 1..=5usize {
+            let algo = BiasedNeighborSampling { neighbor_size: 2, depth };
+            let out = Sampler::new(&g, &algo).run_single_seeds(&s);
+            cells.push(f2(out.edges_per_instance()));
+            last_time = out.kernel_seconds(&dev);
+        }
+        cells.push(ms(last_time));
+        t.row(cells);
+    }
+    vec![t, frontier_profile(scale)]
+}
+
+/// Companion table: the frontier size per depth measured directly with
+/// the BSP depth profiler.
+fn frontier_profile(scale: Scale) -> Table {
+    use csaw_core::profile::profile_depths;
+    let mut t = Table::new(
+        "Frontier size per depth (biased-ns, NS = 2, depth 5) - the exponential-growth claim",
+        &["graph", "d0", "d1", "d2", "d3", "d4"],
+    );
+    for spec in datasets::in_memory() {
+        let g = graph_for(&spec);
+        let s = seeds(scale.sampling_instances() / 4, g.num_vertices());
+        let algo = BiasedNeighborSampling { neighbor_size: 2, depth: 5 };
+        let prof = profile_depths(&g, &algo, &s, 0x0D);
+        let mut cells = vec![spec.abbr.to_string()];
+        for d in 0..5 {
+            cells.push(
+                prof.get(d).map(|p| p.frontier.to_string()).unwrap_or_else(|| "-".into()),
+            );
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Out-of-memory structural sweep on the Friendster stand-in: streams ×
+/// resident partitions, end-to-end time and transfers.
+pub fn sweep_oom(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "OOM structure sweep - unbiased-ns on FR (time ms / transfers)",
+        &["partitions", "kernels", "resident", "time ms", "transfers", "rounds"],
+    );
+    let spec = datasets::by_abbr("FR").unwrap();
+    let g = graph_for(&spec);
+    let s = seeds(scale.oom_instances() / 2, g.num_vertices());
+    let algo = csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+    for (parts, kernels, resident) in [
+        (4usize, 1usize, 2usize),
+        (4, 2, 2),
+        (4, 2, 3),
+        (4, 4, 4),
+        (8, 2, 2),
+        (8, 2, 4),
+        (8, 4, 4),
+    ] {
+        let cfg = OomConfig {
+            num_partitions: parts,
+            num_kernels: kernels,
+            resident_partitions: resident,
+            ..OomConfig::full()
+        };
+        let out = OomRunner::new(&g, &algo, cfg)
+            .with_device(DeviceConfig::tiny(1 << 20))
+            .run(&s);
+        t.row(vec![
+            parts.to_string(),
+            kernels.to_string(),
+            resident.to_string(),
+            ms(out.sim_seconds),
+            out.transfers.to_string(),
+            out.rounds.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_grows_with_depth() {
+        let spec = datasets::by_abbr("LJ").unwrap();
+        let g = graph_for(&spec);
+        let s = seeds(32, g.num_vertices());
+        let edges = |depth| {
+            let algo = BiasedNeighborSampling { neighbor_size: 2, depth };
+            Sampler::new(&g, &algo).run_single_seeds(&s).edges_per_instance()
+        };
+        let (d1, d3) = (edges(1), edges(3));
+        assert!(d3 > 2.5 * d1, "frontier must grow near-exponentially: {d1} -> {d3}");
+    }
+
+    #[test]
+    fn more_resident_partitions_never_hurt() {
+        let spec = datasets::by_abbr("WG").unwrap();
+        let g = graph_for(&spec);
+        let s = seeds(32, g.num_vertices());
+        let algo =
+            csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let run = |resident| {
+            let cfg = OomConfig { resident_partitions: resident, ..OomConfig::full() };
+            OomRunner::new(&g, &algo, cfg).with_device(DeviceConfig::tiny(1 << 20)).run(&s)
+        };
+        assert!(run(4).transfers <= run(2).transfers);
+    }
+}

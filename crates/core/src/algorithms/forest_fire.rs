@@ -1,0 +1,91 @@
+//! Forest fire sampling (Leskovec & Faloutsos 2006; paper §II-A).
+//!
+//! "A probabilistic version of neighbor sampling, which selects a variable
+//! number of neighbors for each vertex based on a burning probability."
+//! The burn count is geometric with parameter `pf` (mean `pf / (1-pf)`),
+//! matching the paper's evaluation setting `Pf = 0.7`.
+
+use crate::api::{AlgoConfig, Algorithm, FrontierMode, NeighborSize};
+
+/// Forest fire sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestFire {
+    /// Burning probability (the paper's evaluation uses 0.7).
+    pub pf: f64,
+    /// Hops.
+    pub depth: usize,
+}
+
+impl ForestFire {
+    /// The paper's evaluation configuration: `Pf = 0.7`.
+    pub fn paper(depth: usize) -> Self {
+        ForestFire { pf: 0.7, depth }
+    }
+}
+
+impl Algorithm for ForestFire {
+    fn name(&self) -> &'static str {
+        "forest-fire"
+    }
+    fn config(&self) -> AlgoConfig {
+        AlgoConfig {
+            depth: self.depth,
+            neighbor_size: NeighborSize::Geometric { pf: self.pf },
+            frontier: FrontierMode::IndependentPerVertex,
+            without_replacement: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sampler;
+    use csaw_graph::generators::{ring_lattice, toy_graph};
+
+    #[test]
+    fn burn_count_mean_tracks_pf() {
+        // On a high-degree regular graph the per-vertex burn count is an
+        // uncapped geometric; first-hop counts should average pf/(1-pf).
+        let g = ring_lattice(1000, 10); // degree 20 ≫ mean burn 2.33
+        let algo = ForestFire::paper(1);
+        let seeds: Vec<u32> = (0..2000).map(|i| (i % 1000) as u32).collect();
+        let out = Sampler::new(&g, &algo).run_single_seeds(&seeds);
+        let mean = out.sampled_edges() as f64 / out.instances.len() as f64;
+        let expect = 0.7 / 0.3;
+        assert!((mean - expect).abs() < 0.15, "burn mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn zero_pf_burns_nothing() {
+        let g = toy_graph();
+        let algo = ForestFire { pf: 0.0, depth: 3 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[8, 0]);
+        assert_eq!(out.sampled_edges(), 0);
+    }
+
+    #[test]
+    fn fire_spreads_with_depth() {
+        let g = toy_graph();
+        let shallow = Sampler::new(&g, &ForestFire::paper(1)).run_single_seeds(&vec![8u32; 500]);
+        let deep = Sampler::new(&g, &ForestFire::paper(4)).run_single_seeds(&vec![8u32; 500]);
+        assert!(deep.sampled_edges() > shallow.sampled_edges());
+    }
+
+    #[test]
+    fn sampled_edges_are_real_and_without_replacement() {
+        let g = toy_graph();
+        let algo = ForestFire { pf: 0.9, depth: 5 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&vec![0u32; 100]);
+        for inst in &out.instances {
+            for &(v, u) in inst {
+                assert!(g.has_edge(v, u));
+            }
+            let mut pairs = inst.clone();
+            pairs.sort_unstable();
+            let n = pairs.len();
+            pairs.dedup();
+            assert_eq!(pairs.len(), n, "re-expansion under without-replacement");
+        }
+    }
+}

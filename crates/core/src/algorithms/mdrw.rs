@@ -1,0 +1,127 @@
+//! Multi-dimensional random walk / frontier sampling (Ribeiro & Towsley
+//! 2010) — the paper's running example (Fig. 3b, Fig. 4) and its dynamic
+//! `VERTEXBIAS` showcase.
+//!
+//! A pool of seed vertices is kept; each step selects one pool vertex with
+//! probability proportional to its degree, samples one uniform neighbor,
+//! records the edge, and the neighbor replaces the pool vertex. This is
+//! the Fig. 9b workload (GraphSAINT comparison).
+
+use crate::api::{AlgoConfig, Algorithm, FrontierMode, NeighborSize};
+use csaw_graph::{Csr, VertexId};
+
+/// Multi-dimensional random walk.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiDimRandomWalk {
+    /// Number of steps (sampled edges) per instance — the sampling budget.
+    pub budget: usize,
+}
+
+impl MultiDimRandomWalk {
+    /// Builds the per-instance seed pools: `frontier_size` seeds drawn
+    /// uniformly per instance (the paper uses 2,000 per instance).
+    pub fn seed_pools(
+        num_vertices: usize,
+        instances: usize,
+        frontier_size: usize,
+        seed: u64,
+    ) -> Vec<Vec<VertexId>> {
+        let mut pools = Vec::with_capacity(instances);
+        for i in 0..instances {
+            let mut rng = csaw_gpu::Philox::for_task(seed ^ 0x5eed_1001, i as u64);
+            pools.push(
+                (0..frontier_size)
+                    .map(|_| rng.below(num_vertices as u64) as VertexId)
+                    .collect(),
+            );
+        }
+        pools
+    }
+}
+
+impl Algorithm for MultiDimRandomWalk {
+    fn name(&self) -> &'static str {
+        "multi-dimensional-random-walk"
+    }
+    fn config(&self) -> AlgoConfig {
+        AlgoConfig {
+            depth: self.budget,
+            neighbor_size: NeighborSize::Constant(1),
+            frontier: FrontierMode::BiasedReplace,
+            without_replacement: false,
+        }
+    }
+    // Fig. 3b: VERTEXBIAS = degree, EDGEBIAS = 1, UPDATE = add sampled u.
+    fn vertex_bias(&self, g: &Csr, v: VertexId) -> f64 {
+        g.degree(v) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sampler;
+    use csaw_graph::generators::toy_graph;
+    use std::collections::HashMap;
+
+    #[test]
+    fn budget_bounds_sampled_edges() {
+        let g = toy_graph();
+        let algo = MultiDimRandomWalk { budget: 25 };
+        let out = Sampler::new(&g, &algo).run(&[vec![8, 0, 3]]);
+        assert_eq!(out.instances[0].len(), 25, "toy graph has no dead ends");
+    }
+
+    #[test]
+    fn frontier_selection_prefers_high_degree() {
+        // Pool {v7 (deg 6), v1 (deg 2)}: v7 should source 6/8 of first
+        // edges.
+        let g = toy_graph();
+        let algo = MultiDimRandomWalk { budget: 1 };
+        let pools: Vec<Vec<u32>> = (0..60_000).map(|_| vec![7, 1]).collect();
+        let out = Sampler::new(&g, &algo).run(&pools);
+        let from7 = out.instances.iter().filter(|i| i[0].0 == 7).count();
+        let f = from7 as f64 / 60_000.0;
+        assert!((f - 0.75).abs() < 0.02, "v7 source freq {f}");
+    }
+
+    #[test]
+    fn sampled_neighbor_replaces_pool_vertex() {
+        // Budget 2 with a single-vertex pool: second edge must start at
+        // the first edge's endpoint (Fig. 4 walkthrough).
+        let g = toy_graph();
+        let algo = MultiDimRandomWalk { budget: 2 };
+        let out = Sampler::new(&g, &algo).run(&vec![vec![8u32]; 200]);
+        for inst in &out.instances {
+            assert_eq!(inst.len(), 2);
+            assert_eq!(inst[0].1, inst[1].0);
+        }
+    }
+
+    #[test]
+    fn seed_pools_are_deterministic_and_sized() {
+        let a = MultiDimRandomWalk::seed_pools(100, 5, 7, 3);
+        let b = MultiDimRandomWalk::seed_pools(100, 5, 7, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|p| p.len() == 7));
+        assert!(a.iter().flatten().all(|&v| v < 100));
+        assert_ne!(a[0], a[1], "instances draw different pools");
+    }
+
+    #[test]
+    fn neighbor_choice_is_uniform() {
+        // EDGEBIAS = 1: from v8 each of 5 neighbors equally likely.
+        let g = toy_graph();
+        let algo = MultiDimRandomWalk { budget: 1 };
+        let out = Sampler::new(&g, &algo).run(&vec![vec![8u32]; 50_000]);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for inst in &out.instances {
+            *counts.entry(inst[0].1).or_default() += 1;
+        }
+        for &u in g.neighbors(8) {
+            let f = counts[&u] as f64 / 50_000.0;
+            assert!((f - 0.2).abs() < 0.02, "neighbor {u}: {f}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The Table-I algorithm zoo, each expressed through the three C-SAW hooks
+//! exactly as the paper's Fig. 3 listings do.
+//!
+//! | Algorithm | Bias | NeighborSize |
+//! |---|---|---|
+//! | [`SimpleRandomWalk`] | unbiased | 1 |
+//! | [`MetropolisHastingsWalk`] | unbiased | 1 |
+//! | [`RandomWalkWithJump`] | unbiased | 1 |
+//! | [`RandomWalkWithRestart`] | unbiased | 1 |
+//! | [`MultiIndependentRandomWalk`] | unbiased | 1 (many instances) |
+//! | [`BiasedRandomWalk`] | static (degree) | 1 |
+//! | [`Node2Vec`] | dynamic (p/q) | 1 |
+//! | [`UnbiasedNeighborSampling`] | unbiased | constant |
+//! | [`BiasedNeighborSampling`] | static (weight/degree) | constant |
+//! | [`ForestFire`] | unbiased | variable (geometric) |
+//! | [`Snowball`] | unbiased | all |
+//! | [`LayerSampling`] | static | per layer |
+//! | [`MultiDimRandomWalk`] | dynamic (pool degree) | 1 |
+
+mod forest_fire;
+mod layer;
+mod mdrw;
+mod neighbor;
+mod node2vec;
+mod snowball;
+mod walks;
+
+pub use forest_fire::ForestFire;
+pub use layer::LayerSampling;
+pub use mdrw::MultiDimRandomWalk;
+pub use neighbor::{BiasedNeighborSampling, UnbiasedNeighborSampling};
+pub use node2vec::Node2Vec;
+pub use snowball::Snowball;
+pub use walks::{
+    BiasedRandomWalk, MetropolisHastingsWalk, MultiIndependentRandomWalk, RandomWalkWithJump,
+    RandomWalkWithRestart, SimpleRandomWalk,
+};

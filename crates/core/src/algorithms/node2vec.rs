@@ -1,0 +1,139 @@
+//! Node2vec (Grover & Leskovec 2016) — the paper's flagship *dynamic*
+//! bias example (Fig. 3a).
+//!
+//! The bias of a candidate neighbor `u` of `v` depends on `u`'s relation
+//! to the walk's previous vertex `t = SOURCE(e.v)`:
+//!
+//! - `u` is a neighbor of `t` → `w(v,u)` (distance 1);
+//! - `u == t`               → `w(v,u) / p` (return, distance 0);
+//! - otherwise               → `w(v,u) / q` (explore, distance 2).
+
+use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize};
+use csaw_graph::Csr;
+
+/// Node2vec second-order walk.
+#[derive(Debug, Clone, Copy)]
+pub struct Node2Vec {
+    /// Walk length in steps.
+    pub length: usize,
+    /// Return parameter: small `p` favors going back.
+    pub p: f64,
+    /// In-out parameter: small `q` favors exploring outward.
+    pub q: f64,
+}
+
+impl Algorithm for Node2Vec {
+    fn name(&self) -> &'static str {
+        "node2vec"
+    }
+    fn config(&self) -> AlgoConfig {
+        AlgoConfig {
+            depth: self.length,
+            neighbor_size: NeighborSize::Constant(1),
+            frontier: FrontierMode::IndependentPerVertex,
+            without_replacement: false,
+        }
+    }
+    fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+        let w = e.weight as f64;
+        match e.prev {
+            // First step: no second-order context, plain weight.
+            None => w,
+            Some(t) => {
+                if e.u == t {
+                    w / self.p
+                } else if g.has_edge(e.u, t) {
+                    w
+                } else {
+                    w / self.q
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sampler;
+    use csaw_graph::generators::toy_graph;
+    use csaw_graph::CsrBuilder;
+    use std::collections::HashMap;
+
+    /// A 4-vertex graph where vertex 1's neighbors split cleanly into the
+    /// three node2vec distance classes relative to prev = 0:
+    /// 0 (return), 2 (common neighbor of 0), 3 (only reachable from 1).
+    fn probe_graph() -> csaw_graph::Csr {
+        CsrBuilder::new()
+            .symmetrize(true)
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 2)
+            .add_edge(1, 3)
+            .build()
+    }
+
+    fn second_hop_distribution(p: f64, q: f64) -> HashMap<u32, f64> {
+        let g = probe_graph();
+        let algo = Node2Vec { length: 2, p, q };
+        // Walks from 0: forced first hop is 1 or 2; keep those whose first
+        // hop was 1 and tally the second hop.
+        let out = Sampler::new(&g, &algo).run_single_seeds(&vec![0u32; 120_000]);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut total = 0usize;
+        for inst in &out.instances {
+            if inst.len() == 2 && inst[0].1 == 1 {
+                *counts.entry(inst[1].1).or_default() += 1;
+                total += 1;
+            }
+        }
+        counts.into_iter().map(|(k, v)| (k, v as f64 / total as f64)).collect()
+    }
+
+    #[test]
+    fn low_p_returns_home() {
+        let d = second_hop_distribution(0.1, 1.0);
+        // Biases from 1 with prev 0: u=0 → 1/p = 10, u=2 → 1 (nbr of 0),
+        // u=3 → 1/q = 1. Return probability = 10/12.
+        assert!((d[&0] - 10.0 / 12.0).abs() < 0.02, "return freq {}", d[&0]);
+    }
+
+    #[test]
+    fn low_q_explores_outward() {
+        let d = second_hop_distribution(1.0, 0.1);
+        // Biases: u=0 → 1, u=2 → 1, u=3 → 10. Explore probability 10/12.
+        assert!((d[&3] - 10.0 / 12.0).abs() < 0.02, "explore freq {}", d[&3]);
+    }
+
+    #[test]
+    fn unit_p_q_reduces_to_weighted_walk() {
+        let d = second_hop_distribution(1.0, 1.0);
+        for u in [0u32, 2, 3] {
+            assert!((d[&u] - 1.0 / 3.0).abs() < 0.02, "u={u}: {}", d[&u]);
+        }
+    }
+
+    #[test]
+    fn first_step_has_no_second_order_bias() {
+        let g = probe_graph();
+        let algo = Node2Vec { length: 1, p: 0.001, q: 1000.0 };
+        let e = EdgeCand { v: 0, u: 1, weight: 2.0, prev: None };
+        assert_eq!(algo.edge_bias(&g, &e), 2.0);
+    }
+
+    #[test]
+    fn walks_are_paths_on_toy_graph() {
+        let g = toy_graph();
+        let algo = Node2Vec { length: 30, p: 0.5, q: 2.0 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[8, 0]);
+        for inst in &out.instances {
+            assert_eq!(inst.len(), 30);
+            for w in inst.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            for &(v, u) in inst {
+                assert!(g.has_edge(v, u));
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Snowball sampling (paper §II-A): "initiates the sample using a set of
+//! uniformly selected seed vertices; iteratively, it adds all neighbors of
+//! every sampled vertex into the sample, until a required depth is
+//! reached." NeighborSize = all; no bias, no selection randomness — the
+//! degenerate corner of Table I that exercises the framework's
+//! `NeighborSize::All` path.
+
+use crate::api::{AlgoConfig, Algorithm, FrontierMode, NeighborSize};
+
+/// Snowball sampling to a fixed depth.
+#[derive(Debug, Clone, Copy)]
+pub struct Snowball {
+    /// Hops.
+    pub depth: usize,
+}
+
+impl Algorithm for Snowball {
+    fn name(&self) -> &'static str {
+        "snowball"
+    }
+    fn config(&self) -> AlgoConfig {
+        AlgoConfig {
+            depth: self.depth,
+            neighbor_size: NeighborSize::All,
+            frontier: FrontierMode::IndependentPerVertex,
+            without_replacement: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sampler;
+    use csaw_graph::generators::toy_graph;
+    use std::collections::HashSet;
+
+    #[test]
+    fn depth1_takes_exactly_the_neighborhood() {
+        let g = toy_graph();
+        let out = Sampler::new(&g, &Snowball { depth: 1 }).run_single_seeds(&[8]);
+        let edges: HashSet<_> = out.instances[0].iter().copied().collect();
+        let expect: HashSet<_> = g.neighbors(8).iter().map(|&u| (8, u)).collect();
+        assert_eq!(edges, expect);
+    }
+
+    #[test]
+    fn snowball_is_deterministic_bfs() {
+        let g = toy_graph();
+        let a = Sampler::new(&g, &Snowball { depth: 3 }).run_single_seeds(&[0]);
+        let b = Sampler::new(&g, &Snowball { depth: 3 }).run_single_seeds(&[0]);
+        assert_eq!(a.instances, b.instances);
+    }
+
+    #[test]
+    fn full_depth_covers_connected_component() {
+        let g = toy_graph(); // connected, 13 vertices
+        let out = Sampler::new(&g, &Snowball { depth: 13 }).run_single_seeds(&[0]);
+        let mut reached: HashSet<u32> = HashSet::from([0]);
+        for &(_, u) in &out.instances[0] {
+            reached.insert(u);
+        }
+        assert_eq!(reached.len(), 13, "snowball to full depth reaches everything");
+    }
+
+    #[test]
+    fn never_expands_a_vertex_twice() {
+        let g = toy_graph();
+        let out = Sampler::new(&g, &Snowball { depth: 5 }).run_single_seeds(&[8]);
+        // Each expanded source appears with its full neighbor list exactly
+        // once, so (v, u) pairs are unique.
+        let mut pairs = out.instances[0].clone();
+        pairs.sort_unstable();
+        let n = pairs.len();
+        pairs.dedup();
+        assert_eq!(pairs.len(), n);
+    }
+}

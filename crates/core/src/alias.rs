@@ -1,0 +1,150 @@
+//! The alias method (Walker 1977; paper §II-B, Fig. 1d).
+//!
+//! Converts the sparse 2-D dartboard into a dense one where each bin holds
+//! at most two candidates, giving O(1) sampling after O(n) preprocessing.
+//! The paper rejects it for C-SAW because "the drawback of alias method is
+//! its high preprocessing cost", which cannot be amortized when biases are
+//! dynamic — this module exists for the A3 selection ablation and for the
+//! KnightKing-like baseline (which precomputes alias tables for static
+//! biases).
+
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::Philox;
+
+/// A built alias table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Probability of keeping bin `i`'s primary candidate.
+    prob: Vec<f64>,
+    /// The alternate candidate stored in bin `i`.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table with Vose's O(n) algorithm. Returns `None` when no
+    /// bias is positive. Preprocessing work is charged to `stats`
+    /// (one pass to scale + one pass to pair bins).
+    pub fn build(biases: &[f64], stats: &mut SimStats) -> Option<AliasTable> {
+        let n = biases.len();
+        let total: f64 = biases.iter().sum();
+        if n == 0 || total.is_nan() || total <= 0.0 {
+            return None;
+        }
+        stats.warp_cycles += 2 * n as u64; // scale pass + pairing pass
+
+        let mut prob: Vec<f64> = biases.iter().map(|&b| b * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = (0..n).filter(|&i| prob[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| prob[i] >= 1.0).collect();
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] -= 1.0 - prob[s];
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining bins are exactly 1 up to FP error.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table is empty (never produced by [`AliasTable::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one candidate in O(1): a uniform bin plus a biased coin.
+    pub fn sample(&self, rng: &mut Philox, stats: &mut SimStats) -> usize {
+        stats.rng_draws += 2;
+        // Two draws + one dependent read of the alias row.
+        stats.warp_cycles += 8 + 16;
+        let bin = rng.below(self.prob.len() as u64) as usize;
+        if rng.uniform() < self.prob[bin] {
+            bin
+        } else {
+            self.alias[bin]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_hold_valid_aliases() {
+        let mut s = SimStats::new();
+        let t = AliasTable::build(&[3.0, 6.0, 2.0, 2.0, 2.0], &mut s).unwrap();
+        assert_eq!(t.len(), 5);
+        for i in 0..5 {
+            assert!((0.0..=1.0 + 1e-9).contains(&t.prob[i]));
+            assert!(t.alias[i] < 5);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_bias_distribution() {
+        let biases = [3.0, 6.0, 2.0, 2.0, 2.0];
+        let mut s = SimStats::new();
+        let t = AliasTable::build(&biases, &mut s).unwrap();
+        let mut rng = Philox::new(4);
+        let n = 300_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[t.sample(&mut rng, &mut s)] += 1;
+        }
+        let total: f64 = biases.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / n as f64;
+            let p = biases[i] / total;
+            assert!((f - p).abs() < 0.01, "bin {i}: {f} vs {p}");
+        }
+    }
+
+    #[test]
+    fn uniform_biases_degenerate_cleanly() {
+        let mut s = SimStats::new();
+        let t = AliasTable::build(&[1.0; 8], &mut s).unwrap();
+        for i in 0..8 {
+            assert!((t.prob[i] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_or_zero_is_none() {
+        let mut s = SimStats::new();
+        assert!(AliasTable::build(&[], &mut s).is_none());
+        assert!(AliasTable::build(&[0.0, 0.0], &mut s).is_none());
+    }
+
+    #[test]
+    fn extreme_skew_is_exact() {
+        let biases = [1000.0, 1.0];
+        let mut s = SimStats::new();
+        let t = AliasTable::build(&biases, &mut s).unwrap();
+        let mut rng = Philox::new(5);
+        let hits = (0..200_000).filter(|_| t.sample(&mut rng, &mut s) == 1).count();
+        let f = hits as f64 / 200_000.0;
+        let p = 1.0 / 1001.0;
+        assert!((f - p).abs() < 0.002, "{f} vs {p}");
+    }
+
+    #[test]
+    fn preprocessing_cost_is_linear() {
+        let mut s1 = SimStats::new();
+        AliasTable::build(&vec![1.0; 100], &mut s1).unwrap();
+        let mut s2 = SimStats::new();
+        AliasTable::build(&vec![1.0; 200], &mut s2).unwrap();
+        assert_eq!(s2.warp_cycles, 2 * s1.warp_cycles);
+    }
+}

@@ -1,0 +1,295 @@
+//! Collision detection for warp-parallel selection (paper §IV-B).
+//!
+//! When the lanes of a warp each select a vertex, two lanes may pick the
+//! same candidate, and later rounds may pick a candidate selected earlier.
+//! Three detectors are modeled:
+//!
+//! - [`DetectorKind::LinearSearch`]: the evaluation baseline of Fig. 12 —
+//!   sampled vertices are kept in shared memory and each new pick is
+//!   compared against all of them.
+//! - [`DetectorKind::ContiguousBitmap`]: one bit per candidate, bits of
+//!   adjacent candidates packed into the same word (Fig. 7a).
+//! - [`DetectorKind::StridedBitmap`]: the paper's optimization — bits of
+//!   adjacent candidates scattered across words, set-associative-cache
+//!   style, to cut same-word atomic serialization (Fig. 7b).
+//!
+//! Word width is configurable: the paper picks 8-bit words over 32-bit
+//! because wider words collect more conflicts (§IV-B); the A2 ablation
+//! measures exactly that.
+
+use csaw_gpu::lockstep::{lockstep_test_and_set, CasOutcome};
+use csaw_gpu::stats::SimStats;
+
+/// Detector selection plus bitmap word width in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// Shared-memory linear search (baseline).
+    LinearSearch,
+    /// Contiguous bitmap with the given word width in bits (8 or 32).
+    ContiguousBitmap {
+        /// Bits per atomic word.
+        word_bits: usize,
+    },
+    /// Strided bitmap with the given word width in bits.
+    StridedBitmap {
+        /// Bits per atomic word.
+        word_bits: usize,
+    },
+}
+
+impl DetectorKind {
+    /// The paper's default: strided bitmap over 8-bit words.
+    pub fn paper_default() -> Self {
+        DetectorKind::StridedBitmap { word_bits: 8 }
+    }
+}
+
+/// Per-warp collision detector state, reused across SELECT calls
+/// (the per-warp bitmap of §IV-B "Data Structures").
+#[derive(Debug, Clone)]
+pub struct Detector {
+    kind: DetectorKind,
+    /// Bit per candidate (bitmap modes) — `true` = selected.
+    bits: Vec<bool>,
+    /// Selected candidate list (linear-search mode).
+    selected: Vec<usize>,
+    n: usize,
+}
+
+impl Detector {
+    /// A detector for a pool of `n` candidates.
+    pub fn new(kind: DetectorKind, n: usize) -> Self {
+        Detector { kind, bits: vec![false; n], selected: Vec::new(), n }
+    }
+
+    /// Resets for a new pool of `n` candidates.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.bits.clear();
+        self.bits.resize(n, false);
+        self.selected.clear();
+    }
+
+    /// The detector's flavor.
+    pub fn kind(&self) -> DetectorKind {
+        self.kind
+    }
+
+    /// Whether candidate `k` is already selected (read-only probe; costs a
+    /// search but no atomic).
+    pub fn is_selected(&self, k: usize) -> bool {
+        match self.kind {
+            DetectorKind::LinearSearch => self.selected.contains(&k),
+            _ => self.bits[k],
+        }
+    }
+
+    /// Marks `k` selected without contention accounting (used when a
+    /// choice is made outside a lockstep round, e.g. short-circuit paths).
+    pub fn force_set(&mut self, k: usize) {
+        if !self.bits[k] {
+            self.bits[k] = true;
+            self.selected.push(k);
+        }
+    }
+
+    /// One lockstep round: every active lane attempts to claim its
+    /// candidate. `requests[lane] = Some(candidate)`. Returns
+    /// `Some(true)` = claimed, `Some(false)` = duplicate, `None` = lane
+    /// inactive. Work is charged to `stats` according to the detector
+    /// model.
+    pub fn claim_round(
+        &mut self,
+        requests: &[Option<usize>],
+        stats: &mut SimStats,
+    ) -> Vec<Option<bool>> {
+        match self.kind {
+            DetectorKind::LinearSearch => {
+                // Shared-memory linear search: each active lane scans the
+                // current selected list (reads serialize on shared memory
+                // banks but need no atomics for the scan; the append is an
+                // atomic counter bump).
+                let mut out = vec![None; requests.len()];
+                for (lane, req) in requests.iter().enumerate() {
+                    let Some(k) = *req else { continue };
+                    let comparisons = self.selected.len() as u64 + 1;
+                    stats.collision_searches += comparisons;
+                    stats.warp_cycles += 2 * comparisons; // shared-memory reads
+                    if self.selected.contains(&k) {
+                        out[lane] = Some(false);
+                    } else {
+                        stats.atomic_ops += 1; // append via atomicAdd'd cursor
+                        stats.warp_cycles += 8; // shared-memory atomic
+                        self.selected.push(k);
+                        self.bits[k] = true;
+                        out[lane] = Some(true);
+                    }
+                }
+                out
+            }
+            DetectorKind::ContiguousBitmap { word_bits }
+            | DetectorKind::StridedBitmap { word_bits } => {
+                let strided = matches!(self.kind, DetectorKind::StridedBitmap { .. });
+                let n = self.n;
+                let num_words = n.div_ceil(word_bits).max(1);
+                let word_of = move |bit: usize| -> usize {
+                    if strided {
+                        // Scatter adjacent bits across words (Fig. 7b).
+                        bit % num_words
+                    } else {
+                        // Pack adjacent bits into one word (Fig. 7a).
+                        bit / word_bits
+                    }
+                };
+                let active = requests.iter().flatten().count() as u64;
+                stats.collision_searches += active; // one bit probe per lane
+                let outcomes =
+                    lockstep_test_and_set(&mut self.bits, requests, word_of, stats);
+                outcomes
+                    .into_iter()
+                    .map(|o| {
+                        o.map(|c| match c {
+                            CasOutcome::Won => true,
+                            CasOutcome::Lost => false,
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of candidates currently marked selected.
+    pub fn selected_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Charges the without-replacement "was this vertex sampled before?"
+/// check performed when a sampled vertex is considered for the frontier
+/// pool. The Fig. 12 baseline keeps the instance's sampled vertices in
+/// shared memory and linear-searches them (cost grows with the sample);
+/// C-SAW probes one bit of the per-vertex bitmap with an atomic CAS.
+pub fn charge_visited_check(kind: DetectorKind, visited_len: usize, stats: &mut SimStats) {
+    match kind {
+        DetectorKind::LinearSearch => {
+            let comparisons = visited_len as u64 + 1;
+            stats.collision_searches += comparisons;
+            stats.warp_cycles += 2 * comparisons; // shared-memory scan
+        }
+        _ => {
+            stats.collision_searches += 1;
+            stats.atomic_ops += 1;
+            stats.warp_cycles += csaw_gpu::lockstep::ATOMIC_CYCLES;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_search_counts_comparisons() {
+        let mut d = Detector::new(DetectorKind::LinearSearch, 10);
+        let mut s = SimStats::new();
+        let r1 = d.claim_round(&[Some(3)], &mut s);
+        assert_eq!(r1, vec![Some(true)]);
+        assert_eq!(s.collision_searches, 1, "empty list: one comparison slot");
+        let r2 = d.claim_round(&[Some(3)], &mut s);
+        assert_eq!(r2, vec![Some(false)]);
+        assert_eq!(s.collision_searches, 1 + 2, "one entry + the probe");
+    }
+
+    #[test]
+    fn linear_search_grows_with_selected() {
+        let mut d = Detector::new(DetectorKind::LinearSearch, 100);
+        let mut s = SimStats::new();
+        for k in 0..50 {
+            d.claim_round(&[Some(k)], &mut s);
+        }
+        let before = s.collision_searches;
+        d.claim_round(&[Some(99)], &mut s);
+        assert_eq!(s.collision_searches - before, 51);
+    }
+
+    #[test]
+    fn bitmap_single_probe_per_claim() {
+        let mut d = Detector::new(DetectorKind::ContiguousBitmap { word_bits: 8 }, 100);
+        let mut s = SimStats::new();
+        for k in 0..50 {
+            d.claim_round(&[Some(k)], &mut s);
+        }
+        assert_eq!(s.collision_searches, 50, "bitmap probes don't grow with selected count");
+        assert_eq!(d.selected_count(), 50);
+    }
+
+    #[test]
+    fn contiguous_conflicts_on_adjacent_bits() {
+        let mut d = Detector::new(DetectorKind::ContiguousBitmap { word_bits: 8 }, 64);
+        let mut s = SimStats::new();
+        // Lanes pick candidates 0..4: all in word 0 → 3 serialized.
+        let reqs: Vec<_> = (0..4).map(Some).collect();
+        let out = d.claim_round(&reqs, &mut s);
+        assert!(out.iter().all(|o| *o == Some(true)));
+        assert_eq!(s.atomic_conflicts, 3);
+    }
+
+    #[test]
+    fn strided_spreads_adjacent_bits() {
+        let mut d = Detector::new(DetectorKind::StridedBitmap { word_bits: 8 }, 64);
+        let mut s = SimStats::new();
+        // 64 candidates / 8 bits = 8 words; candidates 0..4 map to words
+        // 0..4 under striding → no conflicts.
+        let reqs: Vec<_> = (0..4).map(Some).collect();
+        d.claim_round(&reqs, &mut s);
+        assert_eq!(s.atomic_conflicts, 0);
+    }
+
+    #[test]
+    fn wider_words_conflict_more() {
+        // The §IV-B argument for 8-bit over 32-bit words.
+        let run = |word_bits| {
+            let mut d = Detector::new(DetectorKind::ContiguousBitmap { word_bits }, 256);
+            let mut s = SimStats::new();
+            let reqs: Vec<_> = (0..32).map(Some).collect();
+            d.claim_round(&reqs, &mut s);
+            s.atomic_conflicts
+        };
+        assert!(run(32) > run(8), "32-bit words must serialize more");
+    }
+
+    #[test]
+    fn duplicate_claims_lose() {
+        for kind in [
+            DetectorKind::LinearSearch,
+            DetectorKind::ContiguousBitmap { word_bits: 8 },
+            DetectorKind::StridedBitmap { word_bits: 8 },
+        ] {
+            let mut d = Detector::new(kind, 16);
+            let mut s = SimStats::new();
+            let out = d.claim_round(&[Some(5), Some(5), None, Some(6)], &mut s);
+            assert_eq!(out[0], Some(true), "{kind:?}");
+            assert_eq!(out[1], Some(false), "{kind:?}");
+            assert_eq!(out[2], None);
+            assert_eq!(out[3], Some(true));
+            assert!(d.is_selected(5) && d.is_selected(6) && !d.is_selected(7));
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = Detector::new(DetectorKind::paper_default(), 8);
+        let mut s = SimStats::new();
+        d.claim_round(&[Some(1)], &mut s);
+        d.reset(4);
+        assert!(!d.is_selected(1));
+        assert_eq!(d.selected_count(), 0);
+    }
+
+    #[test]
+    fn force_set_marks_without_atomics() {
+        let mut d = Detector::new(DetectorKind::paper_default(), 8);
+        d.force_set(2);
+        assert!(d.is_selected(2));
+    }
+}

@@ -1,0 +1,198 @@
+//! Cumulative Transition Probability Space (paper §II-B, Fig. 1b).
+//!
+//! Given biases `b_1..b_n`, the transition probability of candidate `k` is
+//! `t_k = b_k / Σ b_i` (Theorem 1). The CTPS is the normalized prefix sum
+//! `F` with `t_k = F_k − F_{k−1}`; selecting a candidate is a binary search
+//! of a uniform random number over `F`.
+//!
+//! On the simulated device the prefix sum is a warp-level Kogge-Stone scan
+//! and the normalization is distributed across lanes, exactly as in §IV-A.
+
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::warp::{binary_search_region, inclusive_scan, WARP_SIZE};
+use csaw_gpu::Philox;
+
+/// A built CTPS: `bounds[k]` is `F_{k+1}`, the upper edge of candidate
+/// `k`'s region (so `bounds.last() == 1.0` when total bias is positive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctps {
+    bounds: Vec<f64>,
+    total_bias: f64,
+}
+
+impl Ctps {
+    /// Builds the CTPS from raw biases with warp-counted work. Returns
+    /// `None` when the total bias is zero or non-finite (nothing is
+    /// selectable).
+    pub fn build(biases: &[f64], stats: &mut SimStats) -> Option<Ctps> {
+        if biases.is_empty() {
+            return None;
+        }
+        debug_assert!(biases.iter().all(|&b| b >= 0.0), "negative bias");
+        let mut bounds = biases.to_vec();
+        inclusive_scan(&mut bounds, stats);
+        let total = *bounds.last().unwrap();
+        if !total.is_finite() || total <= 0.0 {
+            return None;
+        }
+        // Normalization: one division per element, one warp step per tile.
+        for b in bounds.iter_mut() {
+            *b /= total;
+        }
+        stats.warp_cycles += bounds.len().div_ceil(WARP_SIZE) as u64;
+        // Guard against FP drift: the last bound must be exactly 1.
+        *bounds.last_mut().unwrap() = 1.0;
+        Some(Ctps { bounds, total_bias: total })
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when there are no candidates (never constructed by
+    /// [`Ctps::build`], which returns `None` instead).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Sum of the raw biases.
+    pub fn total_bias(&self) -> f64 {
+        self.total_bias
+    }
+
+    /// Region `(l, h)` of candidate `k`: `F_k .. F_{k+1}`.
+    #[inline]
+    pub fn region(&self, k: usize) -> (f64, f64) {
+        let l = if k == 0 { 0.0 } else { self.bounds[k - 1] };
+        (l, self.bounds[k])
+    }
+
+    /// Transition probability of candidate `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        let (l, h) = self.region(k);
+        h - l
+    }
+
+    /// Binary search: the candidate whose region contains `r ∈ [0, 1)`.
+    /// Zero-width regions are never returned.
+    #[inline]
+    pub fn search(&self, r: f64, stats: &mut SimStats) -> usize {
+        let mut k = binary_search_region(&self.bounds, r, stats);
+        // r can land exactly on a region's lower edge when preceding
+        // regions have zero width; skip forward to a positive-width region.
+        while self.probability(k) == 0.0 && k + 1 < self.bounds.len() {
+            k += 1;
+        }
+        k
+    }
+
+    /// Draws one candidate with replacement (inverse transform sampling).
+    pub fn sample_one(&self, rng: &mut Philox, stats: &mut SimStats) -> usize {
+        stats.rng_draws += 1;
+        stats.warp_cycles += 4; // Philox draw
+        let r = rng.uniform();
+        self.search(r, stats)
+    }
+
+    /// The normalized bounds (read-only view for the select loop).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_ctps() -> Ctps {
+        // Biases of v8's neighbors in the toy graph: {3, 6, 2, 2, 2}.
+        let mut s = SimStats::new();
+        Ctps::build(&[3.0, 6.0, 2.0, 2.0, 2.0], &mut s).unwrap()
+    }
+
+    #[test]
+    fn matches_paper_fig1b() {
+        let c = fig1_ctps();
+        let expect = [0.2, 0.6, 11.0 / 15.0, 13.0 / 15.0, 1.0];
+        for (a, b) in c.bounds().iter().zip(expect) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert_eq!(c.total_bias(), 15.0);
+    }
+
+    #[test]
+    fn paper_example_r_half_selects_v7() {
+        // "Assuming r = 0.5 ... the second candidate v7 is selected."
+        let c = fig1_ctps();
+        let mut s = SimStats::new();
+        assert_eq!(c.search(0.5, &mut s), 1);
+    }
+
+    #[test]
+    fn regions_partition_unit_interval() {
+        let c = fig1_ctps();
+        let mut acc = 0.0;
+        for k in 0..c.len() {
+            let (l, h) = c.region(k);
+            assert!((l - acc).abs() < 1e-12);
+            acc = h;
+        }
+        assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_bias_is_none() {
+        let mut s = SimStats::new();
+        assert!(Ctps::build(&[0.0, 0.0], &mut s).is_none());
+        assert!(Ctps::build(&[], &mut s).is_none());
+    }
+
+    #[test]
+    fn zero_width_regions_are_skipped() {
+        let mut s = SimStats::new();
+        let c = Ctps::build(&[0.0, 1.0, 0.0, 1.0], &mut s).unwrap();
+        // r = 0 lands at the zero-width region 0's lower edge; must skip to 1.
+        assert_eq!(c.search(0.0, &mut s), 1);
+        assert!(c.probability(0) == 0.0);
+        // region 2 has zero width and is unreachable.
+        for i in 0..1000 {
+            let r = i as f64 / 1000.0;
+            assert_ne!(c.search(r, &mut s), 2);
+        }
+    }
+
+    #[test]
+    fn sample_one_follows_transition_probabilities() {
+        let c = fig1_ctps();
+        let mut rng = Philox::new(77);
+        let mut s = SimStats::new();
+        let n = 200_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[c.sample_one(&mut rng, &mut s)] += 1;
+        }
+        let expect = [0.2, 0.4, 2.0 / 15.0, 2.0 / 15.0, 2.0 / 15.0];
+        for (i, (&cnt, &p)) in counts.iter().zip(&expect).enumerate() {
+            let f = cnt as f64 / n as f64;
+            assert!((f - p).abs() < 0.01, "candidate {i}: freq {f} vs prob {p}");
+        }
+        assert_eq!(s.rng_draws, n as u64);
+    }
+
+    #[test]
+    fn build_counts_scan_work() {
+        let mut s = SimStats::new();
+        Ctps::build(&vec![1.0; 64], &mut s).unwrap();
+        assert!(s.scan_steps >= 10, "two full tiles of Kogge-Stone");
+        assert!(s.warp_cycles > 0);
+    }
+
+    #[test]
+    fn single_candidate() {
+        let mut s = SimStats::new();
+        let c = Ctps::build(&[42.0], &mut s).unwrap();
+        assert_eq!(c.search(0.7, &mut s), 0);
+        assert_eq!(c.probability(0), 1.0);
+    }
+}

@@ -1,0 +1,630 @@
+//! The sampling engine — C-SAW's MAIN loop (paper Fig. 2b).
+//!
+//! ```text
+//! FrontierPool = Seeds
+//! for i in 0..Depth:
+//!     Frontier      = SELECT(VERTEXBIAS(FrontierPool), FrontierSize)
+//!     NeighborPool  = GATHERNEIGHBORS(Frontier)
+//!     Sampled       = SELECT(EDGEBIAS(NeighborPool), NeighborSize)
+//!     FrontierPool.INSERT(UPDATE(Sampled))
+//!     Samples.INSERT(Sampled.u)
+//! ```
+//!
+//! Each sampling *instance* is executed by one simulated warp
+//! (§IV-A inter-warp parallelism: thousands of instances saturate the
+//! device; intra-instance selection is the warp-level SELECT of
+//! [`crate::select`]). Instances draw from counter-based RNG streams keyed
+//! by `(seed, instance)`, so outputs are bit-identical regardless of host
+//! thread count.
+
+use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, UpdateAction};
+use crate::output::SampleOutput;
+use crate::select::{select_one, select_without_replacement, SelectConfig, SelectStrategy};
+use crate::select_simt::select_without_replacement_simt;
+use csaw_graph::{Csr, VertexId};
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::{Device, Philox};
+use std::collections::HashSet;
+
+/// Engine-level options shared by all instances of a run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Global RNG seed; instance `i` uses stream `(seed, i)`.
+    pub seed: u64,
+    /// SELECT strategy + collision detector.
+    pub select: SelectConfig,
+    /// Execute SELECT through the lane-level SIMT executor
+    /// ([`crate::select_simt`]) instead of the round-based loop —
+    /// distribution-identical, additionally tracks warp divergence
+    /// (unsupported for the `Updated` strategy).
+    pub use_simt_select: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { seed: 0x5eed, select: SelectConfig::paper_best(), use_simt_select: false }
+    }
+}
+
+/// One frontier-pool slot: the vertex plus its walk predecessor (the
+/// paper's `SOURCE(e.v)`, needed by second-order biases).
+#[derive(Debug, Clone, Copy)]
+struct PoolEntry {
+    v: VertexId,
+    prev: Option<VertexId>,
+}
+
+/// A configured sampler binding a graph to an algorithm.
+pub struct Sampler<'g, A: Algorithm> {
+    graph: &'g Csr,
+    algo: &'g A,
+    opts: RunOptions,
+    device: Device,
+}
+
+impl<'g, A: Algorithm> Sampler<'g, A> {
+    /// A sampler with default options on a V100-like device.
+    pub fn new(graph: &'g Csr, algo: &'g A) -> Self {
+        Sampler { graph, algo, opts: RunOptions::default(), device: Device::v100() }
+    }
+
+    /// Overrides the run options.
+    pub fn with_options(mut self, opts: RunOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Overrides the simulated device.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// The bound device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Runs one instance per seed vertex (the common case: every paper
+    /// algorithm except multi-dimensional random walk starts an instance
+    /// from a single source, §IV-A).
+    pub fn run_single_seeds(&self, seeds: &[VertexId]) -> SampleOutput {
+        let sets: Vec<Vec<VertexId>> = seeds.iter().map(|&s| vec![s]).collect();
+        self.run(&sets)
+    }
+
+    /// Memory-bounded run: processes single-seed instances in chunks of
+    /// `chunk_size`, handing each finished instance's edges to `sink`
+    /// (global instance index, edges) instead of materializing every
+    /// instance at once — the right shape for corpus generation over
+    /// millions of walks. Returns the merged stats.
+    pub fn run_chunked(
+        &self,
+        seeds: &[VertexId],
+        chunk_size: usize,
+        mut sink: impl FnMut(usize, Vec<(VertexId, VertexId)>),
+    ) -> csaw_gpu::stats::SimStats {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let mut stats = csaw_gpu::stats::SimStats::new();
+        for (chunk_idx, chunk) in seeds.chunks(chunk_size).enumerate() {
+            let base = chunk_idx * chunk_size;
+            // Instance ids stay global so RNG streams (and thus outputs)
+            // are identical to an unchunked run.
+            let tasks: Vec<(u32, Vec<VertexId>)> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| ((base + i) as u32, vec![s]))
+                .collect();
+            let graph = self.graph;
+            let algo = self.algo;
+            let opts = &self.opts;
+            let launch = self.device.launch(tasks, move |_, (instance, seeds)| {
+                run_instance(graph, algo, opts, instance, &seeds)
+            });
+            stats.merge(&launch.stats);
+            stats.sampled_edges += launch.outputs.iter().map(|o| o.len() as u64).sum::<u64>();
+            for (i, inst) in launch.outputs.into_iter().enumerate() {
+                sink(base + i, inst);
+            }
+        }
+        stats
+    }
+
+    /// Runs one instance per seed *set* (multi-dimensional random walk
+    /// pools `FrontierSize` seeds per instance).
+    pub fn run(&self, seed_sets: &[Vec<VertexId>]) -> SampleOutput {
+        let t0 = std::time::Instant::now();
+        let tasks: Vec<(u32, &Vec<VertexId>)> =
+            seed_sets.iter().enumerate().map(|(i, s)| (i as u32, s)).collect();
+        let graph = self.graph;
+        let algo = self.algo;
+        let opts = &self.opts;
+        let launch = self.device.launch(tasks, move |_, (instance, seeds)| {
+            run_instance(graph, algo, opts, instance, seeds)
+        });
+        let mut stats = launch.stats;
+        stats.sampled_edges = launch.outputs.iter().map(|o| o.len() as u64).sum();
+        SampleOutput {
+            instances: launch.outputs,
+            stats,
+            warp_cycles: launch.warp_cycles,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Dispatches the without-replacement SELECT per the run options.
+fn run_select(
+    biases: &[f64],
+    k: usize,
+    opts: &RunOptions,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) -> Vec<usize> {
+    if opts.use_simt_select && opts.select.strategy != SelectStrategy::Updated {
+        select_without_replacement_simt(biases, k, opts.select, rng, stats).selected
+    } else {
+        select_without_replacement(biases, k, opts.select, rng, stats)
+    }
+}
+
+/// Bytes read from global memory to gather one neighbor list entry:
+/// 4-byte vertex id (+4-byte weight when the graph is weighted).
+fn gather_bytes(g: &Csr, deg: usize) -> usize {
+    // Two row-pointer words + the adjacency slice.
+    16 + deg * (4 + if g.is_weighted() { 4 } else { 0 })
+}
+
+/// Executes one full sampling instance; returns its sampled edges and
+/// private stats (merged by the device).
+fn run_instance(
+    g: &Csr,
+    algo: &dyn Algorithm,
+    opts: &RunOptions,
+    instance: u32,
+    seeds: &[VertexId],
+) -> (Vec<(VertexId, VertexId)>, SimStats) {
+    let cfg = algo.config();
+    let mut stats = SimStats::new();
+    let mut rng = Philox::for_task(opts.seed, instance as u64);
+    let mut out: Vec<(VertexId, VertexId)> = Vec::new();
+
+    let mut pool: Vec<PoolEntry> =
+        seeds.iter().map(|&v| PoolEntry { v, prev: None }).collect();
+    let mut visited: HashSet<VertexId> = if cfg.without_replacement {
+        seeds.iter().copied().collect()
+    } else {
+        HashSet::new()
+    };
+    let home = seeds.first().copied().unwrap_or(0);
+
+    for _step in 0..cfg.depth {
+        if pool.is_empty() {
+            break;
+        }
+        match cfg.frontier {
+            FrontierMode::IndependentPerVertex => {
+                let frontier = std::mem::take(&mut pool);
+                stats.frontier_ops += frontier.len() as u64;
+                for entry in frontier {
+                    expand_independent(
+                        g, algo, &cfg, opts, entry, home, &mut rng, &mut stats, &mut visited,
+                        &mut pool, &mut out,
+                    );
+                }
+            }
+            FrontierMode::SharedLayer => {
+                expand_layer(
+                    g, algo, &cfg, opts, &mut pool, &mut rng, &mut stats, &mut visited, &mut out,
+                );
+            }
+            FrontierMode::BiasedReplace => {
+                expand_biased_replace(
+                    g, algo, opts, &mut pool, home, &mut rng, &mut stats, &mut out,
+                );
+            }
+        }
+    }
+    (out, stats)
+}
+
+/// Expands one frontier vertex with its own neighbor pool (neighbor
+/// sampling, forest fire, snowball, and all walk variants).
+#[allow(clippy::too_many_arguments)]
+fn expand_independent(
+    g: &Csr,
+    algo: &dyn Algorithm,
+    cfg: &AlgoConfig,
+    opts: &RunOptions,
+    entry: PoolEntry,
+    home: VertexId,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+    visited: &mut HashSet<VertexId>,
+    next_pool: &mut Vec<PoolEntry>,
+    out: &mut Vec<(VertexId, VertexId)>,
+) {
+    let v = entry.v;
+    let neighbors = g.neighbors(v);
+    stats.read_gmem(gather_bytes(g, neighbors.len()));
+
+    if neighbors.is_empty() {
+        match algo.on_dead_end(g, v, home, rng) {
+            UpdateAction::Add(w) => {
+                push_pool(cfg, opts.select.detector, visited, next_pool, PoolEntry { v: w, prev: Some(v) }, stats)
+            }
+            UpdateAction::Discard => {}
+        }
+        return;
+    }
+
+    let k = cfg.neighbor_size.realize(neighbors.len(), rng);
+    if k == 0 {
+        return;
+    }
+
+    let cands: Vec<EdgeCand> = neighbors
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| EdgeCand { v, u, weight: g.edge_weight(v, i), prev: entry.prev })
+        .collect();
+    let biases: Vec<f64> = cands.iter().map(|c| algo.edge_bias(g, c)).collect();
+    stats.warp_cycles += biases.len().div_ceil(32) as u64; // bias evaluation
+
+    let picks: Vec<usize> = if cfg.without_replacement {
+        run_select(&biases, k, opts, rng, stats)
+    } else {
+        // Walk-style with replacement: k independent draws.
+        (0..k).filter_map(|_| select_one(&biases, rng, stats)).collect()
+    };
+
+    for idx in picks {
+        let mut cand = cands[idx];
+        if let Some(w) = algo.accept(g, &cand, rng) {
+            if w == v {
+                // Rejected move (metropolis-hastings stays): the step is
+                // consumed, the walker remains at v.
+                push_pool(cfg, opts.select.detector, visited, next_pool, entry, stats);
+                continue;
+            }
+            cand.u = w;
+        }
+        out.push((cand.v, cand.u));
+        match algo.update(g, &cand, home, rng) {
+            UpdateAction::Add(w) => push_pool(
+                cfg,
+                opts.select.detector,
+                visited,
+                next_pool,
+                PoolEntry { v: w, prev: Some(v) },
+                stats,
+            ),
+            UpdateAction::Discard => {}
+        }
+    }
+}
+
+/// Layer sampling: one shared neighbor pool for the whole frontier, from
+/// which `NeighborSize` vertices are selected per layer (§II-A).
+#[allow(clippy::too_many_arguments)]
+fn expand_layer(
+    g: &Csr,
+    algo: &dyn Algorithm,
+    cfg: &AlgoConfig,
+    opts: &RunOptions,
+    pool: &mut Vec<PoolEntry>,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+    visited: &mut HashSet<VertexId>,
+    out: &mut Vec<(VertexId, VertexId)>,
+) {
+    let frontier = std::mem::take(pool);
+    stats.frontier_ops += frontier.len() as u64;
+    let mut cands: Vec<EdgeCand> = Vec::new();
+    for entry in &frontier {
+        let neighbors = g.neighbors(entry.v);
+        stats.read_gmem(gather_bytes(g, neighbors.len()));
+        cands.extend(neighbors.iter().enumerate().map(|(i, &u)| EdgeCand {
+            v: entry.v,
+            u,
+            weight: g.edge_weight(entry.v, i),
+            prev: entry.prev,
+        }));
+    }
+    if cands.is_empty() {
+        return;
+    }
+    let k = cfg.neighbor_size.realize(cands.len(), rng);
+    let biases: Vec<f64> = cands.iter().map(|c| algo.edge_bias(g, c)).collect();
+    stats.warp_cycles += biases.len().div_ceil(32) as u64;
+    for idx in run_select(&biases, k, opts, rng, stats) {
+        let cand = cands[idx];
+        out.push((cand.v, cand.u));
+        match algo.update(g, &cand, cand.v, rng) {
+            UpdateAction::Add(w) => {
+                push_pool(cfg, opts.select.detector, visited, pool, PoolEntry { v: w, prev: Some(cand.v) }, stats)
+            }
+            UpdateAction::Discard => {}
+        }
+    }
+}
+
+/// Multi-dimensional random walk (Fig. 4): VERTEXBIAS selects one pool
+/// vertex, one of its neighbors is sampled, and the neighbor replaces the
+/// pool vertex.
+#[allow(clippy::too_many_arguments)]
+fn expand_biased_replace(
+    g: &Csr,
+    algo: &dyn Algorithm,
+    _opts: &RunOptions,
+    pool: &mut Vec<PoolEntry>,
+    home: VertexId,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+    out: &mut Vec<(VertexId, VertexId)>,
+) {
+    // Frontier selection by VERTEXBIAS (Fig. 2b line 4).
+    let vbiases: Vec<f64> = pool.iter().map(|e| algo.vertex_bias(g, e.v)).collect();
+    stats.read_gmem(4 * pool.len()); // degree reads for the biases
+    let Some(j) = select_one(&vbiases, rng, stats) else {
+        pool.clear();
+        return;
+    };
+    let entry = pool[j];
+    let v = entry.v;
+    let neighbors = g.neighbors(v);
+    stats.read_gmem(gather_bytes(g, neighbors.len()));
+
+    if neighbors.is_empty() {
+        match algo.on_dead_end(g, v, home, rng) {
+            UpdateAction::Add(w) => pool[j] = PoolEntry { v: w, prev: Some(v) },
+            UpdateAction::Discard => {
+                pool.swap_remove(j);
+            }
+        }
+        return;
+    }
+
+    let cands: Vec<EdgeCand> = neighbors
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| EdgeCand { v, u, weight: g.edge_weight(v, i), prev: entry.prev })
+        .collect();
+    let biases: Vec<f64> = cands.iter().map(|c| algo.edge_bias(g, c)).collect();
+    stats.warp_cycles += biases.len().div_ceil(32) as u64;
+    let Some(idx) = select_one(&biases, rng, stats) else {
+        pool.swap_remove(j);
+        return;
+    };
+    let cand = cands[idx];
+    out.push((cand.v, cand.u));
+    match algo.update(g, &cand, home, rng) {
+        UpdateAction::Add(w) => pool[j] = PoolEntry { v: w, prev: Some(v) },
+        UpdateAction::Discard => {
+            pool.swap_remove(j);
+        }
+    }
+    stats.frontier_ops += 1;
+}
+
+/// Inserts into the next frontier pool, honoring without-replacement.
+/// The visited check is the detector-dependent cost Fig. 12 compares
+/// (linear search over the sampled list vs. one bitmap probe).
+fn push_pool(
+    cfg: &AlgoConfig,
+    detector: crate::collision::DetectorKind,
+    visited: &mut HashSet<VertexId>,
+    pool: &mut Vec<PoolEntry>,
+    entry: PoolEntry,
+    stats: &mut SimStats,
+) {
+    if cfg.without_replacement {
+        crate::collision::charge_visited_check(detector, visited.len(), stats);
+        if !visited.insert(entry.v) {
+            return; // already sampled once (§II-A)
+        }
+    }
+    stats.frontier_ops += 1;
+    pool.push(entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::NeighborSize;
+    use csaw_graph::generators::toy_graph;
+
+    /// Minimal in-test algorithm: unbiased neighbor sampling.
+    struct TestNs {
+        ns: usize,
+        depth: usize,
+    }
+    impl Algorithm for TestNs {
+        fn name(&self) -> &'static str {
+            "test-ns"
+        }
+        fn config(&self) -> AlgoConfig {
+            AlgoConfig {
+                depth: self.depth,
+                neighbor_size: NeighborSize::Constant(self.ns),
+                frontier: FrontierMode::IndependentPerVertex,
+                without_replacement: true,
+            }
+        }
+    }
+
+    /// Unbiased walk of fixed length.
+    struct TestWalk {
+        len: usize,
+    }
+    impl Algorithm for TestWalk {
+        fn name(&self) -> &'static str {
+            "test-walk"
+        }
+        fn config(&self) -> AlgoConfig {
+            AlgoConfig {
+                depth: self.len,
+                neighbor_size: NeighborSize::Constant(1),
+                frontier: FrontierMode::IndependentPerVertex,
+                without_replacement: false,
+            }
+        }
+    }
+
+    #[test]
+    fn walk_has_requested_length_and_valid_edges() {
+        let g = toy_graph();
+        let algo = TestWalk { len: 20 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[8, 0, 5]);
+        assert_eq!(out.instances.len(), 3);
+        for inst in &out.instances {
+            assert_eq!(inst.len(), 20, "toy graph has no dead ends");
+            for &(v, u) in inst {
+                assert!(g.has_edge(v, u), "non-edge ({v},{u}) sampled");
+            }
+            // Path property: consecutive edges chain.
+            for w in inst.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "walk must be connected");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_sampling_respects_ns_and_depth() {
+        let g = toy_graph();
+        let algo = TestNs { ns: 2, depth: 2 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[8]);
+        let inst = &out.instances[0];
+        // Depth 2, NS 2: ≤ 2 + 4 edges; all must be real edges.
+        assert!(inst.len() <= 6, "{inst:?}");
+        assert!(!inst.is_empty());
+        for &(v, u) in inst {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn without_replacement_never_expands_twice() {
+        let g = toy_graph();
+        let algo = TestNs { ns: 8, depth: 6 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[0, 5, 8, 12]);
+        for inst in &out.instances {
+            let mut expanded: Vec<VertexId> = inst.iter().map(|&(v, _)| v).collect();
+            let unique: HashSet<_> = expanded.iter().copied().collect();
+            expanded.sort_unstable();
+            // A vertex may appear as source of several edges within one
+            // step (NS > 1) but must never be *expanded* in two steps. With
+            // ns=8 ≥ max degree, re-expansion would mean duplicate (v, u)
+            // pairs.
+            let mut pairs = inst.clone();
+            pairs.sort_unstable();
+            let before = pairs.len();
+            pairs.dedup();
+            assert_eq!(pairs.len(), before, "duplicate sampled edge implies re-expansion");
+            assert!(!unique.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = toy_graph();
+        let algo = TestWalk { len: 50 };
+        let a = Sampler::new(&g, &algo).run_single_seeds(&[1, 2, 3, 4]);
+        let b = Sampler::new(&g, &algo).run_single_seeds(&[1, 2, 3, 4]);
+        assert_eq!(a.instances, b.instances);
+    }
+
+    #[test]
+    fn different_seed_changes_output() {
+        let g = toy_graph();
+        let algo = TestWalk { len: 50 };
+        let a = Sampler::new(&g, &algo).run_single_seeds(&[1, 2, 3]);
+        let b = Sampler::new(&g, &algo)
+            .with_options(RunOptions { seed: 999, ..Default::default() })
+            .run_single_seeds(&[1, 2, 3]);
+        assert_ne!(a.instances, b.instances);
+    }
+
+    #[test]
+    fn dead_end_terminates_by_default() {
+        // Star with edges only out of 0: vertex 1.. have no out-edges.
+        let g = csaw_graph::CsrBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .build();
+        let algo = TestWalk { len: 10 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[0]);
+        assert_eq!(out.instances[0].len(), 1, "one hop then dead end");
+    }
+
+    #[test]
+    fn empty_seed_list() {
+        let g = toy_graph();
+        let algo = TestWalk { len: 5 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[]);
+        assert!(out.instances.is_empty());
+        assert_eq!(out.sampled_edges(), 0);
+    }
+
+    #[test]
+    fn simt_select_option_is_distribution_equivalent() {
+        use std::collections::HashMap;
+        let g = toy_graph();
+        let algo = TestNs { ns: 2, depth: 1 };
+        let freq = |use_simt: bool| {
+            let opts = RunOptions { use_simt_select: use_simt, ..Default::default() };
+            let out =
+                Sampler::new(&g, &algo).with_options(opts).run_single_seeds(&vec![8; 40_000]);
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for inst in &out.instances {
+                for &(_, u) in inst {
+                    *counts.entry(u).or_default() += 1;
+                }
+            }
+            counts
+        };
+        let (a, b) = (freq(false), freq(true));
+        for &u in g.neighbors(8) {
+            let fa = a[&u] as f64 / 40_000.0;
+            let fb = b[&u] as f64 / 40_000.0;
+            assert!((fa - fb).abs() < 0.02, "u={u}: round {fa} vs simt {fb}");
+        }
+    }
+
+    #[test]
+    fn chunked_run_matches_unchunked() {
+        let g = toy_graph();
+        let algo = TestWalk { len: 15 };
+        let seeds: Vec<u32> = (0..23).map(|i| i % 13).collect();
+        let full = Sampler::new(&g, &algo).run_single_seeds(&seeds);
+        for chunk in [1usize, 4, 7, 23, 100] {
+            let mut collected: Vec<Option<Vec<(u32, u32)>>> = vec![None; seeds.len()];
+            let stats = Sampler::new(&g, &algo).run_chunked(&seeds, chunk, |i, edges| {
+                collected[i] = Some(edges);
+            });
+            let collected: Vec<_> = collected.into_iter().map(Option::unwrap).collect();
+            assert_eq!(collected, full.instances, "chunk={chunk}");
+            assert_eq!(stats.sampled_edges, full.stats.sampled_edges);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn chunked_run_rejects_zero_chunk() {
+        let g = toy_graph();
+        let algo = TestWalk { len: 2 };
+        Sampler::new(&g, &algo).run_chunked(&[0], 0, |_, _| {});
+    }
+
+    #[test]
+    fn stats_accumulate_work() {
+        let g = toy_graph();
+        let algo = TestNs { ns: 2, depth: 2 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[8, 0]);
+        assert!(out.stats.rng_draws > 0);
+        assert!(out.stats.selections > 0);
+        assert!(out.stats.gmem_bytes > 0);
+        assert_eq!(out.stats.sampled_edges, out.sampled_edges());
+        assert_eq!(out.warp_cycles.len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Sampling output: per-instance sampled edges plus the counted work and
+//! simulated timing the benchmarks consume.
+
+use csaw_gpu::config::DeviceConfig;
+use csaw_gpu::cost;
+use csaw_gpu::stats::SimStats;
+use csaw_graph::VertexId;
+
+/// Result of running a sampler over a batch of instances.
+#[derive(Debug, Clone)]
+pub struct SampleOutput {
+    /// Sampled edges per instance: each instance yields one sampled
+    /// subgraph (or walk path), in sampling order.
+    pub instances: Vec<Vec<(VertexId, VertexId)>>,
+    /// Merged work counters.
+    pub stats: SimStats,
+    /// Per-instance warp cycle counts (imbalance analysis).
+    pub warp_cycles: Vec<u64>,
+    /// Host wall-clock seconds spent simulating (reported alongside
+    /// modeled time; not used for paper figures).
+    pub wall_seconds: f64,
+}
+
+impl SampleOutput {
+    /// Total sampled edges across instances.
+    pub fn sampled_edges(&self) -> u64 {
+        self.instances.iter().map(|i| i.len() as u64).sum()
+    }
+
+    /// Mean sampled edges per instance (the paper reports "each instance
+    /// of sampled graphs has 1,703 edges on average" for its setup).
+    pub fn edges_per_instance(&self) -> f64 {
+        if self.instances.is_empty() {
+            0.0
+        } else {
+            self.sampled_edges() as f64 / self.instances.len() as f64
+        }
+    }
+
+    /// Simulated kernel time on `cfg`.
+    pub fn kernel_seconds(&self, cfg: &DeviceConfig) -> f64 {
+        cost::gpu_kernel_seconds(&self.stats, cfg)
+    }
+
+    /// Sampled edges per second under the simulated kernel time — the
+    /// paper's SEPS metric.
+    pub fn seps(&self, cfg: &DeviceConfig) -> f64 {
+        cost::seps(self.sampled_edges(), self.kernel_seconds(cfg))
+    }
+
+    /// Distinct vertices touched by the sample (subgraph extraction).
+    pub fn unique_vertices(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for inst in &self.instances {
+            for &(v, u) in inst {
+                seen.insert(v);
+                seen.insert(u);
+            }
+        }
+        seen.len()
+    }
+
+    /// Induces the sampled subgraph: the union of all instances' sampled
+    /// edges over the touched vertices, relabeled densely. Returns the
+    /// subgraph plus the mapping `new id -> original id`. This is the
+    /// artifact downstream consumers (GNN trainers, estimators,
+    /// visualizers) actually take from a sampler.
+    pub fn induce_subgraph(&self) -> (csaw_graph::Csr, Vec<VertexId>) {
+        use std::collections::HashMap;
+        let mut fwd: HashMap<VertexId, VertexId> = HashMap::new();
+        let mut back: Vec<VertexId> = Vec::new();
+        let map = |v: VertexId, fwd: &mut HashMap<VertexId, VertexId>,
+                       back: &mut Vec<VertexId>| {
+            *fwd.entry(v).or_insert_with(|| {
+                back.push(v);
+                (back.len() - 1) as VertexId
+            })
+        };
+        let mut builder = csaw_graph::CsrBuilder::new();
+        for inst in &self.instances {
+            for &(v, u) in inst {
+                let a = map(v, &mut fwd, &mut back);
+                let b = map(u, &mut fwd, &mut back);
+                builder = builder.add_edge(a, b);
+            }
+        }
+        let g = builder.with_num_vertices(back.len()).build();
+        (g, back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SampleOutput {
+        SampleOutput {
+            instances: vec![vec![(0, 1), (1, 2)], vec![(3, 4)], vec![]],
+            stats: SimStats { sampled_edges: 3, warp_cycles: 100, ..Default::default() },
+            warp_cycles: vec![60, 40, 0],
+            wall_seconds: 0.001,
+        }
+    }
+
+    #[test]
+    fn edge_counts() {
+        let s = sample();
+        assert_eq!(s.sampled_edges(), 3);
+        assert!((s.edges_per_instance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_vertices_dedup_across_instances() {
+        let s = sample();
+        assert_eq!(s.unique_vertices(), 5);
+    }
+
+    #[test]
+    fn seps_is_positive_for_work() {
+        let s = sample();
+        let cfg = DeviceConfig::v100();
+        assert!(s.kernel_seconds(&cfg) > 0.0);
+        assert!(s.seps(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn induce_subgraph_relabels_densely() {
+        let s = sample();
+        let (g, back) = s.induce_subgraph();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(back.len(), 5);
+        // Every sampled edge exists in the subgraph under the mapping.
+        let fwd: std::collections::HashMap<u32, u32> =
+            back.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        for inst in &s.instances {
+            for &(v, u) in inst {
+                assert!(g.has_edge(fwd[&v], fwd[&u]));
+            }
+        }
+        // Original ids recoverable.
+        assert!(back.contains(&0) && back.contains(&4));
+    }
+
+    #[test]
+    fn induce_subgraph_dedups_repeated_edges() {
+        let s = SampleOutput {
+            instances: vec![vec![(3, 9), (3, 9), (9, 3)]],
+            stats: SimStats::new(),
+            warp_cycles: vec![0],
+            wall_seconds: 0.0,
+        };
+        let (g, back) = s.induce_subgraph();
+        assert_eq!(back.len(), 2);
+        assert_eq!(g.num_edges(), 2, "one each direction after dedup");
+    }
+
+    #[test]
+    fn empty_output() {
+        let s = SampleOutput {
+            instances: vec![],
+            stats: SimStats::new(),
+            warp_cycles: vec![],
+            wall_seconds: 0.0,
+        };
+        assert_eq!(s.edges_per_instance(), 0.0);
+        assert_eq!(s.unique_vertices(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-depth frontier profiling.
+//!
+//! §VI-C explains several out-of-memory trends with "active vertices
+//! increase exponentially with depth during sampling". This profiler runs
+//! a per-vertex-frontier algorithm breadth-first, one depth per step
+//! across all instances, and reports the frontier size and sampled-edge
+//! count at every depth — the quantitative form of that claim.
+
+use crate::api::{Algorithm, EdgeCand, FrontierMode, UpdateAction};
+use crate::select::{select_one, select_without_replacement, SelectConfig};
+use csaw_graph::{Csr, VertexId};
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::Philox;
+use std::collections::HashSet;
+
+/// One depth level's aggregate activity across all instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthProfile {
+    /// Depth (0 = expansion of the seeds).
+    pub depth: usize,
+    /// Frontier vertices expanded at this depth (all instances).
+    pub frontier: u64,
+    /// Edges sampled at this depth.
+    pub edges: u64,
+}
+
+/// Profiles `algo` (per-vertex frontier modes only) over single-seed
+/// instances, returning the per-depth activity.
+pub fn profile_depths<A: Algorithm>(
+    g: &Csr,
+    algo: &A,
+    seeds: &[VertexId],
+    seed: u64,
+) -> Vec<DepthProfile> {
+    let cfg = algo.config();
+    assert_eq!(
+        cfg.frontier,
+        FrontierMode::IndependentPerVertex,
+        "the depth profiler covers per-vertex frontier algorithms"
+    );
+    let select = SelectConfig::paper_best();
+    let mut stats = SimStats::new();
+    let mut frontiers: Vec<Vec<(VertexId, Option<VertexId>)>> =
+        seeds.iter().map(|&s| vec![(s, None)]).collect();
+    let mut visited: Vec<HashSet<VertexId>> = seeds
+        .iter()
+        .map(|&s| if cfg.without_replacement { HashSet::from([s]) } else { HashSet::new() })
+        .collect();
+    let mut out = Vec::new();
+
+    for depth in 0..cfg.depth {
+        let mut frontier_total = 0u64;
+        let mut edge_total = 0u64;
+        for inst in 0..seeds.len() {
+            let frontier = std::mem::take(&mut frontiers[inst]);
+            frontier_total += frontier.len() as u64;
+            for (v, prev) in frontier {
+                let nbrs = g.neighbors(v);
+                let mut rng =
+                    Philox::for_task(seed, mix3(inst as u64, depth as u64, v as u64));
+                if nbrs.is_empty() {
+                    if let UpdateAction::Add(w) = algo.on_dead_end(g, v, seeds[inst], &mut rng) {
+                        push(&cfg, &mut visited[inst], &mut frontiers[inst], w, v);
+                    }
+                    continue;
+                }
+                let k = cfg.neighbor_size.realize(nbrs.len(), &mut rng);
+                if k == 0 {
+                    continue;
+                }
+                let cands: Vec<EdgeCand> = nbrs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &u)| EdgeCand { v, u, weight: g.edge_weight(v, i), prev })
+                    .collect();
+                let biases: Vec<f64> = cands.iter().map(|c| algo.edge_bias(g, c)).collect();
+                let picks: Vec<usize> = if cfg.without_replacement {
+                    select_without_replacement(&biases, k, select, &mut rng, &mut stats)
+                } else {
+                    (0..k).filter_map(|_| select_one(&biases, &mut rng, &mut stats)).collect()
+                };
+                for idx in picks {
+                    let mut cand = cands[idx];
+                    if let Some(w) = algo.accept(g, &cand, &mut rng) {
+                        if w == v {
+                            push(&cfg, &mut visited[inst], &mut frontiers[inst], v, v);
+                            continue;
+                        }
+                        cand.u = w;
+                    }
+                    edge_total += 1;
+                    if let UpdateAction::Add(w) = algo.update(g, &cand, seeds[inst], &mut rng) {
+                        push(&cfg, &mut visited[inst], &mut frontiers[inst], w, v);
+                    }
+                }
+            }
+        }
+        out.push(DepthProfile { depth, frontier: frontier_total, edges: edge_total });
+        if frontier_total == 0 {
+            break;
+        }
+    }
+    out
+}
+
+fn push(
+    cfg: &crate::api::AlgoConfig,
+    visited: &mut HashSet<VertexId>,
+    frontier: &mut Vec<(VertexId, Option<VertexId>)>,
+    v: VertexId,
+    prev: VertexId,
+) {
+    if cfg.without_replacement && !visited.insert(v) {
+        return;
+    }
+    frontier.push((v, Some(prev)));
+}
+
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{SimpleRandomWalk, UnbiasedNeighborSampling};
+    use csaw_graph::generators::{ring_lattice, rmat, toy_graph, RmatParams};
+
+    #[test]
+    fn neighbor_sampling_frontier_grows_geometrically() {
+        let g = rmat(11, 8, RmatParams::GRAPH500, 1);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 5 };
+        let seeds: Vec<u32> = (0..64).map(|i| i * 31 % 2048).collect();
+        let prof = profile_depths(&g, &algo, &seeds, 1);
+        assert_eq!(prof[0].frontier, 64);
+        // Early depths roughly double (before without-replacement bites).
+        assert!(prof[1].frontier as f64 > 1.5 * prof[0].frontier as f64);
+        assert!(prof[2].frontier as f64 > 1.5 * prof[1].frontier as f64);
+        // Total edges across depths = frontier inflow.
+        let total_edges: u64 = prof.iter().map(|p| p.edges).sum();
+        assert!(total_edges > 0);
+    }
+
+    #[test]
+    fn walk_frontier_stays_one() {
+        let g = ring_lattice(50, 2);
+        let algo = SimpleRandomWalk { length: 10 };
+        let prof = profile_depths(&g, &algo, &[0, 10], 2);
+        assert_eq!(prof.len(), 10);
+        for p in &prof {
+            assert_eq!(p.frontier, 2, "one walker per instance at depth {}", p.depth);
+            assert_eq!(p.edges, 2);
+        }
+    }
+
+    #[test]
+    fn exhausted_frontier_stops_early() {
+        // Star graph: depth 1 takes the spokes, depth 2 re-adds the hub
+        // (filtered), frontier dies.
+        let mut b = csaw_graph::CsrBuilder::new().symmetrize(true);
+        for i in 1..=4u32 {
+            b = b.add_edge(0, i);
+        }
+        let g = b.build();
+        let algo = UnbiasedNeighborSampling { neighbor_size: 4, depth: 10 };
+        let prof = profile_depths(&g, &algo, &[0], 3);
+        assert!(prof.len() <= 3, "profile must stop when the frontier empties: {prof:?}");
+    }
+
+    /// Cross-validation against the engine: the profiler's total edge
+    /// count must statistically match a full engine run of the same
+    /// workload (different RNG keying, same law).
+    #[test]
+    fn totals_match_engine_statistically() {
+        use crate::engine::Sampler;
+        let g = rmat(10, 6, RmatParams::GRAPH500, 7);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 4 };
+        let seeds: Vec<u32> = (0..256).map(|i| i * 13 % 1024).collect();
+        let prof_total: u64 = profile_depths(&g, &algo, &seeds, 9).iter().map(|p| p.edges).sum();
+        let engine_total = Sampler::new(&g, &algo).run_single_seeds(&seeds).sampled_edges();
+        let ratio = prof_total as f64 / engine_total as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "profiler {prof_total} vs engine {engine_total}");
+    }
+
+    #[test]
+    fn toy_graph_depth_zero_matches_seed_count() {
+        let g = toy_graph();
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 2 };
+        let prof = profile_depths(&g, &algo, &[0, 5, 8], 4);
+        assert_eq!(prof[0].frontier, 3);
+        assert!(prof[0].edges <= 6);
+    }
+}

@@ -1,0 +1,410 @@
+//! The SELECT function (paper Fig. 5) — warp-centric, bias-based vertex
+//! selection without replacement.
+//!
+//! One warp serves one SELECT call (§IV-A): the lanes cooperatively build
+//! the CTPS (Kogge-Stone scan + normalization), then `k` lanes each claim
+//! one distinct candidate. Every do-while trip of a lane is one *selection
+//! iteration* (the Fig. 11 metric). Strategies differ in what a lane does
+//! when its pick collides:
+//!
+//! - [`SelectStrategy::Repeated`]: redraw on the original CTPS
+//!   (Fig. 6a) — suffers on skewed CTPSs;
+//! - [`SelectStrategy::Updated`]: rebuild the CTPS with selected biases
+//!   zeroed (Fig. 6b) — pays a fresh prefix sum per rebuild;
+//! - [`SelectStrategy::Bipartite`]: adjust the random number and reuse the
+//!   original CTPS (Fig. 6c, Theorem 2) — the paper's contribution.
+
+use crate::bipartite::{adjust_and_search, updated_ctps, BipartiteOutcome};
+use crate::collision::{Detector, DetectorKind};
+use crate::ctps::Ctps;
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::Philox;
+
+/// Collision-mitigation strategy for SELECT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectStrategy {
+    /// Naive repeated sampling on the original CTPS.
+    Repeated,
+    /// Updated sampling: recompute the CTPS after each collision round.
+    Updated,
+    /// Bipartite region search (the paper's method).
+    Bipartite,
+}
+
+/// Re-export of the detector flavor for configuration ergonomics.
+pub type CollisionDetectorKind = DetectorKind;
+
+/// Configuration of the selection machinery, shared by every SELECT call
+/// of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectConfig {
+    /// Collision strategy.
+    pub strategy: SelectStrategy,
+    /// Collision detector.
+    pub detector: DetectorKind,
+}
+
+impl SelectConfig {
+    /// The paper's best configuration: bipartite region search + strided
+    /// 8-bit bitmap.
+    pub fn paper_best() -> Self {
+        SelectConfig {
+            strategy: SelectStrategy::Bipartite,
+            detector: DetectorKind::paper_default(),
+        }
+    }
+
+    /// The Fig. 10 baseline: repeated sampling + linear-search detection.
+    pub fn baseline() -> Self {
+        SelectConfig { strategy: SelectStrategy::Repeated, detector: DetectorKind::LinearSearch }
+    }
+}
+
+impl Default for SelectConfig {
+    fn default() -> Self {
+        Self::paper_best()
+    }
+}
+
+/// Hard backstop on collision rounds. Repeated sampling on a pool whose
+/// selected mass approaches 1 legitimately needs thousands of retries
+/// (that is the pathology bipartite region search removes); only a
+/// genuinely stuck selection (pathological FP bias values) reaches this.
+const MAX_ROUNDS: usize = 1_000_000;
+
+/// Selects `k` distinct candidates with probability proportional to
+/// `biases`, simulating one warp. Returns the selected indices in claim
+/// order (at most `k`, fewer when fewer candidates carry positive bias).
+pub fn select_without_replacement(
+    biases: &[f64],
+    k: usize,
+    cfg: SelectConfig,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) -> Vec<usize> {
+    let n = biases.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let selectable = biases.iter().filter(|&&b| b > 0.0).count();
+    let k = k.min(selectable);
+    if k == 0 {
+        return Vec::new();
+    }
+
+    let Some(mut ctps) = Ctps::build(biases, stats) else {
+        return Vec::new();
+    };
+
+    // Short-circuit: taking every selectable candidate needs no draws.
+    if k == selectable {
+        stats.selections += k as u64;
+        stats.select_iterations += k as u64;
+        return (0..n).filter(|&i| biases[i] > 0.0).collect();
+    }
+
+    let mut detector = Detector::new(cfg.detector, n);
+    let mut out = Vec::with_capacity(k);
+
+    // Lane states: each of the k lanes needs one distinct candidate.
+    // `pending[lane] = true` until the lane claims.
+    let mut pending: Vec<usize> = (0..k).collect();
+    let mut rounds = 0usize;
+
+    while !pending.is_empty() {
+        rounds += 1;
+        assert!(rounds <= MAX_ROUNDS, "selection failed to converge");
+
+        // Phase 1: every pending lane draws and searches the CTPS.
+        let picks: Vec<usize> = pending
+            .iter()
+            .map(|_| {
+                stats.rng_draws += 1;
+                stats.select_iterations += 1;
+                stats.warp_cycles += 4; // Philox draw
+                let r = rng.uniform();
+                ctps.search(r, stats)
+            })
+            .collect();
+        // Lockstep claim round. (Under the Updated strategy the CTPS has
+        // zero weight on selected regions, so phase-1 picks only collide
+        // lane-to-lane.)
+        let requests: Vec<Option<usize>> = picks.iter().map(|&p| Some(p)).collect();
+        let outcomes = detector.claim_round(&requests, stats);
+
+        let mut still_pending = Vec::new();
+        let mut bip_retry: Vec<(usize, usize)> = Vec::new(); // (lane, hit)
+        for (slot, lane) in pending.iter().enumerate() {
+            match outcomes[slot] {
+                Some(true) => out.push(picks[slot]),
+                Some(false) => match cfg.strategy {
+                    SelectStrategy::Bipartite => bip_retry.push((*lane, picks[slot])),
+                    _ => still_pending.push(*lane),
+                },
+                None => unreachable!("all lanes were active"),
+            }
+        }
+
+        // Phase 2 (bipartite only): colliding lanes adjust their random
+        // number per Theorem 2 and try once more within this iteration.
+        if !bip_retry.is_empty() {
+            let mut adj_requests: Vec<Option<usize>> = Vec::with_capacity(bip_retry.len());
+            let mut adj_lanes: Vec<usize> = Vec::with_capacity(bip_retry.len());
+            let mut restart_lanes: Vec<usize> = Vec::new();
+            for &(lane, hit) in &bip_retry {
+                stats.rng_draws += 1;
+                let r_prime = rng.uniform();
+                match adjust_and_search(&ctps, hit, r_prime, |c| detector.is_selected(c), stats)
+                {
+                    BipartiteOutcome::Selected(c) => {
+                        adj_requests.push(Some(c));
+                        adj_lanes.push(lane);
+                    }
+                    BipartiteOutcome::Restart => restart_lanes.push(lane),
+                }
+            }
+            if !adj_requests.is_empty() {
+                let outcomes2 = detector.claim_round(&adj_requests, stats);
+                for (slot, &lane) in adj_lanes.iter().enumerate() {
+                    match outcomes2[slot] {
+                        Some(true) => out.push(adj_requests[slot].unwrap()),
+                        Some(false) => restart_lanes.push(lane),
+                        None => unreachable!(),
+                    }
+                }
+            }
+            still_pending.extend(restart_lanes);
+        }
+
+        // Updated sampling rebuilds the CTPS once per round with the
+        // now-selected biases zeroed (a full warp prefix sum each time —
+        // the cost the paper calls "time consuming").
+        if cfg.strategy == SelectStrategy::Updated && !still_pending.is_empty() {
+            let sel: Vec<bool> = (0..n).map(|i| detector.is_selected(i)).collect();
+            match updated_ctps(biases, &sel, stats) {
+                Some(c) => ctps = c,
+                None => break, // nothing selectable remains
+            }
+        }
+        pending = still_pending;
+    }
+
+    stats.selections += out.len() as u64;
+    out
+}
+
+/// Selects one candidate *with replacement* (random walks; Fig. 2b line 4
+/// frontier selection). Returns `None` when no candidate has positive
+/// bias.
+pub fn select_one(biases: &[f64], rng: &mut Philox, stats: &mut SimStats) -> Option<usize> {
+    let ctps = Ctps::build(biases, stats)?;
+    stats.select_iterations += 1;
+    stats.selections += 1;
+    Some(ctps.sample_one(rng, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn all_strategies() -> Vec<SelectConfig> {
+        vec![
+            SelectConfig { strategy: SelectStrategy::Repeated, detector: DetectorKind::LinearSearch },
+            SelectConfig {
+                strategy: SelectStrategy::Updated,
+                detector: DetectorKind::ContiguousBitmap { word_bits: 8 },
+            },
+            SelectConfig {
+                strategy: SelectStrategy::Bipartite,
+                detector: DetectorKind::StridedBitmap { word_bits: 8 },
+            },
+        ]
+    }
+
+    #[test]
+    fn selects_distinct_candidates() {
+        for cfg in all_strategies() {
+            let mut rng = Philox::new(1);
+            let mut s = SimStats::new();
+            let biases = vec![3.0, 6.0, 2.0, 2.0, 2.0];
+            for _ in 0..1000 {
+                let sel = select_without_replacement(&biases, 3, cfg, &mut rng, &mut s);
+                assert_eq!(sel.len(), 3, "{cfg:?}");
+                let mut sorted = sel.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 3, "duplicates under {cfg:?}: {sel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_of_n_selects_everything() {
+        for cfg in all_strategies() {
+            let mut rng = Philox::new(2);
+            let mut s = SimStats::new();
+            let sel = select_without_replacement(&[1.0, 2.0, 3.0], 3, cfg, &mut rng, &mut s);
+            let mut sorted = sel;
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            // Asking for more than available also returns everything.
+            let sel = select_without_replacement(&[1.0, 2.0], 10, cfg, &mut rng, &mut s);
+            assert_eq!(sel.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_bias_candidates_never_selected() {
+        for cfg in all_strategies() {
+            let mut rng = Philox::new(3);
+            let mut s = SimStats::new();
+            let biases = vec![1.0, 0.0, 1.0, 0.0, 1.0];
+            for _ in 0..500 {
+                let sel = select_without_replacement(&biases, 2, cfg, &mut rng, &mut s);
+                assert!(sel.iter().all(|&i| biases[i] > 0.0), "{cfg:?}: {sel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for cfg in all_strategies() {
+            let mut rng = Philox::new(4);
+            let mut s = SimStats::new();
+            assert!(select_without_replacement(&[], 2, cfg, &mut rng, &mut s).is_empty());
+            assert!(select_without_replacement(&[1.0], 0, cfg, &mut rng, &mut s).is_empty());
+            assert!(select_without_replacement(&[0.0; 4], 2, cfg, &mut rng, &mut s).is_empty());
+        }
+    }
+
+    /// All three strategies must realize the *same* without-replacement
+    /// distribution (that is Theorem 2's point). We check the marginal
+    /// inclusion frequency of each candidate for k=2 of 5.
+    #[test]
+    fn strategies_are_distribution_identical() {
+        let biases = vec![8.0, 4.0, 2.0, 1.0, 1.0];
+        let n_trials = 300_000usize;
+        let mut freqs: Vec<HashMap<usize, f64>> = Vec::new();
+        for cfg in all_strategies() {
+            let mut rng = Philox::new(55);
+            let mut s = SimStats::new();
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for _ in 0..n_trials {
+                for i in select_without_replacement(&biases, 2, cfg, &mut rng, &mut s) {
+                    *counts.entry(i).or_default() += 1;
+                }
+            }
+            freqs.push(
+                counts.into_iter().map(|(k, v)| (k, v as f64 / n_trials as f64)).collect(),
+            );
+        }
+        for i in 0..biases.len() {
+            let a = freqs[0].get(&i).copied().unwrap_or(0.0);
+            let b = freqs[1].get(&i).copied().unwrap_or(0.0);
+            let c = freqs[2].get(&i).copied().unwrap_or(0.0);
+            assert!((a - b).abs() < 0.01, "candidate {i}: repeated {a} vs updated {b}");
+            assert!((a - c).abs() < 0.01, "candidate {i}: repeated {a} vs bipartite {c}");
+        }
+    }
+
+    /// The exact sequential-without-replacement law for k = n-1: the one
+    /// *excluded* candidate is left out with probability that grows as its
+    /// bias shrinks. Sanity-check ordering.
+    #[test]
+    fn low_bias_candidates_are_excluded_more() {
+        let biases = vec![10.0, 1.0, 10.0];
+        let mut rng = Philox::new(6);
+        let mut s = SimStats::new();
+        let mut excluded = [0usize; 3];
+        for _ in 0..50_000 {
+            let sel =
+                select_without_replacement(&biases, 2, SelectConfig::paper_best(), &mut rng, &mut s);
+            let missing = (0..3).find(|i| !sel.contains(i)).unwrap();
+            excluded[missing] += 1;
+        }
+        assert!(excluded[1] > excluded[0] * 3);
+        assert!(excluded[1] > excluded[2] * 3);
+    }
+
+    /// Bipartite region search needs fewer iterations than repeated
+    /// sampling on a skewed CTPS — the Fig. 11 effect.
+    #[test]
+    fn bipartite_reduces_iterations_on_skewed_biases() {
+        // One huge region: repeated sampling keeps re-hitting it.
+        let mut biases = vec![1.0; 16];
+        biases[0] = 100.0;
+        let run = |strategy| {
+            let mut rng = Philox::new(7);
+            let mut s = SimStats::new();
+            for _ in 0..2000 {
+                let cfg = SelectConfig { strategy, detector: DetectorKind::paper_default() };
+                select_without_replacement(&biases, 8, cfg, &mut rng, &mut s);
+            }
+            s.iterations_per_selection()
+        };
+        let rep = run(SelectStrategy::Repeated);
+        let bip = run(SelectStrategy::Bipartite);
+        assert!(
+            bip < rep * 0.8,
+            "bipartite should cut iterations: repeated {rep:.3} vs bipartite {bip:.3}"
+        );
+    }
+
+    /// Bitmap detection performs far fewer collision searches than the
+    /// linear-search baseline — the Fig. 12 effect.
+    #[test]
+    fn bitmap_reduces_collision_searches() {
+        let biases = vec![1.0; 64];
+        let run = |detector| {
+            let mut rng = Philox::new(8);
+            let mut s = SimStats::new();
+            for _ in 0..500 {
+                let cfg = SelectConfig { strategy: SelectStrategy::Bipartite, detector };
+                select_without_replacement(&biases, 32, cfg, &mut rng, &mut s);
+            }
+            s.collision_searches
+        };
+        let linear = run(DetectorKind::LinearSearch);
+        let bitmap = run(DetectorKind::paper_default());
+        assert!(
+            (bitmap as f64) < 0.5 * linear as f64,
+            "bitmap searches {bitmap} vs linear {linear}"
+        );
+    }
+
+    #[test]
+    fn select_one_follows_bias() {
+        let mut rng = Philox::new(9);
+        let mut s = SimStats::new();
+        let mut counts = [0usize; 3];
+        for _ in 0..90_000 {
+            counts[select_one(&[1.0, 2.0, 6.0], &mut rng, &mut s).unwrap()] += 1;
+        }
+        assert!((counts[0] as f64 / 90_000.0 - 1.0 / 9.0).abs() < 0.01);
+        assert!((counts[2] as f64 / 90_000.0 - 6.0 / 9.0).abs() < 0.01);
+        assert!(select_one(&[0.0, 0.0], &mut rng, &mut s).is_none());
+        assert!(select_one(&[], &mut rng, &mut s).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_stream() {
+        let biases = vec![5.0, 1.0, 3.0, 2.0, 4.0, 1.0];
+        let run = || {
+            let mut rng = Philox::for_task(42, 7);
+            let mut s = SimStats::new();
+            (0..100)
+                .map(|_| {
+                    select_without_replacement(
+                        &biases,
+                        3,
+                        SelectConfig::paper_best(),
+                        &mut rng,
+                        &mut s,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

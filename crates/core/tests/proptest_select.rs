@@ -1,0 +1,155 @@
+#![allow(clippy::needless_range_loop)] // index-centric assertions read better here
+//! Property tests for the selection machinery: CTPS structure, Theorem 2,
+//! and the without-replacement SELECT under every strategy/detector.
+
+use csaw_core::bipartite::{adjust_and_search, updated_ctps, BipartiteOutcome};
+use csaw_core::collision::DetectorKind;
+use csaw_core::ctps::Ctps;
+use csaw_core::select::{select_without_replacement, SelectConfig, SelectStrategy};
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::Philox;
+use proptest::prelude::*;
+
+fn arb_biases() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..50.0, 1..40)
+}
+
+fn arb_positive_biases() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..50.0, 2..40)
+}
+
+fn all_configs() -> Vec<SelectConfig> {
+    let mut v = Vec::new();
+    for strategy in [SelectStrategy::Repeated, SelectStrategy::Updated, SelectStrategy::Bipartite]
+    {
+        for detector in [
+            DetectorKind::LinearSearch,
+            DetectorKind::ContiguousBitmap { word_bits: 8 },
+            DetectorKind::ContiguousBitmap { word_bits: 32 },
+            DetectorKind::StridedBitmap { word_bits: 8 },
+        ] {
+            v.push(SelectConfig { strategy, detector });
+        }
+    }
+    v
+}
+
+proptest! {
+    /// CTPS regions tile [0,1] and each width equals bias/total.
+    #[test]
+    fn ctps_regions_tile_unit_interval(biases in arb_positive_biases()) {
+        let mut s = SimStats::new();
+        let c = Ctps::build(&biases, &mut s).unwrap();
+        let total: f64 = biases.iter().sum();
+        let mut edge = 0.0;
+        for k in 0..c.len() {
+            let (l, h) = c.region(k);
+            prop_assert!((l - edge).abs() < 1e-9);
+            prop_assert!((c.probability(k) - biases[k] / total).abs() < 1e-9);
+            edge = h;
+        }
+        prop_assert!((edge - 1.0).abs() < 1e-12);
+    }
+
+    /// `search` inverts `region`: any r inside region k maps back to k.
+    #[test]
+    fn search_inverts_region(biases in arb_positive_biases(), k_frac in 0.0f64..1.0, r_frac in 0.0f64..1.0) {
+        let mut s = SimStats::new();
+        let c = Ctps::build(&biases, &mut s).unwrap();
+        let k = ((k_frac * c.len() as f64) as usize).min(c.len() - 1);
+        let (l, h) = c.region(k);
+        let r = l + r_frac * (h - l) * 0.999; // strictly inside
+        prop_assert_eq!(c.search(r, &mut s), k);
+    }
+
+    /// Theorem 2 for arbitrary biases: removing any single candidate `v_s`
+    /// and searching the updated CTPS with r' equals the bipartite
+    /// adjustment of r' around region s on the original CTPS.
+    #[test]
+    fn theorem2_holds_for_arbitrary_biases(
+        biases in arb_positive_biases(),
+        s_frac in 0.0f64..1.0,
+        r_prime in 0.0f64..1.0,
+    ) {
+        let mut st = SimStats::new();
+        let ctps = Ctps::build(&biases, &mut st).unwrap();
+        let s = ((s_frac * biases.len() as f64) as usize).min(biases.len() - 1);
+        let mut sel = vec![false; biases.len()];
+        sel[s] = true;
+        let upd = updated_ctps(&biases, &sel, &mut st).unwrap();
+        let expect = upd.search(r_prime, &mut st);
+        match adjust_and_search(&ctps, s, r_prime, |k| sel[k], &mut st) {
+            BipartiteOutcome::Selected(got) => prop_assert_eq!(got, expect),
+            BipartiteOutcome::Restart => {
+                // Only possible on an FP boundary graze; the updated CTPS
+                // must then sit on a boundary too (probability ~0 events).
+                let (l, h) = upd.region(expect);
+                prop_assert!(r_prime - l < 1e-9 || h - r_prime < 1e-9);
+            }
+        }
+    }
+
+    /// SELECT returns exactly min(k, positive-bias candidates) distinct
+    /// indices with positive bias, under every strategy and detector.
+    #[test]
+    fn select_postconditions(
+        biases in arb_biases(),
+        k in 1usize..12,
+        seed: u64,
+    ) {
+        let positive = biases.iter().filter(|&&b| b > 0.0).count();
+        for cfg in all_configs() {
+            let mut rng = Philox::for_task(seed, 0);
+            let mut stats = SimStats::new();
+            let sel = select_without_replacement(&biases, k, cfg, &mut rng, &mut stats);
+            prop_assert_eq!(sel.len(), k.min(positive), "{:?}", cfg);
+            let mut sorted = sel.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), sel.len(), "duplicates under {:?}", cfg);
+            prop_assert!(sel.iter().all(|&i| biases[i] > 0.0));
+        }
+    }
+
+    /// Selection accounting invariants: one successful selection per
+    /// returned index; iterations ≥ selections.
+    #[test]
+    fn select_accounting(biases in arb_positive_biases(), k in 1usize..8, seed: u64) {
+        let mut rng = Philox::for_task(seed, 1);
+        let mut stats = SimStats::new();
+        let sel = select_without_replacement(
+            &biases,
+            k,
+            SelectConfig::paper_best(),
+            &mut rng,
+            &mut stats,
+        );
+        prop_assert_eq!(stats.selections as usize, sel.len());
+        prop_assert!(stats.select_iterations >= stats.selections);
+    }
+
+    /// Updated sampling zeroes exactly the selected regions.
+    #[test]
+    fn updated_ctps_mass_conservation(
+        biases in arb_positive_biases(),
+        mask in prop::collection::vec(any::<bool>(), 2..40),
+    ) {
+        let n = biases.len().min(mask.len());
+        let biases = &biases[..n];
+        let mask = &mask[..n];
+        let mut st = SimStats::new();
+        match updated_ctps(biases, mask, &mut st) {
+            Some(upd) => {
+                for k in 0..n {
+                    if mask[k] {
+                        prop_assert!(upd.probability(k) < 1e-12);
+                    }
+                }
+                let remaining: f64 =
+                    biases.iter().zip(mask).filter(|(_, &m)| !m).map(|(b, _)| b).sum();
+                prop_assert!((upd.total_bias() - remaining).abs() < 1e-9);
+            }
+            None => prop_assert!(mask.iter().all(|&m| m)),
+        }
+    }
+}

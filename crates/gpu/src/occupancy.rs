@@ -1,0 +1,128 @@
+//! Occupancy calculation — how many warps an SM can keep resident given a
+//! kernel's resource appetite. This is where [`crate::config::DeviceConfig::warps_per_sm`]
+//! comes from rather than being a free parameter: C-SAW's SELECT kernel is
+//! register- and shared-memory-light, which is what lets the simulator
+//! assume 8+ resident warps hiding each other's memory latency.
+
+use crate::config::DeviceConfig;
+
+/// Per-SM physical limits (V100 / Volta values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmLimits {
+    /// Register file size (32-bit registers per SM).
+    pub registers: usize,
+    /// Shared memory bytes per SM.
+    pub shared_bytes: usize,
+    /// Maximum resident threads.
+    pub max_threads: usize,
+    /// Maximum resident thread blocks.
+    pub max_blocks: usize,
+}
+
+impl SmLimits {
+    /// Volta (V100) limits.
+    pub fn volta() -> Self {
+        SmLimits {
+            registers: 65_536,
+            shared_bytes: 96 * 1024,
+            max_threads: 2_048,
+            max_blocks: 32,
+        }
+    }
+}
+
+/// A kernel's per-thread / per-block resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Registers per thread.
+    pub registers_per_thread: usize,
+    /// Static + dynamic shared memory per block, bytes.
+    pub shared_per_block: usize,
+    /// Threads per block.
+    pub block_size: usize,
+}
+
+impl KernelResources {
+    /// A SELECT-like kernel: light registers, a per-warp CTPS buffer and
+    /// bitmap in shared memory for staging (256-thread blocks).
+    pub fn select_kernel() -> Self {
+        KernelResources { registers_per_thread: 40, shared_per_block: 8 * 1024, block_size: 256 }
+    }
+}
+
+/// Resident warps per SM for `kernel` under `limits`: the minimum of the
+/// block-count bounds imposed by each resource, times warps per block.
+pub fn resident_warps(limits: &SmLimits, kernel: &KernelResources) -> usize {
+    assert!(kernel.block_size > 0 && kernel.block_size.is_multiple_of(32), "blocks are whole warps");
+    let by_threads = limits.max_threads / kernel.block_size;
+    let by_regs = limits.registers / (kernel.registers_per_thread.max(1) * kernel.block_size);
+    let by_shared =
+        limits.shared_bytes.checked_div(kernel.shared_per_block).unwrap_or(usize::MAX);
+    let blocks = by_threads.min(by_regs).min(by_shared).min(limits.max_blocks);
+    blocks * (kernel.block_size / 32)
+}
+
+/// Derives a [`DeviceConfig`] whose `warps_per_sm` reflects a kernel's
+/// actual occupancy (clamped to at least 1).
+pub fn configure_for_kernel(base: DeviceConfig, kernel: &KernelResources) -> DeviceConfig {
+    let warps = resident_warps(&SmLimits::volta(), kernel).max(1);
+    DeviceConfig { warps_per_sm: warps.min(64), ..base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_kernel_hits_thread_limit() {
+        // 32 regs/thread, no shared memory: 2048/256 = 8 blocks = 64 warps.
+        let k = KernelResources { registers_per_thread: 32, shared_per_block: 0, block_size: 256 };
+        assert_eq!(resident_warps(&SmLimits::volta(), &k), 64);
+    }
+
+    #[test]
+    fn register_heavy_kernel_is_register_bound() {
+        // 128 regs/thread: 65536/(128*256) = 2 blocks = 16 warps.
+        let k =
+            KernelResources { registers_per_thread: 128, shared_per_block: 0, block_size: 256 };
+        assert_eq!(resident_warps(&SmLimits::volta(), &k), 16);
+    }
+
+    #[test]
+    fn shared_memory_heavy_kernel_is_smem_bound() {
+        // 48 KiB/block: 96/48 = 2 blocks = 16 warps.
+        let k = KernelResources {
+            registers_per_thread: 32,
+            shared_per_block: 48 * 1024,
+            block_size: 256,
+        };
+        assert_eq!(resident_warps(&SmLimits::volta(), &k), 16);
+    }
+
+    #[test]
+    fn select_kernel_supports_the_configured_occupancy() {
+        // The simulator's default warps_per_sm = 8 must be *conservative*
+        // relative to what the SELECT kernel's footprint allows.
+        let warps = resident_warps(&SmLimits::volta(), &KernelResources::select_kernel());
+        assert!(warps >= DeviceConfig::v100().warps_per_sm, "occupancy {warps}");
+    }
+
+    #[test]
+    fn configure_for_kernel_updates_warps() {
+        let cfg = configure_for_kernel(
+            DeviceConfig::v100(),
+            &KernelResources { registers_per_thread: 128, shared_per_block: 0, block_size: 256 },
+        );
+        assert_eq!(cfg.warps_per_sm, 16);
+        assert_eq!(cfg.num_sms, DeviceConfig::v100().num_sms);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole warps")]
+    fn rejects_ragged_blocks() {
+        resident_warps(
+            &SmLimits::volta(),
+            &KernelResources { registers_per_thread: 32, shared_per_block: 0, block_size: 100 },
+        );
+    }
+}

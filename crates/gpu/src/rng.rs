@@ -1,0 +1,204 @@
+//! Philox4x32-10 counter-based random number generator.
+//!
+//! The paper uses cuRAND (§VI), whose default generator family includes
+//! Philox. A counter-based generator is the right fit for a simulated GPU:
+//! keying the counter by (seed, instance, depth, lane, trial) makes every
+//! draw independent of host scheduling, so the whole reproduction is
+//! deterministic no matter how rayon interleaves warps.
+//!
+//! Reference: Salmon et al., "Parallel Random Numbers: As Easy as 1, 2, 3"
+//! (SC'11); constants and round function follow Random123.
+
+const PHILOX_M0: u32 = 0xD251_1F53;
+const PHILOX_M1: u32 = 0xCD9E_8D57;
+const PHILOX_W0: u32 = 0x9E37_79B9;
+const PHILOX_W1: u32 = 0xBB67_AE85;
+
+/// One Philox4x32-10 block: encrypts a 128-bit counter under a 64-bit key.
+#[inline]
+pub fn philox4x32_10(mut ctr: [u32; 4], mut key: [u32; 2]) -> [u32; 4] {
+    for round in 0..10 {
+        if round > 0 {
+            key[0] = key[0].wrapping_add(PHILOX_W0);
+            key[1] = key[1].wrapping_add(PHILOX_W1);
+        }
+        let p0 = (PHILOX_M0 as u64) * (ctr[0] as u64);
+        let p1 = (PHILOX_M1 as u64) * (ctr[2] as u64);
+        let (hi0, lo0) = ((p0 >> 32) as u32, p0 as u32);
+        let (hi1, lo1) = ((p1 >> 32) as u32, p1 as u32);
+        ctr = [hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0];
+    }
+    ctr
+}
+
+/// A stateful stream over Philox blocks.
+///
+/// `Philox::for_task` derives a unique stream per logical sampling task;
+/// within a stream, successive draws advance the 128-bit counter.
+#[derive(Debug, Clone)]
+pub struct Philox {
+    key: [u32; 2],
+    ctr: [u32; 4],
+    buf: [u32; 4],
+    buf_pos: usize,
+}
+
+impl Philox {
+    /// A stream keyed by a global seed only.
+    pub fn new(seed: u64) -> Self {
+        Self::from_parts(seed, 0)
+    }
+
+    /// A stream for one logical task: `task` packs whatever identifies the
+    /// work (instance id, depth, lane...). Streams with distinct
+    /// `(seed, task)` pairs never overlap: `task` occupies the high 64 bits
+    /// of the 128-bit counter while draws increment the low 64 bits.
+    pub fn for_task(seed: u64, task: u64) -> Self {
+        Self::from_parts(seed, task)
+    }
+
+    fn from_parts(seed: u64, task: u64) -> Self {
+        Philox {
+            key: [seed as u32, (seed >> 32) as u32],
+            ctr: [0, 0, task as u32, (task >> 32) as u32],
+            buf: [0; 4],
+            buf_pos: 4, // force refill on first draw
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        self.buf = philox4x32_10(self.ctr, self.key);
+        // 64-bit counter increment in the low two words.
+        let low = (self.ctr[0] as u64 | ((self.ctr[1] as u64) << 32)).wrapping_add(1);
+        self.ctr[0] = low as u32;
+        self.ctr[1] = (low >> 32) as u32;
+        self.buf_pos = 0;
+    }
+
+    /// Next raw 32-bit draw.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.buf_pos == 4 {
+            self.refill();
+        }
+        let x = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        x
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) | ((self.next_u32() as u64) << 32)
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using 53 random bits.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Uses Lemire's multiply-shift reduction;
+    /// the modulo bias at n ≪ 2^64 is far below statistical noise.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Known-answer tests from the Random123 distribution (kat_vectors).
+    #[test]
+    fn kat_zero() {
+        let out = philox4x32_10([0; 4], [0; 2]);
+        assert_eq!(out, [0x6627_e8d5, 0xe169_c58d, 0xbc57_ac4c, 0x9b00_dbd8]);
+    }
+
+    #[test]
+    fn kat_ones() {
+        let out = philox4x32_10([u32::MAX; 4], [u32::MAX; 2]);
+        assert_eq!(out, [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]);
+    }
+
+    #[test]
+    fn kat_pi() {
+        let ctr = [0x243f_6a88, 0x85a3_08d3, 0x1319_8a2e, 0x0370_7344];
+        let key = [0xa409_3822, 0x299f_31d0];
+        let out = philox4x32_10(ctr, key);
+        assert_eq!(out, [0xd16c_fe09, 0x94fd_cceb, 0x5001_e420, 0x2412_6ea1]);
+    }
+
+    #[test]
+    fn distinct_tasks_give_distinct_streams() {
+        let mut a = Philox::for_task(1, 0);
+        let mut b = Philox::for_task(1, 1);
+        let xs: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let mut a = Philox::for_task(7, 42);
+        let mut b = Philox::for_task(7, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Philox::new(3);
+        for _ in 0..10_000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut r = Philox::new(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = Philox::new(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = Philox::new(11);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn counter_blocks_do_not_repeat() {
+        let mut r = Philox::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(r.next_u64()), "64-bit collision far too early");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared-memory bank model.
+//!
+//! GPU shared memory is divided into 32 word-wide banks; a lockstep read
+//! where lanes hit distinct banks completes in one cycle, lanes hitting
+//! the *same word* are broadcast for free, but lanes hitting different
+//! words in the same bank serialize. The Fig. 12 baseline keeps its
+//! sampled-vertex list in shared memory, and per-warp scratch (bias
+//! staging) lives there too — this model prices those accesses.
+
+use crate::stats::SimStats;
+
+/// Number of shared-memory banks (32 on every recent NVIDIA part).
+pub const NUM_BANKS: usize = 32;
+
+/// Resolves one lockstep shared-memory access: `word_addrs[i]` is the
+/// word address lane `i` reads (use `None` for inactive lanes). Returns
+/// the cycle cost of the access — the deepest bank queue after broadcast
+/// merging — and charges it (plus the conflict count) to `stats`.
+pub fn lockstep_shared_access(word_addrs: &[Option<usize>], stats: &mut SimStats) -> u64 {
+    let mut per_bank: [Vec<usize>; NUM_BANKS] = std::array::from_fn(|_| Vec::new());
+    for addr in word_addrs.iter().flatten() {
+        let bank = addr % NUM_BANKS;
+        // Same-word accesses broadcast: only distinct words queue.
+        if !per_bank[bank].contains(addr) {
+            per_bank[bank].push(*addr);
+        }
+    }
+    let depth = per_bank.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    let cycles = depth.max(u64::from(word_addrs.iter().any(Option::is_some)));
+    stats.warp_cycles += cycles;
+    if depth > 1 {
+        stats.atomic_conflicts += depth - 1; // reuse the serialization counter
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_banks_cost_one_cycle() {
+        let addrs: Vec<Option<usize>> = (0..32).map(Some).collect();
+        let mut s = SimStats::new();
+        assert_eq!(lockstep_shared_access(&addrs, &mut s), 1);
+        assert_eq!(s.warp_cycles, 1);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        // All lanes read the same word: one cycle, no conflict.
+        let addrs = vec![Some(5usize); 32];
+        let mut s = SimStats::new();
+        assert_eq!(lockstep_shared_access(&addrs, &mut s), 1);
+        assert_eq!(s.atomic_conflicts, 0);
+    }
+
+    #[test]
+    fn same_bank_different_words_serialize() {
+        // Words 0, 32, 64, 96 all map to bank 0: 4-way conflict.
+        let addrs = vec![Some(0usize), Some(32), Some(64), Some(96)];
+        let mut s = SimStats::new();
+        assert_eq!(lockstep_shared_access(&addrs, &mut s), 4);
+        assert_eq!(s.atomic_conflicts, 3);
+    }
+
+    #[test]
+    fn stride_two_gives_two_way_conflicts() {
+        // The classic: stride-2 word accesses from 32 lanes use 16 banks,
+        // 2 words each.
+        let addrs: Vec<Option<usize>> = (0..32).map(|i| Some(2 * i)).collect();
+        let mut s = SimStats::new();
+        assert_eq!(lockstep_shared_access(&addrs, &mut s), 2);
+    }
+
+    #[test]
+    fn inactive_lanes_cost_nothing_extra() {
+        let mut s = SimStats::new();
+        assert_eq!(lockstep_shared_access(&[None, None], &mut s), 0);
+        assert_eq!(lockstep_shared_access(&[None, Some(3)], &mut s), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Work counters for the simulated device.
+//!
+//! Every quantity the paper's evaluation reports is a *ratio of counted
+//! work* (iterations per selection, searches, transfers, kernel-time
+//! imbalance). The samplers accumulate these counters per warp — no shared
+//! atomics on the hot path — and the executor merges them.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycles charged per dependent global-memory gather: a ~500-cycle HBM
+/// round trip divided by the ~8 resident warps per SM that can hide each
+/// other's stalls. This is the term that keeps low-degree graphs from
+/// looking implausibly free on the simulated device.
+pub const GATHER_LATENCY_CYCLES: u64 = 64;
+
+/// Additive counters accumulated while simulating kernels.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SimStats {
+    /// Simulated warp compute cycles (lockstep steps weighted by cost).
+    pub warp_cycles: u64,
+    /// Kogge-Stone scan lockstep steps.
+    pub scan_steps: u64,
+    /// Binary-search probe steps over the CTPS.
+    pub search_steps: u64,
+    /// Trips of the SELECT do-while loop (Fig. 5 lines 10–14). The paper's
+    /// Fig. 11 metric is `select_iterations / selections`.
+    pub select_iterations: u64,
+    /// Vertices successfully selected.
+    pub selections: u64,
+    /// Collision-detection probes: bitmap bit tests or linear-search
+    /// comparisons, depending on the detector (Fig. 12's numerator and
+    /// denominator).
+    pub collision_searches: u64,
+    /// Atomic operations issued (CAS/add on bitmap words).
+    pub atomic_ops: u64,
+    /// Atomic operations serialized behind another lane's access to the
+    /// same word within one lockstep round.
+    pub atomic_conflicts: u64,
+    /// Random numbers drawn.
+    pub rng_draws: u64,
+    /// Bytes read from simulated global memory (neighbor lists, CTPS).
+    pub gmem_bytes: u64,
+    /// Coalesced 128-byte global memory transactions.
+    pub gmem_transactions: u64,
+    /// Edges appended to the sample output.
+    pub sampled_edges: u64,
+    /// Frontier queue pushes/pops.
+    pub frontier_ops: u64,
+}
+
+impl SimStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self` field-wise.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.warp_cycles += other.warp_cycles;
+        self.scan_steps += other.scan_steps;
+        self.search_steps += other.search_steps;
+        self.select_iterations += other.select_iterations;
+        self.selections += other.selections;
+        self.collision_searches += other.collision_searches;
+        self.atomic_ops += other.atomic_ops;
+        self.atomic_conflicts += other.atomic_conflicts;
+        self.rng_draws += other.rng_draws;
+        self.gmem_bytes += other.gmem_bytes;
+        self.gmem_transactions += other.gmem_transactions;
+        self.sampled_edges += other.sampled_edges;
+        self.frontier_ops += other.frontier_ops;
+    }
+
+    /// Merge that consumes the right-hand side (for fold/reduce).
+    pub fn merged(mut self, other: SimStats) -> Self {
+        self.merge(&other);
+        self
+    }
+
+    /// Average SELECT iterations per successful selection — the Fig. 11
+    /// metric ("Total # iterations of sampled vertices / # sampled
+    /// vertices").
+    pub fn iterations_per_selection(&self) -> f64 {
+        if self.selections == 0 {
+            0.0
+        } else {
+            self.select_iterations as f64 / self.selections as f64
+        }
+    }
+
+    /// Fraction of atomic operations that conflicted.
+    pub fn atomic_conflict_rate(&self) -> f64 {
+        if self.atomic_ops == 0 {
+            0.0
+        } else {
+            self.atomic_conflicts as f64 / self.atomic_ops as f64
+        }
+    }
+
+    /// Records a *dependent* global-memory gather of `bytes` bytes issued
+    /// by a warp (e.g. fetching a neighbor list whose address was just
+    /// computed), charging 128-byte coalesced transactions plus the
+    /// occupancy-adjusted latency of one dependent round trip
+    /// ([`GATHER_LATENCY_CYCLES`]). Sampling gathers chain — the next
+    /// vertex isn't known until this one resolves — so unlike streaming
+    /// loads this latency cannot be fully hidden.
+    pub fn read_gmem(&mut self, bytes: usize) {
+        self.gmem_bytes += bytes as u64;
+        self.gmem_transactions += bytes.div_ceil(128) as u64;
+        self.warp_cycles += GATHER_LATENCY_CYCLES;
+    }
+}
+
+impl std::ops::Add for SimStats {
+    type Output = SimStats;
+    fn add(self, rhs: SimStats) -> SimStats {
+        self.merged(rhs)
+    }
+}
+
+impl std::iter::Sum for SimStats {
+    fn sum<I: Iterator<Item = SimStats>>(iter: I) -> SimStats {
+        iter.fold(SimStats::new(), SimStats::merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = SimStats { warp_cycles: 3, selections: 1, ..Default::default() };
+        let b = SimStats { warp_cycles: 4, select_iterations: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.warp_cycles, 7);
+        assert_eq!(a.select_iterations, 7);
+        assert_eq!(a.selections, 1);
+    }
+
+    #[test]
+    fn iterations_per_selection_handles_zero() {
+        assert_eq!(SimStats::new().iterations_per_selection(), 0.0);
+        let s = SimStats { select_iterations: 10, selections: 4, ..Default::default() };
+        assert!((s.iterations_per_selection() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmem_transactions_are_coalesced() {
+        let mut s = SimStats::new();
+        s.read_gmem(1); // 1 byte still costs a transaction
+        s.read_gmem(128);
+        s.read_gmem(129);
+        assert_eq!(s.gmem_transactions, 1 + 1 + 2);
+        assert_eq!(s.gmem_bytes, 258);
+        assert_eq!(s.warp_cycles, 3 * GATHER_LATENCY_CYCLES, "one round trip per gather");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            SimStats { selections: 1, ..Default::default() },
+            SimStats { selections: 2, ..Default::default() },
+        ];
+        let total: SimStats = parts.into_iter().sum();
+        assert_eq!(total.selections, 3);
+    }
+
+    #[test]
+    fn conflict_rate() {
+        let s = SimStats { atomic_ops: 8, atomic_conflicts: 2, ..Default::default() };
+        assert!((s.atomic_conflict_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(SimStats::new().atomic_conflict_rate(), 0.0);
+    }
+}

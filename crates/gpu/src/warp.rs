@@ -1,0 +1,213 @@
+//! Warp-level lockstep primitives.
+//!
+//! A CUDA warp is 32 threads executing in lockstep; C-SAW's SELECT leans on
+//! three warp idioms (paper §IV-A):
+//!
+//! 1. **Kogge-Stone inclusive scan** for the bias prefix sum (the paper
+//!    cites Merrill & Grimshaw's warp-level scan);
+//! 2. per-lane **binary search** over the CTPS;
+//! 3. **ballot/shuffle**-style communication for collision handling.
+//!
+//! We reproduce the lockstep data flow exactly: within one "step" every
+//! lane reads before any lane's write becomes visible. Step counts feed the
+//! cost model; for an n-element pool the scan costs `ceil(n/32) * 5` steps
+//! plus one carry-propagation step per tile, exactly as a tiled warp scan
+//! does on hardware.
+
+use crate::stats::SimStats;
+
+/// Lanes per warp — fixed at 32 on every NVIDIA architecture the paper
+/// targets.
+pub const WARP_SIZE: usize = 32;
+
+/// Cycles per binary-search probe of the CTPS. The per-warp CTPS lives in
+/// global memory (§IV-B "Data Structures"), so every probe is a dependent
+/// read whose latency is only partially hidden by occupancy — this is why
+/// collision retries are expensive enough for bipartite region search to
+/// pay off.
+pub const SEARCH_PROBE_CYCLES: u64 = 16;
+
+/// Log2 of the warp size: rounds in a warp-wide Kogge-Stone scan.
+pub const LOG_WARP_SIZE: u32 = 5;
+
+/// In-place inclusive prefix sum with Kogge-Stone data flow, tiled by warp.
+///
+/// For each 32-lane tile, performs `LOG_WARP_SIZE` lockstep rounds; between
+/// tiles the running carry is added (one more lockstep step), which is how
+/// a single warp scans a pool longer than 32. Returns nothing; work is
+/// recorded into `stats`.
+pub fn inclusive_scan(vals: &mut [f64], stats: &mut SimStats) {
+    let mut carry = 0.0;
+    for tile in vals.chunks_mut(WARP_SIZE) {
+        // Kogge-Stone: lane i adds lane i-d's value from the previous
+        // round. Descending iteration preserves read-before-write.
+        let mut d = 1;
+        while d < tile.len() {
+            for i in (d..tile.len()).rev() {
+                tile[i] += tile[i - d];
+            }
+            d <<= 1;
+            stats.scan_steps += 1;
+            stats.warp_cycles += 1;
+        }
+        if tile.len() == 1 {
+            // A 1-element tile still costs a step on hardware (predicated).
+            stats.scan_steps += 1;
+            stats.warp_cycles += 1;
+        }
+        if carry != 0.0 {
+            for v in tile.iter_mut() {
+                *v += carry;
+            }
+        }
+        // Carry broadcast costs one step whether or not it is zero.
+        stats.scan_steps += 1;
+        stats.warp_cycles += 1;
+        carry = *tile.last().unwrap();
+    }
+}
+
+/// Warp ballot: packs per-lane predicates into a mask (lane i → bit i).
+/// Slices shorter than a full warp leave high bits zero.
+pub fn ballot(preds: &[bool]) -> u32 {
+    debug_assert!(preds.len() <= WARP_SIZE);
+    preds.iter().enumerate().fold(0u32, |m, (i, &p)| m | ((p as u32) << i))
+}
+
+/// Warp shuffle: every lane reads lane `src`'s value (i.e. `__shfl_sync`
+/// broadcast).
+pub fn shfl<T: Copy>(vals: &[T], src: usize) -> T {
+    vals[src % vals.len().max(1)]
+}
+
+/// Warp max-reduction (butterfly), counting its `LOG_WARP_SIZE` steps.
+pub fn reduce_max(vals: &[f64], stats: &mut SimStats) -> f64 {
+    stats.warp_cycles += LOG_WARP_SIZE as u64;
+    vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Warp sum-reduction (butterfly), counting its `LOG_WARP_SIZE` steps.
+pub fn reduce_sum(vals: &[f64], stats: &mut SimStats) -> f64 {
+    stats.warp_cycles += LOG_WARP_SIZE as u64;
+    vals.iter().sum()
+}
+
+/// Per-lane binary search: smallest index `i` such that `r < bounds[i]`,
+/// over a CTPS-style array with `bounds[0] == 0.0` implied at index 0.
+/// Returns the selected *region* index in `0..bounds.len()-1` given
+/// `bounds` of region upper edges; counts `ceil(log2 n)` probe steps.
+pub fn binary_search_region(bounds: &[f64], r: f64, stats: &mut SimStats) -> usize {
+    // bounds = CTPS array F[1..=n] (upper edges); region k covers
+    // [F[k-1], F[k]) with F[0] = 0.
+    let mut lo = 0usize;
+    let mut hi = bounds.len(); // exclusive
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        stats.search_steps += 1;
+        stats.warp_cycles += SEARCH_PROBE_CYCLES;
+        if r < bounds[mid] {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo.min(bounds.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_scan(vals: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(vals.len());
+        let mut acc = 0.0;
+        for &v in vals {
+            acc += v;
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn scan_matches_sequential_small() {
+        let mut v = vec![3.0, 6.0, 2.0, 2.0, 2.0];
+        let expect = seq_scan(&v);
+        let mut s = SimStats::new();
+        inclusive_scan(&mut v, &mut s);
+        assert_eq!(v, expect);
+        assert!(s.scan_steps > 0);
+    }
+
+    #[test]
+    fn scan_matches_sequential_multi_tile() {
+        let vals: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let expect = seq_scan(&vals);
+        let mut v = vals;
+        let mut s = SimStats::new();
+        inclusive_scan(&mut v, &mut s);
+        for (a, b) in v.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // 100 elements = 4 tiles: 3 full tiles of 5 rounds + 1 tile of 4
+        // elements needing 2 rounds, plus 4 carry steps.
+        assert_eq!(s.scan_steps, 3 * 5 + 2 + 4);
+    }
+
+    #[test]
+    fn scan_empty_and_single() {
+        let mut s = SimStats::new();
+        let mut empty: Vec<f64> = vec![];
+        inclusive_scan(&mut empty, &mut s);
+        assert!(empty.is_empty());
+        let mut one = vec![5.0];
+        inclusive_scan(&mut one, &mut s);
+        assert_eq!(one, vec![5.0]);
+    }
+
+    #[test]
+    fn ballot_packs_bits() {
+        assert_eq!(ballot(&[true, false, true]), 0b101);
+        assert_eq!(ballot(&[]), 0);
+        let all = vec![true; 32];
+        assert_eq!(ballot(&all), u32::MAX);
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let v = [10, 20, 30];
+        assert_eq!(shfl(&v, 1), 20);
+        assert_eq!(shfl(&v, 4), 20); // wraps like a lane id mod width
+    }
+
+    #[test]
+    fn reductions() {
+        let mut s = SimStats::new();
+        assert_eq!(reduce_max(&[1.0, 9.0, 3.0], &mut s), 9.0);
+        assert_eq!(reduce_sum(&[1.0, 2.0, 3.0], &mut s), 6.0);
+        assert_eq!(s.warp_cycles, 10);
+    }
+
+    #[test]
+    fn binary_search_selects_correct_region() {
+        // CTPS of the Fig. 1 example: {0.2, 0.6, 0.7333, 0.8667, 1.0}
+        let f = [0.2, 0.6, 11.0 / 15.0, 13.0 / 15.0, 1.0];
+        let mut s = SimStats::new();
+        assert_eq!(binary_search_region(&f, 0.1, &mut s), 0); // v5
+        assert_eq!(binary_search_region(&f, 0.5, &mut s), 1); // v7 (paper's r=0.5 example)
+        assert_eq!(binary_search_region(&f, 0.58, &mut s), 1);
+        assert_eq!(binary_search_region(&f, 0.748, &mut s), 3); // v10
+        assert_eq!(binary_search_region(&f, 0.999, &mut s), 4);
+        assert!(s.search_steps >= 5);
+    }
+
+    #[test]
+    fn binary_search_boundary_values() {
+        let f = [0.25, 0.5, 0.75, 1.0];
+        let mut s = SimStats::new();
+        assert_eq!(binary_search_region(&f, 0.0, &mut s), 0);
+        // Exact boundary r = F[k] belongs to the next region (half-open).
+        assert_eq!(binary_search_region(&f, 0.25, &mut s), 1);
+        // r = 1.0 can't occur (uniform is [0,1)) but must not go out of range.
+        assert_eq!(binary_search_region(&f, 1.0, &mut s), 3);
+    }
+}

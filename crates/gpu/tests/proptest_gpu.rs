@@ -1,0 +1,114 @@
+//! Property tests for the SIMT substrate: warp primitives, the RNG, and
+//! the lockstep atomic model.
+
+use csaw_gpu::lockstep::{lockstep_test_and_set, CasOutcome};
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::warp::{ballot, binary_search_region, inclusive_scan};
+use csaw_gpu::Philox;
+use proptest::prelude::*;
+
+proptest! {
+    /// Kogge-Stone tiled scan equals the sequential prefix sum for any
+    /// input length (tile boundaries included).
+    #[test]
+    fn warp_scan_matches_sequential(vals in prop::collection::vec(0.0f64..100.0, 0..200)) {
+        let mut scanned = vals.clone();
+        let mut stats = SimStats::new();
+        inclusive_scan(&mut scanned, &mut stats);
+        let mut acc = 0.0;
+        for (i, &v) in vals.iter().enumerate() {
+            acc += v;
+            prop_assert!((scanned[i] - acc).abs() < 1e-6 * acc.max(1.0), "index {i}");
+        }
+    }
+
+    /// Binary search returns the same region a linear scan would.
+    #[test]
+    fn binary_search_matches_linear(
+        raw in prop::collection::vec(0.01f64..10.0, 1..64),
+        r in 0.0f64..1.0,
+    ) {
+        // Build normalized strictly-increasing bounds.
+        let total: f64 = raw.iter().sum();
+        let mut bounds = Vec::with_capacity(raw.len());
+        let mut acc = 0.0;
+        for v in &raw {
+            acc += v / total;
+            bounds.push(acc);
+        }
+        *bounds.last_mut().unwrap() = 1.0;
+
+        let mut stats = SimStats::new();
+        let got = binary_search_region(&bounds, r, &mut stats);
+        let linear = bounds.iter().position(|&b| r < b).unwrap_or(bounds.len() - 1);
+        prop_assert_eq!(got, linear);
+    }
+
+    /// Ballot sets exactly the bits of true lanes.
+    #[test]
+    fn ballot_bits(preds in prop::collection::vec(any::<bool>(), 0..32)) {
+        let mask = ballot(&preds);
+        for (i, &p) in preds.iter().enumerate() {
+            prop_assert_eq!(mask >> i & 1 == 1, p);
+        }
+        prop_assert_eq!(mask >> preds.len(), 0);
+    }
+
+    /// Philox streams for different tasks never produce the same prefix,
+    /// and `below(n)` stays in range.
+    #[test]
+    fn philox_stream_properties(seed: u64, t1: u64, t2: u64, n in 1u64..1_000_000) {
+        let mut a = Philox::for_task(seed, t1);
+        prop_assert!(a.below(n) < n);
+        if t1 != t2 {
+            let mut x = Philox::for_task(seed, t1);
+            let mut y = Philox::for_task(seed, t2);
+            let xs: Vec<u32> = (0..4).map(|_| x.next_u32()).collect();
+            let ys: Vec<u32> = (0..4).map(|_| y.next_u32()).collect();
+            prop_assert_ne!(xs, ys);
+        }
+    }
+
+    /// Lockstep test-and-set: exactly one winner per contended bit, losers
+    /// see `Lost`, and the bit array ends with precisely the requested
+    /// bits set.
+    #[test]
+    fn lockstep_cas_postconditions(
+        reqs in prop::collection::vec(prop::option::of(0usize..32), 1..32),
+    ) {
+        let mut bits = vec![false; 32];
+        let mut stats = SimStats::new();
+        let out = lockstep_test_and_set(&mut bits, &reqs, |b| b / 8, &mut stats);
+
+        let mut winners_per_bit = vec![0usize; 32];
+        for (lane, req) in reqs.iter().enumerate() {
+            match (req, out[lane]) {
+                (Some(bit), Some(CasOutcome::Won)) => winners_per_bit[*bit] += 1,
+                (Some(_), Some(CasOutcome::Lost)) => {}
+                (None, None) => {}
+                other => prop_assert!(false, "inconsistent outcome {other:?}"),
+            }
+        }
+        for (bit, &w) in winners_per_bit.iter().enumerate() {
+            let requested = reqs.iter().flatten().any(|&b| b == bit);
+            prop_assert_eq!(w <= 1, true);
+            prop_assert_eq!(bits[bit], requested, "bit {}", bit);
+            if requested {
+                prop_assert_eq!(w, 1, "contended bit {} needs exactly one winner", bit);
+            }
+        }
+        prop_assert_eq!(stats.atomic_ops, reqs.iter().flatten().count() as u64);
+    }
+
+    /// Scan work accounting is deterministic in the input length.
+    #[test]
+    fn scan_cost_depends_only_on_length(len in 0usize..150) {
+        let mut a = vec![1.0; len];
+        let mut b = vec![7.5; len];
+        let (mut sa, mut sb) = (SimStats::new(), SimStats::new());
+        inclusive_scan(&mut a, &mut sa);
+        inclusive_scan(&mut b, &mut sb);
+        prop_assert_eq!(sa.scan_steps, sb.scan_steps);
+        prop_assert_eq!(sa.warp_cycles, sb.warp_cycles);
+    }
+}

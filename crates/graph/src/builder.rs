@@ -1,0 +1,212 @@
+//! Edge-list → CSR construction.
+//!
+//! The builder accepts arbitrary (possibly duplicated, self-looped,
+//! unsorted) edge lists and produces a valid [`Csr`]. Sampling frameworks
+//! conventionally work on symmetrized graphs (the paper samples SNAP graphs
+//! as undirected), so symmetrization is a builder option.
+
+use crate::csr::Csr;
+use crate::types::{VertexId, Weight};
+
+/// Incremental CSR builder.
+///
+/// ```
+/// use csaw_graph::CsrBuilder;
+/// let g = CsrBuilder::new()
+///     .symmetrize(true)
+///     .add_edge(0, 1)
+///     .add_edge(1, 2)
+///     .build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CsrBuilder {
+    edges: Vec<(VertexId, VertexId, Weight)>,
+    num_vertices: Option<usize>,
+    symmetrize: bool,
+    dedup: bool,
+    drop_self_loops: bool,
+    weighted: bool,
+}
+
+impl CsrBuilder {
+    /// A builder with default policies: keep direction, dedup duplicates,
+    /// drop self loops, unweighted output.
+    pub fn new() -> Self {
+        CsrBuilder {
+            edges: Vec::new(),
+            num_vertices: None,
+            symmetrize: false,
+            dedup: true,
+            drop_self_loops: true,
+            weighted: false,
+        }
+    }
+
+    /// Forces the vertex count (otherwise inferred as max id + 1).
+    pub fn with_num_vertices(mut self, n: usize) -> Self {
+        self.num_vertices = Some(n);
+        self
+    }
+
+    /// Adds the reverse of every edge (undirected interpretation).
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Removes duplicate (src, dst) pairs, keeping the first weight.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Removes self loops (default true; random walks over self loops are
+    /// legal but the paper's datasets have them stripped).
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Emits a weight array in the built CSR.
+    pub fn weighted(mut self, yes: bool) -> Self {
+        self.weighted = yes;
+        self
+    }
+
+    /// Appends an unweighted edge.
+    pub fn add_edge(mut self, src: VertexId, dst: VertexId) -> Self {
+        self.edges.push((src, dst, 1.0));
+        self
+    }
+
+    /// Appends a weighted edge.
+    pub fn add_weighted_edge(mut self, src: VertexId, dst: VertexId, w: Weight) -> Self {
+        self.edges.push((src, dst, w));
+        self
+    }
+
+    /// Appends many unweighted edges.
+    pub fn extend_edges(mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        self.edges.extend(it.into_iter().map(|(s, d)| (s, d, 1.0)));
+        self
+    }
+
+    /// Consumes the builder and produces the CSR.
+    pub fn build(self) -> Csr {
+        let CsrBuilder { mut edges, num_vertices, symmetrize, dedup, drop_self_loops, weighted } =
+            self;
+
+        if drop_self_loops {
+            edges.retain(|&(s, d, _)| s != d);
+        }
+        if symmetrize {
+            let rev: Vec<_> = edges.iter().map(|&(s, d, w)| (d, s, w)).collect();
+            edges.extend(rev);
+        }
+
+        let inferred = edges.iter().map(|&(s, d, _)| s.max(d) as usize + 1).max().unwrap_or(0);
+        let n = num_vertices.unwrap_or(inferred).max(inferred);
+
+        // Sort by (src, dst) then optionally dedup; counting sort on src via
+        // the row counts would be faster, but an O(E log E) sort keeps the
+        // adjacency lists sorted by dst, which `Csr::has_edge` relies on.
+        edges.sort_by_key(|e| (e.0, e.1));
+        if dedup {
+            edges.dedup_by_key(|e| (e.0, e.1));
+        }
+
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(s, _, _) in &edges {
+            row_ptr[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col: Vec<VertexId> = edges.iter().map(|&(_, d, _)| d).collect();
+        let weights = if weighted { Some(edges.iter().map(|&(_, _, w)| w).collect()) } else { None };
+        Csr::from_parts(row_ptr, col, weights)
+    }
+}
+
+/// Builds a CSR from a plain (src, dst) slice with default policies plus
+/// symmetrization — the common case for the paper's datasets.
+pub fn undirected_from_pairs(pairs: &[(VertexId, VertexId)]) -> Csr {
+    CsrBuilder::new().symmetrize(true).extend_edges(pairs.iter().copied()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let g = CsrBuilder::new().add_edge(0, 2).add_edge(0, 1).add_edge(2, 0).build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let g = CsrBuilder::new().add_edge(0, 1).add_edge(0, 1).add_edge(0, 1).build();
+        assert_eq!(g.num_edges(), 1);
+        let g2 = CsrBuilder::new().dedup(false).add_edge(0, 1).add_edge(0, 1).build();
+        assert_eq!(g2.num_edges(), 2);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let g = CsrBuilder::new().add_edge(1, 1).add_edge(0, 1).build();
+        assert_eq!(g.num_edges(), 1);
+        let g2 = CsrBuilder::new().drop_self_loops(false).add_edge(1, 1).build();
+        assert_eq!(g2.num_edges(), 1);
+        assert_eq!(g2.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let g = undirected_from_pairs(&[(0, 1), (1, 2)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn symmetrize_dedups_bidirectional_input() {
+        let g = undirected_from_pairs(&[(0, 1), (1, 0)]);
+        assert_eq!(g.num_edges(), 2); // one each way, not four
+    }
+
+    #[test]
+    fn explicit_vertex_count_pads_isolated_vertices() {
+        let g = CsrBuilder::new().with_num_vertices(10).add_edge(0, 1).build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn inferred_count_wins_when_larger() {
+        let g = CsrBuilder::new().with_num_vertices(2).add_edge(0, 5).build();
+        assert_eq!(g.num_vertices(), 6);
+    }
+
+    #[test]
+    fn weighted_build_keeps_first_weight_on_dedup() {
+        let g = CsrBuilder::new()
+            .weighted(true)
+            .add_weighted_edge(0, 1, 2.5)
+            .add_weighted_edge(0, 1, 9.0)
+            .build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 0), 2.5);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = CsrBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

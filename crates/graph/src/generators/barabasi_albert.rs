@@ -1,0 +1,92 @@
+//! Barabási–Albert preferential attachment generator.
+//!
+//! Produces power-law graphs by a different mechanism than R-MAT, giving the
+//! test suite an independent source of skewed degree distributions.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+use rand::{RngExt, SeedableRng};
+
+/// Generates an undirected BA graph: starts from a clique of `m0 = m`
+/// vertices, then each new vertex attaches `m` edges to existing vertices
+/// with probability proportional to their current degree (implemented via
+/// the classic repeated-endpoint trick: sampling a uniform position in the
+/// edge-endpoint list is degree-proportional).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(m >= 1, "attachment count must be at least 1");
+    assert!(n > m, "need more vertices ({n}) than attachment count ({m})");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Flat list of edge endpoints; sampling uniformly from it is
+    // preferential attachment.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m);
+
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=(m as VertexId) {
+        for j in 0..i {
+            pairs.push((i, j));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+
+    for v in (m as VertexId + 1)..(n as VertexId) {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            pairs.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+
+    CsrBuilder::new().with_num_vertices(n).symmetrize(true).extend_edges(pairs).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_and_edge_counts() {
+        let (n, m) = (200, 3);
+        let g = barabasi_albert(n, m, 5);
+        assert_eq!(g.num_vertices(), n);
+        let expected_undirected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), 2 * expected_undirected);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 1), barabasi_albert(100, 2, 1));
+    }
+
+    #[test]
+    fn early_vertices_become_hubs() {
+        let g = barabasi_albert(2000, 2, 42);
+        let early: usize = (0..10).map(|v| g.degree(v)).sum();
+        let late: usize = (1990..2000).map(|v| g.degree(v)).sum();
+        assert!(early > 3 * late, "preferential attachment should favor early vertices");
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(300, 4, 8);
+        for v in 0..300u32 {
+            assert!(g.degree(v) >= 4, "vertex {v} has degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_tiny_n() {
+        barabasi_albert(3, 3, 0);
+    }
+}

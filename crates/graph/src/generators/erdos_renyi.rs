@@ -1,0 +1,68 @@
+//! Erdős–Rényi G(n, m) generator: `m` undirected edges chosen uniformly.
+//!
+//! Used for unskewed control graphs — collisions in C-SAW's SELECT are rare
+//! here, which makes ER graphs the natural baseline when demonstrating the
+//! benefit of bipartite region search on skewed graphs.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+use rand::{RngExt, SeedableRng};
+
+/// Generates an undirected G(n, m) graph (m edge *samples*; dedup may drop a
+/// few). Self loops are excluded.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n >= 2 || m == 0, "need at least two vertices to place an edge");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(m);
+    for _ in 0..m {
+        let s = rng.random_range(0..n) as VertexId;
+        let mut d = rng.random_range(0..n - 1) as VertexId;
+        if d >= s {
+            d += 1; // uniform over the n-1 non-self endpoints
+        }
+        pairs.push((s, d));
+    }
+    CsrBuilder::new().with_num_vertices(n).symmetrize(true).extend_edges(pairs).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_respected() {
+        let g = erdos_renyi(500, 2000, 11);
+        assert_eq!(g.num_vertices(), 500);
+        assert!(g.num_edges() <= 4000);
+        assert!(g.num_edges() > 3000, "dedup unexpectedly heavy: {}", g.num_edges());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(50, 500, 3);
+        for v in 0..50u32 {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(100, 400, 5), erdos_renyi(100, 400, 5));
+    }
+
+    #[test]
+    fn zero_edges_ok() {
+        let g = erdos_renyi(10, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn degrees_are_balanced() {
+        let g = erdos_renyi(1000, 16_000, 9);
+        let max = (0..1000).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        // Binomial tails: max degree stays within a small factor of the mean.
+        assert!((max as f64) < 3.0 * avg, "max {max} vs avg {avg}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on SNAP/KONECT graphs we cannot redistribute; the
+//! [`crate::datasets`] registry builds scaled stand-ins from these
+//! generators. R-MAT produces the skewed power-law degree distributions
+//! ("scale-free graphs where a few candidates have much larger biases than
+//! others", §II-B) that drive the collision-mitigation results.
+
+pub mod barabasi_albert;
+pub mod erdos_renyi;
+pub mod regular;
+pub mod rmat;
+pub mod toy;
+pub mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::erdos_renyi;
+pub use regular::ring_lattice;
+pub use rmat::{rmat, RmatParams};
+pub use toy::toy_graph;
+pub use watts_strogatz::watts_strogatz;

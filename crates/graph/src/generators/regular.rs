@@ -1,0 +1,56 @@
+//! Regular graphs — every vertex has identical degree.
+//!
+//! With constant degree, the CTPS regions are equal-width and the selection
+//! collision probability is analytically tractable, so the ring lattice is
+//! the reference workload for the collision-mitigation unit tests.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+
+/// A ring lattice: vertex `v` connects to its `k` nearest neighbors on each
+/// side (total degree `2k`). `n` must exceed `2k` so neighbor sets don't
+/// wrap onto themselves.
+pub fn ring_lattice(n: usize, k: usize, ) -> Csr {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(n > 2 * k, "need n > 2k (got n={n}, k={k})");
+    let mut pairs = Vec::with_capacity(n * k);
+    for v in 0..n {
+        for off in 1..=k {
+            pairs.push((v as VertexId, ((v + off) % n) as VertexId));
+        }
+    }
+    CsrBuilder::new().with_num_vertices(n).symmetrize(true).extend_edges(pairs).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_degrees_equal() {
+        let g = ring_lattice(20, 3);
+        for v in 0..20u32 {
+            assert_eq!(g.degree(v), 6);
+        }
+    }
+
+    #[test]
+    fn edge_count() {
+        let g = ring_lattice(100, 2);
+        assert_eq!(g.num_edges(), 100 * 4);
+    }
+
+    #[test]
+    fn neighbors_are_ring_neighbors() {
+        let g = ring_lattice(10, 1);
+        assert_eq!(g.neighbors(0), &[1, 9]);
+        assert_eq!(g.neighbors(5), &[4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 2k")]
+    fn rejects_wrapping_k() {
+        ring_lattice(6, 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! R-MAT (Recursive MATrix) generator.
+//!
+//! Standard Graph500-style generator: each edge picks one quadrant of the
+//! adjacency matrix per recursion level with probabilities (a, b, c, d).
+//! Skew (`a` ≫ `d`) yields power-law degree distributions like the paper's
+//! social-network datasets.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+use rand::{RngExt, SeedableRng};
+
+/// Quadrant probabilities for R-MAT. Must be positive and sum to 1.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (hub concentration).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// Graph500 defaults: strongly skewed, power-law.
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// A milder skew, for moderately heavy-tailed graphs (web/citation-like).
+    pub const MILD: RmatParams = RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11 };
+
+    /// Uniform quadrants — degenerates to Erdős–Rényi-like structure.
+    pub const UNIFORM: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!((s - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1, got {s}");
+        assert!(
+            self.a > 0.0 && self.b > 0.0 && self.c > 0.0 && self.d > 0.0,
+            "R-MAT probabilities must be positive"
+        );
+    }
+}
+
+/// Generates an undirected R-MAT graph with `1 << scale` vertices and
+/// roughly `edge_factor * n` undirected edges (duplicates are removed, so
+/// the realized count is slightly lower — same convention as Graph500).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Csr {
+    params.validate();
+    assert!(scale <= 31, "scale {scale} would overflow u32 vertex ids");
+    let n: u64 = 1 << scale;
+    let m = n as usize * edge_factor;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let mut pairs = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut lo_s, mut lo_d) = (0u64, 0u64);
+        let mut half = n / 2;
+        while half >= 1 {
+            let r: f64 = rng.random();
+            let (ds, dd) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            lo_s += ds * half;
+            lo_d += dd * half;
+            half /= 2;
+        }
+        pairs.push((lo_s as VertexId, lo_d as VertexId));
+    }
+
+    CsrBuilder::new()
+        .with_num_vertices(n as usize)
+        .symmetrize(true)
+        .extend_edges(pairs)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_scale_and_roughly_edge_factor() {
+        let g = rmat(10, 8, RmatParams::GRAPH500, 7);
+        assert_eq!(g.num_vertices(), 1024);
+        // Symmetrized and deduped: between n*ef (heavy dedup) and 2*n*ef.
+        assert!(g.num_edges() <= 2 * 1024 * 8);
+        assert!(g.num_edges() > 1024 * 4, "unexpectedly heavy dedup: {}", g.num_edges());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = rmat(8, 4, RmatParams::GRAPH500, 42);
+        let b = rmat(8, 4, RmatParams::GRAPH500, 42);
+        assert_eq!(a, b);
+        let c = rmat(8, 4, RmatParams::GRAPH500, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skewed_params_make_skewed_degrees() {
+        let g = rmat(10, 8, RmatParams::GRAPH500, 1);
+        let u = rmat(10, 8, RmatParams::UNIFORM, 1);
+        let max_g = (0..1024).map(|v| g.degree(v)).max().unwrap();
+        let max_u = (0..1024).map(|v| u.degree(v)).max().unwrap();
+        assert!(
+            max_g > 2 * max_u,
+            "graph500 skew should concentrate degree (got {max_g} vs {max_u})"
+        );
+    }
+
+    #[test]
+    fn symmetric_output() {
+        let g = rmat(6, 4, RmatParams::MILD, 3);
+        for v in 0..g.num_vertices() as VertexId {
+            for &u in g.neighbors(v) {
+                assert!(g.has_edge(u, v), "missing reverse edge {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn rejects_bad_probabilities() {
+        rmat(4, 2, RmatParams { a: 0.9, b: 0.2, c: 0.1, d: 0.1 }, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's running example graph (Fig. 1a / Fig. 8).
+//!
+//! 13 vertices, reconstructed to satisfy every fact the paper states about
+//! it:
+//!
+//! - `N(8) = {5, 7, 9, 10, 11}` with degree-biases `{3, 6, 2, 2, 2}`
+//!   (Fig. 1), i.e. prefix sum `{0, 3, 9, 11, 13, 15}` and CTPS
+//!   `{0, 0.2, 0.6, 0.73, 0.87, 1}`;
+//! - vertex 0 can sample 7, vertex 2 can sample 3, vertex 3 can sample 4
+//!   (the Fig. 8 out-of-memory walkthrough);
+//! - splitting the 13 vertices into ranges `{0..=3}, {4..=7}, {8..=12}`
+//!   reproduces Fig. 8's partition behaviour (seeds `{0, 2, 8}` put 2, 0, 1
+//!   active vertices into P1, P2, P3).
+
+use crate::builder::undirected_from_pairs;
+use crate::csr::Csr;
+
+/// Undirected edges of the toy graph.
+pub const TOY_EDGES: [(u32, u32); 19] = [
+    (0, 1),
+    (0, 6),
+    (0, 7),
+    (1, 2),
+    (2, 3),
+    (3, 4),
+    (3, 7),
+    (4, 5),
+    (4, 7),
+    (5, 7),
+    (5, 8),
+    (6, 7),
+    (7, 8),
+    (8, 9),
+    (8, 10),
+    (8, 11),
+    (9, 12),
+    (10, 12),
+    (11, 12),
+];
+
+/// Builds the Fig. 1a toy graph.
+pub fn toy_graph() -> Csr {
+    undirected_from_pairs(&TOY_EDGES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_vertices() {
+        let g = toy_graph();
+        assert_eq!(g.num_vertices(), 13);
+        assert_eq!(g.num_edges(), 2 * 19);
+    }
+
+    #[test]
+    fn v8_neighborhood_matches_fig1() {
+        let g = toy_graph();
+        assert_eq!(g.neighbors(8), &[5, 7, 9, 10, 11]);
+        let biases: Vec<usize> = g.neighbors(8).iter().map(|&u| g.degree(u)).collect();
+        assert_eq!(biases, vec![3, 6, 2, 2, 2]);
+    }
+
+    #[test]
+    fn ctps_of_v8_matches_fig1b() {
+        let g = toy_graph();
+        let biases: Vec<f64> = g.neighbors(8).iter().map(|&u| g.degree(u) as f64).collect();
+        let mut prefix = vec![0.0];
+        for b in &biases {
+            prefix.push(prefix.last().unwrap() + b);
+        }
+        assert_eq!(prefix, vec![0.0, 3.0, 9.0, 11.0, 13.0, 15.0]);
+        let total = *prefix.last().unwrap();
+        let ctps: Vec<f64> = prefix.iter().map(|s| s / total).collect();
+        assert!((ctps[1] - 0.2).abs() < 1e-12);
+        assert!((ctps[2] - 0.6).abs() < 1e-12);
+        assert!((ctps[3] - 11.0 / 15.0).abs() < 1e-12);
+        assert!((ctps[4] - 13.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig8_walk_edges_exist() {
+        let g = toy_graph();
+        assert!(g.has_edge(0, 7));
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(8, 5));
+        assert!(g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn fig8_partition_activity() {
+        let g = toy_graph();
+        assert_eq!(g.num_vertices(), 13);
+        let part_of = |v: u32| -> usize {
+            if v <= 3 {
+                0
+            } else if v <= 7 {
+                1
+            } else {
+                2
+            }
+        };
+        let seeds = [0u32, 2, 8];
+        let mut active = [0usize; 3];
+        for &s in &seeds {
+            active[part_of(s)] += 1;
+        }
+        assert_eq!(active, [2, 0, 1]);
+        // 0 -> 7, 2 -> 3, 8 -> 5 lands {3} in P1 and {7, 5} in P2.
+        assert_eq!(part_of(3), 0);
+        assert_eq!(part_of(7), 1);
+        assert_eq!(part_of(5), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Interpolates between a ring lattice (high clustering, long paths) and
+//! a random graph (low clustering, short paths) via a rewiring
+//! probability `beta` — the graph family whose clustering/diameter
+//! combination the quality metrics are designed to detect.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a Watts–Strogatz graph: start from a ring lattice with `k`
+/// neighbors per side, rewire each edge's far endpoint with probability
+/// `beta` to a uniform non-self target.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(n > 2 * k, "need n > 2k (got n={n}, k={k})");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(n * k);
+    for v in 0..n {
+        for off in 1..=k {
+            let mut u = (v + off) % n;
+            if rng.random::<f64>() < beta {
+                // Rewire to a uniform non-self endpoint.
+                u = rng.random_range(0..n - 1);
+                if u >= v {
+                    u += 1;
+                }
+            }
+            pairs.push((v as VertexId, u as VertexId));
+        }
+    }
+    CsrBuilder::new().with_num_vertices(n).symmetrize(true).extend_edges(pairs).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{clustering_coefficient, effective_diameter};
+
+    #[test]
+    fn beta_zero_is_the_ring_lattice() {
+        let ws = watts_strogatz(40, 2, 0.0, 1);
+        let ring = crate::generators::ring_lattice(40, 2);
+        assert_eq!(ws, ring);
+    }
+
+    #[test]
+    fn rewiring_shortens_paths_and_cuts_clustering() {
+        let ordered = watts_strogatz(300, 3, 0.0, 2);
+        let small_world = watts_strogatz(300, 3, 0.2, 2);
+        let d0 = effective_diameter(&ordered, 6, 3);
+        let d1 = effective_diameter(&small_world, 6, 3);
+        assert!(d1 < 0.5 * d0, "shortcuts must shrink the diameter: {d0} -> {d1}");
+        let c0 = clustering_coefficient(&ordered);
+        let c1 = clustering_coefficient(&small_world);
+        assert!(c0 > 0.4, "ring lattice is highly clustered: {c0}");
+        assert!(c1 < c0, "rewiring dilutes clustering: {c0} -> {c1}");
+    }
+
+    #[test]
+    fn deterministic_and_valid() {
+        let a = watts_strogatz(100, 2, 0.3, 7);
+        let b = watts_strogatz(100, 2, 0.3, 7);
+        assert_eq!(a, b);
+        assert!(a.validate().is_ok());
+        for v in 0..100u32 {
+            assert!(!a.has_edge(v, v), "no self loops");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_beta() {
+        watts_strogatz(30, 2, 1.5, 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Graph file IO: whitespace edge lists (SNAP format) and a compact binary
+//! CSR container, so users with the paper's real datasets can run every
+//! experiment on them.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a SNAP-style edge list: one `src dst [weight]` pair per line,
+/// `#`-prefixed comment lines skipped. Returns a symmetrized CSR.
+pub fn read_edge_list(path: impl AsRef<Path>, weighted: bool) -> io::Result<Csr> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list_from(BufReader::new(file), weighted)
+}
+
+/// Reads an edge list from any reader (see [`read_edge_list`]).
+pub fn read_edge_list_from(reader: impl BufRead, weighted: bool) -> io::Result<Csr> {
+    let mut builder = CsrBuilder::new().symmetrize(true).weighted(weighted);
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> io::Result<u64> {
+            tok.ok_or_else(|| bad_line(lineno, &format!("missing {what}")))?
+                .parse::<u64>()
+                .map_err(|e| bad_line(lineno, &format!("bad {what}: {e}")))
+        };
+        let src = parse(it.next(), "src")? as VertexId;
+        let dst = parse(it.next(), "dst")? as VertexId;
+        if weighted {
+            let w: f32 = it
+                .next()
+                .map(|t| t.parse().map_err(|e| bad_line(lineno, &format!("bad weight: {e}"))))
+                .transpose()?
+                .unwrap_or(1.0);
+            builder = builder.add_weighted_edge(src, dst, w);
+        } else {
+            builder = builder.add_edge(src, dst);
+        }
+    }
+    Ok(builder.build())
+}
+
+fn bad_line(lineno: usize, msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: {msg}"))
+}
+
+/// Reads a MatrixMarket coordinate file (`%%MatrixMarket matrix
+/// coordinate ...`): 1-based `row col [value]` entries after the size
+/// line. Symmetric and general matrices both come back symmetrized (the
+/// convention for sampling datasets).
+pub fn read_matrix_market(path: impl AsRef<Path>, weighted: bool) -> io::Result<Csr> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market_from(BufReader::new(file), weighted)
+}
+
+/// Reads MatrixMarket from any reader (see [`read_matrix_market`]).
+pub fn read_matrix_market_from(mut reader: impl BufRead, weighted: bool) -> io::Result<Csr> {
+    let mut line = String::new();
+    // Header.
+    reader.read_line(&mut line)?;
+    if !line.starts_with("%%MatrixMarket") {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "missing MatrixMarket header"));
+    }
+    if !line.contains("coordinate") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "only coordinate-format MatrixMarket files are supported",
+        ));
+    }
+    // Skip comments, read the size line.
+    let dims = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "missing size line"));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break t.to_string();
+    };
+    let mut it = dims.split_whitespace();
+    let rows: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad size line"))?;
+    let cols: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad size line"))?;
+    let n = rows.max(cols);
+
+    let mut builder = CsrBuilder::new().with_num_vertices(n).symmetrize(true).weighted(weighted);
+    let mut lineno = 2usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: u64 = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| bad_line(lineno, "bad row"))?;
+        let c: u64 = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| bad_line(lineno, "bad col"))?;
+        if r == 0 || c == 0 {
+            return Err(bad_line(lineno, "MatrixMarket indices are 1-based"));
+        }
+        let (src, dst) = ((r - 1) as VertexId, (c - 1) as VertexId);
+        if weighted {
+            let w: f32 = it.next().and_then(|x| x.parse().ok()).unwrap_or(1.0);
+            builder = builder.add_weighted_edge(src, dst, w);
+        } else {
+            builder = builder.add_edge(src, dst);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Writes a SNAP-style edge list (`src dst` or `src dst weight` lines),
+/// the inverse of [`read_edge_list`] up to symmetrization.
+pub fn write_edge_list(g: &Csr, w: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for v in 0..g.num_vertices() as VertexId {
+        for (i, &u) in g.neighbors(v).iter().enumerate() {
+            if g.is_weighted() {
+                writeln!(w, "{v} {u} {}", g.edge_weight(v, i))?;
+            } else {
+                writeln!(w, "{v} {u}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+const MAGIC: &[u8; 8] = b"CSAWCSR1";
+
+/// Writes a CSR in the compact binary container (little-endian:
+/// magic, n, m, weighted flag, row_ptr as u64, col as u32, weights as f32).
+pub fn write_binary_csr(g: &Csr, w: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&[g.is_weighted() as u8])?;
+    for &p in g.row_ptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &c in g.col() {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    if let Some(ws) = g.weights() {
+        for &x in ws {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads the binary container written by [`write_binary_csr`].
+pub fn read_binary_csr(r: impl Read) -> io::Result<Csr> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic: not a csaw CSR file"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        row_ptr.push(read_u64(&mut r)? as usize);
+    }
+    let mut col = Vec::with_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        col.push(u32::from_le_bytes(buf4));
+    }
+    let weights = if flag[0] != 0 {
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            r.read_exact(&mut buf4)?;
+            ws.push(f32::from_le_bytes(buf4));
+        }
+        Some(ws)
+    } else {
+        None
+    };
+    let g = Csr::from_parts(row_ptr, col, weights);
+    Ok(g)
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::toy_graph;
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let text = "# comment\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list_from(Cursor::new(text), false).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6); // triangle, symmetrized
+    }
+
+    #[test]
+    fn weighted_edge_list_defaults_missing_weight() {
+        let text = "0 1 2.5\n1 2\n";
+        let g = read_edge_list_from(Cursor::new(text), true).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 0), 2.5);
+        assert_eq!(g.edge_weight(1, 1), 1.0);
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let r = read_edge_list_from(Cursor::new("0 x\n"), false);
+        assert!(r.is_err());
+        let msg = r.unwrap_err().to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_missing_dst() {
+        assert!(read_edge_list_from(Cursor::new("7\n"), false).is_err());
+    }
+
+    #[test]
+    fn percent_comments_skipped() {
+        let g = read_edge_list_from(Cursor::new("% konect header\n0 1\n"), false).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn matrix_market_reads_symmetric_coordinate() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    % a comment\n\
+                    3 3 3\n1 2\n2 3\n3 1\n";
+        let g = read_matrix_market_from(Cursor::new(text), false).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6); // symmetrized triangle
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn matrix_market_weighted_values() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n";
+        let g = read_matrix_market_from(Cursor::new(text), true).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 0), 3.5);
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(read_matrix_market_from(Cursor::new("not a header\n"), false).is_err());
+        assert!(read_matrix_market_from(
+            Cursor::new("%%MatrixMarket matrix array real general\n2 2\n"),
+            false
+        )
+        .is_err());
+        assert!(read_matrix_market_from(
+            Cursor::new("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"),
+            false
+        )
+        .is_err(), "0-based index must be rejected");
+    }
+
+    #[test]
+    fn edge_list_write_read_round_trip() {
+        let g = toy_graph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list_from(Cursor::new(buf), false).unwrap();
+        // The toy graph is already symmetric, so the round trip is exact.
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn weighted_edge_list_round_trip() {
+        let g = toy_graph().with_unit_weights();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list_from(Cursor::new(buf), true).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_round_trip_unweighted() {
+        let g = toy_graph();
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        let g2 = read_binary_csr(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_round_trip_weighted() {
+        let g = toy_graph().with_unit_weights();
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        let g2 = read_binary_csr(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary_csr(Cursor::new(b"NOTACSR1rest".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = toy_graph();
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary_csr(Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # csaw-graph
+//!
+//! Graph storage and tooling substrate for the C-SAW reproduction.
+//!
+//! C-SAW (SC'20) samples graphs stored in Compressed Sparse Row (CSR) form.
+//! This crate provides:
+//!
+//! - [`Csr`]: the CSR structure used by every other crate, with optional
+//!   per-edge weights (biased sampling needs them).
+//! - [`builder::CsrBuilder`]: edge-list ingestion (dedup, sort, symmetrize).
+//! - [`generators`]: synthetic graph generators (R-MAT, Erdős–Rényi,
+//!   Barabási–Albert, k-regular rings) plus the paper's Fig. 1 toy graph.
+//! - [`datasets`]: a registry mirroring Table II of the paper with scaled
+//!   synthetic stand-ins for the SNAP/KONECT graphs.
+//! - [`partition`]: the contiguous vertex-range partitioner of §V-A.
+//! - [`io`]: edge-list and binary CSR readers/writers for real data.
+//! - [`quality`]: sample-quality metrics (degree KS, clustering,
+//!   effective diameter) from the sampling literature.
+//! - [`stats`]: degree statistics used in the evaluation write-up.
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod partition;
+pub mod quality;
+pub mod reorder;
+pub mod stats;
+pub mod traversal;
+pub mod types;
+
+pub use builder::CsrBuilder;
+pub use csr::Csr;
+pub use datasets::{Dataset, DatasetSpec};
+pub use partition::{Partition, PartitionSet};
+pub use types::{EdgeId, VertexId, Weight};

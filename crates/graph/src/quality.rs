@@ -1,0 +1,295 @@
+//! Sample-quality metrics.
+//!
+//! The point of graph sampling (paper §I) is that a small sample
+//! "captures the desirable graph properties" of the original. This module
+//! provides the standard property comparisons from the sampling
+//! literature (Leskovec & Faloutsos 2006):
+//!
+//! - [`degree_ks`]: Kolmogorov–Smirnov distance between two graphs'
+//!   degree distributions;
+//! - [`clustering_coefficient`]: exact global clustering (transitivity)
+//!   for small graphs, [`clustering_coefficient_sampled`] by wedge
+//!   sampling for large ones;
+//! - [`effective_diameter`]: the 90th-percentile pairwise hop distance,
+//!   estimated by BFS from sampled sources.
+
+use crate::csr::Csr;
+use crate::traversal::bfs_distances;
+use crate::types::VertexId;
+use rand::{RngExt, SeedableRng};
+
+/// Kolmogorov–Smirnov distance between the degree distributions of `a`
+/// and `b` (0 = identical, 1 = disjoint).
+pub fn degree_ks(a: &Csr, b: &Csr) -> f64 {
+    let cdf = |g: &Csr| -> Vec<(usize, f64)> {
+        let mut degs: Vec<usize> = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        let n = degs.len().max(1) as f64;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < degs.len() {
+            let d = degs[i];
+            let mut j = i;
+            while j < degs.len() && degs[j] == d {
+                j += 1;
+            }
+            out.push((d, j as f64 / n));
+            i = j;
+        }
+        out
+    };
+    let (ca, cb) = (cdf(a), cdf(b));
+    // Walk the merged support computing |F_a - F_b|.
+    let mut d = 0.0f64;
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let (mut fa, mut fb) = (0.0f64, 0.0f64);
+    while ia < ca.len() || ib < cb.len() {
+        let xa = ca.get(ia).map(|&(x, _)| x).unwrap_or(usize::MAX);
+        let xb = cb.get(ib).map(|&(x, _)| x).unwrap_or(usize::MAX);
+        if xa <= xb {
+            fa = ca[ia].1;
+            ia += 1;
+        }
+        if xb <= xa {
+            fb = cb[ib].1;
+            ib += 1;
+        }
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Exact global clustering coefficient (transitivity):
+/// `3 × triangles / wedges`. Quadratic in hub degree — use the sampled
+/// variant for large graphs.
+pub fn clustering_coefficient(g: &Csr) -> f64 {
+    let mut closed = 0u64;
+    let mut wedges = 0u64;
+    for v in 0..g.num_vertices() as VertexId {
+        let nbrs = g.neighbors(v);
+        let d = nbrs.len() as u64;
+        if d < 2 {
+            continue;
+        }
+        wedges += d * (d - 1) / 2;
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if g.has_edge(nbrs[i], nbrs[j]) {
+                    closed += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+/// Exact triangle count (each triangle counted once). Shares the wedge
+/// enumeration with [`clustering_coefficient`]; quadratic in hub degree.
+pub fn triangle_count(g: &Csr) -> u64 {
+    let mut closed = 0u64;
+    for v in 0..g.num_vertices() as VertexId {
+        let nbrs = g.neighbors(v);
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if g.has_edge(nbrs[i], nbrs[j]) {
+                    closed += 1;
+                }
+            }
+        }
+    }
+    // Each triangle contributes one closed wedge at each of its corners.
+    closed / 3
+}
+
+/// Clustering coefficient estimated by uniform wedge sampling: pick a
+/// random center weighted by its wedge count, then a random wedge at it,
+/// and test closure. Standard unbiased estimator.
+pub fn clustering_coefficient_sampled(g: &Csr, samples: usize, seed: u64) -> f64 {
+    let wedge_counts: Vec<u64> = (0..g.num_vertices() as VertexId)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d.saturating_sub(1) * d / 2
+        })
+        .collect();
+    let total: u64 = wedge_counts.iter().sum();
+    if total == 0 || samples == 0 {
+        return 0.0;
+    }
+    // Cumulative for weighted center selection.
+    let mut cum = Vec::with_capacity(wedge_counts.len());
+    let mut acc = 0u64;
+    for &w in &wedge_counts {
+        acc += w;
+        cum.push(acc);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut closed = 0usize;
+    for _ in 0..samples {
+        let t = rng.random_range(0..total);
+        let v = cum.partition_point(|&c| c <= t) as VertexId;
+        let nbrs = g.neighbors(v);
+        let i = rng.random_range(0..nbrs.len());
+        let mut j = rng.random_range(0..nbrs.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        if g.has_edge(nbrs[i], nbrs[j]) {
+            closed += 1;
+        }
+    }
+    closed as f64 / samples as f64
+}
+
+/// Effective diameter: the 90th-percentile hop distance over reachable
+/// pairs, estimated with BFS from `sources` sampled vertices.
+pub fn effective_diameter(g: &Csr, sources: usize, seed: u64) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 || sources == 0 {
+        return 0.0;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut dists: Vec<u32> = Vec::new();
+    for _ in 0..sources {
+        let s = rng.random_range(0..n) as VertexId;
+        let dist = bfs_distances(g, s);
+        dists.extend(dist.into_iter().filter(|&d| d != u32::MAX && d > 0));
+    }
+    if dists.is_empty() {
+        return 0.0;
+    }
+    dists.sort_unstable();
+    dists[(dists.len() as f64 * 0.9) as usize % dists.len()] as f64
+}
+
+/// A bundle of quality metrics comparing a sample against its original.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// KS distance between degree distributions (lower is better).
+    pub degree_ks: f64,
+    /// Original graph's clustering coefficient.
+    pub clustering_original: f64,
+    /// Sample's clustering coefficient.
+    pub clustering_sample: f64,
+    /// Original effective diameter.
+    pub diameter_original: f64,
+    /// Sample effective diameter.
+    pub diameter_sample: f64,
+}
+
+/// Computes the full report with sampled estimators sized for interactive
+/// use.
+pub fn compare(original: &Csr, sample: &Csr, seed: u64) -> QualityReport {
+    QualityReport {
+        degree_ks: degree_ks(original, sample),
+        clustering_original: clustering_coefficient_sampled(original, 20_000, seed),
+        clustering_sample: clustering_coefficient_sampled(sample, 20_000, seed ^ 1),
+        diameter_original: effective_diameter(original, 8, seed ^ 2),
+        diameter_sample: effective_diameter(sample, 8, seed ^ 3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, ring_lattice, rmat, toy_graph, RmatParams};
+    use crate::CsrBuilder;
+
+    #[test]
+    fn ks_zero_for_identical_graphs() {
+        let g = toy_graph();
+        assert_eq!(degree_ks(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn ks_large_for_very_different_graphs() {
+        let a = ring_lattice(100, 1); // all degree 2
+        let b = ring_lattice(100, 5); // all degree 10
+        assert!((degree_ks(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_is_symmetric_and_bounded() {
+        let a = rmat(9, 4, RmatParams::GRAPH500, 1);
+        let b = erdos_renyi(512, 2048, 1);
+        let d = degree_ks(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+        assert!((d - degree_ks(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_graph_is_fully_clustered() {
+        let g = CsrBuilder::new()
+            .symmetrize(true)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .build();
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_graph_has_zero_clustering() {
+        let g = CsrBuilder::new().symmetrize(true).add_edge(0, 1).add_edge(1, 2).build();
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn sampled_clustering_tracks_exact() {
+        let g = rmat(10, 8, RmatParams::GRAPH500, 2);
+        let exact = clustering_coefficient(&g);
+        let approx = clustering_coefficient_sampled(&g, 100_000, 3);
+        assert!((exact - approx).abs() < 0.02, "exact {exact} vs sampled {approx}");
+    }
+
+    #[test]
+    fn effective_diameter_of_ring_grows_with_size() {
+        let small = effective_diameter(&ring_lattice(20, 1), 5, 1);
+        let big = effective_diameter(&ring_lattice(200, 1), 5, 1);
+        assert!(big > 2.0 * small, "ring diameter must grow: {small} vs {big}");
+    }
+
+    #[test]
+    fn triangle_count_on_known_graphs() {
+        let tri = CsrBuilder::new()
+            .symmetrize(true)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .build();
+        assert_eq!(triangle_count(&tri), 1);
+        // K4 has 4 triangles.
+        let mut b = CsrBuilder::new().symmetrize(true);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b = b.add_edge(i, j);
+            }
+        }
+        assert_eq!(triangle_count(&b.build()), 4);
+        assert_eq!(triangle_count(&ring_lattice(10, 1)), 0);
+        // toy graph triangles: (3,4,7), (4,5,7), (0,6,7), (5,7,8).
+        assert_eq!(triangle_count(&toy_graph()), 4);
+    }
+
+    #[test]
+    fn compare_produces_sane_report() {
+        let g = rmat(9, 6, RmatParams::GRAPH500, 4);
+        let r = compare(&g, &g, 9);
+        assert!(r.degree_ks < 1e-12);
+        assert!(r.clustering_original >= 0.0 && r.clustering_original <= 1.0);
+        assert!(r.diameter_original > 0.0);
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = Csr::empty(0);
+        assert_eq!(clustering_coefficient(&empty), 0.0);
+        assert_eq!(effective_diameter(&empty, 4, 0), 0.0);
+        assert_eq!(clustering_coefficient_sampled(&empty, 100, 0), 0.0);
+        let isolated = Csr::empty(5);
+        assert_eq!(degree_ks(&isolated, &isolated), 0.0);
+    }
+}

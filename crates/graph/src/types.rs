@@ -1,0 +1,58 @@
+//! Core identifier and weight types shared across the workspace.
+//!
+//! Vertices are `u32`: the paper's largest graph (Friendster, 65.6M vertices)
+//! fits comfortably, and 4-byte ids halve memory traffic on the simulated
+//! device exactly as they do on a real GPU.
+
+/// Vertex identifier. Dense, zero-based.
+pub type VertexId = u32;
+
+/// Edge identifier: an index into the CSR column/weight arrays.
+pub type EdgeId = usize;
+
+/// Edge weight. Biases derived from weights are accumulated in `f64`
+/// (prefix sums) but stored per edge as `f32`, matching the CUDA artifact.
+pub type Weight = f32;
+
+/// A directed edge `(src, dst)` with an optional weight, used during
+/// construction and by the samplers when reporting sampled edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Weight (1.0 for unweighted graphs).
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Convenience constructor for an unweighted edge.
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst, weight: 1.0 }
+    }
+
+    /// Constructor with an explicit weight.
+    pub fn weighted(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        Edge { src, dst, weight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_new_defaults_weight_to_one() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.src, 3);
+        assert_eq!(e.dst, 7);
+        assert_eq!(e.weight, 1.0);
+    }
+
+    #[test]
+    fn edge_weighted_keeps_weight() {
+        let e = Edge::weighted(1, 2, 0.25);
+        assert_eq!(e.weight, 0.25);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # csaw-oom
+//!
+//! Out-of-memory and multi-GPU C-SAW (paper §V).
+//!
+//! Graph sampling "lifts important obstacles for out-of-memory
+//! computation: it needs neither the entire graph nor synchronization
+//! during computation". This crate exploits that:
+//!
+//! - [`scheduler::OomRunner`]: the partition-based runtime — contiguous
+//!   vertex-range partitions ([`csaw_graph::partition`]), per-partition
+//!   frontier queues, async partition transfers overlapped with sampling
+//!   kernels on streams, with the paper's three optimizations as
+//!   independent switches ([`config::OomConfig`]):
+//!   - **batched multi-instance sampling** (§V-C): one shared queue per
+//!     partition across all instances;
+//!   - **workload-aware partition scheduling** (§V-B): transfer the
+//!     partitions with the most active vertices first and drain a resident
+//!     partition until its queue is empty before releasing it;
+//!   - **thread-block based workload balancing** (§V-B): grant each
+//!     concurrent kernel thread blocks proportional to its workload.
+//! - [`multigpu::MultiGpu`]: the §V-D driver — instances split into equal
+//!   disjoint groups, one simulated device per group, no inter-GPU
+//!   communication.
+//! - [`unified::UnifiedRunner`]: the demand-paged unified-memory
+//!   comparator §VII argues against — used by ablation A4 to quantify
+//!   why partition scheduling wins on irregular sampling access.
+
+//! ## Example
+//!
+//! ```
+//! use csaw_oom::{OomConfig, OomRunner};
+//! use csaw_core::algorithms::UnbiasedNeighborSampling;
+//! use csaw_gpu::config::DeviceConfig;
+//!
+//! let g = csaw_graph::generators::toy_graph();
+//! let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 2 };
+//! let out = OomRunner::new(&g, &algo, OomConfig::full())
+//!     .with_device(DeviceConfig::tiny(1 << 10)) // tiny device: forces paging
+//!     .run(&[0, 8]);
+//! assert!(out.transfers > 0);
+//! assert!(out.sampled_edges() > 0);
+//! ```
+
+pub mod config;
+pub mod multigpu;
+pub mod scheduler;
+pub mod timeline;
+pub mod unified;
+
+pub use config::OomConfig;
+pub use multigpu::MultiGpu;
+pub use scheduler::{OomOutput, OomRunner};
+pub use unified::UnifiedRunner;

@@ -1,0 +1,276 @@
+//! Multi-GPU C-SAW (paper §V-D).
+//!
+//! "C-SAW simply divides all the sampling instances into several disjoint
+//! groups, each of which contains equal number of instances... each GPU
+//! will be responsible for one sampling group... no inter-GPU
+//! communication is required."
+//!
+//! Each group runs through the in-memory engine on its own simulated
+//! device; the run's time is the slowest device's time. Under-saturation
+//! is modeled by capping a device's parallel warp slots at its group's
+//! instance count — the mechanism behind Fig. 17's poor scaling at 2,000
+//! instances and good scaling at 8,000.
+
+use csaw_core::api::Algorithm;
+use csaw_core::engine::{RunOptions, Sampler};
+use csaw_graph::{Csr, VertexId};
+use csaw_gpu::config::DeviceConfig;
+use csaw_gpu::cost::gpu_kernel_seconds_with_slots;
+use csaw_gpu::stats::SimStats;
+
+/// Result of a multi-GPU run.
+#[derive(Debug, Clone)]
+pub struct MultiGpuOutput {
+    /// Per-GPU simulated kernel seconds.
+    pub gpu_seconds: Vec<f64>,
+    /// Per-GPU merged stats.
+    pub gpu_stats: Vec<SimStats>,
+    /// Total sampled edges across GPUs.
+    pub sampled_edges: u64,
+    /// Sampled edges per instance, concatenated in GPU-group order.
+    pub instances: Vec<Vec<(VertexId, VertexId)>>,
+}
+
+impl MultiGpuOutput {
+    /// End-to-end time: the straggler GPU (§V-D has no communication, so
+    /// completion is a pure max).
+    pub fn total_seconds(&self) -> f64 {
+        self.gpu_seconds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Aggregate SEPS.
+    pub fn seps(&self) -> f64 {
+        let t = self.total_seconds();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.sampled_edges as f64 / t
+        }
+    }
+}
+
+/// Driver for `num_gpus` identical simulated devices.
+#[derive(Debug, Clone)]
+pub struct MultiGpu {
+    /// Number of devices (Summit nodes have 6 V100s).
+    pub num_gpus: usize,
+    /// Per-device hardware model.
+    pub device: DeviceConfig,
+}
+
+impl MultiGpu {
+    /// A Summit-node-like 6-GPU setup.
+    pub fn summit_node() -> Self {
+        MultiGpu { num_gpus: 6, device: DeviceConfig::v100() }
+    }
+
+    /// `n` V100s.
+    pub fn new(num_gpus: usize) -> Self {
+        assert!(num_gpus >= 1);
+        MultiGpu { num_gpus, device: DeviceConfig::v100() }
+    }
+
+    /// Splits `seed_sets` into `num_gpus` equal contiguous groups and runs
+    /// each on its own device.
+    pub fn run<A: Algorithm>(
+        &self,
+        graph: &Csr,
+        algo: &A,
+        seed_sets: &[Vec<VertexId>],
+        opts: RunOptions,
+    ) -> MultiGpuOutput {
+        let per = seed_sets.len().div_ceil(self.num_gpus).max(1);
+        let mut gpu_seconds = Vec::with_capacity(self.num_gpus);
+        let mut gpu_stats = Vec::with_capacity(self.num_gpus);
+        let mut instances = Vec::with_capacity(seed_sets.len());
+        let mut sampled_edges = 0u64;
+
+        for chunk in seed_sets.chunks(per.max(1)) {
+            let out = Sampler::new(graph, algo).with_options(opts.clone()).run(chunk);
+            // Saturation model: a group smaller than the device's resident
+            // warp capacity leaves warp slots idle; the wavefront makespan
+            // additionally surfaces straggler instances.
+            let slots = self.device.total_warps().min(chunk.len().max(1));
+            let throughput = gpu_kernel_seconds_with_slots(&out.stats, &self.device, slots);
+            let makespan =
+                csaw_gpu::cost::makespan_seconds(&out.warp_cycles, &self.device, slots);
+            gpu_seconds.push(throughput.max(makespan));
+            sampled_edges += out.sampled_edges();
+            gpu_stats.push(out.stats);
+            instances.extend(out.instances);
+        }
+        // Devices with no work finish instantly.
+        while gpu_seconds.len() < self.num_gpus {
+            gpu_seconds.push(0.0);
+            gpu_stats.push(SimStats::new());
+        }
+        MultiGpuOutput { gpu_seconds, gpu_stats, sampled_edges, instances }
+    }
+
+    /// Convenience for single-seed instances.
+    pub fn run_single_seeds<A: Algorithm>(
+        &self,
+        graph: &Csr,
+        algo: &A,
+        seeds: &[VertexId],
+        opts: RunOptions,
+    ) -> MultiGpuOutput {
+        let sets: Vec<Vec<VertexId>> = seeds.iter().map(|&s| vec![s]).collect();
+        self.run(graph, algo, &sets, opts)
+    }
+
+    /// Multi-GPU **out-of-memory** sampling (§V-D applied to the Fig. 8
+    /// runtime): "each GPU will perform the same tasks as shown in
+    /// Fig. 8" over its own disjoint instance group, with its own
+    /// partition transfers — there is no inter-GPU communication, so
+    /// end-to-end time is the slowest device's.
+    pub fn run_oom<A: Algorithm>(
+        &self,
+        graph: &Csr,
+        algo: &A,
+        seeds: &[VertexId],
+        cfg: crate::OomConfig,
+    ) -> MultiGpuOomOutput {
+        let per = seeds.len().div_ceil(self.num_gpus).max(1);
+        let mut gpu_seconds = Vec::with_capacity(self.num_gpus);
+        let mut transfers = 0u64;
+        let mut instances = Vec::with_capacity(seeds.len());
+        for chunk in seeds.chunks(per) {
+            let out = crate::OomRunner::new(graph, algo, cfg)
+                .with_device(self.device)
+                .run(chunk);
+            gpu_seconds.push(out.sim_seconds);
+            transfers += out.transfers;
+            instances.extend(out.instances);
+        }
+        while gpu_seconds.len() < self.num_gpus {
+            gpu_seconds.push(0.0);
+        }
+        MultiGpuOomOutput { gpu_seconds, transfers, instances }
+    }
+}
+
+/// Result of a multi-GPU out-of-memory run.
+#[derive(Debug, Clone)]
+pub struct MultiGpuOomOutput {
+    /// Per-GPU simulated end-to-end seconds (kernels + transfers).
+    pub gpu_seconds: Vec<f64>,
+    /// Total partition transfers across devices (each device transfers
+    /// its own copies — the aggregate PCIe traffic of the node).
+    pub transfers: u64,
+    /// Sampled edges per instance, in GPU-group order.
+    pub instances: Vec<Vec<(VertexId, VertexId)>>,
+}
+
+impl MultiGpuOomOutput {
+    /// Straggler-device completion time.
+    pub fn total_seconds(&self) -> f64 {
+        self.gpu_seconds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total sampled edges.
+    pub fn sampled_edges(&self) -> u64 {
+        self.instances.iter().map(|i| i.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::algorithms::{BiasedNeighborSampling, BiasedRandomWalk};
+    use csaw_graph::generators::{rmat, RmatParams};
+
+    fn seeds(n: usize, modulo: u32) -> Vec<u32> {
+        (0..n as u32).map(|i| (i * 37) % modulo).collect()
+    }
+
+    #[test]
+    fn instance_union_is_preserved() {
+        let g = rmat(9, 4, RmatParams::GRAPH500, 1);
+        let algo = BiasedRandomWalk { length: 8 };
+        let s = seeds(60, 512);
+        let single = MultiGpu::new(1).run_single_seeds(&g, &algo, &s, RunOptions::default());
+        let six = MultiGpu::new(6).run_single_seeds(&g, &algo, &s, RunOptions::default());
+        assert_eq!(single.instances.len(), six.instances.len());
+        assert_eq!(single.sampled_edges, six.sampled_edges);
+        // Note: per-instance RNG streams are keyed by within-group index,
+        // so individual paths may differ between splits; totals must not.
+        // (60 instances undersaturate both setups, so no timing claim is
+        // made here — see `small_batches_scale_worse_than_large`.)
+        assert!(six.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn more_gpus_never_slower() {
+        let g = rmat(10, 6, RmatParams::GRAPH500, 2);
+        let algo = BiasedNeighborSampling { neighbor_size: 2, depth: 2 };
+        let s = seeds(512, 1024);
+        let mut prev = f64::INFINITY;
+        for n in 1..=6 {
+            let out = MultiGpu::new(n).run_single_seeds(&g, &algo, &s, RunOptions::default());
+            let t = out.total_seconds();
+            // Under-saturated groups have stragglers (the wavefront
+            // makespan surfaces the heaviest instance per group); allow
+            // the resulting noise, forbid real regressions.
+            assert!(t <= prev * 1.20, "{n} GPUs slower than {}: {t} vs {prev}", n - 1);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn small_batches_scale_worse_than_large() {
+        // Fig. 17: 2,000 instances fail to saturate 6 GPUs; 8,000 don't.
+        // Scaled down: with a device of 640 warp slots, 600 instances
+        // undersaturate 6 ways (100 each) while 6,000 saturate.
+        let g = rmat(9, 4, RmatParams::GRAPH500, 3);
+        let algo = BiasedRandomWalk { length: 4 };
+        let speedup = |n_inst: usize| {
+            let s = seeds(n_inst, 512);
+            let t1 = MultiGpu::new(1)
+                .run_single_seeds(&g, &algo, &s, RunOptions::default())
+                .total_seconds();
+            let t6 = MultiGpu::new(6)
+                .run_single_seeds(&g, &algo, &s, RunOptions::default())
+                .total_seconds();
+            t1 / t6
+        };
+        let small = speedup(600);
+        let large = speedup(6000);
+        assert!(large > small, "8k-analog should scale better: {large} vs {small}");
+        assert!(large > 3.0, "saturated scaling should approach linear: {large}");
+    }
+
+    #[test]
+    fn empty_run() {
+        let g = rmat(6, 2, RmatParams::MILD, 4);
+        let algo = BiasedRandomWalk { length: 4 };
+        let out = MultiGpu::new(3).run_single_seeds(&g, &algo, &[], RunOptions::default());
+        assert_eq!(out.sampled_edges, 0);
+        assert_eq!(out.gpu_seconds.len(), 3);
+        assert_eq!(out.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn multi_gpu_oom_preserves_sample_union_and_scales() {
+        use crate::OomConfig;
+        let g = rmat(10, 6, RmatParams::GRAPH500, 6);
+        let algo = csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let s = seeds(96, 1024);
+        let one = MultiGpu::new(1).run_oom(&g, &algo, &s, OomConfig::full());
+        let four = MultiGpu::new(4).run_oom(&g, &algo, &s, OomConfig::full());
+        assert_eq!(one.instances.len(), four.instances.len());
+        // Per-group RNG keying differs, but completion must not regress
+        // badly and transfers grow (each device ships its own copies).
+        assert!(four.total_seconds() <= one.total_seconds() * 1.05);
+        assert!(four.transfers >= one.transfers);
+        assert!(four.sampled_edges() > 0);
+    }
+
+    #[test]
+    fn gpu_count_respected() {
+        let g = rmat(6, 2, RmatParams::MILD, 5);
+        let algo = BiasedRandomWalk { length: 2 };
+        let out = MultiGpu::new(4).run_single_seeds(&g, &algo, &seeds(10, 64), RunOptions::default());
+        assert_eq!(out.gpu_seconds.len(), 4);
+    }
+}

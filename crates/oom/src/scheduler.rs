@@ -1,0 +1,701 @@
+//! The out-of-memory scheduler (paper §V-A..C, Fig. 8).
+//!
+//! The graph is split into contiguous vertex-range partitions; each
+//! partition owns a frontier queue (`VertexID`/`InstanceID`/`CurrDepth`).
+//! Per scheduling round, the runtime:
+//!
+//! 1. counts active frontier vertices per partition (workload);
+//! 2. picks up to `num_kernels` partitions (most-loaded first under
+//!    workload-aware scheduling), transfers the non-resident ones with
+//!    `cudaMemcpyAsync`-style copies overlapped on streams;
+//! 3. launches one kernel per chosen partition, with thread blocks
+//!    allotted evenly or proportionally to workload (balancing);
+//! 4. each kernel drains its partition's queue — under workload-aware
+//!    scheduling a partition keeps draining (including entries it inserts
+//!    into *itself*) until empty, and only then is released.
+//!
+//! Correctness under out-of-order scheduling (§V-B): each queue entry
+//! carries its instance's depth, so an instance never samples beyond the
+//! configured depth, and the RNG stream of every expansion is keyed by
+//! `(instance, depth, vertex)` — unique for the supported first-order
+//! algorithms — making the sampled output *bit-identical* across all
+//! scheduling policies. The tests assert exactly that.
+
+use crate::config::OomConfig;
+use csaw_core::api::{Algorithm, EdgeCand, FrontierMode, UpdateAction};
+use csaw_core::frontier::{FrontierEntry, FrontierQueue};
+use csaw_core::select::{select_one, select_without_replacement, SelectConfig};
+use csaw_graph::{Csr, Partition, PartitionSet, VertexId};
+use csaw_gpu::config::DeviceConfig;
+use csaw_gpu::cost::gpu_kernel_seconds_with_slots;
+use csaw_gpu::memory::DeviceMemory;
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::transfer::TransferEngine;
+use csaw_gpu::Philox;
+use crate::timeline::{EventKind, TimelineEvent};
+use std::collections::HashSet;
+
+/// Fixed cost of launching one kernel (driver + scheduling), seconds.
+/// Batched sampling amortizes this over many queue entries; unbatched
+/// sampling pays it per instance per round, which is one of the two
+/// mechanisms behind the §V-C speedup.
+pub const KERNEL_LAUNCH_OVERHEAD: f64 = 5e-6;
+
+/// Result of an out-of-memory run.
+#[derive(Debug, Clone)]
+pub struct OomOutput {
+    /// Sampled edges per instance.
+    pub instances: Vec<Vec<(VertexId, VertexId)>>,
+    /// Merged counted work.
+    pub stats: SimStats,
+    /// Host→device partition transfers issued.
+    pub transfers: u64,
+    /// Bytes shipped host→device.
+    pub bytes_transferred: u64,
+    /// Simulated end-to-end seconds (kernels + transfers overlapped on the
+    /// stream timeline — the paper's out-of-memory SEPS includes transfer
+    /// time).
+    pub sim_seconds: f64,
+    /// Total busy seconds per kernel slot (Fig. 14 imbalance input).
+    pub kernel_busy: Vec<f64>,
+    /// Per-round kernel times for the slots active that round.
+    pub round_kernel_times: Vec<Vec<f64>>,
+    /// Scheduling rounds executed.
+    pub rounds: usize,
+    /// Full event timeline (copies and kernels per stream); render with
+    /// [`crate::timeline::render`].
+    pub events: Vec<TimelineEvent>,
+}
+
+impl OomOutput {
+    /// Total sampled edges.
+    pub fn sampled_edges(&self) -> u64 {
+        self.instances.iter().map(|i| i.len() as u64).sum()
+    }
+
+    /// Mean per-round standard deviation of concurrent kernel times —
+    /// the Fig. 14 workload-imbalance metric (lower is better).
+    pub fn kernel_time_stddev(&self) -> f64 {
+        let rounds: Vec<&Vec<f64>> =
+            self.round_kernel_times.iter().filter(|r| r.len() >= 2).collect();
+        if rounds.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = rounds
+            .iter()
+            .map(|ts| {
+                let mean = ts.iter().sum::<f64>() / ts.len() as f64;
+                (ts.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / ts.len() as f64).sqrt()
+            })
+            .sum();
+        total / rounds.len() as f64
+    }
+
+    /// Sampled edges per second of simulated time.
+    pub fn seps(&self) -> f64 {
+        if self.sim_seconds <= 0.0 {
+            0.0
+        } else {
+            self.sampled_edges() as f64 / self.sim_seconds
+        }
+    }
+}
+
+/// Out-of-memory sampler binding a graph + algorithm + configuration.
+pub struct OomRunner<'g, A: Algorithm> {
+    graph: &'g Csr,
+    algo: &'g A,
+    cfg: OomConfig,
+    device: DeviceConfig,
+    select: SelectConfig,
+    seed: u64,
+}
+
+impl<'g, A: Algorithm> OomRunner<'g, A> {
+    /// A runner with the paper's experiment frame on a device whose memory
+    /// holds `cfg.resident_partitions` of the graph's partitions.
+    pub fn new(graph: &'g Csr, algo: &'g A, cfg: OomConfig) -> Self {
+        cfg.validate().expect("invalid OOM config");
+        assert_eq!(
+            algo.config().frontier,
+            FrontierMode::IndependentPerVertex,
+            "the out-of-memory runtime supports per-vertex frontier algorithms \
+             (the paper's OOM evaluation set); layer/MDRW need the in-memory engine"
+        );
+        OomRunner {
+            graph,
+            algo,
+            cfg,
+            device: DeviceConfig::v100(),
+            select: SelectConfig::paper_best(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Overrides the device model.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the SELECT configuration.
+    pub fn with_select(mut self, select: SelectConfig) -> Self {
+        self.select = select;
+        self
+    }
+
+    /// Runs one single-seed instance per entry of `seeds`.
+    pub fn run(&self, seeds: &[VertexId]) -> OomOutput {
+        let parts = if self.cfg.edge_balanced_partitions {
+            PartitionSet::edge_balanced(self.graph, self.cfg.num_partitions)
+        } else {
+            PartitionSet::equal_ranges(self.graph, self.cfg.num_partitions)
+        };
+        self.run_group(&parts, seeds, 0, &mut 0.0)
+    }
+
+    /// Runs a group of instances through the scheduling loop starting at
+    /// simulated time `*clock` (advanced on return).
+    fn run_group(
+        &self,
+        parts: &PartitionSet,
+        seeds: &[VertexId],
+        instance_base: u32,
+        clock: &mut f64,
+    ) -> OomOutput {
+        let algo_cfg = self.algo.config();
+        let k = parts.len();
+        let max_part_bytes = parts.parts().iter().map(Partition::size_bytes).max().unwrap_or(1);
+        let mut memory = DeviceMemory::new(max_part_bytes * self.cfg.resident_partitions);
+        let mut engine = TransferEngine::new(self.cfg.num_kernels, self.device.pcie_gbps);
+        let mut queues: Vec<FrontierQueue> = (0..k).map(|_| FrontierQueue::new()).collect();
+        let mut visited: Vec<HashSet<VertexId>> = vec![HashSet::new(); seeds.len()];
+        let mut outputs: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seeds.len()];
+        let mut stats = SimStats::new();
+
+        for (i, &s) in seeds.iter().enumerate() {
+            queues[parts.partition_of(s)].push(FrontierEntry::new(
+                s,
+                instance_base + i as u32,
+                0,
+            ));
+            if algo_cfg.without_replacement {
+                visited[i].insert(s);
+            }
+        }
+
+        let mut now = *clock;
+        let mut kernel_busy = vec![0.0f64; self.cfg.num_kernels];
+        let mut round_kernel_times: Vec<Vec<f64>> = Vec::new();
+        let mut events: Vec<TimelineEvent> = Vec::new();
+        let mut rounds = 0usize;
+        let total_warps = self.device.total_warps();
+
+        while queues.iter().any(|q| !q.is_empty()) {
+            rounds += 1;
+
+            // 1. Workload per partition (paper Fig. 8 step 1).
+            let mut active: Vec<(usize, usize)> = (0..k)
+                .filter(|&p| !queues[p].is_empty())
+                .map(|p| (p, queues[p].len()))
+                .collect();
+            if self.cfg.workload_aware {
+                // Most-loaded first.
+                active.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            } // else: partition-id order (the "active partition" baseline)
+            let chosen: Vec<(usize, usize)> =
+                active.into_iter().take(self.cfg.num_kernels).collect();
+            let total_active: usize = chosen.iter().map(|c| c.1).sum();
+
+            // 2. Residency: evict resident partitions not chosen this
+            // round, least-loaded first, until the chosen set fits.
+            let chosen_ids: Vec<usize> = chosen.iter().map(|c| c.0).collect();
+            let need_bytes: usize = chosen_ids
+                .iter()
+                .filter(|&&p| !memory.is_resident(p))
+                .map(|&p| parts.get(p).size_bytes())
+                .sum();
+            if need_bytes > 0 {
+                let mut evictable: Vec<usize> = (0..k)
+                    .filter(|p| memory.is_resident(*p) && !chosen_ids.contains(p))
+                    .collect();
+                evictable.sort_by_key(|&p| queues[p].len());
+                for p in evictable {
+                    if memory.can_fit(need_bytes) {
+                        break;
+                    }
+                    memory.release(p).expect("resident partition releases");
+                }
+            }
+
+            // 3. Transfer + kernel per chosen partition, one stream each.
+            let mut round_times = Vec::with_capacity(chosen.len());
+            for (stream, &(p, load)) in chosen.iter().enumerate() {
+                let mut t = now;
+                if !memory.is_resident(p) {
+                    let bytes = parts.get(p).size_bytes();
+                    memory
+                        .alloc(p, bytes)
+                        .expect("eviction must have made room for the chosen partition");
+                    t = engine.copy_h2d(stream, bytes, now).expect("valid stream");
+                    events.push(TimelineEvent {
+                        kind: EventKind::Copy,
+                        stream,
+                        partition: p,
+                        start: t - engine.copy_seconds(bytes),
+                        end: t,
+                    });
+                }
+
+                // Thread-block allotment (§V-B): even split vs proportional.
+                let slots = if self.cfg.balanced && total_active > 0 {
+                    ((total_warps * load) / total_active).max(self.device.warps_per_block)
+                } else {
+                    (total_warps / chosen.len().max(1)).max(1)
+                };
+
+                // 4. Drain the queue; under WS keep draining entries the
+                // kernel feeds back into its own partition.
+                //
+                // Work distribution (§V-C): with batched multi-instance
+                // sampling the kernel distributes work *vertex-grained* —
+                // any warp takes any queue entry — so its time is the
+                // throughput of the whole batch. Without it, distribution
+                // is *instance-grained*: one warp serially processes all
+                // of an instance's entries, so the kernel also waits for
+                // the straggler instance ("some instances may encounter
+                // higher degree vertices more often... skewed workload
+                // distributions").
+                let mut kstats = SimStats::new();
+                let mut straggler_cycles: u64 = 0;
+                let mut per_instance: std::collections::HashMap<u32, u64> =
+                    std::collections::HashMap::new();
+                loop {
+                    let batch = queues[p].drain_all();
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for entry in batch {
+                        let instance = entry.instance;
+                        let before = kstats.warp_cycles;
+                        self.expand_entry(
+                            parts,
+                            entry,
+                            instance_base,
+                            &algo_cfg,
+                            &mut queues,
+                            &mut visited,
+                            &mut outputs,
+                            &mut kstats,
+                        );
+                        if !self.cfg.batched {
+                            let c = per_instance.entry(instance).or_insert(0);
+                            *c += kstats.warp_cycles - before;
+                            straggler_cycles = straggler_cycles.max(*c);
+                        }
+                    }
+                    if !self.cfg.workload_aware {
+                        break; // baseline: one pass per round
+                    }
+                }
+
+                let throughput =
+                    gpu_kernel_seconds_with_slots(&kstats, &self.device, slots);
+                let straggler = if self.cfg.batched {
+                    0.0
+                } else {
+                    // One warp at its SM's shared issue rate.
+                    straggler_cycles as f64
+                        / (self.device.clock_ghz * 1e9 / self.device.warps_per_sm as f64)
+                };
+                let ksecs = throughput.max(straggler) + KERNEL_LAUNCH_OVERHEAD;
+                let kend = engine.run_kernel(stream, ksecs, t).expect("valid stream");
+                events.push(TimelineEvent {
+                    kind: EventKind::Kernel,
+                    stream,
+                    partition: p,
+                    start: kend - ksecs,
+                    end: kend,
+                });
+                kernel_busy[stream] += ksecs;
+                round_times.push(ksecs);
+                stats.merge(&kstats);
+
+                // WS releases a drained partition only now that its queue
+                // is empty; the baseline holds residency until evicted.
+            }
+            round_kernel_times.push(round_times);
+
+            // Round barrier: re-count queue sizes to decide next transfers
+            // (Fig. 8 step 3).
+            now = engine.sync_all();
+        }
+
+        *clock = now;
+        stats.sampled_edges = outputs.iter().map(|o| o.len() as u64).sum();
+        OomOutput {
+            instances: outputs,
+            stats,
+            transfers: engine.transfers,
+            bytes_transferred: engine.bytes_transferred,
+            sim_seconds: now,
+            kernel_busy,
+            round_kernel_times,
+            rounds,
+            events,
+        }
+    }
+
+    /// Expands one queue entry: SELECT NeighborSize neighbors of
+    /// `entry.vertex` from the resident partition, record the sampled
+    /// edges, and push next-depth entries into the owning partitions'
+    /// queues ("a partition can insert new vertices to its frontier queue,
+    /// as well as the frontier queues of other partitions").
+    #[allow(clippy::too_many_arguments)]
+    fn expand_entry(
+        &self,
+        parts: &PartitionSet,
+        entry: FrontierEntry,
+        instance_base: u32,
+        algo_cfg: &csaw_core::api::AlgoConfig,
+        queues: &mut [FrontierQueue],
+        visited: &mut [HashSet<VertexId>],
+        outputs: &mut [Vec<(VertexId, VertexId)>],
+        stats: &mut SimStats,
+    ) {
+        let g = self.graph;
+        let v = entry.vertex;
+        let local = (entry.instance - instance_base) as usize;
+        let part = parts.get(parts.partition_of(v));
+        let neighbors = part.neighbors(v);
+        stats.read_gmem(16 + neighbors.len() * (4 + if g.is_weighted() { 4 } else { 0 }));
+
+        // Schedule-independent stream: (instance, depth, vertex) is unique
+        // for the supported algorithms (a without-replacement vertex is
+        // expanded once; a walk has one entry per depth).
+        let task = mix3(entry.instance as u64, entry.depth as u64, v as u64);
+        let mut rng = Philox::for_task(self.seed, task);
+
+        if neighbors.is_empty() {
+            match self.algo.on_dead_end(g, v, v, &mut rng) {
+                UpdateAction::Add(w) => self.enqueue(
+                    parts, queues, visited, algo_cfg, instance_base, entry.instance, entry.depth, w, v, stats,
+                ),
+                UpdateAction::Discard => {}
+            }
+            return;
+        }
+
+        let k = algo_cfg.neighbor_size.realize(neighbors.len(), &mut rng);
+        if k == 0 {
+            return;
+        }
+        let cands: Vec<EdgeCand> = neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| EdgeCand {
+                v,
+                u,
+                weight: part.neighbor_weights(v).map_or(1.0, |w| w[i]),
+                prev: entry.prev,
+            })
+            .collect();
+        let biases: Vec<f64> = cands.iter().map(|c| self.algo.edge_bias(g, c)).collect();
+        stats.warp_cycles += biases.len().div_ceil(32) as u64;
+
+        let picks: Vec<usize> = if algo_cfg.without_replacement {
+            select_without_replacement(&biases, k, self.select, &mut rng, stats)
+        } else {
+            (0..k).filter_map(|_| select_one(&biases, &mut rng, stats)).collect()
+        };
+
+        for idx in picks {
+            let mut cand = cands[idx];
+            if let Some(w) = self.algo.accept(g, &cand, &mut rng) {
+                if w == v {
+                    self.enqueue(
+                        parts, queues, visited, algo_cfg, instance_base, entry.instance, entry.depth, v, v, stats,
+                    );
+                    continue;
+                }
+                cand.u = w;
+            }
+            outputs[local].push((cand.v, cand.u));
+            match self.algo.update(g, &cand, v, &mut rng) {
+                UpdateAction::Add(w) => self.enqueue(
+                    parts, queues, visited, algo_cfg, instance_base, entry.instance, entry.depth, w, v, stats,
+                ),
+                UpdateAction::Discard => {}
+            }
+        }
+    }
+
+    /// Enqueues a next-depth frontier entry if the instance still has
+    /// depth budget and the vertex passes the without-replacement filter.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue(
+        &self,
+        parts: &PartitionSet,
+        queues: &mut [FrontierQueue],
+        visited: &mut [HashSet<VertexId>],
+        algo_cfg: &csaw_core::api::AlgoConfig,
+        instance_base: u32,
+        instance: u32,
+        depth: u32,
+        vertex: VertexId,
+        prev: VertexId,
+        stats: &mut SimStats,
+    ) {
+        if depth as usize + 1 >= algo_cfg.depth {
+            return; // depth budget exhausted (§V-B correctness guard)
+        }
+        let local = (instance - instance_base) as usize;
+        if algo_cfg.without_replacement {
+            csaw_core::collision::charge_visited_check(
+                self.select.detector,
+                visited[local].len(),
+                stats,
+            );
+            if !visited[local].insert(vertex) {
+                return;
+            }
+        }
+        stats.frontier_ops += 1;
+        queues[parts.partition_of(vertex)].push(FrontierEntry {
+            vertex,
+            instance,
+            depth: depth + 1,
+            prev: Some(prev),
+        });
+    }
+}
+
+/// SplitMix64-style 3-value mixer for RNG task keys.
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::algorithms::{BiasedRandomWalk, UnbiasedNeighborSampling};
+    use csaw_graph::generators::{rmat, toy_graph, RmatParams};
+
+    fn tiny_device() -> DeviceConfig {
+        DeviceConfig::tiny(1 << 20)
+    }
+
+    #[test]
+    fn samples_valid_edges_within_depth() {
+        let g = toy_graph();
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 2 };
+        let out = OomRunner::new(&g, &algo, OomConfig::full())
+            .with_device(tiny_device())
+            .run(&[0, 8, 12]);
+        assert_eq!(out.instances.len(), 3);
+        for inst in &out.instances {
+            assert!(inst.len() <= 6, "depth 2, NS 2");
+            for &(v, u) in inst {
+                assert!(g.has_edge(v, u));
+            }
+        }
+        assert!(out.transfers > 0);
+        assert!(out.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn output_identical_across_all_scheduling_policies() {
+        // §V-B Correctness: out-of-order scheduling must not change the
+        // sampling result. RNG keying by (instance, depth, vertex) makes
+        // the guarantee bit-exact here.
+        let g = rmat(8, 4, RmatParams::GRAPH500, 5);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let seeds: Vec<u32> = (0..32).map(|i| (i * 7) % 256).collect();
+        let mut results = Vec::new();
+        for (_, cfg) in OomConfig::figure13_ladder() {
+            let out =
+                OomRunner::new(&g, &algo, cfg).with_device(tiny_device()).run(&seeds);
+            let mut edges: Vec<Vec<(u32, u32)>> =
+                out.instances.iter().map(|i| {
+                    let mut e = i.clone();
+                    e.sort_unstable();
+                    e
+                }).collect();
+            edges.sort();
+            results.push(edges);
+        }
+        assert_eq!(results[0], results[1], "BA changed the sample");
+        assert_eq!(results[0], results[2], "WS changed the sample");
+        assert_eq!(results[0], results[3], "BAL changed the sample");
+    }
+
+    #[test]
+    fn batching_reduces_time_not_correctness() {
+        let g = rmat(9, 4, RmatParams::GRAPH500, 6);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let seeds: Vec<u32> = (0..48).map(|i| (i * 11) % 512).collect();
+        let base = OomRunner::new(&g, &algo, OomConfig::baseline())
+            .with_device(tiny_device())
+            .run(&seeds);
+        let ba =
+            OomRunner::new(&g, &algo, OomConfig::ba()).with_device(tiny_device()).run(&seeds);
+        // Batching merges per-instance kernels: many launch overheads and
+        // idle warp slots disappear, the transfer schedule is unchanged.
+        assert!(
+            ba.sim_seconds * 3.0 / 2.0 < base.sim_seconds,
+            "batching should pay off clearly: {} vs {}",
+            ba.sim_seconds,
+            base.sim_seconds
+        );
+        assert_eq!(ba.sampled_edges(), base.sampled_edges(), "same sample either way");
+    }
+
+    #[test]
+    fn workload_aware_scheduling_reduces_transfers() {
+        let g = rmat(9, 4, RmatParams::GRAPH500, 7);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 4 };
+        let seeds: Vec<u32> = (0..64).map(|i| (i * 5) % 512).collect();
+        let ba =
+            OomRunner::new(&g, &algo, OomConfig::ba()).with_device(tiny_device()).run(&seeds);
+        let ws = OomRunner::new(&g, &algo, OomConfig::ba_ws())
+            .with_device(tiny_device())
+            .run(&seeds);
+        assert!(
+            ws.transfers <= ba.transfers,
+            "workload-aware must not transfer more: {} vs {}",
+            ws.transfers,
+            ba.transfers
+        );
+    }
+
+    #[test]
+    fn balancing_reduces_kernel_time_imbalance() {
+        let g = rmat(9, 8, RmatParams::GRAPH500, 8);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 4, depth: 4 };
+        let seeds: Vec<u32> = (0..64).map(|i| (i * 3) % 512).collect();
+        let ws = OomRunner::new(&g, &algo, OomConfig::ba_ws())
+            .with_device(tiny_device())
+            .run(&seeds);
+        let bal = OomRunner::new(&g, &algo, OomConfig::full())
+            .with_device(tiny_device())
+            .run(&seeds);
+        // BAL must not meaningfully worsen imbalance (small noise allowed:
+        // slot quantization can shift individual rounds either way).
+        assert!(
+            bal.kernel_time_stddev() <= ws.kernel_time_stddev() * 1.05,
+            "balancing should not worsen imbalance: {} vs {}",
+            bal.kernel_time_stddev(),
+            ws.kernel_time_stddev()
+        );
+    }
+
+    #[test]
+    fn walks_respect_length_through_partitions() {
+        let g = toy_graph();
+        let algo = BiasedRandomWalk { length: 10 };
+        let out = OomRunner::new(&g, &algo, OomConfig::full())
+            .with_device(tiny_device())
+            .run(&[8, 0]);
+        for inst in &out.instances {
+            assert_eq!(inst.len(), 10, "toy graph has no dead ends");
+            for w in inst.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "walk continuity across partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_seeds() {
+        let g = toy_graph();
+        let algo = BiasedRandomWalk { length: 5 };
+        let out = OomRunner::new(&g, &algo, OomConfig::full()).run(&[]);
+        assert_eq!(out.sampled_edges(), 0);
+        assert_eq!(out.transfers, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-vertex frontier")]
+    fn rejects_layer_mode() {
+        let g = toy_graph();
+        let algo = csaw_core::algorithms::LayerSampling { layer_size: 2, depth: 2 };
+        let _ = OomRunner::new(&g, &algo, OomConfig::full());
+    }
+
+    #[test]
+    fn second_order_walks_work_out_of_memory() {
+        // node2vec needs SOURCE(e.v); the extended frontier entries carry
+        // it across partitions. Validate the second-order bias: low p
+        // makes the walker return to its previous vertex most steps.
+        use csaw_core::algorithms::Node2Vec;
+        let g = rmat(8, 6, RmatParams::GRAPH500, 31);
+        let returned = |p: f64| {
+            let algo = Node2Vec { length: 12, p, q: 1.0 };
+            let out = OomRunner::new(&g, &algo, OomConfig::full())
+                .with_device(tiny_device())
+                .run(&(0..64u32).map(|i| i * 3 % 256).collect::<Vec<_>>());
+            let mut backtracks = 0usize;
+            let mut steps = 0usize;
+            for inst in &out.instances {
+                for w in inst.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "walk continuity");
+                    steps += 1;
+                    if w[1].1 == w[0].0 {
+                        backtracks += 1;
+                    }
+                }
+            }
+            backtracks as f64 / steps.max(1) as f64
+        };
+        let sticky = returned(0.02); // tiny p -> strong return bias
+        let free = returned(50.0); // huge p -> avoid returning
+        assert!(
+            sticky > free + 0.3,
+            "second-order bias must act through the queue: {sticky} vs {free}"
+        );
+    }
+
+    #[test]
+    fn timeline_is_stream_consistent() {
+        let g = rmat(9, 6, RmatParams::GRAPH500, 44);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let seeds: Vec<u32> = (0..48).collect();
+        let out = OomRunner::new(&g, &algo, OomConfig::full())
+            .with_device(tiny_device())
+            .run(&seeds);
+        crate::timeline::validate(&out.events).expect("valid timeline");
+        assert!(out.events.iter().any(|e| e.kind == crate::timeline::EventKind::Copy));
+        assert!(out.events.iter().any(|e| e.kind == crate::timeline::EventKind::Kernel));
+        // Every kernel over a partition starts at/after that partition's
+        // last preceding copy on the same stream ended.
+        let last_end = out.events.iter().map(|e| e.end).fold(0.0, f64::max);
+        assert!((last_end - out.sim_seconds).abs() < 1e-12);
+        let rendered = crate::timeline::render(&out.events, 60);
+        assert!(rendered.contains("stream 0"));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = rmat(8, 4, RmatParams::MILD, 9);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let seeds: Vec<u32> = (0..16).collect();
+        let a = OomRunner::new(&g, &algo, OomConfig::full()).run(&seeds);
+        let b = OomRunner::new(&g, &algo, OomConfig::full()).run(&seeds);
+        assert_eq!(a.instances, b.instances);
+        assert_eq!(a.transfers, b.transfers);
+    }
+}

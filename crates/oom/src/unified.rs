@@ -1,0 +1,329 @@
+//! Unified-memory comparator (ablation A4).
+//!
+//! §VII: "GPU unified memory and partition-centric are viable methods
+//! for out-of-memory graph processing. Since graph sampling is irregular,
+//! unified memory is not a suitable option." This module quantifies that
+//! claim: the same sampling workload runs against a demand-paged device —
+//! no partition management, every neighbor gather that misses the
+//! resident page set takes a page fault (driver stall + PCIe migration),
+//! with LRU eviction under the same memory budget the partition runtime
+//! gets.
+
+use csaw_core::api::{Algorithm, EdgeCand, FrontierMode, UpdateAction};
+use csaw_core::select::{select_one, select_without_replacement, SelectConfig};
+use csaw_graph::{Csr, VertexId};
+use csaw_gpu::config::DeviceConfig;
+use csaw_gpu::cost::gpu_kernel_seconds;
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::Philox;
+use std::collections::{HashSet, VecDeque};
+
+/// Driver-side latency of servicing one GPU page fault (fault interrupt,
+/// host handler, map update) — on top of the PCIe migration itself.
+pub const PAGE_FAULT_LATENCY: f64 = 2e-5;
+
+/// Unified-memory page size (CUDA migrates in 64 KiB granules).
+pub const PAGE_BYTES: usize = 64 * 1024;
+
+/// Result of a unified-memory run.
+#[derive(Debug, Clone)]
+pub struct UnifiedOutput {
+    /// Sampled edges per instance.
+    pub instances: Vec<Vec<(VertexId, VertexId)>>,
+    /// Counted kernel work (excludes paging).
+    pub stats: SimStats,
+    /// Page faults taken.
+    pub page_faults: u64,
+    /// Bytes migrated host → device.
+    pub bytes_migrated: u64,
+    /// End-to-end simulated seconds: kernel time + serialized fault
+    /// servicing (faults from dependent gathers cannot overlap).
+    pub sim_seconds: f64,
+}
+
+impl UnifiedOutput {
+    /// Total sampled edges.
+    pub fn sampled_edges(&self) -> u64 {
+        self.instances.iter().map(|i| i.len() as u64).sum()
+    }
+}
+
+/// Demand-paged cache over the CSR's column array with FIFO eviction
+/// (a fair stand-in for the driver's coarse LRU at this granularity).
+struct PageCache {
+    capacity_pages: usize,
+    resident: HashSet<usize>,
+    fifo: VecDeque<usize>,
+    faults: u64,
+}
+
+impl PageCache {
+    fn new(capacity_bytes: usize) -> Self {
+        PageCache {
+            capacity_pages: (capacity_bytes / PAGE_BYTES).max(1),
+            resident: HashSet::new(),
+            fifo: VecDeque::new(),
+            faults: 0,
+        }
+    }
+
+    /// Touches the byte range, returning how many pages faulted.
+    fn touch(&mut self, start_byte: usize, len: usize) -> u64 {
+        let first = start_byte / PAGE_BYTES;
+        let last = (start_byte + len.max(1) - 1) / PAGE_BYTES;
+        let mut faults = 0;
+        for page in first..=last {
+            if self.resident.insert(page) {
+                faults += 1;
+                self.fifo.push_back(page);
+                while self.resident.len() > self.capacity_pages {
+                    if let Some(victim) = self.fifo.pop_front() {
+                        self.resident.remove(&victim);
+                    }
+                }
+            }
+        }
+        self.faults += faults;
+        faults
+    }
+}
+
+/// Unified-memory sampler: same algorithms, demand paging instead of
+/// partition scheduling. Supports the per-vertex frontier algorithms
+/// (the Fig. 13 workload set).
+pub struct UnifiedRunner<'g, A: Algorithm> {
+    graph: &'g Csr,
+    algo: &'g A,
+    device: DeviceConfig,
+    select: SelectConfig,
+    seed: u64,
+}
+
+impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
+    /// A runner over a demand-paged device.
+    pub fn new(graph: &'g Csr, algo: &'g A, device: DeviceConfig) -> Self {
+        assert_eq!(
+            algo.config().frontier,
+            FrontierMode::IndependentPerVertex,
+            "unified-memory comparator covers the per-vertex frontier algorithms"
+        );
+        UnifiedRunner { graph, algo, device, select: SelectConfig::paper_best(), seed: 0x5eed }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs one single-seed instance per seed, demand-paging the CSR.
+    pub fn run(&self, seeds: &[VertexId]) -> UnifiedOutput {
+        let g = self.graph;
+        let algo_cfg = self.algo.config();
+        let mut stats = SimStats::new();
+        let mut cache = PageCache::new(self.device.memory_bytes);
+        let mut bytes_migrated = 0u64;
+        let mut outputs: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seeds.len()];
+
+        // BSP over depth, interleaving instances — the fault pattern of
+        // thousands of concurrent walkers hitting scattered pages.
+        let mut frontiers: Vec<Vec<VertexId>> = seeds.iter().map(|&s| vec![s]).collect();
+        let mut visited: Vec<HashSet<VertexId>> = seeds
+            .iter()
+            .map(|&s| {
+                if algo_cfg.without_replacement {
+                    HashSet::from([s])
+                } else {
+                    HashSet::new()
+                }
+            })
+            .collect();
+
+        for depth in 0..algo_cfg.depth {
+            let mut any = false;
+            for inst in 0..seeds.len() {
+                let frontier = std::mem::take(&mut frontiers[inst]);
+                for v in frontier {
+                    any = true;
+                    let nbrs = g.neighbors(v);
+                    let start_byte = g.row_ptr()[v as usize] * 4;
+                    let faulted = cache.touch(start_byte, nbrs.len() * 4);
+                    bytes_migrated += faulted * PAGE_BYTES as u64;
+                    stats.read_gmem(16 + 4 * nbrs.len());
+
+                    let mut rng = Philox::for_task(
+                        self.seed,
+                        mix3(inst as u64, depth as u64, v as u64),
+                    );
+                    if nbrs.is_empty() {
+                        if let UpdateAction::Add(w) =
+                            self.algo.on_dead_end(g, v, seeds[inst], &mut rng)
+                        {
+                            push(&algo_cfg, &mut visited[inst], &mut frontiers[inst], w);
+                        }
+                        continue;
+                    }
+                    let k = algo_cfg.neighbor_size.realize(nbrs.len(), &mut rng);
+                    if k == 0 {
+                        continue;
+                    }
+                    let cands: Vec<EdgeCand> = nbrs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &u)| EdgeCand { v, u, weight: g.edge_weight(v, i), prev: None })
+                        .collect();
+                    let biases: Vec<f64> =
+                        cands.iter().map(|c| self.algo.edge_bias(g, c)).collect();
+                    let picks: Vec<usize> = if algo_cfg.without_replacement {
+                        select_without_replacement(&biases, k, self.select, &mut rng, &mut stats)
+                    } else {
+                        (0..k).filter_map(|_| select_one(&biases, &mut rng, &mut stats)).collect()
+                    };
+                    for idx in picks {
+                        let mut cand = cands[idx];
+                        if let Some(w) = self.algo.accept(g, &cand, &mut rng) {
+                            if w == v {
+                                push(&algo_cfg, &mut visited[inst], &mut frontiers[inst], v);
+                                continue;
+                            }
+                            cand.u = w;
+                        }
+                        outputs[inst].push((cand.v, cand.u));
+                        if let UpdateAction::Add(w) =
+                            self.algo.update(g, &cand, seeds[inst], &mut rng)
+                        {
+                            push(&algo_cfg, &mut visited[inst], &mut frontiers[inst], w);
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        let kernel = gpu_kernel_seconds(&stats, &self.device);
+        let paging = cache.faults as f64
+            * (PAGE_FAULT_LATENCY + PAGE_BYTES as f64 / (self.device.pcie_gbps * 1e9));
+        stats.sampled_edges = outputs.iter().map(|o| o.len() as u64).sum();
+        UnifiedOutput {
+            instances: outputs,
+            stats,
+            page_faults: cache.faults,
+            bytes_migrated,
+            sim_seconds: kernel + paging,
+        }
+    }
+}
+
+fn push(
+    cfg: &csaw_core::api::AlgoConfig,
+    visited: &mut HashSet<VertexId>,
+    frontier: &mut Vec<VertexId>,
+    v: VertexId,
+) {
+    if cfg.without_replacement && !visited.insert(v) {
+        return;
+    }
+    frontier.push(v);
+}
+
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OomConfig, OomRunner};
+    use csaw_core::algorithms::UnbiasedNeighborSampling;
+    use csaw_graph::generators::{rmat, toy_graph, RmatParams};
+
+    fn tiny() -> DeviceConfig {
+        DeviceConfig::tiny(4 * PAGE_BYTES)
+    }
+
+    #[test]
+    fn samples_valid_edges() {
+        let g = rmat(9, 4, RmatParams::GRAPH500, 1);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let out = UnifiedRunner::new(&g, &algo, tiny()).run(&[0, 17, 200]);
+        assert_eq!(out.instances.len(), 3);
+        for inst in &out.instances {
+            for &(v, u) in inst {
+                assert!(g.has_edge(v, u));
+            }
+        }
+        assert!(out.page_faults > 0, "tiny device must fault");
+        assert!(out.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn oversubscription_faults_more() {
+        // CSR col array ~0.5 MB = 8 pages; a 2-page cache thrashes under
+        // the samplers' scattered access while a roomy one faults each
+        // page once.
+        let g = rmat(13, 8, RmatParams::GRAPH500, 2);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 4 };
+        let seeds: Vec<u32> = (0..128).map(|i| i * 131 % 8192).collect();
+        let small =
+            UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(2 * PAGE_BYTES)).run(&seeds);
+        let big = UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(1 << 24)).run(&seeds);
+        assert!(
+            small.page_faults > 2 * big.page_faults,
+            "smaller cache must thrash: {} vs {}",
+            small.page_faults,
+            big.page_faults
+        );
+    }
+
+    #[test]
+    fn roomy_device_faults_each_page_at_most_once() {
+        let g = toy_graph();
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let out = UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(1 << 24)).run(&[0, 8]);
+        // The whole CSR fits in one page.
+        assert_eq!(out.page_faults, 1);
+    }
+
+    /// The §VII claim: partition-based out-of-memory sampling beats
+    /// demand paging on irregular access, with the same memory budget.
+    #[test]
+    fn partition_runtime_beats_unified_memory() {
+        let g = rmat(12, 8, RmatParams::GRAPH500, 3);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let seeds: Vec<u32> = (0..256).map(|i| i * 17 % 4096).collect();
+        // Same budget: UM gets as many bytes as the partition runtime's
+        // two resident partitions.
+        let parts = csaw_graph::PartitionSet::equal_ranges(&g, 4);
+        let budget: usize =
+            parts.parts().iter().map(csaw_graph::Partition::size_bytes).max().unwrap() * 2;
+        let um = UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(budget)).run(&seeds);
+        let csaw = OomRunner::new(&g, &algo, OomConfig::full())
+            .with_device(DeviceConfig::tiny(budget))
+            .run(&seeds);
+        assert!(
+            csaw.sim_seconds < um.sim_seconds,
+            "partition runtime {} s must beat unified memory {} s",
+            csaw.sim_seconds,
+            um.sim_seconds
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = toy_graph();
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 2 };
+        let a = UnifiedRunner::new(&g, &algo, tiny()).run(&[8, 0]);
+        let b = UnifiedRunner::new(&g, &algo, tiny()).run(&[8, 0]);
+        assert_eq!(a.instances, b.instances);
+        assert_eq!(a.page_faults, b.page_faults);
+    }
+}

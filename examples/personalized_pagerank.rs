@@ -1,0 +1,80 @@
+//! Personalized PageRank (PPR) estimation with random walk with restart —
+//! one of the paper's motivating applications (FAST-PPR, kPAR).
+//!
+//! Runs restart walks from a source, estimates PPR as normalized visit
+//! frequencies, and validates against exact power iteration on the toy
+//! graph. The Monte-Carlo estimate converging to the exact vector is an
+//! end-to-end statistical check of the whole sampling stack.
+//!
+//! ```text
+//! cargo run --release --example personalized_pagerank
+//! ```
+
+use csaw::core::algorithms::RandomWalkWithRestart;
+use csaw::core::engine::Sampler;
+use csaw::graph::generators::toy_graph;
+use csaw::graph::Csr;
+
+const ALPHA: f64 = 0.2; // restart probability
+
+/// Exact PPR by power iteration.
+fn exact_ppr(g: &Csr, source: u32) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut p = vec![0.0; n];
+    p[source as usize] = 1.0;
+    for _ in 0..200 {
+        let mut next = vec![0.0; n];
+        next[source as usize] += ALPHA;
+        for v in 0..n as u32 {
+            let mass = (1.0 - ALPHA) * p[v as usize];
+            let nbrs = g.neighbors(v);
+            if nbrs.is_empty() {
+                next[source as usize] += mass; // dangling mass restarts
+            } else {
+                for &u in nbrs {
+                    next[u as usize] += mass / nbrs.len() as f64;
+                }
+            }
+        }
+        p = next;
+    }
+    p
+}
+
+fn main() {
+    let g = toy_graph();
+    let source = 8u32;
+
+    let exact = exact_ppr(&g, source);
+
+    // Monte-Carlo: the walker's location sequence is an ergodic chain
+    // whose stationary distribution is the PPR vector; its locations are
+    // exactly the sources of the recorded edges. Discard a short burn-in
+    // (the chain starts at the source, not at stationarity).
+    let walks = 8_000usize;
+    let burn_in = 15usize;
+    let algo = RandomWalkWithRestart { length: 75, p_restart: ALPHA };
+    let out = Sampler::new(&g, &algo).run_single_seeds(&vec![source; walks]);
+
+    let mut visits = vec![0u64; g.num_vertices()];
+    for inst in &out.instances {
+        for &(v, _) in inst.iter().skip(burn_in) {
+            visits[v as usize] += 1;
+        }
+    }
+    let total: u64 = visits.iter().sum();
+    let estimate: Vec<f64> = visits.iter().map(|&c| c as f64 / total as f64).collect();
+
+    println!("personalized PageRank from v{source} (restart {ALPHA}):\n");
+    println!("{:>6} {:>10} {:>10} {:>8}", "vertex", "exact", "estimate", "error");
+    let mut tv = 0.0;
+    for v in 0..g.num_vertices() {
+        let err = (estimate[v] - exact[v]).abs();
+        tv += err;
+        println!("{v:>6} {:>10.4} {:>10.4} {err:>8.4}", exact[v], estimate[v]);
+    }
+    tv /= 2.0;
+    println!("\ntotal variation distance: {tv:.4}");
+    assert!(tv < 0.02, "Monte-Carlo PPR should converge (TV = {tv})");
+    println!("PPR estimate matches power iteration — sampling stack validated.");
+}

@@ -1,0 +1,19 @@
+//! `csaw` — command-line graph sampling with the C-SAW framework.
+//!
+//! See `csaw::cli::USAGE` or run with no arguments.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match csaw::cli::Cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = csaw::cli::execute(&cli, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! # csaw
+//!
+//! A Rust reproduction of **C-SAW: A Framework for Graph Sampling and
+//! Random Walk on GPUs** (Pandey et al., SC 2020), built on a simulated
+//! SIMT substrate (this environment has no GPU; see `DESIGN.md` for the
+//! substitution map).
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! - [`graph`]: CSR graphs, generators, Table-II dataset stand-ins,
+//!   partitioning ([`csaw_graph`]).
+//! - [`gpu`]: the warp-level simulator — warp primitives, Philox RNG,
+//!   transfer engine, cost models ([`csaw_gpu`]).
+//! - [`core`]: the C-SAW framework — the bias-centric API, warp-centric
+//!   SELECT with bipartite region search and strided bitmaps, the
+//!   sampling engine, and all thirteen Table-I algorithms ([`csaw_core`]).
+//! - [`oom`]: out-of-memory and multi-GPU runtimes ([`csaw_oom`]).
+//! - [`baselines`]: KnightKing- and GraphSAINT-style CPU comparators
+//!   ([`csaw_baselines`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use csaw::core::algorithms::BiasedRandomWalk;
+//! use csaw::core::engine::Sampler;
+//! use csaw::graph::generators::toy_graph;
+//!
+//! let g = toy_graph();
+//! let algo = BiasedRandomWalk { length: 10 };
+//! let out = Sampler::new(&g, &algo).run_single_seeds(&[8, 0]);
+//! assert_eq!(out.instances.len(), 2);
+//! for walk in &out.instances {
+//!     assert_eq!(walk.len(), 10);
+//! }
+//! ```
+//!
+//! Custom algorithms implement [`core::api::Algorithm`] — the three hooks
+//! of the paper's Fig. 2a (`VERTEXBIAS`, `EDGEBIAS`, `UPDATE`) plus a
+//! structural [`core::api::AlgoConfig`]:
+//!
+//! ```
+//! use csaw::core::api::*;
+//! use csaw::graph::Csr;
+//!
+//! /// A walk biased toward *low*-degree neighbors.
+//! struct ColdWalk;
+//! impl Algorithm for ColdWalk {
+//!     fn name(&self) -> &'static str { "cold-walk" }
+//!     fn config(&self) -> AlgoConfig {
+//!         AlgoConfig {
+//!             depth: 5,
+//!             neighbor_size: NeighborSize::Constant(1),
+//!             frontier: FrontierMode::IndependentPerVertex,
+//!             without_replacement: false,
+//!         }
+//!     }
+//!     fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+//!         1.0 / g.degree(e.u).max(1) as f64
+//!     }
+//! }
+//!
+//! let g = csaw::graph::generators::toy_graph();
+//! let out = csaw::core::engine::Sampler::new(&g, &ColdWalk).run_single_seeds(&[8]);
+//! assert_eq!(out.instances[0].len(), 5);
+//! ```
+
+pub mod cli;
+
+pub use csaw_baselines as baselines;
+pub use csaw_core as core;
+pub use csaw_gpu as gpu;
+pub use csaw_graph as graph;
+pub use csaw_oom as oom;

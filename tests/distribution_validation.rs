@@ -1,0 +1,147 @@
+#![allow(clippy::needless_range_loop)] // index-centric assertions read better here
+//! Statistical validation: the sampled distributions must obey Theorem 1
+//! (transition probability ∝ bias) end-to-end through the engine, for
+//! biased and unbiased algorithms, against exact references.
+
+use csaw::core::algorithms::{BiasedRandomWalk, MetropolisHastingsWalk, SimpleRandomWalk};
+use csaw::core::api::*;
+use csaw::core::engine::Sampler;
+use csaw::graph::generators::{ring_lattice, toy_graph};
+use csaw::graph::Csr;
+use std::collections::HashMap;
+
+/// Total variation distance between an empirical count map and an exact
+/// distribution.
+fn tv(counts: &HashMap<u32, usize>, exact: &HashMap<u32, f64>, n: usize) -> f64 {
+    let mut d = 0.0;
+    for (&v, &p) in exact {
+        let f = counts.get(&v).copied().unwrap_or(0) as f64 / n as f64;
+        d += (f - p).abs();
+    }
+    d / 2.0
+}
+
+#[test]
+fn first_hop_matches_theorem_1_for_degree_bias() {
+    let g = toy_graph();
+    let n = 120_000;
+    let out = Sampler::new(&g, &BiasedRandomWalk { length: 1 }).run_single_seeds(&vec![8; n]);
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for inst in &out.instances {
+        *counts.entry(inst[0].1).or_default() += 1;
+    }
+    // Theorem 1 on Fig. 1: t = b / Σb with b = {3,6,2,2,2}.
+    let exact: HashMap<u32, f64> = [(5u32, 0.2), (7, 0.4), (9, 2.0 / 15.0), (10, 2.0 / 15.0), (11, 2.0 / 15.0)]
+        .into_iter()
+        .collect();
+    let d = tv(&counts, &exact, n);
+    assert!(d < 0.01, "TV distance {d}");
+}
+
+#[test]
+fn long_simple_walk_converges_to_degree_distribution() {
+    // Stationary distribution of an unbiased walk on an undirected graph
+    // is deg(v) / 2|E|.
+    let g = toy_graph();
+    let out =
+        Sampler::new(&g, &SimpleRandomWalk { length: 4_000 }).run_single_seeds(&[0, 4, 8, 12]);
+    let mut visits = vec![0usize; g.num_vertices()];
+    let mut total = 0usize;
+    for inst in &out.instances {
+        for &(v, _) in inst.iter().skip(100) {
+            visits[v as usize] += 1;
+            total += 1;
+        }
+    }
+    let mut d = 0.0;
+    for v in 0..g.num_vertices() {
+        let exact = g.degree(v as u32) as f64 / g.num_edges() as f64;
+        let freq = visits[v] as f64 / total as f64;
+        d += (freq - exact).abs();
+    }
+    d /= 2.0;
+    assert!(d < 0.02, "TV from degree distribution: {d}");
+}
+
+#[test]
+fn metropolis_hastings_converges_to_uniform() {
+    // MH corrects the degree bias: the chain's stationary distribution is
+    // uniform. The engine records *moves* only (stays consume the step
+    // silently), so the observed frequency of vertex v as an edge source
+    // is π(v)·P(move|v) normalized, with
+    // P(move|v) = (1/deg v)·Σ_{u∈N(v)} min(1, deg v / deg u).
+    let g = toy_graph();
+    let out = Sampler::new(&g, &MetropolisHastingsWalk { length: 8_000 })
+        .run_single_seeds(&[0, 4, 8, 12]);
+    let mut visits = vec![0usize; g.num_vertices()];
+    let mut total = 0usize;
+    for inst in &out.instances {
+        for &(v, _) in inst.iter().skip(200) {
+            visits[v as usize] += 1;
+            total += 1;
+        }
+    }
+    // Exact prediction under uniform π.
+    let p_move: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| {
+            let dv = g.degree(v) as f64;
+            g.neighbors(v).iter().map(|&u| (dv / g.degree(u) as f64).min(1.0)).sum::<f64>() / dv
+        })
+        .collect();
+    let norm: f64 = p_move.iter().sum();
+    let mut d = 0.0;
+    for (v, &c) in visits.iter().enumerate() {
+        d += (c as f64 / total as f64 - p_move[v] / norm).abs();
+    }
+    d /= 2.0;
+    assert!(d < 0.02, "TV from the exact move-weighted uniform law: {d}");
+}
+
+/// A custom user bias goes through the whole stack unchanged: bias by the
+/// *square* of the neighbor id.
+#[test]
+fn custom_edge_bias_respected_end_to_end() {
+    struct SquareBias;
+    impl Algorithm for SquareBias {
+        fn name(&self) -> &'static str {
+            "square-bias"
+        }
+        fn config(&self) -> AlgoConfig {
+            AlgoConfig {
+                depth: 1,
+                neighbor_size: NeighborSize::Constant(1),
+                frontier: FrontierMode::IndependentPerVertex,
+                without_replacement: false,
+            }
+        }
+        fn edge_bias(&self, _g: &Csr, e: &EdgeCand) -> f64 {
+            (e.u as f64).powi(2)
+        }
+    }
+    let g = toy_graph();
+    let n = 120_000;
+    let out = Sampler::new(&g, &SquareBias).run_single_seeds(&vec![8; n]);
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for inst in &out.instances {
+        *counts.entry(inst[0].1).or_default() += 1;
+    }
+    let total: f64 = g.neighbors(8).iter().map(|&u| (u as f64).powi(2)).sum();
+    let exact: HashMap<u32, f64> =
+        g.neighbors(8).iter().map(|&u| (u, (u as f64).powi(2) / total)).collect();
+    let d = tv(&counts, &exact, n);
+    assert!(d < 0.01, "TV distance {d}");
+}
+
+#[test]
+fn mh_walk_on_regular_graph_never_rejects() {
+    // On a regular graph every MH proposal is accepted, so the walk
+    // behaves exactly like a simple walk: full length, no stalls.
+    let g = ring_lattice(64, 2);
+    let out = Sampler::new(&g, &MetropolisHastingsWalk { length: 100 }).run_single_seeds(&[0]);
+    let inst = &out.instances[0];
+    assert_eq!(inst.len(), 100);
+    for w in inst.windows(2) {
+        assert_ne!(w[0].0, w[0].1, "no self loops on the ring");
+        assert_eq!(w[0].1, w[1].0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration tests for the out-of-memory runtime against the in-memory
+//! engine and across its own configurations.
+
+use csaw::core::algorithms::{BiasedRandomWalk, UnbiasedNeighborSampling};
+use csaw::core::engine::Sampler;
+use csaw::graph::generators::{rmat, RmatParams};
+use csaw::gpu::config::DeviceConfig;
+use csaw::oom::{OomConfig, OomRunner};
+
+fn canon(instances: &[Vec<(u32, u32)>]) -> Vec<Vec<(u32, u32)>> {
+    instances
+        .iter()
+        .map(|i| {
+            let mut e = i.clone();
+            e.sort_unstable();
+            e
+        })
+        .collect()
+}
+
+#[test]
+fn oom_configs_produce_identical_samples() {
+    let g = rmat(10, 6, RmatParams::GRAPH500, 21);
+    let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+    let seeds: Vec<u32> = (0..64).map(|i| i * 13 % 1024).collect();
+    let outs: Vec<_> = OomConfig::figure13_ladder()
+        .iter()
+        .map(|(_, cfg)| {
+            OomRunner::new(&g, &algo, *cfg)
+                .with_device(DeviceConfig::tiny(1 << 20))
+                .run(&seeds)
+        })
+        .collect();
+    for o in &outs[1..] {
+        assert_eq!(canon(&outs[0].instances), canon(&o.instances));
+    }
+}
+
+#[test]
+fn partition_count_does_not_change_samples() {
+    let g = rmat(9, 6, RmatParams::GRAPH500, 22);
+    let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+    let seeds: Vec<u32> = (0..32).collect();
+    let mut reference = None;
+    for parts in [2usize, 3, 4, 8] {
+        let cfg = OomConfig {
+            num_partitions: parts,
+            resident_partitions: 2,
+            ..OomConfig::full()
+        };
+        let out = OomRunner::new(&g, &algo, cfg).run(&seeds);
+        let c = canon(&out.instances);
+        match &reference {
+            None => reference = Some(c),
+            Some(r) => assert_eq!(r, &c, "{parts} partitions changed the sample"),
+        }
+    }
+}
+
+#[test]
+fn oom_walk_statistics_match_in_memory_engine() {
+    // Different RNG keying schemes mean samples differ individually, but
+    // aggregate statistics must agree: same walk lengths, and similar
+    // visit distribution over a biased walk.
+    let g = rmat(9, 8, RmatParams::GRAPH500, 23);
+    let algo = BiasedRandomWalk { length: 20 };
+    let seeds: Vec<u32> = (0..256).map(|i| i * 7 % 512).collect();
+
+    let mem = Sampler::new(&g, &algo).run_single_seeds(&seeds);
+    let oom = OomRunner::new(&g, &algo, OomConfig::full()).run(&seeds);
+
+    assert_eq!(mem.instances.len(), oom.instances.len());
+    // Both should complete (almost) all walks on this connected-ish graph.
+    let mem_total = mem.sampled_edges() as f64;
+    let oom_total = oom.sampled_edges() as f64;
+    assert!(
+        (mem_total - oom_total).abs() / mem_total < 0.05,
+        "edge totals diverge: {mem_total} vs {oom_total}"
+    );
+
+    // Degree-biased walks concentrate on hubs in both engines: compare the
+    // fraction of visits landing on the top-1% degree vertices.
+    let hub_frac = |instances: &[Vec<(u32, u32)>]| {
+        let mut degs: Vec<(usize, u32)> =
+            (0..g.num_vertices() as u32).map(|v| (g.degree(v), v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let hubs: std::collections::HashSet<u32> =
+            degs[..g.num_vertices() / 100].iter().map(|&(_, v)| v).collect();
+        let total: usize = instances.iter().map(Vec::len).sum();
+        let hub: usize = instances
+            .iter()
+            .flatten()
+            .filter(|&&(_, u)| hubs.contains(&u))
+            .count();
+        hub as f64 / total as f64
+    };
+    let a = hub_frac(&mem.instances);
+    let b = hub_frac(&oom.instances);
+    assert!((a - b).abs() < 0.05, "hub visit fractions diverge: {a} vs {b}");
+}
+
+#[test]
+fn oom_respects_memory_budget() {
+    // With 4 partitions and room for 2, at most 2 are ever resident, and
+    // transfers happen; with room for all 4, each partition transfers at
+    // most once.
+    let g = rmat(9, 6, RmatParams::GRAPH500, 24);
+    let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+    let seeds: Vec<u32> = (0..64).collect();
+
+    let tight = OomRunner::new(&g, &algo, OomConfig::full()).run(&seeds);
+    let roomy = OomRunner::new(
+        &g,
+        &algo,
+        OomConfig { resident_partitions: 4, ..OomConfig::full() },
+    )
+    .run(&seeds);
+    assert!(roomy.transfers <= 4, "roomy device re-transfers: {}", roomy.transfers);
+    assert!(tight.transfers >= roomy.transfers);
+}
+
+#[test]
+fn multi_gpu_and_oom_compose_with_engine_outputs() {
+    use csaw::core::engine::RunOptions;
+    use csaw::oom::MultiGpu;
+    let g = rmat(9, 4, RmatParams::MILD, 25);
+    let algo = BiasedRandomWalk { length: 8 };
+    let seeds: Vec<u32> = (0..48).collect();
+    let mg = MultiGpu::new(3).run_single_seeds(&g, &algo, &seeds, RunOptions::default());
+    assert_eq!(mg.instances.len(), 48);
+    assert_eq!(
+        mg.sampled_edges,
+        mg.instances.iter().map(|i| i.len() as u64).sum::<u64>()
+    );
+}
