@@ -60,9 +60,7 @@ impl<'g> KnightKing<'g> {
     pub fn new(graph: &'g Csr, bias: WalkBias) -> Self {
         let mut preprocess = CpuWork::default();
         let alias = match bias {
-            WalkBias::Unbiased | WalkBias::DynamicDegree | WalkBias::Node2vec { .. } => {
-                Vec::new()
-            }
+            WalkBias::Unbiased | WalkBias::DynamicDegree | WalkBias::Node2vec { .. } => Vec::new(),
             WalkBias::Degree => {
                 let mut stats = SimStats::new();
                 let tables: Vec<Option<AliasTable>> = (0..graph.num_vertices() as VertexId)
@@ -251,8 +249,7 @@ mod tests {
         let a = KnightKing::new(&g, WalkBias::Degree).run(&vec![8u32; 40_000], 1, 5);
         let b = KnightKing::new(&g, WalkBias::DynamicDegree).run(&vec![8u32; 40_000], 1, 6);
         let freq = |out: &BaselineOutput, u: u32| {
-            out.instances.iter().filter(|i| i[0].1 == u).count() as f64
-                / out.instances.len() as f64
+            out.instances.iter().filter(|i| i[0].1 == u).count() as f64 / out.instances.len() as f64
         };
         for u in [5u32, 7, 9, 10, 11] {
             assert!((freq(&a, u) - freq(&b, u)).abs() < 0.02, "vertex {u}");
@@ -285,8 +282,8 @@ mod tests {
         // at walks of length 2 whose first hop was to v7.
         let kk = KnightKing::new(&g, WalkBias::Node2vec { p, q });
         let kk_out = kk.run(&vec![8u32; 80_000], 2, 21);
-        let cs_out = Sampler::new(&g, &Node2Vec { length: 2, p, q })
-            .run_single_seeds(&vec![8u32; 80_000]);
+        let cs_out =
+            Sampler::new(&g, &Node2Vec { length: 2, p, q }).run_single_seeds(&vec![8u32; 80_000]);
         let second_hop = |instances: &[Vec<(u32, u32)>]| {
             let mut counts: HashMap<u32, usize> = HashMap::new();
             let mut total = 0usize;

@@ -59,9 +59,7 @@ fn bench_vs_baselines(c: &mut Criterion) {
         b.iter(|| black_box(Sampler::new(&g, &a).run_single_seeds(&seeds)))
     });
     let kk = KnightKing::new(&g, WalkBias::Degree);
-    group.bench_function("knightking-biased-walk", |b| {
-        b.iter(|| black_box(kk.run(&seeds, 32, 1)))
-    });
+    group.bench_function("knightking-biased-walk", |b| b.iter(|| black_box(kk.run(&seeds, 32, 1))));
     let pools = MultiDimRandomWalk::seed_pools(g.num_vertices(), 8, 64, 1);
     group.bench_function("csaw-mdrw", |b| {
         let a = MultiDimRandomWalk { budget: 64 };

@@ -76,16 +76,29 @@ fn bench_selector_implementations(c: &mut Criterion) {
     let mut group = c.benchmark_group("select/implementation");
     group.sample_size(20);
     let biases = skewed_pool(64);
-    let cfg = SelectConfig { strategy: SelectStrategy::Bipartite, detector: DetectorKind::paper_default() };
+    let cfg = SelectConfig {
+        strategy: SelectStrategy::Bipartite,
+        detector: DetectorKind::paper_default(),
+    };
     group.bench_function("round-based", |b| {
         let mut rng = Philox::new(21);
         let mut stats = SimStats::new();
-        b.iter(|| black_box(select_without_replacement(black_box(&biases), 16, cfg, &mut rng, &mut stats)))
+        b.iter(|| {
+            black_box(select_without_replacement(black_box(&biases), 16, cfg, &mut rng, &mut stats))
+        })
     });
     group.bench_function("simt-lane-level", |b| {
         let mut rng = Philox::new(22);
         let mut stats = SimStats::new();
-        b.iter(|| black_box(select_without_replacement_simt(black_box(&biases), 16, cfg, &mut rng, &mut stats)))
+        b.iter(|| {
+            black_box(select_without_replacement_simt(
+                black_box(&biases),
+                16,
+                cfg,
+                &mut rng,
+                &mut stats,
+            ))
+        })
     });
     group.bench_function("reservoir", |b| {
         let mut rng = Philox::new(23);

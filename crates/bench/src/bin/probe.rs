@@ -12,16 +12,28 @@ fn main() {
         let mut hi = 0usize; // p_max > 0.8
         for v in (0..n).step_by(7) {
             let nbrs = g.neighbors(v);
-            if nbrs.is_empty() { continue; }
+            if nbrs.is_empty() {
+                continue;
+            }
             total += 1;
-            if nbrs.len() <= 2 { short += 1; continue; }
+            if nbrs.len() <= 2 {
+                short += 1;
+                continue;
+            }
             let biases: Vec<f64> = nbrs.iter().map(|&u| g.degree(u) as f64).collect();
             let tot: f64 = biases.iter().sum();
             let pm = biases.iter().cloned().fold(0.0, f64::max) / tot;
-            pmax_sum += pm; pmax_cnt += 1;
-            if pm > 0.8 { hi += 1; }
+            pmax_sum += pm;
+            pmax_cnt += 1;
+            if pm > 0.8 {
+                hi += 1;
+            }
         }
-        println!("{abbr}: short-circuit {:.0}% avg p_max {:.3} p_max>0.8 {:.1}%",
-            100.0*short as f64/total as f64, pmax_sum/pmax_cnt as f64, 100.0*hi as f64/total as f64);
+        println!(
+            "{abbr}: short-circuit {:.0}% avg p_max {:.3} p_max>0.8 {:.1}%",
+            100.0 * short as f64 / total as f64,
+            pmax_sum / pmax_cnt as f64,
+            100.0 * hi as f64 / total as f64
+        );
     }
 }

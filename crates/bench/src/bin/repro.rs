@@ -89,7 +89,12 @@ fn main() {
     }
 }
 
-fn run_one(name: &str, f: fn(Scale) -> Vec<Table>, scale: Scale, csv_dir: Option<&std::path::Path>) {
+fn run_one(
+    name: &str,
+    f: fn(Scale) -> Vec<Table>,
+    scale: Scale,
+    csv_dir: Option<&std::path::Path>,
+) {
     let t0 = std::time::Instant::now();
     eprintln!("# running {name} ...");
     for (i, table) in f(scale).into_iter().enumerate() {

@@ -17,9 +17,9 @@ use csaw_core::ctps::Ctps;
 use csaw_core::dartboard::Dartboard;
 use csaw_core::engine::{RunOptions, Sampler};
 use csaw_core::select::{SelectConfig, SelectStrategy};
-use csaw_graph::datasets;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::{Philox, WARP_SIZE};
+use csaw_graph::datasets;
 
 /// A1: warp- vs. thread-block-granularity selection.
 ///
@@ -117,8 +117,7 @@ pub fn ablate_select(_scale: Scale) -> Vec<Table> {
         let mut alias = SimStats::new();
         let mut picks = 0u64;
         for &v in &vs {
-            let biases: Vec<f64> =
-                g.neighbors(v).iter().map(|&u| g.degree(u) as f64).collect();
+            let biases: Vec<f64> = g.neighbors(v).iter().map(|&u| g.degree(u) as f64).collect();
             if biases.is_empty() {
                 continue;
             }
@@ -158,16 +157,9 @@ pub fn ablate_unified(scale: Scale) -> Vec<Table> {
     for spec in datasets::ALL {
         let g = graph_for(&spec);
         let s = seeds(scale.oom_instances() / 4, g.num_vertices());
-        let algo =
-            csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let algo = csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
         let parts = csaw_graph::PartitionSet::equal_ranges(&g, 4);
-        let budget = parts
-            .parts()
-            .iter()
-            .map(csaw_graph::Partition::size_bytes)
-            .max()
-            .unwrap()
-            * 2;
+        let budget = parts.parts().iter().map(csaw_graph::Partition::size_bytes).max().unwrap() * 2;
         let um = UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(budget)).run(&s);
         let cs = OomRunner::new(&g, &algo, OomConfig::full())
             .with_device(DeviceConfig::tiny(budget))
@@ -201,13 +193,18 @@ pub fn ablate_reservoir(_scale: Scale) -> Vec<Table> {
         let (mut s_sel, mut s_res) = (SimStats::new(), SimStats::new());
         let mut picks = 0u64;
         for &v in &vs {
-            let biases: Vec<f64> =
-                g.neighbors(v).iter().map(|&u| g.degree(u) as f64).collect();
+            let biases: Vec<f64> = g.neighbors(v).iter().map(|&u| g.degree(u) as f64).collect();
             if biases.len() < 3 {
                 continue;
             }
             picks += 1;
-            select_without_replacement(&biases, 2, SelectConfig::paper_best(), &mut rng, &mut s_sel);
+            select_without_replacement(
+                &biases,
+                2,
+                SelectConfig::paper_best(),
+                &mut rng,
+                &mut s_sel,
+            );
             reservoir_select(&biases, 2, &mut rng, &mut s_res);
         }
         let per = |s: &SimStats| s.warp_cycles as f64 / picks.max(1) as f64;
@@ -233,8 +230,7 @@ pub fn ablate_partitions(scale: Scale) -> Vec<Table> {
     for spec in datasets::ALL {
         let g = graph_for(&spec);
         let s = seeds(scale.oom_instances() / 2, g.num_vertices());
-        let algo =
-            csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let algo = csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
         let run = |edge_balanced| {
             let cfg = OomConfig { edge_balanced_partitions: edge_balanced, ..OomConfig::full() };
             OomRunner::new(&g, &algo, cfg).with_device(DeviceConfig::tiny(1 << 20)).run(&s)
@@ -261,7 +257,15 @@ pub fn quality(scale: Scale) -> Vec<Table> {
     use csaw_graph::quality::compare;
     let mut t = Table::new(
         "Sample quality - degree KS / clustering / effective diameter vs original (WG stand-in)",
-        &["sampler", "edges kept %", "degree KS", "clust orig", "clust sample", "diam orig", "diam sample"],
+        &[
+            "sampler",
+            "edges kept %",
+            "degree KS",
+            "clust orig",
+            "clust sample",
+            "diam orig",
+            "diam sample",
+        ],
     );
     let spec = datasets::by_abbr("WG").unwrap();
     let g = graph_for(&spec);
@@ -283,8 +287,11 @@ pub fn quality(scale: Scale) -> Vec<Table> {
 
     let ff = Sampler::new(&g, &csaw_core::algorithms::ForestFire::paper(4)).run_single_seeds(&s);
     add("forest-fire d4", ff.induce_subgraph().0);
-    let ns = Sampler::new(&g, &csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 4 })
-        .run_single_seeds(&s);
+    let ns = Sampler::new(
+        &g,
+        &csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 4 },
+    )
+    .run_single_seeds(&s);
     add("neighbor-sampling d4", ns.induce_subgraph().0);
     let rw = Sampler::new(&g, &csaw_core::algorithms::SimpleRandomWalk { length: 20 })
         .run_single_seeds(&s);
@@ -398,13 +405,7 @@ pub fn ablate_divergence(_scale: Scale) -> Vec<Table> {
         };
         let (rs, re) = run(SelectStrategy::Repeated);
         let (bs, be) = run(SelectStrategy::Bipartite);
-        t.row(vec![
-            spec.abbr.to_string(),
-            rs.to_string(),
-            bs.to_string(),
-            f3(re),
-            f3(be),
-        ]);
+        t.row(vec![spec.abbr.to_string(), rs.to_string(), bs.to_string(), f3(re), f3(be)]);
     }
     vec![t]
 }
@@ -454,8 +455,7 @@ mod tests {
         let mut rng = Philox::new(5);
         let (mut its, mut alias) = (SimStats::new(), SimStats::new());
         for v in 0..500u32 {
-            let biases: Vec<f64> =
-                g.neighbors(v).iter().map(|&u| g.degree(u) as f64).collect();
+            let biases: Vec<f64> = g.neighbors(v).iter().map(|&u| g.degree(u) as f64).collect();
             if biases.is_empty() {
                 continue;
             }
@@ -466,6 +466,11 @@ mod tests {
                 a.sample(&mut rng, &mut alias);
             }
         }
-        assert!(alias.warp_cycles > its.warp_cycles, "alias {0} vs ITS {1} cycles", alias.warp_cycles, its.warp_cycles);
+        assert!(
+            alias.warp_cycles > its.warp_cycles,
+            "alias {0} vs ITS {1} cycles",
+            alias.warp_cycles,
+            its.warp_cycles
+        );
     }
 }

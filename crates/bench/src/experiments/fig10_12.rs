@@ -20,9 +20,9 @@ use csaw_core::collision::DetectorKind;
 use csaw_core::engine::{RunOptions, Sampler};
 use csaw_core::select::{SelectConfig, SelectStrategy};
 use csaw_core::SampleOutput;
+use csaw_gpu::config::DeviceConfig;
 use csaw_graph::datasets;
 use csaw_graph::Csr;
-use csaw_gpu::config::DeviceConfig;
 
 /// The four Fig. 10 applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,11 +94,17 @@ pub fn fig10_configs() -> [(&'static str, SelectConfig); 4] {
     [
         (
             "repeated",
-            SelectConfig { strategy: SelectStrategy::Repeated, detector: DetectorKind::LinearSearch },
+            SelectConfig {
+                strategy: SelectStrategy::Repeated,
+                detector: DetectorKind::LinearSearch,
+            },
         ),
         (
             "updated",
-            SelectConfig { strategy: SelectStrategy::Updated, detector: DetectorKind::LinearSearch },
+            SelectConfig {
+                strategy: SelectStrategy::Updated,
+                detector: DetectorKind::LinearSearch,
+            },
         ),
         (
             "bipartite",
@@ -176,7 +182,8 @@ pub fn fig11(scale: Scale) -> Vec<Table> {
                     detector: DetectorKind::LinearSearch,
                 },
             );
-            let (b, p) = (base.stats.iterations_per_selection(), bip.stats.iterations_per_selection());
+            let (b, p) =
+                (base.stats.iterations_per_selection(), bip.stats.iterations_per_selection());
             t.row(vec![spec.abbr.to_string(), f3(b), f3(p), f2(b / p.max(1e-12))]);
         }
         tables.push(t);
@@ -212,8 +219,7 @@ pub fn fig12(scale: Scale) -> Vec<Table> {
                     detector: DetectorKind::StridedBitmap { word_bits: 8 },
                 },
             );
-            let (l, b) =
-                (lin.stats.collision_searches as f64, bm.stats.collision_searches as f64);
+            let (l, b) = (lin.stats.collision_searches as f64, bm.stats.collision_searches as f64);
             t.row(vec![
                 spec.abbr.to_string(),
                 format!("{l:.0}"),
@@ -253,12 +259,18 @@ mod tests {
         let rep = app.run(
             &g,
             &s,
-            SelectConfig { strategy: SelectStrategy::Repeated, detector: DetectorKind::LinearSearch },
+            SelectConfig {
+                strategy: SelectStrategy::Repeated,
+                detector: DetectorKind::LinearSearch,
+            },
         );
         let bip = app.run(
             &g,
             &s,
-            SelectConfig { strategy: SelectStrategy::Bipartite, detector: DetectorKind::LinearSearch },
+            SelectConfig {
+                strategy: SelectStrategy::Bipartite,
+                detector: DetectorKind::LinearSearch,
+            },
         );
         assert!(
             bip.stats.iterations_per_selection() <= rep.stats.iterations_per_selection() + 1e-9

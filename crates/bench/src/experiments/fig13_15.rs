@@ -18,9 +18,9 @@ use crate::scale::{seeds, Scale};
 use csaw_core::algorithms::{
     BiasedNeighborSampling, BiasedRandomWalk, ForestFire, UnbiasedNeighborSampling,
 };
+use csaw_gpu::config::DeviceConfig;
 use csaw_graph::datasets;
 use csaw_graph::Csr;
-use csaw_gpu::config::DeviceConfig;
 use csaw_oom::scheduler::OomOutput;
 use csaw_oom::{OomConfig, OomRunner};
 

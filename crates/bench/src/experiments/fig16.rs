@@ -11,15 +11,17 @@ use crate::report::{ms, Table};
 use crate::scale::{seeds, Scale};
 use csaw_core::algorithms::BiasedNeighborSampling;
 use csaw_core::engine::Sampler;
-use csaw_graph::datasets;
 use csaw_gpu::config::DeviceConfig;
+use csaw_graph::datasets;
 
 /// Fig. 16a: NeighborSize sweep.
 pub fn fig16a(scale: Scale) -> Table {
     let dev = DeviceConfig::v100();
     let instances = *scale.fig16_instances().last().unwrap();
     let mut t = Table::new(
-        format!("Fig. 16a - sampling time (ms), NeighborSize sweep, depth 3, {instances} instances"),
+        format!(
+            "Fig. 16a - sampling time (ms), NeighborSize sweep, depth 3, {instances} instances"
+        ),
         &["graph", "NS=1", "NS=2", "NS=4", "NS=8"],
     );
     for spec in datasets::ALL {

@@ -13,8 +13,8 @@ use csaw_core::algorithms::{BiasedRandomWalk, MultiDimRandomWalk, Node2Vec};
 use csaw_core::engine::RunOptions;
 #[cfg(test)]
 use csaw_core::engine::Sampler;
-use csaw_graph::datasets;
 use csaw_gpu::config::CpuConfig;
+use csaw_graph::datasets;
 use csaw_oom::MultiGpu;
 
 /// Fig. 9a: biased random walk, C-SAW (1 and 6 GPUs) vs. KnightKing.
@@ -124,9 +124,7 @@ mod tests {
         let s = seeds(64, g.num_vertices());
         let algo = BiasedRandomWalk { length: 64 };
         let kk = KnightKing::new(&g, WalkBias::Degree).run(&s, 64, 1).seps(&cpu);
-        let cs = MultiGpu::new(1)
-            .run_single_seeds(&g, &algo, &s, RunOptions::default())
-            .seps();
+        let cs = MultiGpu::new(1).run_single_seeds(&g, &algo, &s, RunOptions::default()).seps();
         assert!(cs > kk, "C-SAW {cs} must beat KnightKing {kk}");
     }
 

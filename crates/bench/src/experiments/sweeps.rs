@@ -8,8 +8,8 @@ use crate::report::{f2, ms, Table};
 use crate::scale::{seeds, Scale};
 use csaw_core::algorithms::BiasedNeighborSampling;
 use csaw_core::engine::Sampler;
-use csaw_graph::datasets;
 use csaw_gpu::config::DeviceConfig;
+use csaw_graph::datasets;
 use csaw_oom::{OomConfig, OomRunner};
 
 /// Depth sweep: "active vertices increase exponentially with depth
@@ -53,9 +53,7 @@ fn frontier_profile(scale: Scale) -> Table {
         let prof = profile_depths(&g, &algo, &s, 0x0D);
         let mut cells = vec![spec.abbr.to_string()];
         for d in 0..5 {
-            cells.push(
-                prof.get(d).map(|p| p.frontier.to_string()).unwrap_or_else(|| "-".into()),
-            );
+            cells.push(prof.get(d).map(|p| p.frontier.to_string()).unwrap_or_else(|| "-".into()));
         }
         t.row(cells);
     }
@@ -73,24 +71,16 @@ pub fn sweep_oom(scale: Scale) -> Vec<Table> {
     let g = graph_for(&spec);
     let s = seeds(scale.oom_instances() / 2, g.num_vertices());
     let algo = csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
-    for (parts, kernels, resident) in [
-        (4usize, 1usize, 2usize),
-        (4, 2, 2),
-        (4, 2, 3),
-        (4, 4, 4),
-        (8, 2, 2),
-        (8, 2, 4),
-        (8, 4, 4),
-    ] {
+    for (parts, kernels, resident) in
+        [(4usize, 1usize, 2usize), (4, 2, 2), (4, 2, 3), (4, 4, 4), (8, 2, 2), (8, 2, 4), (8, 4, 4)]
+    {
         let cfg = OomConfig {
             num_partitions: parts,
             num_kernels: kernels,
             resident_partitions: resident,
             ..OomConfig::full()
         };
-        let out = OomRunner::new(&g, &algo, cfg)
-            .with_device(DeviceConfig::tiny(1 << 20))
-            .run(&s);
+        let out = OomRunner::new(&g, &algo, cfg).with_device(DeviceConfig::tiny(1 << 20)).run(&s);
         t.row(vec![
             parts.to_string(),
             kernels.to_string(),
@@ -125,8 +115,7 @@ mod tests {
         let spec = datasets::by_abbr("WG").unwrap();
         let g = graph_for(&spec);
         let s = seeds(32, g.num_vertices());
-        let algo =
-            csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let algo = csaw_core::algorithms::UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
         let run = |resident| {
             let cfg = OomConfig { resident_partitions: resident, ..OomConfig::full() };
             OomRunner::new(&g, &algo, cfg).with_device(DeviceConfig::tiny(1 << 20)).run(&s)

@@ -31,7 +31,11 @@ pub fn table1() -> Vec<Table> {
         (Box::new(ForestFire::paper(2)), "unbiased", "variable"),
         (Box::new(Snowball { depth: 2 }), "unbiased", "all"),
         (Box::new(BiasedRandomWalk { length: 8 }), "biased-static", "1"),
-        (Box::new(BiasedNeighborSampling { neighbor_size: 2, depth: 2 }), "biased-static", "constant"),
+        (
+            Box::new(BiasedNeighborSampling { neighbor_size: 2, depth: 2 }),
+            "biased-static",
+            "constant",
+        ),
         (Box::new(LayerSampling { layer_size: 2, depth: 2 }), "biased-static", "per-layer"),
         (Box::new(MultiDimRandomWalk { budget: 8 }), "biased-dynamic", "1"),
         (Box::new(Node2Vec { length: 8, p: 0.5, q: 2.0 }), "biased-dynamic", "1"),

@@ -70,10 +70,7 @@ mod tests {
         let n = 30_000;
         for i in 0..n {
             let out = Sampler::new(&g, &algo)
-                .with_options(crate::engine::RunOptions {
-                    seed: i as u64,
-                    ..Default::default()
-                })
+                .with_options(crate::engine::RunOptions { seed: i as u64, ..Default::default() })
                 .run(&[vec![8]]);
             if out.instances[0][0].1 == 7 {
                 hub += 1;

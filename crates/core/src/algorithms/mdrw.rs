@@ -30,9 +30,7 @@ impl MultiDimRandomWalk {
         for i in 0..instances {
             let mut rng = csaw_gpu::Philox::for_task(seed ^ 0x5eed_1001, i as u64);
             pools.push(
-                (0..frontier_size)
-                    .map(|_| rng.below(num_vertices as u64) as VertexId)
-                    .collect(),
+                (0..frontier_size).map(|_| rng.below(num_vertices as u64) as VertexId).collect(),
             );
         }
         pools

@@ -1,8 +1,8 @@
 //! First-order random-walk variants (paper §II-A).
 
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, UpdateAction};
-use csaw_graph::{Csr, VertexId};
 use csaw_gpu::Philox;
+use csaw_graph::{Csr, VertexId};
 
 fn walk_config(length: usize) -> AlgoConfig {
     AlgoConfig {
@@ -109,7 +109,13 @@ impl Algorithm for RandomWalkWithJump {
             UpdateAction::Add(e.u)
         }
     }
-    fn on_dead_end(&self, g: &Csr, _v: VertexId, _home: VertexId, rng: &mut Philox) -> UpdateAction {
+    fn on_dead_end(
+        &self,
+        g: &Csr,
+        _v: VertexId,
+        _home: VertexId,
+        rng: &mut Philox,
+    ) -> UpdateAction {
         UpdateAction::Add(rng.below(g.num_vertices() as u64) as VertexId)
     }
 }
@@ -139,7 +145,13 @@ impl Algorithm for RandomWalkWithRestart {
             UpdateAction::Add(e.u)
         }
     }
-    fn on_dead_end(&self, _g: &Csr, _v: VertexId, home: VertexId, _rng: &mut Philox) -> UpdateAction {
+    fn on_dead_end(
+        &self,
+        _g: &Csr,
+        _v: VertexId,
+        home: VertexId,
+        _rng: &mut Philox,
+    ) -> UpdateAction {
         UpdateAction::Add(home)
     }
 }
@@ -221,10 +233,7 @@ mod tests {
         let total: usize = visits.iter().sum();
         let mean = total as f64 / 20.0;
         for (v, &c) in visits.iter().enumerate() {
-            assert!(
-                (c as f64 - mean).abs() < 0.25 * mean,
-                "vertex {v}: {c} visits vs mean {mean}"
-            );
+            assert!((c as f64 - mean).abs() < 0.25 * mean, "vertex {v}: {c} visits vs mean {mean}");
         }
     }
 
@@ -270,8 +279,7 @@ mod tests {
         let algo = RandomWalkWithRestart { length: 3000, p_restart: 0.3 };
         let out = Sampler::new(&g, &algo).run_single_seeds(&[12]);
         // With p=0.3 the walk re-sources from 12 roughly 30% of steps.
-        let from_home =
-            out.instances[0].iter().filter(|&&(v, _)| v == 12).count() as f64;
+        let from_home = out.instances[0].iter().filter(|&&(v, _)| v == 12).count() as f64;
         let frac = from_home / out.instances[0].len() as f64;
         assert!(frac > 0.2, "home fraction {frac}");
     }
@@ -292,8 +300,8 @@ mod tests {
     fn walk_lengths_are_exact_on_connected_graph() {
         let g = ring_lattice(16, 2);
         for algo_len in [1usize, 7, 100] {
-            let out = Sampler::new(&g, &SimpleRandomWalk { length: algo_len })
-                .run_single_seeds(&[0]);
+            let out =
+                Sampler::new(&g, &SimpleRandomWalk { length: algo_len }).run_single_seeds(&[0]);
             assert_eq!(out.instances[0].len(), algo_len);
         }
     }

@@ -46,12 +46,7 @@ pub fn mean_cover_time(
 /// Mean return time to `vertex` over a long walk: steps between
 /// consecutive visits. For a connected undirected graph theory gives
 /// `2|E| / deg(v)` — a sharp test of the transition law.
-pub fn mean_return_time(
-    g: &Csr,
-    vertex: VertexId,
-    walk_length: usize,
-    seed: u64,
-) -> Option<f64> {
+pub fn mean_return_time(g: &Csr, vertex: VertexId, walk_length: usize, seed: u64) -> Option<f64> {
     let algo = SimpleRandomWalk { length: walk_length };
     let out = Sampler::new(g, &algo)
         .with_options(RunOptions { seed, ..Default::default() })

@@ -13,8 +13,8 @@
 //! everything else: CTPS construction, warp-parallel selection, collision
 //! mitigation, queues, out-of-memory scheduling.
 
-use csaw_graph::{Csr, VertexId, Weight};
 use csaw_gpu::Philox;
+use csaw_graph::{Csr, VertexId, Weight};
 
 /// A candidate edge `(v, u)` handed to `EDGEBIAS`/`UPDATE`: `u` is a
 /// neighbor of frontier vertex `v`. `prev` is the vertex the instance

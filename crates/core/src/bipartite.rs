@@ -43,12 +43,13 @@ pub enum BipartiteOutcome {
 /// Performs the §IV-B adjustment: `r_prime` hit the selected region of
 /// candidate `hit` (region `(l, h)`); returns the candidate the adjusted
 /// number selects on the *original* CTPS. `is_selected` reports whether a
-/// candidate is already taken.
+/// candidate is already taken; it receives the stats sink so the detector
+/// can charge the probe (see [`crate::collision::Detector::is_selected`]).
 pub fn adjust_and_search(
     ctps: &Ctps,
     hit: usize,
     r_prime: f64,
-    is_selected: impl Fn(usize) -> bool,
+    mut is_selected: impl FnMut(usize, &mut SimStats) -> bool,
     stats: &mut SimStats,
 ) -> BipartiteOutcome {
     let (l, h) = ctps.region(hit);
@@ -70,7 +71,7 @@ pub fn adjust_and_search(
         // region; treat as a failed attempt.
         return BipartiteOutcome::Restart;
     }
-    if is_selected(cand) {
+    if is_selected(cand, stats) {
         BipartiteOutcome::Restart
     } else {
         BipartiteOutcome::Selected(cand)
@@ -104,7 +105,7 @@ mod tests {
         let selected = [false, true, false, false, false];
         // r' = 0.58 lands in (0.2, 0.6) = v7's region.
         assert_eq!(ctps.search(0.58, &mut s), 1);
-        let out = adjust_and_search(&ctps, 1, 0.58, |k| selected[k], &mut s);
+        let out = adjust_and_search(&ctps, 1, 0.58, |k, _| selected[k], &mut s);
         assert_eq!(out, BipartiteOutcome::Selected(3), "paper: 0.748 corresponds to v10");
     }
 
@@ -127,7 +128,7 @@ mod tests {
                 // ANY r' meant for the updated CTPS, adjusting it around
                 // `s` must reproduce the updated CTPS's selection on the
                 // original CTPS.
-                let got = match adjust_and_search(&ctps, s, r_prime, |k| sel[k], &mut st) {
+                let got = match adjust_and_search(&ctps, s, r_prime, |k, _| sel[k], &mut st) {
                     BipartiteOutcome::Selected(k) => k,
                     BipartiteOutcome::Restart => panic!("single preselection never restarts"),
                 };
@@ -158,7 +159,7 @@ mod tests {
             // Fresh draw for the adjustment (see module docs): this is what
             // the SELECT loop does in production.
             let r_fresh = rng.uniform();
-            match adjust_and_search(&ctps, 1, r_fresh, |k| sel[k], &mut st) {
+            match adjust_and_search(&ctps, 1, r_fresh, |k, _| sel[k], &mut st) {
                 BipartiteOutcome::Selected(k) => counts[k] += 1,
                 BipartiteOutcome::Restart => panic!("no other selected region exists"),
             }
@@ -189,7 +190,7 @@ mod tests {
                 continue;
             }
             if let BipartiteOutcome::Selected(k) =
-                adjust_and_search(&ctps, first, r, |k| sel[k], &mut st)
+                adjust_and_search(&ctps, first, r, |k, _| sel[k], &mut st)
             {
                 assert!(!sel[k], "returned an already-selected vertex {k}");
             }
@@ -199,8 +200,8 @@ mod tests {
     #[test]
     fn updated_ctps_zeroes_selected() {
         let mut st = SimStats::new();
-        let upd = updated_ctps(&fig1_biases(), &[false, true, false, false, false], &mut st)
-            .unwrap();
+        let upd =
+            updated_ctps(&fig1_biases(), &[false, true, false, false, false], &mut st).unwrap();
         // Paper Fig. 6(b): updated CTPS {0.33, 0.56, 0.78, 1} over the
         // remaining vertices. Ours keeps the removed vertex as a
         // zero-width region, so its bounds are {1/3, 1/3, 5/9, 7/9, 1}.

@@ -76,11 +76,25 @@ impl Detector {
     }
 
     /// Whether candidate `k` is already selected (read-only probe; costs a
-    /// search but no atomic).
-    pub fn is_selected(&self, k: usize) -> bool {
+    /// search but no atomic). The probe is charged to `stats` per detector
+    /// kind: a linear-search detector scans the selected list in shared
+    /// memory (one comparison per element plus the append-slot check, two
+    /// cycles each — the same model as [`Detector::claim_round`]); a
+    /// bitmap detector reads a single bit (one search, one shared-memory
+    /// read).
+    pub fn is_selected(&self, k: usize, stats: &mut SimStats) -> bool {
         match self.kind {
-            DetectorKind::LinearSearch => self.selected.contains(&k),
-            _ => self.bits[k],
+            DetectorKind::LinearSearch => {
+                let comparisons = self.selected.len() as u64 + 1;
+                stats.collision_searches += comparisons;
+                stats.warp_cycles += 2 * comparisons;
+                self.selected.contains(&k)
+            }
+            _ => {
+                stats.collision_searches += 1;
+                stats.warp_cycles += 2;
+                self.bits[k]
+            }
         }
     }
 
@@ -143,8 +157,7 @@ impl Detector {
                 };
                 let active = requests.iter().flatten().count() as u64;
                 stats.collision_searches += active; // one bit probe per lane
-                let outcomes =
-                    lockstep_test_and_set(&mut self.bits, requests, word_of, stats);
+                let outcomes = lockstep_test_and_set(&mut self.bits, requests, word_of, stats);
                 outcomes
                     .into_iter()
                     .map(|o| {
@@ -272,7 +285,9 @@ mod tests {
             assert_eq!(out[1], Some(false), "{kind:?}");
             assert_eq!(out[2], None);
             assert_eq!(out[3], Some(true));
-            assert!(d.is_selected(5) && d.is_selected(6) && !d.is_selected(7));
+            assert!(
+                d.is_selected(5, &mut s) && d.is_selected(6, &mut s) && !d.is_selected(7, &mut s)
+            );
         }
     }
 
@@ -282,14 +297,37 @@ mod tests {
         let mut s = SimStats::new();
         d.claim_round(&[Some(1)], &mut s);
         d.reset(4);
-        assert!(!d.is_selected(1));
+        assert!(!d.is_selected(1, &mut s));
         assert_eq!(d.selected_count(), 0);
     }
 
     #[test]
     fn force_set_marks_without_atomics() {
         let mut d = Detector::new(DetectorKind::paper_default(), 8);
+        let mut s = SimStats::new();
         d.force_set(2);
-        assert!(d.is_selected(2));
+        assert!(d.is_selected(2, &mut s));
+    }
+
+    /// The read-only probe is charged per detector kind: a linear-search
+    /// probe scans the selected list, a bitmap probe reads one bit.
+    #[test]
+    fn probe_costs_follow_detector_kind() {
+        let mut lin = Detector::new(DetectorKind::LinearSearch, 16);
+        let mut s = SimStats::new();
+        lin.claim_round(&[Some(3), Some(9)], &mut s);
+        let mut s = SimStats::new();
+        lin.is_selected(3, &mut s);
+        assert_eq!(s.collision_searches, 3, "scan of 2 selected + append slot");
+        assert_eq!(s.warp_cycles, 6);
+        assert_eq!(s.atomic_ops, 0, "read-only probe takes no atomic");
+
+        let mut bm = Detector::new(DetectorKind::paper_default(), 16);
+        let mut s = SimStats::new();
+        bm.claim_round(&[Some(3), Some(9)], &mut s);
+        let mut s = SimStats::new();
+        bm.is_selected(3, &mut s);
+        assert_eq!(s.collision_searches, 1, "single bit test");
+        assert_eq!(s.atomic_ops, 0);
     }
 }

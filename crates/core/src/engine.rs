@@ -21,10 +21,28 @@ use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, UpdateAction};
 use crate::output::SampleOutput;
 use crate::select::{select_one, select_without_replacement, SelectConfig, SelectStrategy};
 use crate::select_simt::select_without_replacement_simt;
-use csaw_graph::{Csr, VertexId};
+use csaw_gpu::device::LaunchResult;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::{Device, Philox};
+use csaw_graph::{Csr, VertexId};
 use std::collections::HashSet;
+
+/// Folds one launch's results into a run's totals: merges the kernel
+/// counters, then tallies `sampled_edges` from the per-instance output
+/// lengths. The instance kernels deliberately leave `sampled_edges` at
+/// zero — the output vectors are the ground truth — so this helper is the
+/// single place the counter is accounted. Both [`Sampler::run`] and
+/// [`Sampler::run_chunked`] go through it, which keeps chunked and
+/// unchunked stats identical (`chunked_run_matches_unchunked` asserts
+/// this).
+fn merge_launch_stats(stats: &mut SimStats, launch: &LaunchResult<Vec<(VertexId, VertexId)>>) {
+    debug_assert_eq!(
+        launch.stats.sampled_edges, 0,
+        "instance kernels must not count sampled_edges; the output tally would double-count"
+    );
+    stats.merge(&launch.stats);
+    stats.sampled_edges += launch.outputs.iter().map(|o| o.len() as u64).sum::<u64>();
+}
 
 /// Engine-level options shared by all instances of a run.
 #[derive(Debug, Clone)]
@@ -110,19 +128,15 @@ impl<'g, A: Algorithm> Sampler<'g, A> {
             let base = chunk_idx * chunk_size;
             // Instance ids stay global so RNG streams (and thus outputs)
             // are identical to an unchunked run.
-            let tasks: Vec<(u32, Vec<VertexId>)> = chunk
-                .iter()
-                .enumerate()
-                .map(|(i, &s)| ((base + i) as u32, vec![s]))
-                .collect();
+            let tasks: Vec<(u32, Vec<VertexId>)> =
+                chunk.iter().enumerate().map(|(i, &s)| ((base + i) as u32, vec![s])).collect();
             let graph = self.graph;
             let algo = self.algo;
             let opts = &self.opts;
             let launch = self.device.launch(tasks, move |_, (instance, seeds)| {
                 run_instance(graph, algo, opts, instance, &seeds)
             });
-            stats.merge(&launch.stats);
-            stats.sampled_edges += launch.outputs.iter().map(|o| o.len() as u64).sum::<u64>();
+            merge_launch_stats(&mut stats, &launch);
             for (i, inst) in launch.outputs.into_iter().enumerate() {
                 sink(base + i, inst);
             }
@@ -142,8 +156,8 @@ impl<'g, A: Algorithm> Sampler<'g, A> {
         let launch = self.device.launch(tasks, move |_, (instance, seeds)| {
             run_instance(graph, algo, opts, instance, seeds)
         });
-        let mut stats = launch.stats;
-        stats.sampled_edges = launch.outputs.iter().map(|o| o.len() as u64).sum();
+        let mut stats = SimStats::new();
+        merge_launch_stats(&mut stats, &launch);
         SampleOutput {
             instances: launch.outputs,
             stats,
@@ -189,13 +203,9 @@ fn run_instance(
     let mut rng = Philox::for_task(opts.seed, instance as u64);
     let mut out: Vec<(VertexId, VertexId)> = Vec::new();
 
-    let mut pool: Vec<PoolEntry> =
-        seeds.iter().map(|&v| PoolEntry { v, prev: None }).collect();
-    let mut visited: HashSet<VertexId> = if cfg.without_replacement {
-        seeds.iter().copied().collect()
-    } else {
-        HashSet::new()
-    };
+    let mut pool: Vec<PoolEntry> = seeds.iter().map(|&v| PoolEntry { v, prev: None }).collect();
+    let mut visited: HashSet<VertexId> =
+        if cfg.without_replacement { seeds.iter().copied().collect() } else { HashSet::new() };
     let home = seeds.first().copied().unwrap_or(0);
 
     for _step in 0..cfg.depth {
@@ -208,14 +218,31 @@ fn run_instance(
                 stats.frontier_ops += frontier.len() as u64;
                 for entry in frontier {
                     expand_independent(
-                        g, algo, &cfg, opts, entry, home, &mut rng, &mut stats, &mut visited,
-                        &mut pool, &mut out,
+                        g,
+                        algo,
+                        &cfg,
+                        opts,
+                        entry,
+                        home,
+                        &mut rng,
+                        &mut stats,
+                        &mut visited,
+                        &mut pool,
+                        &mut out,
                     );
                 }
             }
             FrontierMode::SharedLayer => {
                 expand_layer(
-                    g, algo, &cfg, opts, &mut pool, &mut rng, &mut stats, &mut visited, &mut out,
+                    g,
+                    algo,
+                    &cfg,
+                    opts,
+                    &mut pool,
+                    &mut rng,
+                    &mut stats,
+                    &mut visited,
+                    &mut out,
                 );
             }
             FrontierMode::BiasedReplace => {
@@ -250,9 +277,14 @@ fn expand_independent(
 
     if neighbors.is_empty() {
         match algo.on_dead_end(g, v, home, rng) {
-            UpdateAction::Add(w) => {
-                push_pool(cfg, opts.select.detector, visited, next_pool, PoolEntry { v: w, prev: Some(v) }, stats)
-            }
+            UpdateAction::Add(w) => push_pool(
+                cfg,
+                opts.select.detector,
+                visited,
+                next_pool,
+                PoolEntry { v: w, prev: Some(v) },
+                stats,
+            ),
             UpdateAction::Discard => {}
         }
         return;
@@ -341,9 +373,14 @@ fn expand_layer(
         let cand = cands[idx];
         out.push((cand.v, cand.u));
         match algo.update(g, &cand, cand.v, rng) {
-            UpdateAction::Add(w) => {
-                push_pool(cfg, opts.select.detector, visited, pool, PoolEntry { v: w, prev: Some(cand.v) }, stats)
-            }
+            UpdateAction::Add(w) => push_pool(
+                cfg,
+                opts.select.detector,
+                visited,
+                pool,
+                PoolEntry { v: w, prev: Some(cand.v) },
+                stats,
+            ),
             UpdateAction::Discard => {}
         }
     }
@@ -548,10 +585,7 @@ mod tests {
     #[test]
     fn dead_end_terminates_by_default() {
         // Star with edges only out of 0: vertex 1.. have no out-edges.
-        let g = csaw_graph::CsrBuilder::new()
-            .add_edge(0, 1)
-            .add_edge(0, 2)
-            .build();
+        let g = csaw_graph::CsrBuilder::new().add_edge(0, 1).add_edge(0, 2).build();
         let algo = TestWalk { len: 10 };
         let out = Sampler::new(&g, &algo).run_single_seeds(&[0]);
         assert_eq!(out.instances[0].len(), 1, "one hop then dead end");
@@ -573,8 +607,7 @@ mod tests {
         let algo = TestNs { ns: 2, depth: 1 };
         let freq = |use_simt: bool| {
             let opts = RunOptions { use_simt_select: use_simt, ..Default::default() };
-            let out =
-                Sampler::new(&g, &algo).with_options(opts).run_single_seeds(&vec![8; 40_000]);
+            let out = Sampler::new(&g, &algo).with_options(opts).run_single_seeds(&vec![8; 40_000]);
             let mut counts: HashMap<u32, usize> = HashMap::new();
             for inst in &out.instances {
                 for &(_, u) in inst {
@@ -604,7 +637,11 @@ mod tests {
             });
             let collected: Vec<_> = collected.into_iter().map(Option::unwrap).collect();
             assert_eq!(collected, full.instances, "chunk={chunk}");
-            assert_eq!(stats.sampled_edges, full.stats.sampled_edges);
+            // Full-stats equality, not just sampled_edges: both paths fold
+            // every launch through `merge_launch_stats`, and chunking only
+            // regroups instances (global ids keep RNG streams fixed), so
+            // every counter must match the unchunked run exactly.
+            assert_eq!(stats, full.stats, "chunk={chunk}");
         }
     }
 

@@ -46,9 +46,9 @@ pub mod engine;
 pub mod estimators;
 pub mod frontier;
 pub mod onepass;
+pub mod output;
 pub mod precompute;
 pub mod profile;
-pub mod output;
 pub mod reservoir;
 pub mod select;
 pub mod select_simt;

@@ -15,9 +15,9 @@
 //!   one-pass method known to preserve degree structure far better than
 //!   plain random edge sampling.
 
-use csaw_graph::{Csr, CsrBuilder, VertexId};
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::{Device, Philox};
+use csaw_graph::{Csr, CsrBuilder, VertexId};
 
 /// Output of a one-pass sampler.
 #[derive(Debug, Clone)]
@@ -107,11 +107,8 @@ pub fn random_edge(g: &Csr, fraction: f64, seed: u64) -> OnePassOutput {
         s.read_gmem(16 + 4 * nbrs.len());
         s.rng_draws += nbrs.len() as u64;
         s.warp_cycles += nbrs.len() as u64; // one coin per entry
-        let out: Vec<(VertexId, VertexId)> = nbrs
-            .iter()
-            .filter(|&&u| edge_kept(seed, v, u, fraction))
-            .map(|&u| (v, u))
-            .collect();
+        let out: Vec<(VertexId, VertexId)> =
+            nbrs.iter().filter(|&&u| edge_kept(seed, v, u, fraction)).map(|&u| (v, u)).collect();
         s.sampled_edges += out.len() as u64;
         (out, s)
     });
@@ -127,8 +124,7 @@ pub fn random_edge(g: &Csr, fraction: f64, seed: u64) -> OnePassOutput {
 pub fn ties(g: &Csr, fraction: f64, seed: u64) -> OnePassOutput {
     let seeded = random_edge(g, fraction, seed);
     let mut stats = seeded.stats;
-    let in_set: std::collections::HashSet<VertexId> =
-        seeded.vertices.iter().copied().collect();
+    let in_set: std::collections::HashSet<VertexId> = seeded.vertices.iter().copied().collect();
     let device = Device::v100();
     // Induction pass over the touched vertices only.
     let launch = device.launch(seeded.vertices.clone(), |_, v| {

@@ -69,8 +69,7 @@ impl SampleOutput {
         use std::collections::HashMap;
         let mut fwd: HashMap<VertexId, VertexId> = HashMap::new();
         let mut back: Vec<VertexId> = Vec::new();
-        let map = |v: VertexId, fwd: &mut HashMap<VertexId, VertexId>,
-                       back: &mut Vec<VertexId>| {
+        let map = |v: VertexId, fwd: &mut HashMap<VertexId, VertexId>, back: &mut Vec<VertexId>| {
             *fwd.entry(v).or_insert_with(|| {
                 back.push(v);
                 (back.len() - 1) as VertexId

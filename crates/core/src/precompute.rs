@@ -12,9 +12,9 @@
 
 use crate::api::{Algorithm, EdgeCand};
 use crate::ctps::Ctps;
-use csaw_graph::{Csr, VertexId};
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
+use csaw_graph::{Csr, VertexId};
 
 /// Per-vertex CTPS tables for a static edge bias.
 pub struct CtpsCache {

@@ -8,9 +8,9 @@
 
 use crate::api::{Algorithm, EdgeCand, FrontierMode, UpdateAction};
 use crate::select::{select_one, select_without_replacement, SelectConfig};
-use csaw_graph::{Csr, VertexId};
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
+use csaw_graph::{Csr, VertexId};
 use std::collections::HashSet;
 
 /// One depth level's aggregate activity across all instances.
@@ -56,8 +56,7 @@ pub fn profile_depths<A: Algorithm>(
             frontier_total += frontier.len() as u64;
             for (v, prev) in frontier {
                 let nbrs = g.neighbors(v);
-                let mut rng =
-                    Philox::for_task(seed, mix3(inst as u64, depth as u64, v as u64));
+                let mut rng = Philox::for_task(seed, mix3(inst as u64, depth as u64, v as u64));
                 if nbrs.is_empty() {
                     if let UpdateAction::Add(w) = algo.on_dead_end(g, v, seeds[inst], &mut rng) {
                         push(&cfg, &mut visited[inst], &mut frontiers[inst], w, v);

@@ -129,13 +129,9 @@ mod tests {
             for i in reservoir_select(&biases, 2, &mut rng, &mut s) {
                 *freq_res.entry(i).or_default() += 1;
             }
-            for i in select_without_replacement(
-                &biases,
-                2,
-                SelectConfig::paper_best(),
-                &mut rng,
-                &mut s,
-            ) {
+            for i in
+                select_without_replacement(&biases, 2, SelectConfig::paper_best(), &mut rng, &mut s)
+            {
                 *freq_sel.entry(i).or_default() += 1;
             }
         }

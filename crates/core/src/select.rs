@@ -154,8 +154,13 @@ pub fn select_without_replacement(
             for &(lane, hit) in &bip_retry {
                 stats.rng_draws += 1;
                 let r_prime = rng.uniform();
-                match adjust_and_search(&ctps, hit, r_prime, |c| detector.is_selected(c), stats)
-                {
+                match adjust_and_search(
+                    &ctps,
+                    hit,
+                    r_prime,
+                    |c, s| detector.is_selected(c, s),
+                    stats,
+                ) {
                     BipartiteOutcome::Selected(c) => {
                         adj_requests.push(Some(c));
                         adj_lanes.push(lane);
@@ -180,7 +185,7 @@ pub fn select_without_replacement(
         // now-selected biases zeroed (a full warp prefix sum each time —
         // the cost the paper calls "time consuming").
         if cfg.strategy == SelectStrategy::Updated && !still_pending.is_empty() {
-            let sel: Vec<bool> = (0..n).map(|i| detector.is_selected(i)).collect();
+            let sel: Vec<bool> = (0..n).map(|i| detector.is_selected(i, stats)).collect();
             match updated_ctps(biases, &sel, stats) {
                 Some(c) => ctps = c,
                 None => break, // nothing selectable remains
@@ -210,7 +215,10 @@ mod tests {
 
     fn all_strategies() -> Vec<SelectConfig> {
         vec![
-            SelectConfig { strategy: SelectStrategy::Repeated, detector: DetectorKind::LinearSearch },
+            SelectConfig {
+                strategy: SelectStrategy::Repeated,
+                detector: DetectorKind::LinearSearch,
+            },
             SelectConfig {
                 strategy: SelectStrategy::Updated,
                 detector: DetectorKind::ContiguousBitmap { word_bits: 8 },
@@ -295,9 +303,7 @@ mod tests {
                     *counts.entry(i).or_default() += 1;
                 }
             }
-            freqs.push(
-                counts.into_iter().map(|(k, v)| (k, v as f64 / n_trials as f64)).collect(),
-            );
+            freqs.push(counts.into_iter().map(|(k, v)| (k, v as f64 / n_trials as f64)).collect());
         }
         for i in 0..biases.len() {
             let a = freqs[0].get(&i).copied().unwrap_or(0.0);
@@ -318,8 +324,13 @@ mod tests {
         let mut s = SimStats::new();
         let mut excluded = [0usize; 3];
         for _ in 0..50_000 {
-            let sel =
-                select_without_replacement(&biases, 2, SelectConfig::paper_best(), &mut rng, &mut s);
+            let sel = select_without_replacement(
+                &biases,
+                2,
+                SelectConfig::paper_best(),
+                &mut rng,
+                &mut s,
+            );
             let missing = (0..3).find(|i| !sel.contains(i)).unwrap();
             excluded[missing] += 1;
         }

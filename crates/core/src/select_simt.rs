@@ -93,7 +93,7 @@ pub fn select_without_replacement_simt(
             if cfg.strategy == SelectStrategy::Bipartite {
                 stats.rng_draws += 1;
                 let r2 = rng.uniform();
-                let is_sel = |c: usize| det.is_selected(c);
+                let is_sel = |c: usize, s: &mut SimStats| det.is_selected(c, s);
                 if let BipartiteOutcome::Selected(c) =
                     adjust_and_search(ctps, pick, r2, is_sel, &mut stats)
                 {
@@ -127,8 +127,13 @@ mod tests {
         let mut rng = Philox::new(1);
         let mut s = SimStats::new();
         for _ in 0..500 {
-            let out =
-                select_without_replacement_simt(&biases, 3, cfg(SelectStrategy::Bipartite), &mut rng, &mut s);
+            let out = select_without_replacement_simt(
+                &biases,
+                3,
+                cfg(SelectStrategy::Bipartite),
+                &mut rng,
+                &mut s,
+            );
             assert_eq!(out.selected.len(), 3);
             let mut x = out.selected.clone();
             x.sort_unstable();
@@ -206,10 +211,21 @@ mod tests {
     fn empty_and_degenerate() {
         let mut rng = Philox::new(2);
         let mut s = SimStats::new();
-        let out = select_without_replacement_simt(&[], 2, cfg(SelectStrategy::Repeated), &mut rng, &mut s);
+        let out = select_without_replacement_simt(
+            &[],
+            2,
+            cfg(SelectStrategy::Repeated),
+            &mut rng,
+            &mut s,
+        );
         assert!(out.selected.is_empty());
-        let out =
-            select_without_replacement_simt(&[1.0, 2.0], 5, cfg(SelectStrategy::Repeated), &mut rng, &mut s);
+        let out = select_without_replacement_simt(
+            &[1.0, 2.0],
+            5,
+            cfg(SelectStrategy::Repeated),
+            &mut rng,
+            &mut s,
+        );
         assert_eq!(out.selected.len(), 2, "short-circuit takes everything");
         assert_eq!(out.divergence.steps, 0);
     }

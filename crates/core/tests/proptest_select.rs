@@ -20,8 +20,7 @@ fn arb_positive_biases() -> impl Strategy<Value = Vec<f64>> {
 
 fn all_configs() -> Vec<SelectConfig> {
     let mut v = Vec::new();
-    for strategy in [SelectStrategy::Repeated, SelectStrategy::Updated, SelectStrategy::Bipartite]
-    {
+    for strategy in [SelectStrategy::Repeated, SelectStrategy::Updated, SelectStrategy::Bipartite] {
         for detector in [
             DetectorKind::LinearSearch,
             DetectorKind::ContiguousBitmap { word_bits: 8 },
@@ -78,7 +77,7 @@ proptest! {
         sel[s] = true;
         let upd = updated_ctps(&biases, &sel, &mut st).unwrap();
         let expect = upd.search(r_prime, &mut st);
-        match adjust_and_search(&ctps, s, r_prime, |k| sel[k], &mut st) {
+        match adjust_and_search(&ctps, s, r_prime, |k, _| sel[k], &mut st) {
             BipartiteOutcome::Selected(got) => prop_assert_eq!(got, expect),
             BipartiteOutcome::Restart => {
                 // Only possible on an FP boundary graze; the updated CTPS

@@ -81,10 +81,7 @@ fn validate_joint(
         let p = exact_set_probability(biases, &set);
         total_p += p;
         let f = counts.get(&set).copied().unwrap_or(0) as f64 / trials as f64;
-        assert!(
-            (f - p).abs() < 0.012,
-            "{name}: set {set:?} freq {f:.4} vs exact {p:.4}"
-        );
+        assert!((f - p).abs() < 0.012, "{name}: set {set:?} freq {f:.4} vs exact {p:.4}");
     }
     assert!((total_p - 1.0).abs() < 1e-9, "enumeration must cover the law");
 }

@@ -41,7 +41,8 @@ pub fn gpu_kernel_seconds_with_slots(
     // but they hide memory latency; this throughput model folds both into
     // the parallel-slot divisor, capped by physical concurrency.
     let slots = slots.min(cfg.total_warps() as f64);
-    let compute = stats.warp_cycles as f64 / (slots * cfg.clock_ghz * 1e9 / cfg.warps_per_sm as f64);
+    let compute =
+        stats.warp_cycles as f64 / (slots * cfg.clock_ghz * 1e9 / cfg.warps_per_sm as f64);
     let memory = stats.gmem_bytes as f64 / (cfg.hbm_gbps * 1e9);
     compute.max(memory)
 }

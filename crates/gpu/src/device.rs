@@ -20,6 +20,10 @@ pub struct LaunchResult<T> {
     pub outputs: Vec<T>,
     /// Merged work counters.
     pub stats: SimStats,
+    /// Per-task counters, in task order. Callers that attribute work to
+    /// individual streams (the OOM runtime) read these; `stats` is their
+    /// field-wise sum.
+    pub task_stats: Vec<SimStats>,
     /// Per-warp cycle counts (workload-imbalance analysis, Fig. 14).
     pub warp_cycles: Vec<u64>,
 }
@@ -57,20 +61,37 @@ impl Device {
         T: Send,
         F: Fn(usize, I) -> (T, SimStats) + Sync + Send,
     {
-        let results: Vec<(T, SimStats)> = tasks
-            .into_par_iter()
-            .enumerate()
-            .map(|(i, task)| kernel(i, task))
-            .collect();
+        self.launch_with(tasks, true, kernel)
+    }
+
+    /// [`Device::launch`] with an explicit host-execution mode. Results are
+    /// collected in task order either way, so `parallel = false` produces
+    /// bit-identical output to `parallel = true` — the serial path exists
+    /// for reference runs and single-core hosts, not for different
+    /// semantics. The OOM runtime routes its per-stream round tasks through
+    /// this so streams share the device's stats/cycle merging.
+    pub fn launch_with<I, T, F>(&self, tasks: Vec<I>, parallel: bool, kernel: F) -> LaunchResult<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> (T, SimStats) + Sync + Send,
+    {
+        let results: Vec<(T, SimStats)> = if parallel {
+            tasks.into_par_iter().enumerate().map(|(i, task)| kernel(i, task)).collect()
+        } else {
+            tasks.into_iter().enumerate().map(|(i, task)| kernel(i, task)).collect()
+        };
         let mut stats = SimStats::new();
+        let mut task_stats = Vec::with_capacity(results.len());
         let mut warp_cycles = Vec::with_capacity(results.len());
         let mut outputs = Vec::with_capacity(results.len());
         for (out, s) in results {
             warp_cycles.push(s.warp_cycles);
             stats.merge(&s);
+            task_stats.push(s);
             outputs.push(out);
         }
-        LaunchResult { outputs, stats, warp_cycles }
+        LaunchResult { outputs, stats, task_stats, warp_cycles }
     }
 }
 
@@ -90,6 +111,24 @@ mod tests {
         assert_eq!(res.stats.selections, 100);
         assert_eq!(res.stats.warp_cycles, (1..=100).sum::<u64>());
         assert_eq!(res.warp_cycles[9], 10);
+        assert_eq!(res.task_stats.len(), 100);
+        assert_eq!(res.task_stats[9].warp_cycles, 10);
+    }
+
+    #[test]
+    fn serial_and_parallel_launch_agree() {
+        let dev = Device::v100();
+        let kernel = |i: usize, x: u64| {
+            let mut rng = crate::rng::Philox::for_task(11, x);
+            let s = SimStats { warp_cycles: x + 3, rng_draws: 1, ..Default::default() };
+            (rng.next_u64().wrapping_add(i as u64), s)
+        };
+        let par = dev.launch_with((0..200u64).collect(), true, kernel);
+        let ser = dev.launch_with((0..200u64).collect(), false, kernel);
+        assert_eq!(par.outputs, ser.outputs);
+        assert_eq!(par.stats, ser.stats);
+        assert_eq!(par.task_stats, ser.task_stats);
+        assert_eq!(par.warp_cycles, ser.warp_cycles);
     }
 
     #[test]

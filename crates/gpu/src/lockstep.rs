@@ -42,11 +42,8 @@ pub fn lockstep_test_and_set(
     stats: &mut SimStats,
 ) -> Vec<Option<CasOutcome>> {
     // Count same-word serialization within this round.
-    let active: Vec<(usize, usize)> = requests
-        .iter()
-        .enumerate()
-        .filter_map(|(lane, r)| r.map(|bit| (lane, bit)))
-        .collect();
+    let active: Vec<(usize, usize)> =
+        requests.iter().enumerate().filter_map(|(lane, r)| r.map(|bit| (lane, bit))).collect();
 
     let mut words: Vec<usize> = active.iter().map(|&(_, bit)| word_of(bit)).collect();
     words.sort_unstable();
@@ -56,8 +53,7 @@ pub fn lockstep_test_and_set(
         // Serialization also costs extra cycles: the round takes as long as
         // its deepest word queue.
     }
-    let max_queue =
-        words.chunk_by(|a, b| a == b).map(|c| c.len()).max().unwrap_or(0) as u64;
+    let max_queue = words.chunk_by(|a, b| a == b).map(|c| c.len()).max().unwrap_or(0) as u64;
     stats.atomic_ops += active.len() as u64;
     stats.warp_cycles += ATOMIC_CYCLES * max_queue; // round takes its deepest word queue
 
@@ -136,12 +132,7 @@ mod tests {
         let mut bits = vec![false; 32];
         let mut s = SimStats::new();
         // Three lanes on word 0, one on word 1 → round costs 3 cycles.
-        lockstep_test_and_set(
-            &mut bits,
-            &[Some(0), Some(1), Some(2), Some(8)],
-            |b| b / 8,
-            &mut s,
-        );
+        lockstep_test_and_set(&mut bits, &[Some(0), Some(1), Some(2), Some(8)], |b| b / 8, &mut s);
         assert_eq!(s.warp_cycles, 3 * ATOMIC_CYCLES);
         assert_eq!(s.atomic_conflicts, 2);
     }

@@ -142,10 +142,7 @@ mod tests {
     #[test]
     fn rejects_over_capacity() {
         let mut m = DeviceMemory::new(100);
-        assert_eq!(
-            m.alloc(1, 101),
-            Err(MemoryError::TooLarge { requested: 101, capacity: 100 })
-        );
+        assert_eq!(m.alloc(1, 101), Err(MemoryError::TooLarge { requested: 101, capacity: 100 }));
     }
 
     #[test]

@@ -22,12 +22,7 @@ pub struct SmLimits {
 impl SmLimits {
     /// Volta (V100) limits.
     pub fn volta() -> Self {
-        SmLimits {
-            registers: 65_536,
-            shared_bytes: 96 * 1024,
-            max_threads: 2_048,
-            max_blocks: 32,
-        }
+        SmLimits { registers: 65_536, shared_bytes: 96 * 1024, max_threads: 2_048, max_blocks: 32 }
     }
 }
 
@@ -53,11 +48,13 @@ impl KernelResources {
 /// Resident warps per SM for `kernel` under `limits`: the minimum of the
 /// block-count bounds imposed by each resource, times warps per block.
 pub fn resident_warps(limits: &SmLimits, kernel: &KernelResources) -> usize {
-    assert!(kernel.block_size > 0 && kernel.block_size.is_multiple_of(32), "blocks are whole warps");
+    assert!(
+        kernel.block_size > 0 && kernel.block_size.is_multiple_of(32),
+        "blocks are whole warps"
+    );
     let by_threads = limits.max_threads / kernel.block_size;
     let by_regs = limits.registers / (kernel.registers_per_thread.max(1) * kernel.block_size);
-    let by_shared =
-        limits.shared_bytes.checked_div(kernel.shared_per_block).unwrap_or(usize::MAX);
+    let by_shared = limits.shared_bytes.checked_div(kernel.shared_per_block).unwrap_or(usize::MAX);
     let blocks = by_threads.min(by_regs).min(by_shared).min(limits.max_blocks);
     blocks * (kernel.block_size / 32)
 }
@@ -83,8 +80,7 @@ mod tests {
     #[test]
     fn register_heavy_kernel_is_register_bound() {
         // 128 regs/thread: 65536/(128*256) = 2 blocks = 16 warps.
-        let k =
-            KernelResources { registers_per_thread: 128, shared_per_block: 0, block_size: 256 };
+        let k = KernelResources { registers_per_thread: 128, shared_per_block: 0, block_size: 256 };
         assert_eq!(resident_warps(&SmLimits::volta(), &k), 16);
     }
 

@@ -82,7 +82,12 @@ impl TransferEngine {
     /// Enqueues an H2D copy of `bytes` on `stream` no earlier than `now`;
     /// returns the simulated completion time. The copy waits for both the
     /// stream's previous work and the shared bus.
-    pub fn copy_h2d(&mut self, stream: usize, bytes: usize, now: f64) -> Result<f64, TransferError> {
+    pub fn copy_h2d(
+        &mut self,
+        stream: usize,
+        bytes: usize,
+        now: f64,
+    ) -> Result<f64, TransferError> {
         if stream >= self.stream_ready.len() {
             return Err(TransferError::BadStream { stream, streams: self.stream_ready.len() });
         }
@@ -101,7 +106,12 @@ impl TransferEngine {
     /// Enqueues `seconds` of kernel execution on `stream` starting no
     /// earlier than `now`; returns completion time. Kernels do not use the
     /// bus, so kernels on different streams overlap freely.
-    pub fn run_kernel(&mut self, stream: usize, seconds: f64, now: f64) -> Result<f64, TransferError> {
+    pub fn run_kernel(
+        &mut self,
+        stream: usize,
+        seconds: f64,
+        now: f64,
+    ) -> Result<f64, TransferError> {
         if stream >= self.stream_ready.len() {
             return Err(TransferError::BadStream { stream, streams: self.stream_ready.len() });
         }

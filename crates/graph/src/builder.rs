@@ -125,7 +125,8 @@ impl CsrBuilder {
             row_ptr[i + 1] += row_ptr[i];
         }
         let col: Vec<VertexId> = edges.iter().map(|&(_, d, _)| d).collect();
-        let weights = if weighted { Some(edges.iter().map(|&(_, _, w)| w).collect()) } else { None };
+        let weights =
+            if weighted { Some(edges.iter().map(|&(_, _, w)| w).collect()) } else { None };
         Csr::from_parts(row_ptr, col, weights)
     }
 }

@@ -27,7 +27,11 @@ pub struct Csr {
 impl Csr {
     /// Builds a CSR directly from raw parts. Panics if the invariants don't
     /// hold — use [`crate::builder::CsrBuilder`] for untrusted input.
-    pub fn from_parts(row_ptr: Vec<usize>, col: Vec<VertexId>, weights: Option<Vec<Weight>>) -> Self {
+    pub fn from_parts(
+        row_ptr: Vec<usize>,
+        col: Vec<VertexId>,
+        weights: Option<Vec<Weight>>,
+    ) -> Self {
         let g = Csr { row_ptr, col, weights };
         g.validate().expect("invalid CSR parts");
         g

@@ -90,16 +90,116 @@ impl DatasetSpec {
 
 /// All ten Table II datasets, in the paper's order.
 pub const ALL: [DatasetSpec; 10] = [
-    DatasetSpec { abbr: "AM", name: "Amazon0601",  paper_vertices: 400_000,    paper_edges: 3_400_000,     paper_avg_degree: 8.39,  scale: 12, edge_factor: 4,  exceeds_gpu_memory: false, seed: 0xA3 },
-    DatasetSpec { abbr: "AS", name: "As-skitter",  paper_vertices: 1_700_000,  paper_edges: 11_100_000,    paper_avg_degree: 6.54,  scale: 14, edge_factor: 3,  exceeds_gpu_memory: false, seed: 0xA5 },
-    DatasetSpec { abbr: "CP", name: "cit-Patents", paper_vertices: 3_800_000,  paper_edges: 16_500_000,    paper_avg_degree: 4.38,  scale: 15, edge_factor: 2,  exceeds_gpu_memory: false, seed: 0xC9 },
-    DatasetSpec { abbr: "LJ", name: "LiveJournal", paper_vertices: 4_800_000,  paper_edges: 68_900_000,    paper_avg_degree: 14.23, scale: 15, edge_factor: 7,  exceeds_gpu_memory: false, seed: 0x17 },
-    DatasetSpec { abbr: "OR", name: "Orkut",       paper_vertices: 3_100_000,  paper_edges: 117_200_000,   paper_avg_degree: 38.14, scale: 15, edge_factor: 19, exceeds_gpu_memory: false, seed: 0x08 },
-    DatasetSpec { abbr: "RE", name: "Reddit",      paper_vertices: 200_000,    paper_edges: 11_600_000,    paper_avg_degree: 49.82, scale: 11, edge_factor: 25, exceeds_gpu_memory: false, seed: 0x8E },
-    DatasetSpec { abbr: "WG", name: "web-Google",  paper_vertices: 800_000,    paper_edges: 5_100_000,     paper_avg_degree: 5.83,  scale: 13, edge_factor: 3,  exceeds_gpu_memory: false, seed: 0x36 },
-    DatasetSpec { abbr: "YE", name: "Yelp",        paper_vertices: 700_000,    paper_edges: 6_900_000,     paper_avg_degree: 9.73,  scale: 13, edge_factor: 5,  exceeds_gpu_memory: false, seed: 0x7E },
-    DatasetSpec { abbr: "FR", name: "Friendster",  paper_vertices: 65_600_000, paper_edges: 1_800_000_000, paper_avg_degree: 27.53, scale: 17, edge_factor: 14, exceeds_gpu_memory: true,  seed: 0xF4 },
-    DatasetSpec { abbr: "TW", name: "Twitter",     paper_vertices: 41_600_000, paper_edges: 1_500_000_000, paper_avg_degree: 35.25, scale: 17, edge_factor: 18, exceeds_gpu_memory: true,  seed: 0x70 },
+    DatasetSpec {
+        abbr: "AM",
+        name: "Amazon0601",
+        paper_vertices: 400_000,
+        paper_edges: 3_400_000,
+        paper_avg_degree: 8.39,
+        scale: 12,
+        edge_factor: 4,
+        exceeds_gpu_memory: false,
+        seed: 0xA3,
+    },
+    DatasetSpec {
+        abbr: "AS",
+        name: "As-skitter",
+        paper_vertices: 1_700_000,
+        paper_edges: 11_100_000,
+        paper_avg_degree: 6.54,
+        scale: 14,
+        edge_factor: 3,
+        exceeds_gpu_memory: false,
+        seed: 0xA5,
+    },
+    DatasetSpec {
+        abbr: "CP",
+        name: "cit-Patents",
+        paper_vertices: 3_800_000,
+        paper_edges: 16_500_000,
+        paper_avg_degree: 4.38,
+        scale: 15,
+        edge_factor: 2,
+        exceeds_gpu_memory: false,
+        seed: 0xC9,
+    },
+    DatasetSpec {
+        abbr: "LJ",
+        name: "LiveJournal",
+        paper_vertices: 4_800_000,
+        paper_edges: 68_900_000,
+        paper_avg_degree: 14.23,
+        scale: 15,
+        edge_factor: 7,
+        exceeds_gpu_memory: false,
+        seed: 0x17,
+    },
+    DatasetSpec {
+        abbr: "OR",
+        name: "Orkut",
+        paper_vertices: 3_100_000,
+        paper_edges: 117_200_000,
+        paper_avg_degree: 38.14,
+        scale: 15,
+        edge_factor: 19,
+        exceeds_gpu_memory: false,
+        seed: 0x08,
+    },
+    DatasetSpec {
+        abbr: "RE",
+        name: "Reddit",
+        paper_vertices: 200_000,
+        paper_edges: 11_600_000,
+        paper_avg_degree: 49.82,
+        scale: 11,
+        edge_factor: 25,
+        exceeds_gpu_memory: false,
+        seed: 0x8E,
+    },
+    DatasetSpec {
+        abbr: "WG",
+        name: "web-Google",
+        paper_vertices: 800_000,
+        paper_edges: 5_100_000,
+        paper_avg_degree: 5.83,
+        scale: 13,
+        edge_factor: 3,
+        exceeds_gpu_memory: false,
+        seed: 0x36,
+    },
+    DatasetSpec {
+        abbr: "YE",
+        name: "Yelp",
+        paper_vertices: 700_000,
+        paper_edges: 6_900_000,
+        paper_avg_degree: 9.73,
+        scale: 13,
+        edge_factor: 5,
+        exceeds_gpu_memory: false,
+        seed: 0x7E,
+    },
+    DatasetSpec {
+        abbr: "FR",
+        name: "Friendster",
+        paper_vertices: 65_600_000,
+        paper_edges: 1_800_000_000,
+        paper_avg_degree: 27.53,
+        scale: 17,
+        edge_factor: 14,
+        exceeds_gpu_memory: true,
+        seed: 0xF4,
+    },
+    DatasetSpec {
+        abbr: "TW",
+        name: "Twitter",
+        paper_vertices: 41_600_000,
+        paper_edges: 1_500_000_000,
+        paper_avg_degree: 35.25,
+        scale: 17,
+        edge_factor: 18,
+        exceeds_gpu_memory: true,
+        seed: 0x70,
+    },
 ];
 
 /// The eight in-memory graphs used by Figs. 10–12 (FR/TW excluded there).

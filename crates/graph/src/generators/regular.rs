@@ -11,7 +11,7 @@ use crate::types::VertexId;
 /// A ring lattice: vertex `v` connects to its `k` nearest neighbors on each
 /// side (total degree `2k`). `n` must exceed `2k` so neighbor sets don't
 /// wrap onto themselves.
-pub fn ring_lattice(n: usize, k: usize, ) -> Csr {
+pub fn ring_lattice(n: usize, k: usize) -> Csr {
     assert!(k >= 1, "k must be at least 1");
     assert!(n > 2 * k, "need n > 2k (got n={n}, k={k})");
     let mut pairs = Vec::with_capacity(n * k);

@@ -75,11 +75,7 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Cs
         pairs.push((lo_s as VertexId, lo_d as VertexId));
     }
 
-    CsrBuilder::new()
-        .with_num_vertices(n as usize)
-        .symmetrize(true)
-        .extend_edges(pairs)
-        .build()
+    CsrBuilder::new().with_num_vertices(n as usize).symmetrize(true).extend_edges(pairs).build()
 }
 
 #[cfg(test)]

@@ -116,14 +116,10 @@ pub fn read_matrix_market_from(mut reader: impl BufRead, weighted: bool) -> io::
             continue;
         }
         let mut it = t.split_whitespace();
-        let r: u64 = it
-            .next()
-            .and_then(|x| x.parse().ok())
-            .ok_or_else(|| bad_line(lineno, "bad row"))?;
-        let c: u64 = it
-            .next()
-            .and_then(|x| x.parse().ok())
-            .ok_or_else(|| bad_line(lineno, "bad col"))?;
+        let r: u64 =
+            it.next().and_then(|x| x.parse().ok()).ok_or_else(|| bad_line(lineno, "bad row"))?;
+        let c: u64 =
+            it.next().and_then(|x| x.parse().ok()).ok_or_else(|| bad_line(lineno, "bad col"))?;
         if r == 0 || c == 0 {
             return Err(bad_line(lineno, "MatrixMarket indices are 1-based"));
         }
@@ -290,11 +286,14 @@ mod tests {
             false
         )
         .is_err());
-        assert!(read_matrix_market_from(
-            Cursor::new("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"),
-            false
-        )
-        .is_err(), "0-based index must be rejected");
+        assert!(
+            read_matrix_market_from(
+                Cursor::new("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"),
+                false
+            )
+            .is_err(),
+            "0-based index must be rejected"
+        );
     }
 
     #[test]

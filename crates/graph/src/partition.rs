@@ -292,9 +292,8 @@ mod tests {
     fn edge_balanced_beats_equal_ranges_on_skew() {
         // On a skewed graph the max partition byte size should shrink.
         let g = crate::generators::rmat(10, 8, crate::generators::RmatParams::GRAPH500, 4);
-        let max_bytes = |ps: &PartitionSet| {
-            ps.parts().iter().map(Partition::size_bytes).max().unwrap()
-        };
+        let max_bytes =
+            |ps: &PartitionSet| ps.parts().iter().map(Partition::size_bytes).max().unwrap();
         let eq = PartitionSet::equal_ranges(&g, 4);
         let bal = PartitionSet::edge_balanced(&g, 4);
         assert!(

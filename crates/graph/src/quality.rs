@@ -222,12 +222,8 @@ mod tests {
 
     #[test]
     fn triangle_graph_is_fully_clustered() {
-        let g = CsrBuilder::new()
-            .symmetrize(true)
-            .add_edge(0, 1)
-            .add_edge(1, 2)
-            .add_edge(2, 0)
-            .build();
+        let g =
+            CsrBuilder::new().symmetrize(true).add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).build();
         assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
     }
 
@@ -254,12 +250,8 @@ mod tests {
 
     #[test]
     fn triangle_count_on_known_graphs() {
-        let tri = CsrBuilder::new()
-            .symmetrize(true)
-            .add_edge(0, 1)
-            .add_edge(1, 2)
-            .add_edge(2, 0)
-            .build();
+        let tri =
+            CsrBuilder::new().symmetrize(true).add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).build();
         assert_eq!(triangle_count(&tri), 1);
         // K4 has 4 triangles.
         let mut b = CsrBuilder::new().symmetrize(true);

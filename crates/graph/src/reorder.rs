@@ -79,14 +79,14 @@ pub fn bfs_order(g: &Csr, root: VertexId) -> Vec<VertexId> {
     let mut perm = vec![VertexId::MAX; n];
     let mut next = 0 as VertexId;
     let mut q = VecDeque::new();
-    let enqueue = |v: VertexId, perm: &mut Vec<VertexId>, q: &mut VecDeque<VertexId>,
-                       next: &mut VertexId| {
-        if perm[v as usize] == VertexId::MAX {
-            perm[v as usize] = *next;
-            *next += 1;
-            q.push_back(v);
-        }
-    };
+    let enqueue =
+        |v: VertexId, perm: &mut Vec<VertexId>, q: &mut VecDeque<VertexId>, next: &mut VertexId| {
+            if perm[v as usize] == VertexId::MAX {
+                perm[v as usize] = *next;
+                *next += 1;
+                q.push_back(v);
+            }
+        };
     enqueue(root.min(n.saturating_sub(1) as VertexId), &mut perm, &mut q, &mut next);
     loop {
         while let Some(v) = q.pop_front() {
@@ -188,8 +188,7 @@ mod tests {
     fn bfs_order_reduces_edge_span_on_ring_shuffle() {
         // Shuffle a ring, then BFS-relabel it: span returns to ~1.
         let ring = crate::generators::ring_lattice(64, 1);
-        let shuffle: Vec<VertexId> =
-            (0..64u32).map(|v| (v * 37) % 64).collect(); // 37 coprime to 64
+        let shuffle: Vec<VertexId> = (0..64u32).map(|v| (v * 37) % 64).collect(); // 37 coprime to 64
         let shuffled = relabel(&ring, &shuffle);
         let recovered = relabel(&shuffled, &bfs_order(&shuffled, 0));
         assert!(edge_span(&shuffled) > 10.0);

@@ -50,6 +50,6 @@ pub mod timeline;
 pub mod unified;
 
 pub use config::OomConfig;
-pub use multigpu::MultiGpu;
+pub use multigpu::{MultiGpu, MultiGpuOomOutput};
 pub use scheduler::{OomOutput, OomRunner};
 pub use unified::UnifiedRunner;

@@ -44,10 +44,7 @@ pub fn validate(events: &[TimelineEvent]) -> Result<(), String> {
         evs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         for w in evs.windows(2) {
             if w[1].start < w[0].end - 1e-12 {
-                return Err(format!(
-                    "stream {stream} overlap: {:?} then {:?}",
-                    w[0], w[1]
-                ));
+                return Err(format!("stream {stream} overlap: {:?} then {:?}", w[0], w[1]));
             }
         }
     }
@@ -105,8 +102,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_overlap_and_negative() {
-        let events =
-            vec![ev(EventKind::Copy, 0, 0.0, 1.0), ev(EventKind::Kernel, 0, 0.5, 2.0)];
+        let events = vec![ev(EventKind::Copy, 0, 0.0, 1.0), ev(EventKind::Kernel, 0, 0.5, 2.0)];
         assert!(validate(&events).is_err());
         assert!(validate(&[ev(EventKind::Copy, 0, 2.0, 1.0)]).is_err());
     }

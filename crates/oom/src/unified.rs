@@ -11,11 +11,11 @@
 
 use csaw_core::api::{Algorithm, EdgeCand, FrontierMode, UpdateAction};
 use csaw_core::select::{select_one, select_without_replacement, SelectConfig};
-use csaw_graph::{Csr, VertexId};
 use csaw_gpu::config::DeviceConfig;
 use csaw_gpu::cost::gpu_kernel_seconds;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
+use csaw_graph::{Csr, VertexId};
 use std::collections::{HashSet, VecDeque};
 
 /// Driver-side latency of servicing one GPU page fault (fault interrupt,
@@ -130,13 +130,15 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
         let mut frontiers: Vec<Vec<VertexId>> = seeds.iter().map(|&s| vec![s]).collect();
         let mut visited: Vec<HashSet<VertexId>> = seeds
             .iter()
-            .map(|&s| {
-                if algo_cfg.without_replacement {
-                    HashSet::from([s])
-                } else {
-                    HashSet::new()
-                }
-            })
+            .map(
+                |&s| {
+                    if algo_cfg.without_replacement {
+                        HashSet::from([s])
+                    } else {
+                        HashSet::new()
+                    }
+                },
+            )
             .collect();
 
         for depth in 0..algo_cfg.depth {
@@ -151,10 +153,8 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
                     bytes_migrated += faulted * PAGE_BYTES as u64;
                     stats.read_gmem(16 + 4 * nbrs.len());
 
-                    let mut rng = Philox::for_task(
-                        self.seed,
-                        mix3(inst as u64, depth as u64, v as u64),
-                    );
+                    let mut rng =
+                        Philox::for_task(self.seed, mix3(inst as u64, depth as u64, v as u64));
                     if nbrs.is_empty() {
                         if let UpdateAction::Add(w) =
                             self.algo.on_dead_end(g, v, seeds[inst], &mut rng)
@@ -273,8 +273,7 @@ mod tests {
         let g = rmat(13, 8, RmatParams::GRAPH500, 2);
         let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 4 };
         let seeds: Vec<u32> = (0..128).map(|i| i * 131 % 8192).collect();
-        let small =
-            UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(2 * PAGE_BYTES)).run(&seeds);
+        let small = UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(2 * PAGE_BYTES)).run(&seeds);
         let big = UnifiedRunner::new(&g, &algo, DeviceConfig::tiny(1 << 24)).run(&seeds);
         assert!(
             small.page_faults > 2 * big.page_faults,

@@ -3,8 +3,8 @@
 //! must hold.
 
 use csaw_core::algorithms::UnbiasedNeighborSampling;
-use csaw_graph::CsrBuilder;
 use csaw_gpu::config::DeviceConfig;
+use csaw_graph::CsrBuilder;
 use csaw_oom::{OomConfig, OomRunner};
 use proptest::prelude::*;
 

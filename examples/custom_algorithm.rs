@@ -15,9 +15,9 @@
 
 use csaw::core::api::*;
 use csaw::core::engine::Sampler;
+use csaw::gpu::Philox;
 use csaw::graph::datasets;
 use csaw::graph::Csr;
-use csaw::gpu::Philox;
 
 /// Samples 2 neighbors per vertex per hop, biased by Jaccard-ish overlap
 /// with the current vertex, restarting 10% of updates.
@@ -93,7 +93,11 @@ fn main() {
         csaw::graph::quality::clustering_coefficient(&sub)
     };
     let (ours, theirs) = (clustering(&out), clustering(&base));
-    println!("sampled edges: similarity {}, unbiased {}", out.sampled_edges(), base.sampled_edges());
+    println!(
+        "sampled edges: similarity {}, unbiased {}",
+        out.sampled_edges(),
+        base.sampled_edges()
+    );
     println!("sample clustering: similarity {ours:.4} vs unbiased {theirs:.4}");
     assert!(
         ours > theirs,

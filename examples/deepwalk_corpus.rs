@@ -13,8 +13,8 @@
 
 use csaw::core::algorithms::{Node2Vec, SimpleRandomWalk};
 use csaw::core::engine::Sampler;
-use csaw::graph::datasets;
 use csaw::gpu::config::DeviceConfig;
+use csaw::graph::datasets;
 
 fn main() {
     let spec = datasets::by_abbr("LJ").expect("registry has LJ");

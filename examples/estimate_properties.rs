@@ -67,11 +67,9 @@ fn main() {
     }
 
     // The estimate should be close in total variation on the shown head.
-    let tv: f64 = est
-        .iter()
-        .map(|(d, f)| (f - truth_hist.get(d).copied().unwrap_or(0.0)).abs())
-        .sum::<f64>()
-        / 2.0;
+    let tv: f64 =
+        est.iter().map(|(d, f)| (f - truth_hist.get(d).copied().unwrap_or(0.0)).abs()).sum::<f64>()
+            / 2.0;
     println!("\ntotal variation distance: {tv:.4}");
     assert!(tv < 0.12, "estimator should be close on the giant component: TV {tv}");
 }

@@ -37,16 +37,13 @@ fn main() {
     let mut total_edges = 0usize;
     let mut total_nodes = 0usize;
     for b in 0..num_batches {
-        let targets: Vec<u32> =
-            (0..batch_size).map(|i| ((b * batch_size + i) * 131) as u32 % g.num_vertices() as u32).collect();
+        let targets: Vec<u32> = (0..batch_size)
+            .map(|i| ((b * batch_size + i) * 131) as u32 % g.num_vertices() as u32)
+            .collect();
         let out = sampler.run_single_seeds(&targets);
         let edges: usize = out.instances.iter().map(Vec::len).sum();
-        let nodes: HashSet<u32> = out
-            .instances
-            .iter()
-            .flatten()
-            .flat_map(|&(v, u)| [v, u])
-            .collect();
+        let nodes: HashSet<u32> =
+            out.instances.iter().flatten().flat_map(|&(v, u)| [v, u]).collect();
         total_edges += edges;
         total_nodes += nodes.len();
         if b < 3 {
@@ -69,8 +66,9 @@ fn main() {
     let sampler = Sampler::new(&g, &layer);
     println!("\nlayer-sampling batches (layer width 128, 2 layers):");
     for b in 0..3 {
-        let targets: Vec<u32> =
-            (0..batch_size).map(|i| ((b * batch_size + i) * 131) as u32 % g.num_vertices() as u32).collect();
+        let targets: Vec<u32> = (0..batch_size)
+            .map(|i| ((b * batch_size + i) * 131) as u32 % g.num_vertices() as u32)
+            .collect();
         // One instance whose seed pool is the whole batch.
         let out = sampler.run(&[targets]);
         let edges = out.instances[0].len();

@@ -10,8 +10,8 @@
 //! ```
 
 use csaw::core::algorithms::UnbiasedNeighborSampling;
-use csaw::graph::datasets;
 use csaw::gpu::config::DeviceConfig;
+use csaw::graph::datasets;
 use csaw::oom::{OomConfig, OomRunner};
 
 fn main() {
@@ -30,7 +30,10 @@ fn main() {
         (0..512u32).map(|i| (i * 2_654_435_761u32) % g.num_vertices() as u32).collect();
     let dev = DeviceConfig::tiny(1 << 20);
 
-    println!("\n{:<12} {:>10} {:>10} {:>12} {:>10}", "config", "transfers", "rounds", "sim time ms", "speedup");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>12} {:>10}",
+        "config", "transfers", "rounds", "sim time ms", "speedup"
+    );
     let mut base_time = None;
     for (label, cfg) in OomConfig::figure13_ladder() {
         let out = OomRunner::new(&g, &algo, cfg).with_device(dev).run(&seeds);

@@ -7,8 +7,8 @@
 
 use csaw::core::algorithms::{BiasedRandomWalk, Node2Vec, Snowball, UnbiasedNeighborSampling};
 use csaw::core::engine::Sampler;
-use csaw::graph::generators::toy_graph;
 use csaw::gpu::config::DeviceConfig;
+use csaw::graph::generators::toy_graph;
 
 fn main() {
     let g = toy_graph();

@@ -1,0 +1,249 @@
+//! In-tree shim for the `criterion` crate (hermetic build — no
+//! crates.io).
+//!
+//! Implements the harness surface the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros — with genuine wall-clock measurement:
+//! a calibration warmup sizes each sample, then `sample_size` samples
+//! are timed and min/median/max per-iteration times are printed.
+//!
+//! Like upstream, a `--test` argument (what `cargo test` passes to
+//! `harness = false` bench targets) switches to smoke mode: every
+//! routine runs exactly once, so the suite stays fast under
+//! `cargo test -q` while still executing each bench body.
+
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark label (`&str`, `String`, or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Per-iteration sample durations recorded by [`Bencher::iter`].
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` (or runs it once in `--test` smoke mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibration: run for ~200ms to estimate the per-iter cost.
+        let warmup = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Aim for ~5ms per sample so cheap routines aren't clock-noise.
+        let iters_per_sample = ((0.005 / per_iter) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.4} ns", s * 1e9)
+    }
+}
+
+fn run_one(label: &str, test_mode: bool, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { test_mode, sample_size, samples: Vec::new() };
+    f(&mut b);
+    if test_mode {
+        println!("{label}: ok (smoke)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    b.samples.sort_by(|a, c| a.total_cmp(c));
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        format_seconds(min),
+        format_seconds(median),
+        format_seconds(max)
+    );
+}
+
+/// Top-level harness.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` passes `--test` to harness=false bench binaries;
+        // `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.test_mode, 50, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: 50,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group sharing a name prefix and a sample count.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    // Tied to the parent's lifetime purely to match upstream's API shape.
+    _marker: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` as `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.test_mode, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.test_mode, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+/// Declares a group-runner function over the given bench functions.
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+/// Declares `main` running the given groups.
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut count = 0;
+        run_one("t", true, 50, |b| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("its", 64).into_id(), "its/64");
+        assert_eq!(BenchmarkId::from_parameter(8).into_id(), "8");
+    }
+}

@@ -1,0 +1,513 @@
+//! In-tree shim for the `proptest` crate (hermetic build — no
+//! crates.io).
+//!
+//! Implements the property-testing surface this workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map`, range/tuple/`any`/
+//! `collection::vec`/`option::of` strategies, the `proptest!` macro
+//! (including `#![proptest_config(..)]` and both `name in strategy`
+//! and `name: Type` parameter forms), and `prop_assert*!`.
+//!
+//! Intentional divergences from upstream:
+//! - **No shrinking.** A failing case panics with its deterministic
+//!   case number; rerunning reproduces it exactly.
+//! - **Deterministic seeding.** Each case's RNG is seeded from
+//!   (test path, case index), so runs are reproducible across machines
+//!   and never flake — there is no regression file.
+//! - Default case count is 64 (upstream: 256); override per block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+/// Core strategy abstraction: a recipe for generating values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: std::fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: std::fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+}
+
+/// `any::<T>()` — the type's canonical full-domain strategy.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Types with a canonical strategy over their whole domain.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.random::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.random()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy { _marker: std::marker::PhantomData }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Strategy for vectors whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `len ∈ size` values of `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Strategy for `Option<T>`; `None` with probability 1/2.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.random() {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Wraps `inner`'s values in `Some` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Runner, config, and error types.
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-case deterministic RNG.
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name`; the stream
+        /// depends on both, so cases and tests are independent.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the fully qualified test path.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(rand::rngs::StdRng::seed_from_u64(
+                h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property (carried by `prop_assert*!` early returns).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Drives `f` over `config.cases` deterministic cases, panicking
+    /// (with the reproducible case number) on the first failure.
+    pub fn run_cases<F>(config: ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(name, case);
+            if let Err(e) = f(&mut rng) {
+                panic!("property failed at deterministic case {case}/{}: {e}", config.cases);
+            }
+        }
+    }
+}
+
+/// Everything a property-test module glob-imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not the process) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and, per test, parameters of the form
+/// `name in strategy` or `name: Type` (sugar for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: peels one test fn off the block at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $crate::__proptest_one! {
+            cfg = ($cfg);
+            metas = ($(#[$meta])*);
+            name = $name;
+            body = $body;
+            acc = ();
+            params = ($($params)*)
+        }
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: munches one test's parameter list into (pattern, strategy)
+/// pairs, then emits the final zero-argument test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    // `name in strategy` (more params follow).
+    (cfg = $cfg:tt; metas = $m:tt; name = $name:ident; body = $body:tt;
+     acc = ($($acc:tt)*); params = ($p:ident in $s:expr, $($rest:tt)*)) => {
+        $crate::__proptest_one! {
+            cfg = $cfg; metas = $m; name = $name; body = $body;
+            acc = ($($acc)* ($p, $s)); params = ($($rest)*)
+        }
+    };
+    // `name in strategy` (final param).
+    (cfg = $cfg:tt; metas = $m:tt; name = $name:ident; body = $body:tt;
+     acc = ($($acc:tt)*); params = ($p:ident in $s:expr)) => {
+        $crate::__proptest_one! {
+            cfg = $cfg; metas = $m; name = $name; body = $body;
+            acc = ($($acc)* ($p, $s)); params = ()
+        }
+    };
+    // `name: Type` (more params follow).
+    (cfg = $cfg:tt; metas = $m:tt; name = $name:ident; body = $body:tt;
+     acc = ($($acc:tt)*); params = ($p:ident : $t:ty, $($rest:tt)*)) => {
+        $crate::__proptest_one! {
+            cfg = $cfg; metas = $m; name = $name; body = $body;
+            acc = ($($acc)* ($p, $crate::arbitrary::any::<$t>())); params = ($($rest)*)
+        }
+    };
+    // `name: Type` (final param).
+    (cfg = $cfg:tt; metas = $m:tt; name = $name:ident; body = $body:tt;
+     acc = ($($acc:tt)*); params = ($p:ident : $t:ty)) => {
+        $crate::__proptest_one! {
+            cfg = $cfg; metas = $m; name = $name; body = $body;
+            acc = ($($acc)* ($p, $crate::arbitrary::any::<$t>())); params = ()
+        }
+    };
+    // All params munched: emit the test.
+    (cfg = ($cfg:expr); metas = ($($m:tt)*); name = $name:ident; body = $body:tt;
+     acc = ($(($p:pat, $s:expr))*); params = ()) => {
+        $($m)*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__pt_rng| {
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), __pt_rng);)*
+                    let __pt_out: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __pt_out
+                },
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mixed `in`/`:` parameter forms parse and generate in range.
+        #[test]
+        fn mixed_params(x in 1u32..10, seed: u64, v in prop::collection::vec(0usize..5, 0..8)) {
+            prop_assert!((1..10).contains(&x));
+            let _ = seed;
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        /// prop_map and tuples compose.
+        #[test]
+        fn mapped_tuples(p in (0u32..4, 0u32..4).prop_map(|(a, b)| (a + 10, b))) {
+            prop_assert!((10..14).contains(&p.0));
+            prop_assert!(p.1 < 4);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u64..1000, 1..20);
+        let a: Vec<u64> = s.generate(&mut TestRng::for_case("t", 3));
+        let b: Vec<u64> = s.generate(&mut TestRng::for_case("t", 3));
+        let c: Vec<u64> = s.generate(&mut TestRng::for_case("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at deterministic case")]
+    fn failures_panic_with_case_number() {
+        crate::test_runner::run_cases(
+            crate::test_runner::ProptestConfig::with_cases(5),
+            "always_fails",
+            |_| Err(crate::test_runner::TestCaseError::fail("boom")),
+        );
+    }
+}

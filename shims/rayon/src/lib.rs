@@ -1,0 +1,284 @@
+//! In-tree shim for the `rayon` crate (hermetic build — no crates.io).
+//!
+//! Provides the data-parallel surface this workspace uses: `par_iter` /
+//! `into_par_iter` with `enumerate`/`map` and an order-preserving
+//! `collect`, plus `ThreadPoolBuilder::install` for pinning the thread
+//! count inside a closure. Unlike upstream rayon there is no persistent
+//! work-stealing pool: each `map` fans its input out over freshly
+//! scoped OS threads in contiguous chunks and reassembles the results
+//! in input order, which keeps every pipeline deterministic for free.
+//!
+//! Thread count resolution order: `ThreadPoolBuilder::install` override
+//! (propagated into nested parallel calls) → `RAYON_NUM_THREADS` →
+//! `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; copied
+    /// into worker threads so nested parallel calls see the same cap.
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a parallel call would use right now.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over `items` on scoped threads, returning outputs in input
+/// order. The installed thread-count override is mirrored into each
+/// worker so nested parallel iterators respect it.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let override_val = POOL_OVERRIDE.with(|c| c.get());
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                scope.spawn(move || {
+                    POOL_OVERRIDE.with(|cell| cell.set(override_val));
+                    c.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+    });
+    let total = out.iter().map(Vec::len).sum();
+    let mut flat = Vec::with_capacity(total);
+    for v in &mut out {
+        flat.append(v);
+    }
+    flat
+}
+
+/// A not-yet-executed parallel pipeline over an owned list of items.
+///
+/// `map` is the execution point: it fans out over threads immediately
+/// and yields another (already materialized) `ParIter`. `collect` then
+/// simply unwraps. This eager design is observably identical for the
+/// `par_iter().enumerate().map(f).collect()` pipelines the workspace
+/// writes, and keeps the shim free of closure-type plumbing.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs each item with its index, preserving order.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Applies `f` to every item across the thread pool; output order
+    /// matches input order.
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParIter { items: parallel_map(self.items, f) }
+    }
+
+    /// Materializes the pipeline. `C` is `Vec<T>` in practice.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Total number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the pipeline carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Runs `f` on every item for its side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        parallel_map(self.items, f);
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// By-reference conversion into a parallel iterator over `&T`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send;
+    /// Borrows `self` as a [`ParIter`] of references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot
+/// actually fail in the shim, but the signature matches upstream.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with no explicit thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads (0 = automatic, like upstream).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Handle whose only power is scoping a thread-count override.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count; parallel calls inside
+    /// `f` (including nested ones on worker threads) use it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.num_threads.or_else(|| c.get())));
+        // Restore on unwind too, so a panicking test doesn't leak its
+        // override into later tests on the same thread.
+        struct Reset(Option<usize>);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        f()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// Glob-import module matching `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().enumerate().map(|(i, &x)| i + x).collect();
+        let expect: Vec<usize> = (0..1000).map(|i| 2 * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let out: Vec<String> = vec![1, 2, 3].into_par_iter().map(|x: i32| format!("{x}")).collect();
+        assert_eq!(out, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let (inside, nested) = pool.install(|| {
+            let nested: Vec<usize> =
+                vec![(), ()].into_par_iter().map(|()| current_num_threads()).collect();
+            (current_num_threads(), nested)
+        });
+        assert_eq!(inside, 3);
+        // The override must be visible on worker threads too.
+        assert!(nested.iter().all(|&n| n == 3), "{nested:?}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

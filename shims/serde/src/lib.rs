@@ -1,0 +1,21 @@
+//! In-tree shim for the `serde` crate (hermetic build — no crates.io).
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to keep
+//! its data types serialization-ready; nothing actually serializes
+//! yet (no serde_json/bincode in the tree). The derives here expand to
+//! nothing, so the attribute remains valid at every use site while the
+//! trait machinery is deferred until a real serializer lands.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

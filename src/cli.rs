@@ -46,10 +46,7 @@ impl Cli {
     /// Parses `args` (without the program name).
     pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         let mut it = args.iter();
-        let command = it
-            .next()
-            .ok_or_else(|| CliError::Usage(USAGE.to_string()))?
-            .clone();
+        let command = it.next().ok_or_else(|| CliError::Usage(USAGE.to_string()))?.clone();
         if !["info", "sample", "quality", "components", "partition", "convert", "ppr"]
             .contains(&command.as_str())
         {
@@ -60,9 +57,7 @@ impl Cli {
             let key = flag
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::Usage(format!("expected --flag, got '{flag}'")))?;
-            let val = it
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+            let val = it.next().ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
             opts.insert(key.to_string(), val.clone());
         }
         Ok(Cli { command, opts })
@@ -75,18 +70,14 @@ impl Cli {
     fn get_usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| CliError::Invalid(format!("--{key} '{v}': {e}"))),
+            Some(v) => v.parse().map_err(|e| CliError::Invalid(format!("--{key} '{v}': {e}"))),
         }
     }
 
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| CliError::Invalid(format!("--{key} '{v}': {e}"))),
+            Some(v) => v.parse().map_err(|e| CliError::Invalid(format!("--{key} '{v}': {e}"))),
         }
     }
 }
@@ -173,17 +164,13 @@ pub fn build_algorithm(cli: &Cli) -> Result<Box<dyn Algorithm>, CliError> {
         "simple-walk" => Box::new(SimpleRandomWalk { length }),
         "biased-walk" => Box::new(BiasedRandomWalk { length }),
         "mh-walk" => Box::new(MetropolisHastingsWalk { length }),
-        "jump-walk" => {
-            Box::new(RandomWalkWithJump { length, p_jump: cli.get_f64("pj", 0.1)? })
-        }
+        "jump-walk" => Box::new(RandomWalkWithJump { length, p_jump: cli.get_f64("pj", 0.1)? }),
         "restart-walk" => {
             Box::new(RandomWalkWithRestart { length, p_restart: cli.get_f64("pr", 0.15)? })
         }
-        "node2vec" => Box::new(Node2Vec {
-            length,
-            p: cli.get_f64("p", 1.0)?,
-            q: cli.get_f64("q", 1.0)?,
-        }),
+        "node2vec" => {
+            Box::new(Node2Vec { length, p: cli.get_f64("p", 1.0)?, q: cli.get_f64("q", 1.0)? })
+        }
         "neighbor" => Box::new(UnbiasedNeighborSampling { neighbor_size: ns, depth }),
         "biased-neighbor" => Box::new(BiasedNeighborSampling { neighbor_size: ns, depth }),
         "forest-fire" => Box::new(ForestFire { pf: cli.get_f64("pf", 0.7)?, depth }),
@@ -262,9 +249,8 @@ pub fn run_boxed(
 /// Executes a parsed command, writing human output to `out`. Returns the
 /// process exit code.
 pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> {
-    let source = cli
-        .get("graph")
-        .ok_or_else(|| CliError::Usage(format!("--graph is required\n{USAGE}")))?;
+    let source =
+        cli.get("graph").ok_or_else(|| CliError::Usage(format!("--graph is required\n{USAGE}")))?;
     let g = load_graph(source)?;
     let wr = |out: &mut dyn std::io::Write, s: String| {
         let _ = writeln!(out, "{s}");
@@ -294,12 +280,15 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
                 "random-edge" => crate::core::onepass::random_edge(&g, fraction, seed),
                 _ => crate::core::onepass::ties(&g, fraction, seed),
             };
-            wr(out, format!(
-                "# one-pass {} fraction={fraction}: {} vertices, {} edges",
-                cli.get("algo").unwrap(),
-                res.vertices.len(),
-                res.edges.len()
-            ));
+            wr(
+                out,
+                format!(
+                    "# one-pass {} fraction={fraction}: {} vertices, {} edges",
+                    cli.get("algo").unwrap(),
+                    res.vertices.len(),
+                    res.edges.len()
+                ),
+            );
             if let Some(path) = cli.get("out") {
                 let mut f = std::fs::File::create(path)
                     .map_err(|e| CliError::Invalid(format!("cannot create '{path}': {e}")))?;
@@ -316,15 +305,22 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             let instances = cli.get_usize("instances", 16)?;
             let seed = cli.get_usize("seed", 1)? as u64;
             let res = run_boxed(&g, algo.as_ref(), instances, seed);
-            wr(out, format!("# algo={} instances={} edges={}", algo.name(), instances, res.sampled_edges()));
+            wr(
+                out,
+                format!(
+                    "# algo={} instances={} edges={}",
+                    algo.name(),
+                    instances,
+                    res.sampled_edges()
+                ),
+            );
             if let Some(path) = cli.get("out") {
                 let mut f = std::fs::File::create(path)
                     .map_err(|e| CliError::Invalid(format!("cannot create '{path}': {e}")))?;
                 use std::io::Write as _;
                 for (i, inst) in res.instances.iter().enumerate() {
                     for &(v, u) in inst {
-                        writeln!(f, "{i} {v} {u}")
-                            .map_err(|e| CliError::Invalid(e.to_string()))?;
+                        writeln!(f, "{i} {v} {u}").map_err(|e| CliError::Invalid(e.to_string()))?;
                     }
                 }
                 wr(out, format!("wrote {} edges to {path}", res.sampled_edges()));
@@ -333,7 +329,13 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
                     wr(out, format!("instance {i}: {inst:?}"));
                 }
                 if res.instances.len() > 8 {
-                    wr(out, format!("... {} more instances (use --out to save)", res.instances.len() - 8));
+                    wr(
+                        out,
+                        format!(
+                            "... {} more instances (use --out to save)",
+                            res.instances.len() - 8
+                        ),
+                    );
                 }
             }
             Ok(())
@@ -345,24 +347,40 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             let res = run_boxed(&g, algo.as_ref(), instances, seed);
             let (sub, _) = res.induce_subgraph();
             let r = quality::compare(&g, &sub, seed);
-            wr(out, format!("sample: {} vertices, {} edges ({:.1}% of original edges)",
-                sub.num_vertices(), sub.num_edges(),
-                100.0 * sub.num_edges() as f64 / g.num_edges().max(1) as f64));
+            wr(
+                out,
+                format!(
+                    "sample: {} vertices, {} edges ({:.1}% of original edges)",
+                    sub.num_vertices(),
+                    sub.num_edges(),
+                    100.0 * sub.num_edges() as f64 / g.num_edges().max(1) as f64
+                ),
+            );
             wr(out, format!("degree KS distance     {:.4}", r.degree_ks));
-            wr(out, format!("clustering  orig/sample  {:.4} / {:.4}", r.clustering_original, r.clustering_sample));
-            wr(out, format!("eff. diameter orig/sample  {:.1} / {:.1}", r.diameter_original, r.diameter_sample));
+            wr(
+                out,
+                format!(
+                    "clustering  orig/sample  {:.4} / {:.4}",
+                    r.clustering_original, r.clustering_sample
+                ),
+            );
+            wr(
+                out,
+                format!(
+                    "eff. diameter orig/sample  {:.1} / {:.1}",
+                    r.diameter_original, r.diameter_sample
+                ),
+            );
             Ok(())
         }
         "convert" => {
-            let to = cli
-                .get("to")
-                .ok_or_else(|| CliError::Usage("convert needs --to <path>".into()))?;
+            let to =
+                cli.get("to").ok_or_else(|| CliError::Usage("convert needs --to <path>".into()))?;
             let g = match cli.get("reorder") {
                 None => g,
-                Some("degree") => crate::graph::reorder::relabel(
-                    &g,
-                    &crate::graph::reorder::degree_order(&g),
-                ),
+                Some("degree") => {
+                    crate::graph::reorder::relabel(&g, &crate::graph::reorder::degree_order(&g))
+                }
                 Some("bfs") => {
                     crate::graph::reorder::relabel(&g, &crate::graph::reorder::bfs_order(&g, 0))
                 }
@@ -375,12 +393,15 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             let f = std::fs::File::create(to)
                 .map_err(|e| CliError::Invalid(format!("cannot create '{to}': {e}")))?;
             io::write_binary_csr(&g, f).map_err(|e| CliError::Invalid(e.to_string()))?;
-            wr(out, format!(
-                "wrote {} vertices / {} edges to {to} ({:.2} MB)",
-                g.num_vertices(),
-                g.num_edges(),
-                g.size_bytes() as f64 / 1e6
-            ));
+            wr(
+                out,
+                format!(
+                    "wrote {} vertices / {} edges to {to} ({:.2} MB)",
+                    g.num_vertices(),
+                    g.num_edges(),
+                    g.size_bytes() as f64 / 1e6
+                ),
+            );
             Ok(())
         }
         "ppr" => {
@@ -416,10 +437,14 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             sizes.sort_unstable_by(|a, b| b.cmp(a));
             wr(out, format!("components      {count}"));
             wr(out, format!("largest         {}", sizes.first().copied().unwrap_or(0)));
-            wr(out, format!(
-                "giant coverage  {:.1}%",
-                100.0 * sizes.first().copied().unwrap_or(0) as f64 / g.num_vertices().max(1) as f64
-            ));
+            wr(
+                out,
+                format!(
+                    "giant coverage  {:.1}%",
+                    100.0 * sizes.first().copied().unwrap_or(0) as f64
+                        / g.num_vertices().max(1) as f64
+                ),
+            );
             wr(out, format!("singletons      {}", sizes.iter().filter(|&&s| s == 1).count()));
             Ok(())
         }
@@ -431,15 +456,18 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             ] {
                 wr(out, format!("{label} partitions:"));
                 for p in ps.parts() {
-                    wr(out, format!(
-                        "  P{}: vertices [{}, {}) = {}, edges {}, {:.2} MB",
-                        p.id,
-                        p.start,
-                        p.end,
-                        p.num_vertices(),
-                        p.num_edges(),
-                        p.size_bytes() as f64 / 1e6
-                    ));
+                    wr(
+                        out,
+                        format!(
+                            "  P{}: vertices [{}, {}) = {}, edges {}, {:.2} MB",
+                            p.id,
+                            p.start,
+                            p.end,
+                            p.num_vertices(),
+                            p.num_edges(),
+                            p.size_bytes() as f64 / 1e6
+                        ),
+                    );
                 }
             }
             Ok(())
@@ -487,8 +515,18 @@ mod tests {
     #[test]
     fn builds_every_algorithm() {
         for name in [
-            "simple-walk", "biased-walk", "mh-walk", "jump-walk", "restart-walk", "node2vec",
-            "neighbor", "biased-neighbor", "forest-fire", "snowball", "layer", "mdrw",
+            "simple-walk",
+            "biased-walk",
+            "mh-walk",
+            "jump-walk",
+            "restart-walk",
+            "node2vec",
+            "neighbor",
+            "biased-neighbor",
+            "forest-fire",
+            "snowball",
+            "layer",
+            "mdrw",
         ] {
             let cli = Cli::parse(&args(&format!("sample --graph x --algo {name}"))).unwrap();
             assert!(build_algorithm(&cli).is_ok(), "{name}");
@@ -541,14 +579,14 @@ mod tests {
             let text = String::from_utf8(buf).unwrap();
             assert!(text.contains(&format!("one-pass {algo}")), "{text}");
         }
-        let cli =
-            Cli::parse(&args("sample --graph rmat:6:2 --algo ties --fraction 1.5")).unwrap();
+        let cli = Cli::parse(&args("sample --graph rmat:6:2 --algo ties --fraction 1.5")).unwrap();
         assert!(execute(&cli, &mut Vec::new()).is_err());
     }
 
     #[test]
     fn ppr_command_ranks_source_first() {
-        let cli = Cli::parse(&args("ppr --graph rmat:6:3 --source 5 --topk 3 --walks 500")).unwrap();
+        let cli =
+            Cli::parse(&args("ppr --graph rmat:6:3 --source 5 --topk 3 --walks 500")).unwrap();
         let mut buf = Vec::new();
         execute(&cli, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -614,9 +652,8 @@ mod tests {
 
     #[test]
     fn mdrw_runs_via_pools() {
-        let cli =
-            Cli::parse(&args("sample --graph rmat:6:2 --algo mdrw --instances 2 --length 8"))
-                .unwrap();
+        let cli = Cli::parse(&args("sample --graph rmat:6:2 --algo mdrw --instances 2 --length 8"))
+            .unwrap();
         let mut buf = Vec::new();
         execute(&cli, &mut buf).unwrap();
     }

@@ -31,9 +31,10 @@ fn first_hop_matches_theorem_1_for_degree_bias() {
         *counts.entry(inst[0].1).or_default() += 1;
     }
     // Theorem 1 on Fig. 1: t = b / Σb with b = {3,6,2,2,2}.
-    let exact: HashMap<u32, f64> = [(5u32, 0.2), (7, 0.4), (9, 2.0 / 15.0), (10, 2.0 / 15.0), (11, 2.0 / 15.0)]
-        .into_iter()
-        .collect();
+    let exact: HashMap<u32, f64> =
+        [(5u32, 0.2), (7, 0.4), (9, 2.0 / 15.0), (10, 2.0 / 15.0), (11, 2.0 / 15.0)]
+            .into_iter()
+            .collect();
     let d = tv(&counts, &exact, n);
     assert!(d < 0.01, "TV distance {d}");
 }

@@ -110,15 +110,18 @@ fn select_strategy_changes_work_not_validity() {
     let g = rmat(9, 8, RmatParams::GRAPH500, 12).with_unit_weights();
     let algo = BiasedNeighborSampling { neighbor_size: 4, depth: 2 };
     let seeds: Vec<u32> = (0..64).collect();
-    for strategy in [SelectStrategy::Repeated, SelectStrategy::Updated, SelectStrategy::Bipartite]
-    {
+    for strategy in [SelectStrategy::Repeated, SelectStrategy::Updated, SelectStrategy::Bipartite] {
         for detector in [
             DetectorKind::LinearSearch,
             DetectorKind::ContiguousBitmap { word_bits: 8 },
             DetectorKind::StridedBitmap { word_bits: 8 },
         ] {
             let out = Sampler::new(&g, &algo)
-                .with_options(RunOptions { seed: 3, select: SelectConfig { strategy, detector }, ..Default::default() })
+                .with_options(RunOptions {
+                    seed: 3,
+                    select: SelectConfig { strategy, detector },
+                    ..Default::default()
+                })
                 .run_single_seeds(&seeds);
             check_edges_are_real(&g, &out);
             assert!(out.sampled_edges() > 0);

@@ -3,8 +3,8 @@
 
 use csaw::core::algorithms::{BiasedRandomWalk, UnbiasedNeighborSampling};
 use csaw::core::engine::Sampler;
-use csaw::graph::generators::{rmat, RmatParams};
 use csaw::gpu::config::DeviceConfig;
+use csaw::graph::generators::{rmat, RmatParams};
 use csaw::oom::{OomConfig, OomRunner};
 
 fn canon(instances: &[Vec<(u32, u32)>]) -> Vec<Vec<(u32, u32)>> {
@@ -26,9 +26,7 @@ fn oom_configs_produce_identical_samples() {
     let outs: Vec<_> = OomConfig::figure13_ladder()
         .iter()
         .map(|(_, cfg)| {
-            OomRunner::new(&g, &algo, *cfg)
-                .with_device(DeviceConfig::tiny(1 << 20))
-                .run(&seeds)
+            OomRunner::new(&g, &algo, *cfg).with_device(DeviceConfig::tiny(1 << 20)).run(&seeds)
         })
         .collect();
     for o in &outs[1..] {
@@ -43,11 +41,7 @@ fn partition_count_does_not_change_samples() {
     let seeds: Vec<u32> = (0..32).collect();
     let mut reference = None;
     for parts in [2usize, 3, 4, 8] {
-        let cfg = OomConfig {
-            num_partitions: parts,
-            resident_partitions: 2,
-            ..OomConfig::full()
-        };
+        let cfg = OomConfig { num_partitions: parts, resident_partitions: 2, ..OomConfig::full() };
         let out = OomRunner::new(&g, &algo, cfg).run(&seeds);
         let c = canon(&out.instances);
         match &reference {
@@ -87,11 +81,7 @@ fn oom_walk_statistics_match_in_memory_engine() {
         let hubs: std::collections::HashSet<u32> =
             degs[..g.num_vertices() / 100].iter().map(|&(_, v)| v).collect();
         let total: usize = instances.iter().map(Vec::len).sum();
-        let hub: usize = instances
-            .iter()
-            .flatten()
-            .filter(|&&(_, u)| hubs.contains(&u))
-            .count();
+        let hub: usize = instances.iter().flatten().filter(|&&(_, u)| hubs.contains(&u)).count();
         hub as f64 / total as f64
     };
     let a = hub_frac(&mem.instances);
@@ -109,14 +99,76 @@ fn oom_respects_memory_budget() {
     let seeds: Vec<u32> = (0..64).collect();
 
     let tight = OomRunner::new(&g, &algo, OomConfig::full()).run(&seeds);
-    let roomy = OomRunner::new(
-        &g,
-        &algo,
-        OomConfig { resident_partitions: 4, ..OomConfig::full() },
-    )
-    .run(&seeds);
+    let roomy =
+        OomRunner::new(&g, &algo, OomConfig { resident_partitions: 4, ..OomConfig::full() })
+            .run(&seeds);
     assert!(roomy.transfers <= 4, "roomy device re-transfers: {}", roomy.transfers);
     assert!(tight.transfers >= roomy.transfers);
+}
+
+/// The host-parallel OOM runtime is deterministic **by construction**:
+/// each stream task owns its partition's queue and visited shard, every
+/// RNG draw is keyed by `(instance, depth, vertex)`, and cross-partition
+/// frontier insertions are staged in per-stream outboxes merged at the
+/// round barrier in fixed (stream, entry) order. The rayon pool size
+/// therefore cannot change any observable output — and neither can
+/// disabling host parallelism entirely (`OomConfig::serial`, the serial
+/// reference path), for both the single-device scheduler and the
+/// multi-GPU driver. Every field is compared bit-exactly, including the
+/// simulated timings.
+#[test]
+fn oom_runtime_is_deterministic_across_thread_counts() {
+    use csaw::oom::{MultiGpu, MultiGpuOomOutput, OomOutput};
+    let g = rmat(10, 6, RmatParams::GRAPH500, 26);
+    let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+    let seeds: Vec<u32> = (0..96).map(|i| i * 11 % 1024).collect();
+
+    let single = |cfg: OomConfig| {
+        OomRunner::new(&g, &algo, cfg).with_device(DeviceConfig::tiny(1 << 20)).run(&seeds)
+    };
+    let multi = |cfg: OomConfig| MultiGpu::new(3).run_oom(&g, &algo, &seeds, cfg);
+    let f64_bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<u64>>();
+
+    // Reference: the default host-parallel config on the ambient pool.
+    let base = single(OomConfig::full());
+    let base_mg = multi(OomConfig::full());
+
+    let check = |o: &OomOutput, label: &str| {
+        assert_eq!(o.instances, base.instances, "{label}: instances");
+        assert_eq!(o.stats, base.stats, "{label}: stats");
+        assert_eq!(o.transfers, base.transfers, "{label}: transfers");
+        assert_eq!(o.rounds, base.rounds, "{label}: rounds");
+        assert_eq!(
+            o.sim_seconds.to_bits(),
+            base.sim_seconds.to_bits(),
+            "{label}: sim_seconds {} vs {}",
+            o.sim_seconds,
+            base.sim_seconds
+        );
+    };
+    let check_mg = |o: &MultiGpuOomOutput, label: &str| {
+        assert_eq!(o.instances, base_mg.instances, "{label}: instances");
+        assert_eq!(o.transfers, base_mg.transfers, "{label}: transfers");
+        assert_eq!(o.rounds, base_mg.rounds, "{label}: rounds");
+        assert_eq!(
+            f64_bits(&o.gpu_seconds),
+            f64_bits(&base_mg.gpu_seconds),
+            "{label}: gpu_seconds"
+        );
+    };
+
+    // The serial reference path: no rayon tasks spawned at all.
+    check(&single(OomConfig::full().serial()), "serial");
+    check_mg(&multi(OomConfig::full().serial()), "serial multi-GPU");
+
+    // Pinned pool sizes — the RAYON_NUM_THREADS=1/2/default matrix,
+    // expressed with explicit pools so one test process covers it all.
+    for threads in [1usize, 2] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let (o, m) = pool.install(|| (single(OomConfig::full()), multi(OomConfig::full())));
+        check(&o, &format!("{threads}-thread pool"));
+        check_mg(&m, &format!("{threads}-thread pool, multi-GPU"));
+    }
 }
 
 #[test]
@@ -128,8 +180,5 @@ fn multi_gpu_and_oom_compose_with_engine_outputs() {
     let seeds: Vec<u32> = (0..48).collect();
     let mg = MultiGpu::new(3).run_single_seeds(&g, &algo, &seeds, RunOptions::default());
     assert_eq!(mg.instances.len(), 48);
-    assert_eq!(
-        mg.sampled_edges,
-        mg.instances.iter().map(|i| i.len() as u64).sum::<u64>()
-    );
+    assert_eq!(mg.sampled_edges, mg.instances.iter().map(|i| i.len() as u64).sum::<u64>());
 }
