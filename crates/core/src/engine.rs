@@ -13,17 +13,22 @@
 //! Each sampling *instance* is executed by one simulated warp
 //! (§IV-A inter-warp parallelism: thousands of instances saturate the
 //! device; intra-instance selection is the warp-level SELECT of
-//! [`crate::select`]). Instances draw from counter-based RNG streams keyed
-//! by `(seed, instance)`, so outputs are bit-identical regardless of host
-//! thread count.
+//! [`crate::select`]). The per-entry expand pipeline itself lives in
+//! [`crate::step::StepKernel`] — this module only owns the per-instance
+//! depth loop and frontier pools, and is one of the kernel's four runtimes
+//! (with the out-of-memory scheduler, the unified-memory comparator, and
+//! the multi-GPU splitter). Every expansion draws from a counter-based RNG
+//! stream keyed by `(seed, instance, depth, vertex, trial)` via
+//! [`csaw_gpu::rng::task_key`], so outputs are bit-identical regardless of
+//! host thread count, chunking, or which runtime executes the instance.
 
-use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, UpdateAction};
+use crate::api::{Algorithm, FrontierMode};
 use crate::output::SampleOutput;
-use crate::select::{select_one, select_without_replacement, SelectConfig, SelectStrategy};
-use crate::select_simt::select_without_replacement_simt;
+use crate::select::SelectConfig;
+use crate::step::{CsrAccess, EmitSink, PoolSink, PoolSlot, StepEntry, StepKernel, TrialCounter};
 use csaw_gpu::device::LaunchResult;
 use csaw_gpu::stats::SimStats;
-use csaw_gpu::{Device, Philox};
+use csaw_gpu::Device;
 use csaw_graph::{Csr, VertexId};
 use std::collections::HashSet;
 
@@ -47,7 +52,8 @@ fn merge_launch_stats(stats: &mut SimStats, launch: &LaunchResult<Vec<(VertexId,
 /// Engine-level options shared by all instances of a run.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
-    /// Global RNG seed; instance `i` uses stream `(seed, i)`.
+    /// Global RNG seed; instance `i` draws from streams keyed by
+    /// `task_key(instance_base + i, depth, vertex, trial)`.
     pub seed: u64,
     /// SELECT strategy + collision detector.
     pub select: SelectConfig,
@@ -56,20 +62,22 @@ pub struct RunOptions {
     /// distribution-identical, additionally tracks warp divergence
     /// (unsupported for the `Updated` strategy).
     pub use_simt_select: bool,
+    /// Offset added to local instance indices to form the global instance
+    /// id that keys RNG streams. Multi-GPU and sharded runs set this per
+    /// chunk so a split run samples exactly what a single-device run of
+    /// the whole seed list would.
+    pub instance_base: u32,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { seed: 0x5eed, select: SelectConfig::paper_best(), use_simt_select: false }
+        RunOptions {
+            seed: 0x5eed,
+            select: SelectConfig::paper_best(),
+            use_simt_select: false,
+            instance_base: 0,
+        }
     }
-}
-
-/// One frontier-pool slot: the vertex plus its walk predecessor (the
-/// paper's `SOURCE(e.v)`, needed by second-order biases).
-#[derive(Debug, Clone, Copy)]
-struct PoolEntry {
-    v: VertexId,
-    prev: Option<VertexId>,
 }
 
 /// A configured sampler binding a graph to an algorithm.
@@ -167,30 +175,9 @@ impl<'g, A: Algorithm> Sampler<'g, A> {
     }
 }
 
-/// Dispatches the without-replacement SELECT per the run options.
-fn run_select(
-    biases: &[f64],
-    k: usize,
-    opts: &RunOptions,
-    rng: &mut Philox,
-    stats: &mut SimStats,
-) -> Vec<usize> {
-    if opts.use_simt_select && opts.select.strategy != SelectStrategy::Updated {
-        select_without_replacement_simt(biases, k, opts.select, rng, stats).selected
-    } else {
-        select_without_replacement(biases, k, opts.select, rng, stats)
-    }
-}
-
-/// Bytes read from global memory to gather one neighbor list entry:
-/// 4-byte vertex id (+4-byte weight when the graph is weighted).
-fn gather_bytes(g: &Csr, deg: usize) -> usize {
-    // Two row-pointer words + the adjacency slice.
-    16 + deg * (4 + if g.is_weighted() { 4 } else { 0 })
-}
-
-/// Executes one full sampling instance; returns its sampled edges and
-/// private stats (merged by the device).
+/// Executes one full sampling instance by driving [`StepKernel`] over the
+/// instance's frontier pool; returns its sampled edges and private stats
+/// (merged by the device).
 fn run_instance(
     g: &Csr,
     algo: &dyn Algorithm,
@@ -199,55 +186,79 @@ fn run_instance(
     seeds: &[VertexId],
 ) -> (Vec<(VertexId, VertexId)>, SimStats) {
     let cfg = algo.config();
+    let kernel = StepKernel::new(algo, opts.seed)
+        .with_select(opts.select)
+        .with_simt_select(opts.use_simt_select);
+    let instance = opts.instance_base + instance;
     let mut stats = SimStats::new();
-    let mut rng = Philox::for_task(opts.seed, instance as u64);
+    let mut access = CsrAccess { graph: g };
     let mut out: Vec<(VertexId, VertexId)> = Vec::new();
 
-    let mut pool: Vec<PoolEntry> = seeds.iter().map(|&v| PoolEntry { v, prev: None }).collect();
+    let mut pool: Vec<PoolSlot> = seeds.iter().map(|&v| PoolSlot::seed(v)).collect();
     let mut visited: HashSet<VertexId> =
         if cfg.without_replacement { seeds.iter().copied().collect() } else { HashSet::new() };
     let home = seeds.first().copied().unwrap_or(0);
 
-    for _step in 0..cfg.depth {
-        if pool.is_empty() {
-            break;
-        }
-        match cfg.frontier {
-            FrontierMode::IndependentPerVertex => {
+    match cfg.frontier {
+        FrontierMode::IndependentPerVertex => {
+            let mut trials = TrialCounter::new();
+            for depth in 0..cfg.depth as u32 {
+                if pool.is_empty() {
+                    break;
+                }
                 let frontier = std::mem::take(&mut pool);
                 stats.frontier_ops += frontier.len() as u64;
-                for entry in frontier {
-                    expand_independent(
-                        g,
-                        algo,
-                        &cfg,
-                        opts,
-                        entry,
-                        home,
-                        &mut rng,
-                        &mut stats,
-                        &mut visited,
-                        &mut pool,
-                        &mut out,
-                    );
+                trials.reset();
+                for slot in frontier {
+                    let entry = StepEntry {
+                        instance,
+                        depth,
+                        vertex: slot.vertex,
+                        prev: slot.prev,
+                        trial: trials.next(instance, slot.vertex),
+                    };
+                    let mut sink = PoolSink {
+                        cfg: &cfg,
+                        detector: opts.select.detector,
+                        visited: &mut visited,
+                        next: &mut pool,
+                        out: &mut out,
+                    };
+                    kernel.expand(&mut access, &entry, home, &mut sink, &mut stats);
                 }
             }
-            FrontierMode::SharedLayer => {
-                expand_layer(
-                    g,
-                    algo,
-                    &cfg,
-                    opts,
-                    &mut pool,
-                    &mut rng,
-                    &mut stats,
-                    &mut visited,
-                    &mut out,
-                );
+        }
+        FrontierMode::SharedLayer => {
+            for depth in 0..cfg.depth as u32 {
+                if pool.is_empty() {
+                    break;
+                }
+                let frontier = std::mem::take(&mut pool);
+                stats.frontier_ops += frontier.len() as u64;
+                let mut sink = PoolSink {
+                    cfg: &cfg,
+                    detector: opts.select.detector,
+                    visited: &mut visited,
+                    next: &mut pool,
+                    out: &mut out,
+                };
+                kernel.expand_layer(&mut access, instance, depth, &frontier, &mut sink, &mut stats);
             }
-            FrontierMode::BiasedReplace => {
-                expand_biased_replace(
-                    g, algo, opts, &mut pool, home, &mut rng, &mut stats, &mut out,
+        }
+        FrontierMode::BiasedReplace => {
+            for depth in 0..cfg.depth as u32 {
+                if pool.is_empty() {
+                    break;
+                }
+                let mut sink = EmitSink(&mut out);
+                kernel.expand_replace(
+                    &mut access,
+                    instance,
+                    depth,
+                    home,
+                    &mut pool,
+                    &mut sink,
+                    &mut stats,
                 );
             }
         }
@@ -255,220 +266,10 @@ fn run_instance(
     (out, stats)
 }
 
-/// Expands one frontier vertex with its own neighbor pool (neighbor
-/// sampling, forest fire, snowball, and all walk variants).
-#[allow(clippy::too_many_arguments)]
-fn expand_independent(
-    g: &Csr,
-    algo: &dyn Algorithm,
-    cfg: &AlgoConfig,
-    opts: &RunOptions,
-    entry: PoolEntry,
-    home: VertexId,
-    rng: &mut Philox,
-    stats: &mut SimStats,
-    visited: &mut HashSet<VertexId>,
-    next_pool: &mut Vec<PoolEntry>,
-    out: &mut Vec<(VertexId, VertexId)>,
-) {
-    let v = entry.v;
-    let neighbors = g.neighbors(v);
-    stats.read_gmem(gather_bytes(g, neighbors.len()));
-
-    if neighbors.is_empty() {
-        match algo.on_dead_end(g, v, home, rng) {
-            UpdateAction::Add(w) => push_pool(
-                cfg,
-                opts.select.detector,
-                visited,
-                next_pool,
-                PoolEntry { v: w, prev: Some(v) },
-                stats,
-            ),
-            UpdateAction::Discard => {}
-        }
-        return;
-    }
-
-    let k = cfg.neighbor_size.realize(neighbors.len(), rng);
-    if k == 0 {
-        return;
-    }
-
-    let cands: Vec<EdgeCand> = neighbors
-        .iter()
-        .enumerate()
-        .map(|(i, &u)| EdgeCand { v, u, weight: g.edge_weight(v, i), prev: entry.prev })
-        .collect();
-    let biases: Vec<f64> = cands.iter().map(|c| algo.edge_bias(g, c)).collect();
-    stats.warp_cycles += biases.len().div_ceil(32) as u64; // bias evaluation
-
-    let picks: Vec<usize> = if cfg.without_replacement {
-        run_select(&biases, k, opts, rng, stats)
-    } else {
-        // Walk-style with replacement: k independent draws.
-        (0..k).filter_map(|_| select_one(&biases, rng, stats)).collect()
-    };
-
-    for idx in picks {
-        let mut cand = cands[idx];
-        if let Some(w) = algo.accept(g, &cand, rng) {
-            if w == v {
-                // Rejected move (metropolis-hastings stays): the step is
-                // consumed, the walker remains at v.
-                push_pool(cfg, opts.select.detector, visited, next_pool, entry, stats);
-                continue;
-            }
-            cand.u = w;
-        }
-        out.push((cand.v, cand.u));
-        match algo.update(g, &cand, home, rng) {
-            UpdateAction::Add(w) => push_pool(
-                cfg,
-                opts.select.detector,
-                visited,
-                next_pool,
-                PoolEntry { v: w, prev: Some(v) },
-                stats,
-            ),
-            UpdateAction::Discard => {}
-        }
-    }
-}
-
-/// Layer sampling: one shared neighbor pool for the whole frontier, from
-/// which `NeighborSize` vertices are selected per layer (§II-A).
-#[allow(clippy::too_many_arguments)]
-fn expand_layer(
-    g: &Csr,
-    algo: &dyn Algorithm,
-    cfg: &AlgoConfig,
-    opts: &RunOptions,
-    pool: &mut Vec<PoolEntry>,
-    rng: &mut Philox,
-    stats: &mut SimStats,
-    visited: &mut HashSet<VertexId>,
-    out: &mut Vec<(VertexId, VertexId)>,
-) {
-    let frontier = std::mem::take(pool);
-    stats.frontier_ops += frontier.len() as u64;
-    let mut cands: Vec<EdgeCand> = Vec::new();
-    for entry in &frontier {
-        let neighbors = g.neighbors(entry.v);
-        stats.read_gmem(gather_bytes(g, neighbors.len()));
-        cands.extend(neighbors.iter().enumerate().map(|(i, &u)| EdgeCand {
-            v: entry.v,
-            u,
-            weight: g.edge_weight(entry.v, i),
-            prev: entry.prev,
-        }));
-    }
-    if cands.is_empty() {
-        return;
-    }
-    let k = cfg.neighbor_size.realize(cands.len(), rng);
-    let biases: Vec<f64> = cands.iter().map(|c| algo.edge_bias(g, c)).collect();
-    stats.warp_cycles += biases.len().div_ceil(32) as u64;
-    for idx in run_select(&biases, k, opts, rng, stats) {
-        let cand = cands[idx];
-        out.push((cand.v, cand.u));
-        match algo.update(g, &cand, cand.v, rng) {
-            UpdateAction::Add(w) => push_pool(
-                cfg,
-                opts.select.detector,
-                visited,
-                pool,
-                PoolEntry { v: w, prev: Some(cand.v) },
-                stats,
-            ),
-            UpdateAction::Discard => {}
-        }
-    }
-}
-
-/// Multi-dimensional random walk (Fig. 4): VERTEXBIAS selects one pool
-/// vertex, one of its neighbors is sampled, and the neighbor replaces the
-/// pool vertex.
-#[allow(clippy::too_many_arguments)]
-fn expand_biased_replace(
-    g: &Csr,
-    algo: &dyn Algorithm,
-    _opts: &RunOptions,
-    pool: &mut Vec<PoolEntry>,
-    home: VertexId,
-    rng: &mut Philox,
-    stats: &mut SimStats,
-    out: &mut Vec<(VertexId, VertexId)>,
-) {
-    // Frontier selection by VERTEXBIAS (Fig. 2b line 4).
-    let vbiases: Vec<f64> = pool.iter().map(|e| algo.vertex_bias(g, e.v)).collect();
-    stats.read_gmem(4 * pool.len()); // degree reads for the biases
-    let Some(j) = select_one(&vbiases, rng, stats) else {
-        pool.clear();
-        return;
-    };
-    let entry = pool[j];
-    let v = entry.v;
-    let neighbors = g.neighbors(v);
-    stats.read_gmem(gather_bytes(g, neighbors.len()));
-
-    if neighbors.is_empty() {
-        match algo.on_dead_end(g, v, home, rng) {
-            UpdateAction::Add(w) => pool[j] = PoolEntry { v: w, prev: Some(v) },
-            UpdateAction::Discard => {
-                pool.swap_remove(j);
-            }
-        }
-        return;
-    }
-
-    let cands: Vec<EdgeCand> = neighbors
-        .iter()
-        .enumerate()
-        .map(|(i, &u)| EdgeCand { v, u, weight: g.edge_weight(v, i), prev: entry.prev })
-        .collect();
-    let biases: Vec<f64> = cands.iter().map(|c| algo.edge_bias(g, c)).collect();
-    stats.warp_cycles += biases.len().div_ceil(32) as u64;
-    let Some(idx) = select_one(&biases, rng, stats) else {
-        pool.swap_remove(j);
-        return;
-    };
-    let cand = cands[idx];
-    out.push((cand.v, cand.u));
-    match algo.update(g, &cand, home, rng) {
-        UpdateAction::Add(w) => pool[j] = PoolEntry { v: w, prev: Some(v) },
-        UpdateAction::Discard => {
-            pool.swap_remove(j);
-        }
-    }
-    stats.frontier_ops += 1;
-}
-
-/// Inserts into the next frontier pool, honoring without-replacement.
-/// The visited check is the detector-dependent cost Fig. 12 compares
-/// (linear search over the sampled list vs. one bitmap probe).
-fn push_pool(
-    cfg: &AlgoConfig,
-    detector: crate::collision::DetectorKind,
-    visited: &mut HashSet<VertexId>,
-    pool: &mut Vec<PoolEntry>,
-    entry: PoolEntry,
-    stats: &mut SimStats,
-) {
-    if cfg.without_replacement {
-        crate::collision::charge_visited_check(detector, visited.len(), stats);
-        if !visited.insert(entry.v) {
-            return; // already sampled once (§II-A)
-        }
-    }
-    stats.frontier_ops += 1;
-    pool.push(entry);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::NeighborSize;
+    use crate::api::{AlgoConfig, NeighborSize};
     use csaw_graph::generators::toy_graph;
 
     /// Minimal in-test algorithm: unbiased neighbor sampling.
@@ -580,6 +381,21 @@ mod tests {
             .with_options(RunOptions { seed: 999, ..Default::default() })
             .run_single_seeds(&[1, 2, 3]);
         assert_ne!(a.instances, b.instances);
+    }
+
+    #[test]
+    fn instance_base_shifts_rng_streams() {
+        let g = toy_graph();
+        let algo = TestWalk { len: 30 };
+        let seeds: Vec<u32> = (0..6).map(|i| i % 13).collect();
+        let full = Sampler::new(&g, &algo).run_single_seeds(&seeds);
+        // Running the tail [3..] with instance_base 3 must reproduce the
+        // full run's instances 3..6 exactly — the property multi-GPU
+        // splitting relies on.
+        let tail = Sampler::new(&g, &algo)
+            .with_options(RunOptions { instance_base: 3, ..Default::default() })
+            .run_single_seeds(&seeds[3..]);
+        assert_eq!(tail.instances, full.instances[3..]);
     }
 
     #[test]

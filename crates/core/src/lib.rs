@@ -13,7 +13,9 @@
 //! [`api::Algorithm::edge_bias`], [`api::Algorithm::update`] — plus the
 //! structural parameters in [`api::AlgoConfig`] (`FrontierSize`,
 //! `NeighborSize`, depth). The engine's MAIN loop (Fig. 2b) is
-//! [`engine::Sampler::run`].
+//! [`engine::Sampler::run`]; its per-entry expand pipeline is the
+//! runtime-agnostic [`step::StepKernel`], shared verbatim by the
+//! out-of-memory, unified-memory, and multi-GPU runtimes in `csaw-oom`.
 //!
 //! ## Selection machinery
 //!
@@ -52,8 +54,10 @@ pub mod profile;
 pub mod reservoir;
 pub mod select;
 pub mod select_simt;
+pub mod step;
 
 pub use api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, UpdateAction};
 pub use engine::{RunOptions, Sampler};
 pub use output::SampleOutput;
 pub use select::{CollisionDetectorKind, SelectStrategy};
+pub use step::{FrontierSink, NeighborAccess, PoolSlot, StepEntry, StepKernel};

@@ -6,10 +6,10 @@
 //! across all instances, and reports the frontier size and sampled-edge
 //! count at every depth — the quantitative form of that claim.
 
-use crate::api::{Algorithm, EdgeCand, FrontierMode, UpdateAction};
-use crate::select::{select_one, select_without_replacement, SelectConfig};
+use crate::api::{Algorithm, FrontierMode};
+use crate::select::SelectConfig;
+use crate::step::{CsrAccess, PoolSink, PoolSlot, StepEntry, StepKernel, TrialCounter};
 use csaw_gpu::stats::SimStats;
-use csaw_gpu::Philox;
 use csaw_graph::{Csr, VertexId};
 use std::collections::HashSet;
 
@@ -39,59 +39,44 @@ pub fn profile_depths<A: Algorithm>(
         "the depth profiler covers per-vertex frontier algorithms"
     );
     let select = SelectConfig::paper_best();
+    let kernel = StepKernel::new(algo, seed).with_select(select);
+    let mut access = CsrAccess { graph: g };
     let mut stats = SimStats::new();
-    let mut frontiers: Vec<Vec<(VertexId, Option<VertexId>)>> =
-        seeds.iter().map(|&s| vec![(s, None)]).collect();
+    let mut frontiers: Vec<Vec<PoolSlot>> =
+        seeds.iter().map(|&s| vec![PoolSlot::seed(s)]).collect();
     let mut visited: Vec<HashSet<VertexId>> = seeds
         .iter()
         .map(|&s| if cfg.without_replacement { HashSet::from([s]) } else { HashSet::new() })
         .collect();
+    let mut edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seeds.len()];
+    let mut trials = TrialCounter::new();
     let mut out = Vec::new();
 
     for depth in 0..cfg.depth {
         let mut frontier_total = 0u64;
         let mut edge_total = 0u64;
+        trials.reset();
         for inst in 0..seeds.len() {
             let frontier = std::mem::take(&mut frontiers[inst]);
             frontier_total += frontier.len() as u64;
-            for (v, prev) in frontier {
-                let nbrs = g.neighbors(v);
-                let mut rng = Philox::for_task(seed, mix3(inst as u64, depth as u64, v as u64));
-                if nbrs.is_empty() {
-                    if let UpdateAction::Add(w) = algo.on_dead_end(g, v, seeds[inst], &mut rng) {
-                        push(&cfg, &mut visited[inst], &mut frontiers[inst], w, v);
-                    }
-                    continue;
-                }
-                let k = cfg.neighbor_size.realize(nbrs.len(), &mut rng);
-                if k == 0 {
-                    continue;
-                }
-                let cands: Vec<EdgeCand> = nbrs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &u)| EdgeCand { v, u, weight: g.edge_weight(v, i), prev })
-                    .collect();
-                let biases: Vec<f64> = cands.iter().map(|c| algo.edge_bias(g, c)).collect();
-                let picks: Vec<usize> = if cfg.without_replacement {
-                    select_without_replacement(&biases, k, select, &mut rng, &mut stats)
-                } else {
-                    (0..k).filter_map(|_| select_one(&biases, &mut rng, &mut stats)).collect()
+            for slot in frontier {
+                let before = edges[inst].len();
+                let entry = StepEntry {
+                    instance: inst as u32,
+                    depth: depth as u32,
+                    vertex: slot.vertex,
+                    prev: slot.prev,
+                    trial: trials.next(inst as u32, slot.vertex),
                 };
-                for idx in picks {
-                    let mut cand = cands[idx];
-                    if let Some(w) = algo.accept(g, &cand, &mut rng) {
-                        if w == v {
-                            push(&cfg, &mut visited[inst], &mut frontiers[inst], v, v);
-                            continue;
-                        }
-                        cand.u = w;
-                    }
-                    edge_total += 1;
-                    if let UpdateAction::Add(w) = algo.update(g, &cand, seeds[inst], &mut rng) {
-                        push(&cfg, &mut visited[inst], &mut frontiers[inst], w, v);
-                    }
-                }
+                let mut sink = PoolSink {
+                    cfg: &cfg,
+                    detector: select.detector,
+                    visited: &mut visited[inst],
+                    next: &mut frontiers[inst],
+                    out: &mut edges[inst],
+                };
+                kernel.expand(&mut access, &entry, seeds[inst], &mut sink, &mut stats);
+                edge_total += (edges[inst].len() - before) as u64;
             }
         }
         out.push(DepthProfile { depth, frontier: frontier_total, edges: edge_total });
@@ -102,35 +87,24 @@ pub fn profile_depths<A: Algorithm>(
     out
 }
 
-fn push(
-    cfg: &crate::api::AlgoConfig,
-    visited: &mut HashSet<VertexId>,
-    frontier: &mut Vec<(VertexId, Option<VertexId>)>,
-    v: VertexId,
-    prev: VertexId,
-) {
-    if cfg.without_replacement && !visited.insert(v) {
-        return;
-    }
-    frontier.push((v, Some(prev)));
-}
-
-fn mix3(a: u64, b: u64, c: u64) -> u64 {
-    let mut x = a
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x ^ (x >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::{SimpleRandomWalk, UnbiasedNeighborSampling};
     use csaw_graph::generators::{ring_lattice, rmat, toy_graph, RmatParams};
+
+    #[test]
+    fn profiler_counts_exactly_the_engine_edges() {
+        // The profiler drives the same StepKernel with the same keys as
+        // the engine, so its per-depth edge counts sum to exactly the
+        // engine's sampled edges — not an approximation.
+        let g = rmat(9, 4, RmatParams::GRAPH500, 5);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let seeds: Vec<u32> = (0..16).collect();
+        let prof = profile_depths(&g, &algo, &seeds, 0x5eed);
+        let eng = crate::engine::Sampler::new(&g, &algo).run_single_seeds(&seeds);
+        assert_eq!(prof.iter().map(|p| p.edges).sum::<u64>(), eng.sampled_edges());
+    }
 
     #[test]
     fn neighbor_sampling_frontier_grows_geometrically() {

@@ -1,0 +1,616 @@
+//! The shared expand step — **one** implementation of the paper's Fig. 2b
+//! inner loop for every runtime.
+//!
+//! The paper's whole argument is that a single MAIN loop plus three user
+//! hooks expresses every sampling and random-walk algorithm. This module
+//! makes the reproduction honor that claim structurally: the full
+//! per-entry expand pipeline
+//!
+//! ```text
+//! dead-end hook → NeighborSize::realize → candidate/bias construction
+//!   → SELECT (with/without replacement) → accept → edge emit
+//!   → UPDATE → frontier push
+//! ```
+//!
+//! lives in [`StepKernel`] and nowhere else. Runtimes differ only in two
+//! small traits:
+//!
+//! - [`NeighborAccess`] — where adjacency comes from and what the memory
+//!   system charges for it: the in-memory CSR ([`CsrAccess`]), a
+//!   [`PartitionSet`] slice on the out-of-memory device
+//!   ([`PartitionAccess`]), or a demand-paged unified-memory cache (the
+//!   comparator in `csaw-oom` wraps its page cache in this trait).
+//! - [`FrontierSink`] — where sampled edges and next-depth frontier
+//!   entries go: the engine's per-instance pool ([`PoolSink`]), the OOM
+//!   scheduler's visited-shard + cross-partition outbox, or the unified
+//!   runner's per-instance vectors.
+//!
+//! Every expansion draws from a counter-based stream keyed by
+//! [`csaw_gpu::rng::task_key`]`(instance, depth, vertex, trial)`, so the
+//! sampled output of a given `(graph, algorithm, seed)` triple is
+//! identical no matter which runtime executes it or in what order —
+//! the property the cross-runtime equivalence tests pin down.
+
+use crate::api::{AlgoConfig, Algorithm, EdgeCand, UpdateAction};
+use crate::collision::{charge_visited_check, DetectorKind};
+use crate::select::{select_one, select_without_replacement, SelectConfig, SelectStrategy};
+use crate::select_simt::select_without_replacement_simt;
+use csaw_gpu::rng::task_key;
+use csaw_gpu::stats::SimStats;
+use csaw_gpu::Philox;
+use csaw_graph::{Csr, PartitionSet, VertexId, Weight};
+use std::collections::{HashMap, HashSet};
+
+/// Sentinel "vertex" keying the RNG stream of pool-level steps (shared
+/// layer and biased replace), which expand a whole pool rather than one
+/// vertex. Real vertex ids never reach `u32::MAX` (CSR construction
+/// would need ~4G vertices).
+pub const POOL_STEP_VERTEX: VertexId = VertexId::MAX;
+
+/// One frontier entry as the kernel sees it: the coordinates that key its
+/// RNG stream plus the walk predecessor (the paper's `SOURCE(e.v)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEntry {
+    /// Sampling instance the entry belongs to (globally unique across
+    /// chunks/GPUs — runtimes add their instance base before calling in).
+    pub instance: u32,
+    /// The instance's depth when the entry was enqueued.
+    pub depth: u32,
+    /// The vertex to expand.
+    pub vertex: VertexId,
+    /// The vertex the instance explored immediately before this one.
+    pub prev: Option<VertexId>,
+    /// Ordinal among duplicate `(instance, depth, vertex)` entries; 0
+    /// unless a with-replacement UPDATE inserted the same vertex twice in
+    /// one step (see [`TrialCounter`]).
+    pub trial: u32,
+}
+
+/// One slot of a frontier pool: the vertex plus its walk predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSlot {
+    /// The pooled vertex.
+    pub vertex: VertexId,
+    /// Its predecessor in the instance's exploration, if any.
+    pub prev: Option<VertexId>,
+}
+
+impl PoolSlot {
+    /// A first-hop slot with no predecessor.
+    pub fn seed(vertex: VertexId) -> Self {
+        PoolSlot { vertex, prev: None }
+    }
+}
+
+/// Bytes read from global memory to gather one adjacency list: two
+/// row-pointer words plus the neighbor slice (+4 bytes/edge of weights on
+/// weighted graphs). Shared by every [`NeighborAccess`] implementation so
+/// all runtimes charge the gather identically.
+pub fn gather_bytes(weighted: bool, deg: usize) -> usize {
+    16 + deg * (4 + if weighted { 4 } else { 0 })
+}
+
+/// Where the kernel's GATHERNEIGHBORS reads adjacency from, and what the
+/// runtime's memory system charges for it.
+pub trait NeighborAccess {
+    /// The underlying graph (algorithm hooks always see the full CSR —
+    /// biases may inspect global structure such as degrees).
+    fn graph(&self) -> &Csr;
+
+    /// Gathers `v`'s neighbor list and edge weights, charging whatever
+    /// the runtime models for the read (global-memory bytes, a partition
+    /// transfer, a page fault...).
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>);
+}
+
+/// In-memory access: the whole CSR is resident; a gather costs its
+/// global-memory bytes.
+pub struct CsrAccess<'g> {
+    /// The resident graph.
+    pub graph: &'g Csr,
+}
+
+impl NeighborAccess for CsrAccess<'_> {
+    fn graph(&self) -> &Csr {
+        self.graph
+    }
+
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>) {
+        stats.read_gmem(gather_bytes(self.graph.is_weighted(), self.graph.degree(v)));
+        (self.graph.neighbors(v), self.graph.neighbor_weights(v))
+    }
+}
+
+/// Partition access: adjacency is read from the owning partition's
+/// resident copy (the out-of-memory scheduler guarantees residency before
+/// the kernel runs). Charges the same gather bytes as [`CsrAccess`], so
+/// in-memory and out-of-memory runs of the same sample count identical
+/// global-memory traffic.
+pub struct PartitionAccess<'g> {
+    /// The full graph, for the algorithm hooks.
+    pub graph: &'g Csr,
+    /// The partitioning whose slices serve the gathers.
+    pub parts: &'g PartitionSet,
+}
+
+impl NeighborAccess for PartitionAccess<'_> {
+    fn graph(&self) -> &Csr {
+        self.graph
+    }
+
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>) {
+        let p = self.parts.get(self.parts.partition_of(v));
+        stats.read_gmem(gather_bytes(self.graph.is_weighted(), p.degree(v)));
+        (p.neighbors(v), p.neighbor_weights(v))
+    }
+}
+
+/// Where the kernel's outputs go: sampled edges (`emit`) and next-depth
+/// frontier offers (`push`). The sink owns without-replacement filtering
+/// and whatever staging its runtime needs (pool push, partition queue +
+/// outbox, per-instance vectors).
+pub trait FrontierSink {
+    /// Records a sampled edge for `entry`'s instance.
+    fn emit(&mut self, entry: &StepEntry, edge: (VertexId, VertexId));
+
+    /// Offers `vertex` (with predecessor `prev`) to `entry`'s instance at
+    /// depth `entry.depth + 1`. The kernel has already checked the depth
+    /// budget; the sink decides acceptance (visited filter) and placement.
+    fn push(
+        &mut self,
+        entry: &StepEntry,
+        vertex: VertexId,
+        prev: Option<VertexId>,
+        stats: &mut SimStats,
+    );
+}
+
+/// The engine-style sink: edges append to one output vector, offers pass
+/// the without-replacement visited filter (charged per the collision
+/// detector, the Fig. 12 cost) and land in the instance's next pool.
+/// Shared by the in-memory engine, the unified-memory comparator, and the
+/// out-of-memory pooled path — anything that keeps per-instance pools.
+pub struct PoolSink<'a> {
+    /// Structural config (consulted for `without_replacement`).
+    pub cfg: &'a AlgoConfig,
+    /// Collision detector whose visited-check cost is charged per offer.
+    pub detector: DetectorKind,
+    /// The instance's visited set.
+    pub visited: &'a mut HashSet<VertexId>,
+    /// The instance's next frontier pool.
+    pub next: &'a mut Vec<PoolSlot>,
+    /// The instance's sampled edges.
+    pub out: &'a mut Vec<(VertexId, VertexId)>,
+}
+
+impl FrontierSink for PoolSink<'_> {
+    fn emit(&mut self, _entry: &StepEntry, edge: (VertexId, VertexId)) {
+        self.out.push(edge);
+    }
+
+    fn push(
+        &mut self,
+        _entry: &StepEntry,
+        vertex: VertexId,
+        prev: Option<VertexId>,
+        stats: &mut SimStats,
+    ) {
+        if self.cfg.without_replacement {
+            charge_visited_check(self.detector, self.visited.len(), stats);
+            if !self.visited.insert(vertex) {
+                return; // already sampled once (§II-A)
+            }
+        }
+        stats.frontier_ops += 1;
+        self.next.push(PoolSlot { vertex, prev });
+    }
+}
+
+/// Emit-only sink for [`StepKernel::expand_replace`]: biased-replace
+/// steps mutate the pool in place and never push, so only `emit` is
+/// reachable.
+pub struct EmitSink<'a>(pub &'a mut Vec<(VertexId, VertexId)>);
+
+impl FrontierSink for EmitSink<'_> {
+    fn emit(&mut self, _entry: &StepEntry, edge: (VertexId, VertexId)) {
+        self.0.push(edge);
+    }
+
+    fn push(&mut self, _e: &StepEntry, _v: VertexId, _p: Option<VertexId>, _s: &mut SimStats) {
+        unreachable!("biased-replace steps mutate the pool in place and never push");
+    }
+}
+
+/// Assigns the schedule-independent `trial` ordinal: the k-th duplicate of
+/// `(instance, vertex)` seen since the last [`TrialCounter::reset`] gets
+/// trial `k`. Drivers reset the counter at each depth step, so the
+/// ordinal is "occurrence index within this instance's frontier at this
+/// depth" — well-defined because a single instance's frontier is always
+/// processed sequentially, in insertion order, by every runtime.
+#[derive(Debug, Default)]
+pub struct TrialCounter(HashMap<(u32, VertexId), u32>);
+
+impl TrialCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next trial ordinal for `(instance, vertex)`.
+    pub fn next(&mut self, instance: u32, vertex: VertexId) -> u32 {
+        let n = self.0.entry((instance, vertex)).or_insert(0);
+        let t = *n;
+        *n += 1;
+        t
+    }
+
+    /// Clears the counter (call at each depth-step boundary).
+    pub fn reset(&mut self) {
+        self.0.clear();
+    }
+}
+
+/// The shared expand kernel: the Fig. 2b step pipeline bound to one
+/// algorithm, SELECT configuration, and RNG seed.
+pub struct StepKernel<'a> {
+    algo: &'a dyn Algorithm,
+    cfg: AlgoConfig,
+    select: SelectConfig,
+    use_simt_select: bool,
+    seed: u64,
+}
+
+impl<'a> StepKernel<'a> {
+    /// A kernel for `algo` with the paper's best SELECT configuration.
+    pub fn new(algo: &'a dyn Algorithm, seed: u64) -> Self {
+        StepKernel {
+            algo,
+            cfg: algo.config(),
+            select: SelectConfig::paper_best(),
+            use_simt_select: false,
+            seed,
+        }
+    }
+
+    /// Overrides the SELECT configuration.
+    pub fn with_select(mut self, select: SelectConfig) -> Self {
+        self.select = select;
+        self
+    }
+
+    /// Routes without-replacement SELECT through the lane-level SIMT
+    /// executor (distribution-identical; additionally tracks divergence).
+    pub fn with_simt_select(mut self, use_simt: bool) -> Self {
+        self.use_simt_select = use_simt;
+        self
+    }
+
+    /// The algorithm's structural configuration.
+    pub fn cfg(&self) -> &AlgoConfig {
+        &self.cfg
+    }
+
+    /// The bound algorithm.
+    pub fn algo(&self) -> &dyn Algorithm {
+        self.algo
+    }
+
+    /// The SELECT configuration in effect.
+    pub fn select(&self) -> SelectConfig {
+        self.select
+    }
+
+    /// Expands one frontier entry with its own neighbor pool — the
+    /// [`crate::api::FrontierMode::IndependentPerVertex`] step (neighbor
+    /// sampling, forest fire, snowball, and all walk variants).
+    ///
+    /// `home` is the instance's home seed, handed to the `UPDATE` and
+    /// dead-end hooks (restart targets).
+    pub fn expand<N: NeighborAccess, S: FrontierSink>(
+        &self,
+        access: &mut N,
+        entry: &StepEntry,
+        home: VertexId,
+        sink: &mut S,
+        stats: &mut SimStats,
+    ) {
+        let v = entry.vertex;
+        let mut rng = Philox::for_task(
+            self.seed,
+            task_key(entry.instance, entry.depth, entry.vertex, entry.trial),
+        );
+        let cands = self.candidates(access, v, entry.prev, stats);
+        let g = access.graph();
+
+        if cands.is_empty() {
+            match self.algo.on_dead_end(g, v, home, &mut rng) {
+                UpdateAction::Add(w) => self.offer(entry, w, Some(v), sink, stats),
+                UpdateAction::Discard => {}
+            }
+            return;
+        }
+
+        let k = self.cfg.neighbor_size.realize(cands.len(), &mut rng);
+        if k == 0 {
+            return;
+        }
+        let biases = self.biases(g, &cands, stats);
+        for idx in self.select_picks(&biases, k, &mut rng, stats) {
+            let mut cand = cands[idx];
+            if let Some(w) = self.algo.accept(g, &cand, &mut rng) {
+                if w == v {
+                    // Rejected move (metropolis-hastings stays): the step
+                    // is consumed; the walker remains at v with its
+                    // predecessor unchanged.
+                    self.offer(entry, v, entry.prev, sink, stats);
+                    continue;
+                }
+                cand.u = w;
+            }
+            sink.emit(entry, (cand.v, cand.u));
+            match self.algo.update(g, &cand, home, &mut rng) {
+                UpdateAction::Add(w) => self.offer(entry, w, Some(v), sink, stats),
+                UpdateAction::Discard => {}
+            }
+        }
+    }
+
+    /// Expands a whole frontier against one shared neighbor pool — the
+    /// [`crate::api::FrontierMode::SharedLayer`] step (layer sampling,
+    /// §II-A): `NeighborSize` vertices are selected from the union pool.
+    pub fn expand_layer<N: NeighborAccess, S: FrontierSink>(
+        &self,
+        access: &mut N,
+        instance: u32,
+        depth: u32,
+        frontier: &[PoolSlot],
+        sink: &mut S,
+        stats: &mut SimStats,
+    ) {
+        let entry = StepEntry { instance, depth, vertex: POOL_STEP_VERTEX, prev: None, trial: 0 };
+        let mut rng = Philox::for_task(self.seed, task_key(instance, depth, POOL_STEP_VERTEX, 0));
+        let mut cands: Vec<EdgeCand> = Vec::new();
+        for slot in frontier {
+            cands.extend(self.candidates(access, slot.vertex, slot.prev, stats));
+        }
+        if cands.is_empty() {
+            return;
+        }
+        let k = self.cfg.neighbor_size.realize(cands.len(), &mut rng);
+        let g = access.graph();
+        let biases = self.biases(g, &cands, stats);
+        for idx in self.select_picks(&biases, k, &mut rng, stats) {
+            let cand = cands[idx];
+            sink.emit(&entry, (cand.v, cand.u));
+            match self.algo.update(g, &cand, cand.v, &mut rng) {
+                UpdateAction::Add(w) => self.offer(&entry, w, Some(cand.v), sink, stats),
+                UpdateAction::Discard => {}
+            }
+        }
+    }
+
+    /// One biased-replace step — the
+    /// [`crate::api::FrontierMode::BiasedReplace`] step (multi-dimensional
+    /// random walk, Fig. 4): `VERTEXBIAS` selects one pool vertex, one of
+    /// its neighbors is sampled, and the neighbor replaces the pool slot.
+    /// The pool is mutated in place; `sink` only receives `emit`s (use
+    /// [`EmitSink`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn expand_replace<N: NeighborAccess, S: FrontierSink>(
+        &self,
+        access: &mut N,
+        instance: u32,
+        depth: u32,
+        home: VertexId,
+        pool: &mut Vec<PoolSlot>,
+        sink: &mut S,
+        stats: &mut SimStats,
+    ) {
+        let entry = StepEntry { instance, depth, vertex: POOL_STEP_VERTEX, prev: None, trial: 0 };
+        let mut rng = Philox::for_task(self.seed, task_key(instance, depth, POOL_STEP_VERTEX, 0));
+
+        // Frontier selection by VERTEXBIAS (Fig. 2b line 4).
+        let vbiases: Vec<f64> = {
+            let g = access.graph();
+            pool.iter().map(|s| self.algo.vertex_bias(g, s.vertex)).collect()
+        };
+        stats.read_gmem(4 * pool.len()); // degree reads for the biases
+        let Some(j) = select_one(&vbiases, &mut rng, stats) else {
+            pool.clear();
+            return;
+        };
+        let slot = pool[j];
+        let v = slot.vertex;
+        let cands = self.candidates(access, v, slot.prev, stats);
+        let g = access.graph();
+
+        if cands.is_empty() {
+            match self.algo.on_dead_end(g, v, home, &mut rng) {
+                UpdateAction::Add(w) => pool[j] = PoolSlot { vertex: w, prev: Some(v) },
+                UpdateAction::Discard => {
+                    pool.swap_remove(j);
+                }
+            }
+            return;
+        }
+
+        let biases = self.biases(g, &cands, stats);
+        let Some(idx) = select_one(&biases, &mut rng, stats) else {
+            pool.swap_remove(j);
+            return;
+        };
+        let cand = cands[idx];
+        sink.emit(&entry, (cand.v, cand.u));
+        match self.algo.update(g, &cand, home, &mut rng) {
+            UpdateAction::Add(w) => pool[j] = PoolSlot { vertex: w, prev: Some(v) },
+            UpdateAction::Discard => {
+                pool.swap_remove(j);
+            }
+        }
+        stats.frontier_ops += 1;
+    }
+
+    /// GATHERNEIGHBORS: materializes `v`'s candidate edges through the
+    /// access trait (which charges the gather).
+    fn candidates<N: NeighborAccess>(
+        &self,
+        access: &mut N,
+        v: VertexId,
+        prev: Option<VertexId>,
+        stats: &mut SimStats,
+    ) -> Vec<EdgeCand> {
+        let (neighbors, weights) = access.gather(v, stats);
+        neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| EdgeCand { v, u, weight: weights.map_or(1.0, |w| w[i]), prev })
+            .collect()
+    }
+
+    /// EDGEBIAS over the candidate pool, charging one warp-cycle per 32
+    /// lanes of bias evaluation.
+    fn biases(&self, g: &Csr, cands: &[EdgeCand], stats: &mut SimStats) -> Vec<f64> {
+        let biases: Vec<f64> = cands.iter().map(|c| self.algo.edge_bias(g, c)).collect();
+        stats.warp_cycles += biases.len().div_ceil(32) as u64;
+        biases
+    }
+
+    /// SELECT: without-replacement (per the run's strategy/SIMT options)
+    /// or `k` independent with-replacement draws.
+    fn select_picks(
+        &self,
+        biases: &[f64],
+        k: usize,
+        rng: &mut Philox,
+        stats: &mut SimStats,
+    ) -> Vec<usize> {
+        if self.cfg.without_replacement {
+            if self.use_simt_select && self.select.strategy != SelectStrategy::Updated {
+                select_without_replacement_simt(biases, k, self.select, rng, stats).selected
+            } else {
+                select_without_replacement(biases, k, self.select, rng, stats)
+            }
+        } else {
+            (0..k).filter_map(|_| select_one(biases, rng, stats)).collect()
+        }
+    }
+
+    /// UPDATE's frontier push, gated by the depth budget: entries that
+    /// could never be expanded (their depth would reach the configured
+    /// limit) are dropped here, identically in every runtime.
+    fn offer<S: FrontierSink>(
+        &self,
+        entry: &StepEntry,
+        vertex: VertexId,
+        prev: Option<VertexId>,
+        sink: &mut S,
+        stats: &mut SimStats,
+    ) {
+        if entry.depth as usize + 1 >= self.cfg.depth {
+            return; // depth budget exhausted (§V-B correctness guard)
+        }
+        sink.push(entry, vertex, prev, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{FrontierMode, NeighborSize};
+    use csaw_graph::generators::toy_graph;
+
+    struct Ns2;
+    impl Algorithm for Ns2 {
+        fn name(&self) -> &'static str {
+            "ns2"
+        }
+        fn config(&self) -> AlgoConfig {
+            AlgoConfig {
+                depth: 2,
+                neighbor_size: NeighborSize::Constant(2),
+                frontier: FrontierMode::IndependentPerVertex,
+                without_replacement: true,
+            }
+        }
+    }
+
+    fn expand_once(seed: u64, entry: &StepEntry) -> (Vec<(u32, u32)>, Vec<PoolSlot>) {
+        let g = toy_graph();
+        let algo = Ns2;
+        let kernel = StepKernel::new(&algo, seed);
+        let cfg = algo.config();
+        let mut access = CsrAccess { graph: &g };
+        let mut visited = HashSet::new();
+        let mut next = Vec::new();
+        let mut out = Vec::new();
+        let mut stats = SimStats::new();
+        let mut sink = PoolSink {
+            cfg: &cfg,
+            detector: SelectConfig::paper_best().detector,
+            visited: &mut visited,
+            next: &mut next,
+            out: &mut out,
+        };
+        kernel.expand(&mut access, entry, entry.vertex, &mut sink, &mut stats);
+        (out, next)
+    }
+
+    #[test]
+    fn expansion_is_a_pure_function_of_its_key() {
+        let entry = StepEntry { instance: 7, depth: 0, vertex: 8, prev: None, trial: 0 };
+        let (a_out, a_next) = expand_once(42, &entry);
+        let (b_out, b_next) = expand_once(42, &entry);
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_next, b_next);
+        assert!(!a_out.is_empty());
+        for &(v, u) in &a_out {
+            assert!(toy_graph().has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn distinct_key_components_change_the_draws() {
+        let base = StepEntry { instance: 0, depth: 0, vertex: 8, prev: None, trial: 0 };
+        let (base_out, _) = expand_once(1, &base);
+        let variants = [
+            StepEntry { instance: 1, ..base },
+            StepEntry { depth: 1, ..base },
+            StepEntry { trial: 1, ..base },
+        ];
+        // At least one variant must differ — with 2-of-5 selection the
+        // odds of all three colliding by chance are negligible, and a key
+        // that ignored a component would collide on *every* seed.
+        let mut any_differ = false;
+        for v in variants {
+            let (out, _) = expand_once(1, &v);
+            any_differ |= out != base_out;
+        }
+        assert!(any_differ, "key components must reach the RNG stream");
+    }
+
+    #[test]
+    fn depth_budget_blocks_final_depth_pushes() {
+        // depth 1 of a depth-2 algorithm: edges still emit, pushes don't.
+        let entry = StepEntry { instance: 0, depth: 1, vertex: 8, prev: None, trial: 0 };
+        let (out, next) = expand_once(3, &entry);
+        assert!(!out.is_empty());
+        assert!(next.is_empty(), "final-depth entries must not reach the sink");
+    }
+
+    #[test]
+    fn trial_counter_numbers_duplicates_per_instance() {
+        let mut t = TrialCounter::new();
+        assert_eq!(t.next(0, 5), 0);
+        assert_eq!(t.next(0, 5), 1);
+        assert_eq!(t.next(1, 5), 0, "instances are independent");
+        assert_eq!(t.next(0, 6), 0, "vertices are independent");
+        t.reset();
+        assert_eq!(t.next(0, 5), 0, "reset forgets prior steps");
+    }
+
+    #[test]
+    fn gather_bytes_counts_weights() {
+        assert_eq!(gather_bytes(false, 10), 16 + 40);
+        assert_eq!(gather_bytes(true, 10), 16 + 80);
+    }
+}

@@ -43,6 +43,6 @@ pub mod warp;
 
 pub use config::{CpuConfig, DeviceConfig};
 pub use device::Device;
-pub use rng::Philox;
+pub use rng::{task_key, Philox};
 pub use stats::SimStats;
 pub use warp::WARP_SIZE;

@@ -31,6 +31,37 @@ pub fn philox4x32_10(mut ctr: [u32; 4], mut key: [u32; 2]) -> [u32; 4] {
     ctr
 }
 
+/// Derives the canonical 64-bit task key every runtime feeds to
+/// [`Philox::for_task`]: a SplitMix64-style mix of
+/// `(instance, depth, vertex, trial)`.
+///
+/// This is the framework's *unified RNG keying scheme*: one expand step of
+/// one frontier entry is one logical task, identified by the sampling
+/// instance, the instance's depth, the expanded vertex, and a `trial`
+/// ordinal that disambiguates duplicate `(instance, depth, vertex)`
+/// entries (possible only for with-replacement algorithms whose UPDATE
+/// inserts the same vertex twice in one step). Because the key never
+/// depends on *when* or *where* an entry is processed, the sampled output
+/// is bit-identical across the in-memory engine, the out-of-memory
+/// scheduler (any scheduling policy), the unified-memory comparator, and
+/// any host thread count.
+///
+/// Pool-level steps (shared-layer and biased-replace frontiers) key one
+/// stream per `(instance, depth)` with a sentinel vertex — those steps are
+/// inherently sequential per instance, so no finer key is needed.
+#[inline]
+pub fn task_key(instance: u32, depth: u32, vertex: u32, trial: u32) -> u64 {
+    let a = ((instance as u64) << 32) | depth as u64;
+    let b = ((vertex as u64) << 32) | trial as u64;
+    let mut x =
+        a.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// A stateful stream over Philox blocks.
 ///
 /// `Philox::for_task` derives a unique stream per logical sampling task;
@@ -137,6 +168,31 @@ mod tests {
         let key = [0xa409_3822, 0x299f_31d0];
         let out = philox4x32_10(ctr, key);
         assert_eq!(out, [0xd16c_fe09, 0x94fd_cceb, 0x5001_e420, 0x2412_6ea1]);
+    }
+
+    #[test]
+    fn task_key_separates_every_component() {
+        let base = task_key(3, 5, 7, 0);
+        assert_ne!(base, task_key(4, 5, 7, 0), "instance must matter");
+        assert_ne!(base, task_key(3, 6, 7, 0), "depth must matter");
+        assert_ne!(base, task_key(3, 5, 8, 0), "vertex must matter");
+        assert_ne!(base, task_key(3, 5, 7, 1), "trial must matter");
+        assert_eq!(base, task_key(3, 5, 7, 0), "key is a pure function");
+    }
+
+    #[test]
+    fn task_keys_have_no_early_collisions() {
+        let mut seen = std::collections::HashSet::new();
+        for instance in 0..24u32 {
+            for depth in 0..24u32 {
+                for vertex in 0..24u32 {
+                    assert!(
+                        seen.insert(task_key(instance, depth, vertex, 0)),
+                        "collision at ({instance}, {depth}, {vertex})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,9 +20,15 @@
 //!     partition until its queue is empty before releasing it;
 //!   - **thread-block based workload balancing** (§V-B): grant each
 //!     concurrent kernel thread blocks proportional to its workload.
+//! - [`pooled`]: out-of-memory execution for pool-frontier algorithms
+//!   (layer sampling, multi-dimensional random walk) — the per-instance
+//!   depth loop over the shared [`csaw_core::step::StepKernel`] against
+//!   demand-resident partitions, sampling exactly what the in-memory
+//!   engine samples.
 //! - [`multigpu::MultiGpu`]: the §V-D driver — instances split into equal
 //!   disjoint groups, one simulated device per group, no inter-GPU
-//!   communication.
+//!   communication; per-group `instance_base` offsets keep RNG streams
+//!   global, so a split run equals the single-device run bit for bit.
 //! - [`unified::UnifiedRunner`]: the demand-paged unified-memory
 //!   comparator §VII argues against — used by ablation A4 to quantify
 //!   why partition scheduling wins on irregular sampling access.
@@ -45,6 +51,7 @@
 
 pub mod config;
 pub mod multigpu;
+pub mod pooled;
 pub mod scheduler;
 pub mod timeline;
 pub mod unified;

@@ -14,35 +14,45 @@
 //!    scheduling a partition keeps draining the entries it inserts into
 //!    *itself* until empty, and only then is released.
 //!
+//! The expansion of each queue entry is the shared
+//! [`csaw_core::step::StepKernel`] — the same Fig. 2b pipeline the
+//! in-memory engine runs — reading adjacency through
+//! [`csaw_core::step::PartitionAccess`] and writing through this module's
+//! `StreamSink` (visited shard + same-partition queue push, with
+//! cross-partition insertions staged in a per-stream outbox merged at the
+//! round barrier in fixed `(stream, entry)` order). Pool-frontier
+//! algorithms (layer sampling, multi-dimensional random walk) don't queue
+//! per-vertex entries at all; [`OomRunner::run`] routes them to the
+//! [`crate::pooled`] path, which drives the same kernel over resident
+//! partitions.
+//!
 //! The per-stream round work (transfer accounting + queue drain + kernel
 //! cost) runs as one independent host task per CUDA stream, routed through
 //! [`Device::launch_with`] so streams reuse the device's stats/cycle
 //! merging (`OomConfig::host_parallel` picks concurrent vs serial
-//! execution — same results either way). Each task owns its partition's
-//! frontier queue and visited shard for the round; insertions into *other*
-//! partitions are staged in a per-stream outbox and merged at the round
-//! barrier in fixed `(stream, entry)` order.
+//! execution — same results either way).
 //!
 //! Correctness under out-of-order scheduling (§V-B): each queue entry
-//! carries its instance's depth, so an instance never samples beyond the
-//! configured depth, and the RNG stream of every expansion is keyed by
-//! `(instance, depth, vertex)` — unique for the supported first-order
-//! algorithms — making the sampled output *bit-identical* across all
-//! scheduling policies, host thread counts, and the serial reference
-//! path. The tests assert exactly that.
+//! carries its instance's depth, and the RNG stream of every expansion is
+//! keyed by [`csaw_gpu::rng::task_key`]`(instance, depth, vertex, trial)`
+//! — the same scheme every runtime uses — making the sampled output
+//! *bit-identical* across all scheduling policies, host thread counts,
+//! the serial reference path, and the in-memory engine itself. The tests
+//! (and `tests/oom_equivalence.rs`) assert exactly that.
 
 use crate::config::OomConfig;
 use crate::timeline::{EventKind, TimelineEvent};
-use csaw_core::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, UpdateAction};
+use csaw_core::api::{AlgoConfig, Algorithm, FrontierMode};
+use csaw_core::collision::{charge_visited_check, DetectorKind};
 use csaw_core::frontier::{FrontierEntry, FrontierQueue};
-use csaw_core::select::{select_one, select_without_replacement, SelectConfig};
+use csaw_core::select::SelectConfig;
+use csaw_core::step::{FrontierSink, PartitionAccess, StepEntry, StepKernel};
 use csaw_gpu::config::DeviceConfig;
 use csaw_gpu::cost::gpu_kernel_seconds_with_slots;
 use csaw_gpu::device::Device;
 use csaw_gpu::memory::DeviceMemory;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::transfer::TransferEngine;
-use csaw_gpu::Philox;
 use csaw_graph::{Csr, Partition, PartitionSet, VertexId};
 use std::collections::{HashMap, HashSet};
 
@@ -119,7 +129,7 @@ struct Outbound {
     instance: u32,
     depth: u32,
     vertex: VertexId,
-    prev: VertexId,
+    prev: Option<VertexId>,
 }
 
 /// One stream's slice of a scheduling round, handed to a host task: the
@@ -143,37 +153,83 @@ struct StreamRound {
     straggler_cycles: u64,
 }
 
-/// Mutable per-task state threaded through `expand_entry`.
-struct StreamCtx {
+/// The out-of-memory [`FrontierSink`]: sampled edges accumulate as
+/// `(local_instance, edge)` pairs in drain order; frontier offers to the
+/// stream's own partition pass the visited shard and enter its queue
+/// immediately (workload-aware scheduling drains them this round), while
+/// offers owned by other partitions are staged in the outbox for the
+/// round barrier (where the visited check runs against the target
+/// partition's shard).
+struct StreamSink<'a> {
+    parts: &'a PartitionSet,
+    cfg: &'a AlgoConfig,
+    detector: DetectorKind,
     partition: usize,
-    queue: FrontierQueue,
-    shard: Vec<HashSet<VertexId>>,
-    outbox: Vec<Outbound>,
-    edges: Vec<(usize, (VertexId, VertexId))>,
-    stats: SimStats,
+    instance_base: u32,
+    queue: &'a mut FrontierQueue,
+    shard: &'a mut [HashSet<VertexId>],
+    outbox: &'a mut Vec<Outbound>,
+    edges: &'a mut Vec<(usize, (VertexId, VertexId))>,
+}
+
+impl FrontierSink for StreamSink<'_> {
+    fn emit(&mut self, entry: &StepEntry, edge: (VertexId, VertexId)) {
+        let local = (entry.instance - self.instance_base) as usize;
+        self.edges.push((local, edge));
+    }
+
+    fn push(
+        &mut self,
+        entry: &StepEntry,
+        vertex: VertexId,
+        prev: Option<VertexId>,
+        stats: &mut SimStats,
+    ) {
+        if self.parts.partition_of(vertex) != self.partition {
+            self.outbox.push(Outbound {
+                instance: entry.instance,
+                depth: entry.depth,
+                vertex,
+                prev,
+            });
+            return;
+        }
+        let local = (entry.instance - self.instance_base) as usize;
+        if self.cfg.without_replacement {
+            charge_visited_check(self.detector, self.shard[local].len(), stats);
+            if !self.shard[local].insert(vertex) {
+                return;
+            }
+        }
+        stats.frontier_ops += 1;
+        self.queue.push(FrontierEntry {
+            vertex,
+            instance: entry.instance,
+            depth: entry.depth + 1,
+            prev,
+        });
+    }
 }
 
 /// Out-of-memory sampler binding a graph + algorithm + configuration.
 pub struct OomRunner<'g, A: Algorithm> {
-    graph: &'g Csr,
-    algo: &'g A,
-    cfg: OomConfig,
-    device: DeviceConfig,
-    select: SelectConfig,
-    seed: u64,
+    pub(crate) graph: &'g Csr,
+    pub(crate) algo: &'g A,
+    pub(crate) cfg: OomConfig,
+    pub(crate) device: DeviceConfig,
+    pub(crate) select: SelectConfig,
+    pub(crate) seed: u64,
+    pub(crate) instance_base: u32,
 }
 
 impl<'g, A: Algorithm> OomRunner<'g, A> {
     /// A runner with the paper's experiment frame on a device whose memory
-    /// holds `cfg.resident_partitions` of the graph's partitions.
+    /// holds `cfg.resident_partitions` of the graph's partitions. All
+    /// three frontier modes are supported: per-vertex algorithms run
+    /// through the partition queues of Fig. 8, pool-frontier algorithms
+    /// (layer sampling, MDRW) through the [`crate::pooled`] path.
     pub fn new(graph: &'g Csr, algo: &'g A, cfg: OomConfig) -> Self {
         cfg.validate().expect("invalid OOM config");
-        assert_eq!(
-            algo.config().frontier,
-            FrontierMode::IndependentPerVertex,
-            "the out-of-memory runtime supports per-vertex frontier algorithms \
-             (the paper's OOM evaluation set); layer/MDRW need the in-memory engine"
-        );
         OomRunner {
             graph,
             algo,
@@ -181,6 +237,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             device: DeviceConfig::v100(),
             select: SelectConfig::paper_best(),
             seed: 0x5eed,
+            instance_base: 0,
         }
     }
 
@@ -202,14 +259,46 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
         self
     }
 
-    /// Runs one single-seed instance per entry of `seeds`.
-    pub fn run(&self, seeds: &[VertexId]) -> OomOutput {
-        let parts = if self.cfg.edge_balanced_partitions {
+    /// Offsets local instance indices to form globally unique instance
+    /// ids (multi-GPU groups set this per chunk, making a split run
+    /// sample exactly what a single-device run would).
+    pub fn with_instance_base(mut self, base: u32) -> Self {
+        self.instance_base = base;
+        self
+    }
+
+    /// Builds the partitioning this runner's configuration asks for.
+    fn partitions(&self) -> PartitionSet {
+        if self.cfg.edge_balanced_partitions {
             PartitionSet::edge_balanced(self.graph, self.cfg.num_partitions)
         } else {
             PartitionSet::equal_ranges(self.graph, self.cfg.num_partitions)
-        };
-        self.run_group(&parts, seeds, 0, &mut 0.0)
+        }
+    }
+
+    /// Runs one single-seed instance per entry of `seeds`.
+    pub fn run(&self, seeds: &[VertexId]) -> OomOutput {
+        let parts = self.partitions();
+        if self.algo.config().frontier != FrontierMode::IndependentPerVertex {
+            let sets: Vec<Vec<VertexId>> = seeds.iter().map(|&s| vec![s]).collect();
+            return crate::pooled::run_pooled(self, &parts, &sets);
+        }
+        self.run_group(&parts, seeds, self.instance_base, &mut 0.0)
+    }
+
+    /// Runs one instance per seed *set* — the shape pool-frontier
+    /// algorithms need (multi-dimensional random walk pools
+    /// `FrontierSize` seeds per instance, exactly like
+    /// [`csaw_core::engine::Sampler::run`]).
+    pub fn run_pools(&self, seed_sets: &[Vec<VertexId>]) -> OomOutput {
+        assert_ne!(
+            self.algo.config().frontier,
+            FrontierMode::IndependentPerVertex,
+            "run_pools drives pool-frontier algorithms (layer/MDRW); \
+             per-vertex algorithms take one seed per instance — use run()"
+        );
+        let parts = self.partitions();
+        crate::pooled::run_pooled(self, &parts, seed_sets)
     }
 
     /// Runs a group of instances through the scheduling loop starting at
@@ -238,11 +327,15 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
         let mut outputs: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seeds.len()];
         let mut stats = SimStats::new();
 
-        for (i, &s) in seeds.iter().enumerate() {
-            let home = parts.partition_of(s);
-            queues[home].push(FrontierEntry::new(s, instance_base + i as u32, 0));
-            if algo_cfg.without_replacement {
-                visited[home][i].insert(s);
+        // Depth-0 instances take no samples (the in-memory engine's loop
+        // body never runs); skip seeding so the queue path agrees.
+        if algo_cfg.depth > 0 {
+            for (i, &s) in seeds.iter().enumerate() {
+                let home = parts.partition_of(s);
+                queues[home].push(FrontierEntry::new(s, instance_base + i as u32, 0));
+                if algo_cfg.without_replacement {
+                    visited[home][i].insert(s);
+                }
             }
         }
 
@@ -330,7 +423,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             // shard, so the tasks share nothing mutable; results come back
             // in stream order regardless of host scheduling.
             let launch = dev.launch_with(stream_tasks, self.cfg.host_parallel, |_, task| {
-                self.run_stream_round(parts, &algo_cfg, instance_base, task)
+                self.run_stream_round(parts, &algo_cfg, instance_base, seeds, task)
             });
             let mut stream_rounds = launch.outputs;
             let mut kstats = launch.task_stats;
@@ -348,7 +441,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                     let target = parts.partition_of(ob.vertex);
                     let local = (ob.instance - instance_base) as usize;
                     if algo_cfg.without_replacement {
-                        csaw_core::collision::charge_visited_check(
+                        charge_visited_check(
                             self.select.detector,
                             visited[target][local].len(),
                             &mut kstats[stream],
@@ -362,7 +455,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                         vertex: ob.vertex,
                         instance: ob.instance,
                         depth: ob.depth + 1,
-                        prev: Some(ob.prev),
+                        prev: ob.prev,
                     });
                 }
                 for &(local, e) in &round.edges {
@@ -423,7 +516,13 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
 
     /// One stream's whole round: drain the owned partition queue (under WS
     /// keep draining entries the kernel feeds back into its own partition)
-    /// and collect everything destined elsewhere.
+    /// and collect everything destined elsewhere. Each entry expands
+    /// through the shared [`StepKernel`] with `trial = 0`: the queue path
+    /// never holds duplicate `(instance, depth, vertex)` entries — the
+    /// visited filter dedups without-replacement algorithms at insertion,
+    /// and with-replacement walks keep one entry per instance per depth —
+    /// so the ordinal the in-memory engine's trial counter would assign is
+    /// always 0 too, which is what makes outputs bit-identical.
     ///
     /// Work distribution (§V-C): with batched multi-instance sampling the
     /// kernel distributes work *vertex-grained* — any warp takes any queue
@@ -440,30 +539,49 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
         parts: &PartitionSet,
         algo_cfg: &AlgoConfig,
         instance_base: u32,
+        seeds: &[VertexId],
         task: StreamTask,
     ) -> (StreamRound, SimStats) {
-        let mut ctx = StreamCtx {
-            partition: task.partition,
-            queue: task.queue,
-            shard: task.shard,
-            outbox: Vec::new(),
-            edges: Vec::new(),
-            stats: SimStats::new(),
-        };
+        let kernel = StepKernel::new(self.algo, self.seed).with_select(self.select);
+        let mut access = PartitionAccess { graph: self.graph, parts };
+        let mut queue = task.queue;
+        let mut shard = task.shard;
+        let mut outbox: Vec<Outbound> = Vec::new();
+        let mut edges: Vec<(usize, (VertexId, VertexId))> = Vec::new();
+        let mut stats = SimStats::new();
         let mut straggler_cycles: u64 = 0;
         let mut per_instance: HashMap<u32, u64> = HashMap::new();
         loop {
-            let batch = ctx.queue.drain_all();
+            let batch = queue.drain_all();
             if batch.is_empty() {
                 break;
             }
             for entry in batch {
                 let instance = entry.instance;
-                let before = ctx.stats.warp_cycles;
-                self.expand_entry(parts, entry, instance_base, algo_cfg, &mut ctx);
+                let local = (instance - instance_base) as usize;
+                let before = stats.warp_cycles;
+                let step = StepEntry {
+                    instance,
+                    depth: entry.depth,
+                    vertex: entry.vertex,
+                    prev: entry.prev,
+                    trial: 0,
+                };
+                let mut sink = StreamSink {
+                    parts,
+                    cfg: algo_cfg,
+                    detector: self.select.detector,
+                    partition: task.partition,
+                    instance_base,
+                    queue: &mut queue,
+                    shard: &mut shard,
+                    outbox: &mut outbox,
+                    edges: &mut edges,
+                };
+                kernel.expand(&mut access, &step, seeds[local], &mut sink, &mut stats);
                 if !self.cfg.batched {
                     let c = per_instance.entry(instance).or_insert(0);
-                    *c += ctx.stats.warp_cycles - before;
+                    *c += stats.warp_cycles - before;
                     straggler_cycles = straggler_cycles.max(*c);
                 }
             }
@@ -471,173 +589,8 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                 break; // baseline: one pass per round
             }
         }
-        let stats = ctx.stats;
-        (
-            StreamRound {
-                queue: ctx.queue,
-                shard: ctx.shard,
-                outbox: ctx.outbox,
-                edges: ctx.edges,
-                straggler_cycles,
-            },
-            stats,
-        )
+        (StreamRound { queue, shard, outbox, edges, straggler_cycles }, stats)
     }
-
-    /// Expands one queue entry: SELECT NeighborSize neighbors of
-    /// `entry.vertex` from the resident partition, record the sampled
-    /// edges, and push next-depth entries into the owning partitions'
-    /// queues ("a partition can insert new vertices to its frontier queue,
-    /// as well as the frontier queues of other partitions" — inserts into
-    /// other partitions go through the outbox).
-    fn expand_entry(
-        &self,
-        parts: &PartitionSet,
-        entry: FrontierEntry,
-        instance_base: u32,
-        algo_cfg: &AlgoConfig,
-        ctx: &mut StreamCtx,
-    ) {
-        let g = self.graph;
-        let v = entry.vertex;
-        let local = (entry.instance - instance_base) as usize;
-        let part = parts.get(parts.partition_of(v));
-        let neighbors = part.neighbors(v);
-        ctx.stats.read_gmem(16 + neighbors.len() * (4 + if g.is_weighted() { 4 } else { 0 }));
-
-        // Schedule-independent stream: (instance, depth, vertex) is unique
-        // for the supported algorithms (a without-replacement vertex is
-        // expanded once; a walk has one entry per depth).
-        let task = mix3(entry.instance as u64, entry.depth as u64, v as u64);
-        let mut rng = Philox::for_task(self.seed, task);
-
-        if neighbors.is_empty() {
-            match self.algo.on_dead_end(g, v, v, &mut rng) {
-                UpdateAction::Add(w) => self.enqueue(
-                    parts,
-                    algo_cfg,
-                    instance_base,
-                    entry.instance,
-                    entry.depth,
-                    w,
-                    v,
-                    ctx,
-                ),
-                UpdateAction::Discard => {}
-            }
-            return;
-        }
-
-        let k = algo_cfg.neighbor_size.realize(neighbors.len(), &mut rng);
-        if k == 0 {
-            return;
-        }
-        let cands: Vec<EdgeCand> = neighbors
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| EdgeCand {
-                v,
-                u,
-                weight: part.neighbor_weights(v).map_or(1.0, |w| w[i]),
-                prev: entry.prev,
-            })
-            .collect();
-        let biases: Vec<f64> = cands.iter().map(|c| self.algo.edge_bias(g, c)).collect();
-        ctx.stats.warp_cycles += biases.len().div_ceil(32) as u64;
-
-        let picks: Vec<usize> = if algo_cfg.without_replacement {
-            select_without_replacement(&biases, k, self.select, &mut rng, &mut ctx.stats)
-        } else {
-            (0..k).filter_map(|_| select_one(&biases, &mut rng, &mut ctx.stats)).collect()
-        };
-
-        for idx in picks {
-            let mut cand = cands[idx];
-            if let Some(w) = self.algo.accept(g, &cand, &mut rng) {
-                if w == v {
-                    self.enqueue(
-                        parts,
-                        algo_cfg,
-                        instance_base,
-                        entry.instance,
-                        entry.depth,
-                        v,
-                        v,
-                        ctx,
-                    );
-                    continue;
-                }
-                cand.u = w;
-            }
-            ctx.edges.push((local, (cand.v, cand.u)));
-            match self.algo.update(g, &cand, v, &mut rng) {
-                UpdateAction::Add(w) => self.enqueue(
-                    parts,
-                    algo_cfg,
-                    instance_base,
-                    entry.instance,
-                    entry.depth,
-                    w,
-                    v,
-                    ctx,
-                ),
-                UpdateAction::Discard => {}
-            }
-        }
-    }
-
-    /// Enqueues a next-depth frontier entry if the instance still has
-    /// depth budget. A vertex in the task's own partition is checked
-    /// against the visited shard and pushed immediately (WS drains it this
-    /// round); a vertex owned by another partition is staged in the outbox
-    /// for the barrier, where the visited check runs against that
-    /// partition's shard.
-    #[allow(clippy::too_many_arguments)]
-    fn enqueue(
-        &self,
-        parts: &PartitionSet,
-        algo_cfg: &AlgoConfig,
-        instance_base: u32,
-        instance: u32,
-        depth: u32,
-        vertex: VertexId,
-        prev: VertexId,
-        ctx: &mut StreamCtx,
-    ) {
-        if depth as usize + 1 >= algo_cfg.depth {
-            return; // depth budget exhausted (§V-B correctness guard)
-        }
-        if parts.partition_of(vertex) != ctx.partition {
-            ctx.outbox.push(Outbound { instance, depth, vertex, prev });
-            return;
-        }
-        let local = (instance - instance_base) as usize;
-        if algo_cfg.without_replacement {
-            csaw_core::collision::charge_visited_check(
-                self.select.detector,
-                ctx.shard[local].len(),
-                &mut ctx.stats,
-            );
-            if !ctx.shard[local].insert(vertex) {
-                return;
-            }
-        }
-        ctx.stats.frontier_ops += 1;
-        ctx.queue.push(FrontierEntry { vertex, instance, depth: depth + 1, prev: Some(prev) });
-    }
-}
-
-/// SplitMix64-style 3-value mixer for RNG task keys.
-fn mix3(a: u64, b: u64, c: u64) -> u64 {
-    let mut x = a
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -671,8 +624,8 @@ mod tests {
     #[test]
     fn output_identical_across_all_scheduling_policies() {
         // §V-B Correctness: out-of-order scheduling must not change the
-        // sampling result. RNG keying by (instance, depth, vertex) makes
-        // the guarantee bit-exact here.
+        // sampling result. RNG keying by (instance, depth, vertex, trial)
+        // makes the guarantee bit-exact here.
         let g = rmat(8, 4, RmatParams::GRAPH500, 5);
         let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
         let seeds: Vec<u32> = (0..32).map(|i| (i * 7) % 256).collect();
@@ -781,11 +734,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "per-vertex frontier")]
-    fn rejects_layer_mode() {
-        let g = toy_graph();
-        let algo = csaw_core::algorithms::LayerSampling { layer_size: 2, depth: 2 };
-        let _ = OomRunner::new(&g, &algo, OomConfig::full());
+    fn restart_walks_return_to_the_instance_seed() {
+        // RWR's dead-end/restart hooks receive the instance's *home seed*
+        // — the same vertex the in-memory engine hands them — even when
+        // the walker is deep inside another partition. A graph where every
+        // path from the seed hits a dead end makes the restart target
+        // observable: all post-dead-end hops must start from a restart at
+        // the seed, never from the dead-end vertex.
+        use csaw_core::algorithms::RandomWalkWithRestart;
+        let g = csaw_graph::CsrBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2) // chain 0→1→2, 2 is a dead end
+            .build();
+        let algo = RandomWalkWithRestart { length: 12, p_restart: 0.0 };
+        let out = OomRunner::new(&g, &algo, OomConfig::full()).with_device(tiny_device()).run(&[0]);
+        for w in out.instances[0].windows(2) {
+            assert!(
+                w[1].0 == w[0].1 || w[1].0 == 0,
+                "after a dead end the walk must restart at seed 0, got {:?}",
+                w[1]
+            );
+        }
     }
 
     #[test]

@@ -8,14 +8,25 @@
 //! resident page set takes a page fault (driver stall + PCIe migration),
 //! with LRU eviction under the same memory budget the partition runtime
 //! gets.
+//!
+//! The expand pipeline is the shared [`StepKernel`]: this runner only
+//! supplies `PagedAccess` (the fault-counting [`NeighborAccess`]) and
+//! drives the engine's [`PoolSink`] over per-instance frontiers. Because
+//! kernel and RNG keys are identical to the in-memory engine's, a
+//! unified-memory run samples exactly the engine's edges — including
+//! second-order biases like node2vec, whose `prev` threading a previous
+//! hand-rolled copy of this loop silently dropped. The regression test
+//! pins that equality.
 
-use csaw_core::api::{Algorithm, EdgeCand, FrontierMode, UpdateAction};
-use csaw_core::select::{select_one, select_without_replacement, SelectConfig};
+use csaw_core::api::{Algorithm, FrontierMode};
+use csaw_core::select::SelectConfig;
+use csaw_core::step::{
+    gather_bytes, NeighborAccess, PoolSink, PoolSlot, StepEntry, StepKernel, TrialCounter,
+};
 use csaw_gpu::config::DeviceConfig;
 use csaw_gpu::cost::gpu_kernel_seconds;
 use csaw_gpu::stats::SimStats;
-use csaw_gpu::Philox;
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{Csr, VertexId, Weight};
 use std::collections::{HashSet, VecDeque};
 
 /// Driver-side latency of servicing one GPU page fault (fault interrupt,
@@ -88,6 +99,30 @@ impl PageCache {
     }
 }
 
+/// Demand-paged [`NeighborAccess`]: every gather touches the neighbor
+/// list's byte range in the page cache (counting faults and migrated
+/// bytes) before charging the standard gather read.
+struct PagedAccess<'g> {
+    graph: &'g Csr,
+    cache: PageCache,
+    bytes_migrated: u64,
+}
+
+impl NeighborAccess for PagedAccess<'_> {
+    fn graph(&self) -> &Csr {
+        self.graph
+    }
+
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>) {
+        let deg = self.graph.degree(v);
+        let start_byte = self.graph.row_ptr()[v as usize] * 4;
+        let faulted = self.cache.touch(start_byte, deg * 4);
+        self.bytes_migrated += faulted * PAGE_BYTES as u64;
+        stats.read_gmem(gather_bytes(self.graph.is_weighted(), deg));
+        (self.graph.neighbors(v), self.graph.neighbor_weights(v))
+    }
+}
+
 /// Unified-memory sampler: same algorithms, demand paging instead of
 /// partition scheduling. Supports the per-vertex frontier algorithms
 /// (the Fig. 13 workload set).
@@ -118,16 +153,20 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
 
     /// Runs one single-seed instance per seed, demand-paging the CSR.
     pub fn run(&self, seeds: &[VertexId]) -> UnifiedOutput {
-        let g = self.graph;
         let algo_cfg = self.algo.config();
+        let kernel = StepKernel::new(self.algo, self.seed).with_select(self.select);
+        let mut access = PagedAccess {
+            graph: self.graph,
+            cache: PageCache::new(self.device.memory_bytes),
+            bytes_migrated: 0,
+        };
         let mut stats = SimStats::new();
-        let mut cache = PageCache::new(self.device.memory_bytes);
-        let mut bytes_migrated = 0u64;
         let mut outputs: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seeds.len()];
 
         // BSP over depth, interleaving instances — the fault pattern of
         // thousands of concurrent walkers hitting scattered pages.
-        let mut frontiers: Vec<Vec<VertexId>> = seeds.iter().map(|&s| vec![s]).collect();
+        let mut frontiers: Vec<Vec<PoolSlot>> =
+            seeds.iter().map(|&s| vec![PoolSlot::seed(s)]).collect();
         let mut visited: Vec<HashSet<VertexId>> = seeds
             .iter()
             .map(
@@ -141,60 +180,30 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
             )
             .collect();
 
-        for depth in 0..algo_cfg.depth {
+        let mut trials = TrialCounter::new();
+        for depth in 0..algo_cfg.depth as u32 {
             let mut any = false;
+            trials.reset();
             for inst in 0..seeds.len() {
                 let frontier = std::mem::take(&mut frontiers[inst]);
-                for v in frontier {
+                stats.frontier_ops += frontier.len() as u64;
+                for slot in frontier {
                     any = true;
-                    let nbrs = g.neighbors(v);
-                    let start_byte = g.row_ptr()[v as usize] * 4;
-                    let faulted = cache.touch(start_byte, nbrs.len() * 4);
-                    bytes_migrated += faulted * PAGE_BYTES as u64;
-                    stats.read_gmem(16 + 4 * nbrs.len());
-
-                    let mut rng =
-                        Philox::for_task(self.seed, mix3(inst as u64, depth as u64, v as u64));
-                    if nbrs.is_empty() {
-                        if let UpdateAction::Add(w) =
-                            self.algo.on_dead_end(g, v, seeds[inst], &mut rng)
-                        {
-                            push(&algo_cfg, &mut visited[inst], &mut frontiers[inst], w);
-                        }
-                        continue;
-                    }
-                    let k = algo_cfg.neighbor_size.realize(nbrs.len(), &mut rng);
-                    if k == 0 {
-                        continue;
-                    }
-                    let cands: Vec<EdgeCand> = nbrs
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &u)| EdgeCand { v, u, weight: g.edge_weight(v, i), prev: None })
-                        .collect();
-                    let biases: Vec<f64> =
-                        cands.iter().map(|c| self.algo.edge_bias(g, c)).collect();
-                    let picks: Vec<usize> = if algo_cfg.without_replacement {
-                        select_without_replacement(&biases, k, self.select, &mut rng, &mut stats)
-                    } else {
-                        (0..k).filter_map(|_| select_one(&biases, &mut rng, &mut stats)).collect()
+                    let entry = StepEntry {
+                        instance: inst as u32,
+                        depth,
+                        vertex: slot.vertex,
+                        prev: slot.prev,
+                        trial: trials.next(inst as u32, slot.vertex),
                     };
-                    for idx in picks {
-                        let mut cand = cands[idx];
-                        if let Some(w) = self.algo.accept(g, &cand, &mut rng) {
-                            if w == v {
-                                push(&algo_cfg, &mut visited[inst], &mut frontiers[inst], v);
-                                continue;
-                            }
-                            cand.u = w;
-                        }
-                        outputs[inst].push((cand.v, cand.u));
-                        if let UpdateAction::Add(w) =
-                            self.algo.update(g, &cand, seeds[inst], &mut rng)
-                        {
-                            push(&algo_cfg, &mut visited[inst], &mut frontiers[inst], w);
-                        }
-                    }
+                    let mut sink = PoolSink {
+                        cfg: &algo_cfg,
+                        detector: self.select.detector,
+                        visited: &mut visited[inst],
+                        next: &mut frontiers[inst],
+                        out: &mut outputs[inst],
+                    };
+                    kernel.expand(&mut access, &entry, seeds[inst], &mut sink, &mut stats);
                 }
             }
             if !any {
@@ -202,41 +211,18 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
             }
         }
 
-        let kernel = gpu_kernel_seconds(&stats, &self.device);
-        let paging = cache.faults as f64
+        let kernel_secs = gpu_kernel_seconds(&stats, &self.device);
+        let paging = access.cache.faults as f64
             * (PAGE_FAULT_LATENCY + PAGE_BYTES as f64 / (self.device.pcie_gbps * 1e9));
         stats.sampled_edges = outputs.iter().map(|o| o.len() as u64).sum();
         UnifiedOutput {
             instances: outputs,
             stats,
-            page_faults: cache.faults,
-            bytes_migrated,
-            sim_seconds: kernel + paging,
+            page_faults: access.cache.faults,
+            bytes_migrated: access.bytes_migrated,
+            sim_seconds: kernel_secs + paging,
         }
     }
-}
-
-fn push(
-    cfg: &csaw_core::api::AlgoConfig,
-    visited: &mut HashSet<VertexId>,
-    frontier: &mut Vec<VertexId>,
-    v: VertexId,
-) {
-    if cfg.without_replacement && !visited.insert(v) {
-        return;
-    }
-    frontier.push(v);
-}
-
-fn mix3(a: u64, b: u64, c: u64) -> u64 {
-    let mut x = a
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -263,6 +249,48 @@ mod tests {
         }
         assert!(out.page_faults > 0, "tiny device must fault");
         assert!(out.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn unified_memory_matches_the_engine_exactly() {
+        // Same kernel, same keys → the demand-paged run is the engine run.
+        let g = rmat(9, 4, RmatParams::GRAPH500, 12);
+        let algo = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+        let seeds: Vec<u32> = (0..32).map(|i| (i * 13) % 512).collect();
+        let um = UnifiedRunner::new(&g, &algo, tiny()).run(&seeds);
+        let mem = csaw_core::engine::Sampler::new(&g, &algo).run_single_seeds(&seeds);
+        assert_eq!(um.instances, mem.instances);
+    }
+
+    #[test]
+    fn second_order_bias_survives_demand_paging() {
+        // Regression: candidates used to be built with `prev: None`,
+        // silently degrading node2vec to a first-order walk under unified
+        // memory. Through the shared kernel the second-order outputs must
+        // equal the in-memory engine's, edge for edge.
+        use csaw_core::algorithms::Node2Vec;
+        let g = rmat(9, 6, RmatParams::GRAPH500, 13);
+        let algo = Node2Vec { length: 10, p: 0.1, q: 4.0 };
+        let seeds: Vec<u32> = (0..48).map(|i| (i * 11) % 512).collect();
+        let um = UnifiedRunner::new(&g, &algo, tiny()).run(&seeds);
+        let mem = csaw_core::engine::Sampler::new(&g, &algo).run_single_seeds(&seeds);
+        assert_eq!(um.instances, mem.instances, "node2vec must keep its prev-dependent bias");
+        // And the bias must actually bite: with p = 0.1 the walker
+        // backtracks far more often than chance.
+        let mut backtracks = 0usize;
+        let mut steps = 0usize;
+        for inst in &um.instances {
+            for w in inst.windows(2) {
+                steps += 1;
+                if w[1].1 == w[0].0 {
+                    backtracks += 1;
+                }
+            }
+        }
+        assert!(
+            backtracks as f64 > steps as f64 * 0.3,
+            "return bias must show: {backtracks}/{steps}"
+        );
     }
 
     #[test]

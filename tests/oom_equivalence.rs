@@ -51,42 +51,67 @@ fn partition_count_does_not_change_samples() {
     }
 }
 
+/// Asserts that every out-of-memory scheduling policy (the Fig. 13
+/// optimization ladder plus the serial reference path) samples exactly —
+/// per instance, as an edge multiset — what the in-memory engine samples.
+///
+/// This is the payoff of keying every RNG draw by
+/// `(instance, depth, vertex, trial)` and funneling every runtime through
+/// the one `StepKernel`: scheduling order (partition queues, batching,
+/// workload-aware transfers, host thread counts) can no longer leak into
+/// the sample.
+fn assert_exact_equivalence<A: csaw::core::api::Algorithm>(algo: &A, graph_seed: u64, label: &str) {
+    let g = rmat(9, 6, RmatParams::GRAPH500, graph_seed);
+    let seeds: Vec<u32> = (0..48).map(|i| i * 13 % 512).collect();
+    let mem = canon(&Sampler::new(&g, algo).run_single_seeds(&seeds).instances);
+    let device = DeviceConfig::tiny(1 << 20);
+    for (name, cfg) in OomConfig::figure13_ladder() {
+        let oom = OomRunner::new(&g, algo, cfg).with_device(device).run(&seeds);
+        assert_eq!(canon(&oom.instances), mem, "{label} under {name} diverged from the engine");
+    }
+    let serial =
+        OomRunner::new(&g, algo, OomConfig::full().serial()).with_device(device).run(&seeds);
+    assert_eq!(canon(&serial.instances), mem, "{label} (serial) diverged from the engine");
+}
+
 #[test]
-fn oom_walk_statistics_match_in_memory_engine() {
-    // Different RNG keying schemes mean samples differ individually, but
-    // aggregate statistics must agree: same walk lengths, and similar
-    // visit distribution over a biased walk.
-    let g = rmat(9, 8, RmatParams::GRAPH500, 23);
-    let algo = BiasedRandomWalk { length: 20 };
-    let seeds: Vec<u32> = (0..256).map(|i| i * 7 % 512).collect();
-
-    let mem = Sampler::new(&g, &algo).run_single_seeds(&seeds);
-    let oom = OomRunner::new(&g, &algo, OomConfig::full()).run(&seeds);
-
-    assert_eq!(mem.instances.len(), oom.instances.len());
-    // Both should complete (almost) all walks on this connected-ish graph.
-    let mem_total = mem.sampled_edges() as f64;
-    let oom_total = oom.sampled_edges() as f64;
-    assert!(
-        (mem_total - oom_total).abs() / mem_total < 0.05,
-        "edge totals diverge: {mem_total} vs {oom_total}"
+fn oom_samples_exactly_match_the_engine_neighbor_sampling() {
+    assert_exact_equivalence(
+        &UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 },
+        23,
+        "unbiased neighbor sampling",
     );
+    assert_exact_equivalence(
+        &csaw::core::algorithms::BiasedNeighborSampling { neighbor_size: 2, depth: 3 },
+        23,
+        "biased neighbor sampling",
+    );
+    assert_exact_equivalence(
+        &csaw::core::algorithms::ForestFire { pf: 0.6, depth: 3 },
+        23,
+        "forest fire",
+    );
+}
 
-    // Degree-biased walks concentrate on hubs in both engines: compare the
-    // fraction of visits landing on the top-1% degree vertices.
-    let hub_frac = |instances: &[Vec<(u32, u32)>]| {
-        let mut degs: Vec<(usize, u32)> =
-            (0..g.num_vertices() as u32).map(|v| (g.degree(v), v)).collect();
-        degs.sort_unstable_by(|a, b| b.cmp(a));
-        let hubs: std::collections::HashSet<u32> =
-            degs[..g.num_vertices() / 100].iter().map(|&(_, v)| v).collect();
-        let total: usize = instances.iter().map(Vec::len).sum();
-        let hub: usize = instances.iter().flatten().filter(|&&(_, u)| hubs.contains(&u)).count();
-        hub as f64 / total as f64
-    };
-    let a = hub_frac(&mem.instances);
-    let b = hub_frac(&oom.instances);
-    assert!((a - b).abs() < 0.05, "hub visit fractions diverge: {a} vs {b}");
+#[test]
+fn oom_samples_exactly_match_the_engine_walks() {
+    assert_exact_equivalence(&BiasedRandomWalk { length: 12 }, 27, "biased random walk");
+    assert_exact_equivalence(
+        &csaw::core::algorithms::RandomWalkWithRestart { length: 12, p_restart: 0.2 },
+        27,
+        "random walk with restart",
+    );
+    assert_exact_equivalence(
+        &csaw::core::algorithms::MetropolisHastingsWalk { length: 12 },
+        27,
+        "metropolis-hastings walk",
+    );
+    // Second-order bias: `prev` must survive the outbox round trip.
+    assert_exact_equivalence(
+        &csaw::core::algorithms::Node2Vec { length: 10, p: 0.25, q: 2.0 },
+        27,
+        "node2vec",
+    );
 }
 
 #[test]

@@ -1,0 +1,100 @@
+//! Golden-output snapshot of every Table-I algorithm through the shared
+//! `StepKernel` on the paper's Fig. 1 toy graph.
+//!
+//! With draws keyed by `(instance, depth, vertex, trial)` the sampled
+//! edges are a pure function of `(graph, algorithm, seeds, rng seed)` —
+//! independent of runtime, scheduling policy, and thread count. That
+//! makes the exact output pinnable: if any future change alters these
+//! literals, it has changed the sampling semantics (keying, hook order,
+//! candidate order, or SELECT), not just performance, and the snapshot
+//! below must be regenerated **deliberately**.
+//!
+//! Regenerate with:
+//! `cargo test --test step_golden -- --ignored print_golden --nocapture`
+
+use csaw::core::algorithms::{
+    BiasedNeighborSampling, BiasedRandomWalk, ForestFire, LayerSampling, MetropolisHastingsWalk,
+    MultiDimRandomWalk, MultiIndependentRandomWalk, Node2Vec, RandomWalkWithJump,
+    RandomWalkWithRestart, SimpleRandomWalk, Snowball, UnbiasedNeighborSampling,
+};
+use csaw::core::api::Algorithm;
+use csaw::core::engine::Sampler;
+use csaw::graph::generators::toy_graph;
+
+/// Runs one algorithm on the toy graph and formats its instances as one
+/// snapshot line: `name: (a-b a-c ...) (d-e ...)`.
+fn snapshot_line<A: Algorithm>(algo: &A, seed_sets: &[Vec<u32>]) -> String {
+    let g = toy_graph();
+    let out = Sampler::new(&g, algo).run(seed_sets);
+    let insts: Vec<String> = out
+        .instances
+        .iter()
+        .map(|edges| {
+            let e: Vec<String> = edges.iter().map(|(v, u)| format!("{v}-{u}")).collect();
+            format!("({})", e.join(" "))
+        })
+        .collect();
+    format!("{}: {}", algo.name(), insts.join(" "))
+}
+
+/// All thirteen Table-I algorithms with small fixed parameters, two
+/// instances each (seeds 0 and 8; two 3-vertex pools for the
+/// pool-frontier algorithms).
+fn snapshot() -> String {
+    let singles: Vec<Vec<u32>> = vec![vec![0], vec![8]];
+    let pools: Vec<Vec<u32>> = vec![vec![0, 5, 8], vec![2, 7, 12]];
+    let mut lines = vec![
+        snapshot_line(&SimpleRandomWalk { length: 4 }, &singles),
+        snapshot_line(&MetropolisHastingsWalk { length: 4 }, &singles),
+        snapshot_line(&RandomWalkWithJump { length: 4, p_jump: 0.25 }, &singles),
+        snapshot_line(&RandomWalkWithRestart { length: 4, p_restart: 0.25 }, &singles),
+        snapshot_line(&MultiIndependentRandomWalk { length: 4 }, &singles),
+        snapshot_line(&BiasedRandomWalk { length: 4 }, &singles),
+        snapshot_line(&Node2Vec { length: 4, p: 0.5, q: 2.0 }, &singles),
+        snapshot_line(&UnbiasedNeighborSampling { neighbor_size: 2, depth: 2 }, &singles),
+        snapshot_line(&BiasedNeighborSampling { neighbor_size: 2, depth: 2 }, &singles),
+        snapshot_line(&ForestFire { pf: 0.6, depth: 2 }, &singles),
+        snapshot_line(&Snowball { depth: 2 }, &singles),
+        snapshot_line(&LayerSampling { layer_size: 3, depth: 2 }, &pools),
+        snapshot_line(&MultiDimRandomWalk { budget: 5 }, &pools),
+    ];
+    lines.push(String::new());
+    lines.join("\n")
+}
+
+/// The pinned snapshot. Every line is two instances of one algorithm on
+/// `toy_graph()` with the default RNG seed (`0x5eed`).
+const GOLDEN: &str = "\
+simple-random-walk: (0-6 6-7 7-6 6-0) (8-5 5-7 7-0 0-1)
+metropolis-hastings-walk: (0-6 6-7 7-6 6-0) (8-5 5-7 7-0 0-1)
+random-walk-with-jump: (0-6 8-9 9-8 8-7) (8-5 5-7 8-7 7-5)
+random-walk-with-restart: (0-6 0-7 7-6 6-0) (8-5 5-7 8-7 7-5)
+multi-independent-random-walk: (0-6 6-7 7-6 6-0) (8-5 5-7 7-0 0-1)
+biased-random-walk: (0-7 7-5 5-8 8-7) (8-5 5-7 7-0 0-6)
+node2vec: (0-6 6-7 7-6 6-7) (8-5 5-8 8-5 5-7)
+unbiased-neighbor-sampling: (0-6 0-1 6-0 6-7 1-0 1-2) (8-5 8-9 5-7 5-4 9-8 9-12)
+biased-neighbor-sampling: (0-7 0-1 7-5 7-8 1-0 1-2) (8-5 8-7 5-7 5-4 7-4 7-3)
+forest-fire: (0-6 0-7 7-4) (8-7 8-9 8-10 8-11 7-0 7-3 7-4 7-5 7-6 7-8 10-8)
+snowball: (0-1 0-6 0-7 1-0 1-2 6-0 6-7 7-0 7-3 7-4 7-5 7-6 7-8) (8-5 8-7 8-9 8-10 8-11 5-4 5-7 5-8 7-0 7-3 7-4 7-5 7-6 7-8 9-8 9-12 10-8 10-12 11-8 11-12)
+layer-sampling: (8-9 8-10 0-7 9-8 7-5 7-4) (7-0 7-8 7-3 0-1 8-9 8-7)
+multi-dimensional-random-walk: (8-11 0-1 11-8 8-7 5-4) (7-6 2-3 6-0 0-7 7-3)
+";
+
+#[test]
+fn table_one_outputs_are_pinned() {
+    let got = snapshot();
+    assert_eq!(
+        got, GOLDEN,
+        "Table-I outputs changed — this is a sampling-semantics change, \
+         not a perf change. If intentional, regenerate the snapshot \
+         (see module docs) and document the break in DESIGN.md.\n\
+         --- got ---\n{got}"
+    );
+}
+
+/// Prints the current snapshot for regeneration (see module docs).
+#[test]
+#[ignore = "generator, not a check"]
+fn print_golden() {
+    println!("{}", snapshot());
+}
