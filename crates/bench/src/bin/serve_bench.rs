@@ -1,0 +1,138 @@
+//! Open-loop load driver for the sampling service: sweeps the batch
+//! window and reports throughput plus latency percentiles.
+//!
+//! Requests arrive on a fixed schedule regardless of completion
+//! (open-loop), so queueing delay from an undersized window shows up in
+//! the tail latencies instead of being absorbed by a slower client.
+//!
+//! ```text
+//! serve_bench [requests-per-window] [arrival-interval-us]
+//! ```
+//!
+//! Writes `results_csv/service_latency.csv` when run from the repo root
+//! (falls back to printing only if the directory is absent).
+
+use csaw_bench::report::Table;
+use csaw_core::AlgoSpec;
+use csaw_graph::generators::{rmat, RmatParams};
+use csaw_service::{SamplingRequest, SamplingService, ServiceConfig, Ticket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Seeds per request (instances the request occupies in a launch).
+const SEEDS_PER_REQUEST: usize = 4;
+
+struct Pending {
+    scheduled: Instant,
+    ticket: Ticket,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requests: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(160);
+    let interval_us: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    let graph = Arc::new(rmat(12, 8, RmatParams::GRAPH500, 42));
+    let spec = AlgoSpec::by_name("biased-walk").unwrap().with_depth(16);
+    let interval = Duration::from_micros(interval_us);
+    let windows_us: [u64; 4] = [0, 500, 2000, 5000];
+
+    eprintln!(
+        "# serve_bench: {requests} requests/window, arrival every {interval_us}us, \
+         {SEEDS_PER_REQUEST} seeds/request, rmat(12,8)"
+    );
+    let mut table = Table::new(
+        "service latency under open-loop load (batch-window sweep)",
+        &[
+            "window_us",
+            "requests",
+            "completed",
+            "shed",
+            "batches",
+            "mean_batch_inst",
+            "throughput_rps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
+    );
+
+    for window_us in windows_us {
+        let svc = SamplingService::with_engine(
+            Arc::clone(&graph),
+            ServiceConfig {
+                batch_window: Duration::from_micros(window_us),
+                max_batch_instances: 64,
+                queue_capacity: 512,
+                ..ServiceConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let mut pending: Vec<Pending> = Vec::with_capacity(requests);
+        let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+        let mut shed = 0u64;
+        for i in 0..requests {
+            let scheduled = start + interval * i as u32;
+            if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let seeds: Vec<u32> = (0..SEEDS_PER_REQUEST as u32)
+                .map(|j| (i as u32 * 31 + j * 7) % (1 << 12))
+                .collect();
+            match svc.submit(SamplingRequest::new(spec, seeds)) {
+                Ok(ticket) => pending.push(Pending { scheduled, ticket }),
+                Err(_) => shed += 1,
+            }
+            // Drain whatever has completed so far without blocking the
+            // arrival schedule.
+            pending.retain(|p| match p.ticket.try_wait() {
+                Some(_) => {
+                    latencies.push(p.scheduled.elapsed().as_secs_f64() * 1e3);
+                    false
+                }
+                None => true,
+            });
+        }
+        for p in pending {
+            let scheduled = p.scheduled;
+            let _ = p.ticket.wait();
+            latencies.push(scheduled.elapsed().as_secs_f64() * 1e3);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let snap = svc.shutdown();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean_batch = if snap.batches > 0 {
+            (snap.completed as usize * SEEDS_PER_REQUEST) as f64 / snap.batches as f64
+        } else {
+            0.0
+        };
+        table.row(vec![
+            window_us.to_string(),
+            requests.to_string(),
+            snap.completed.to_string(),
+            shed.to_string(),
+            snap.batches.to_string(),
+            format!("{mean_batch:.1}"),
+            format!("{:.0}", snap.completed as f64 / elapsed),
+            format!("{:.3}", percentile(&latencies, 0.50)),
+            format!("{:.3}", percentile(&latencies, 0.95)),
+            format!("{:.3}", percentile(&latencies, 0.99)),
+        ]);
+    }
+
+    table.print();
+    let out = std::path::Path::new("results_csv");
+    if out.is_dir() {
+        let path = out.join("service_latency.csv");
+        std::fs::write(&path, table.to_csv()).expect("write CSV");
+        eprintln!("# wrote {}", path.display());
+    }
+}

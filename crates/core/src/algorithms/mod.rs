@@ -25,11 +25,14 @@ mod node2vec;
 mod snowball;
 mod walks;
 
+pub mod registry;
+
 pub use forest_fire::ForestFire;
 pub use layer::LayerSampling;
 pub use mdrw::MultiDimRandomWalk;
 pub use neighbor::{BiasedNeighborSampling, UnbiasedNeighborSampling};
 pub use node2vec::Node2Vec;
+pub use registry::{AlgoSpec, AlgorithmId, RegistryError};
 pub use snowball::Snowball;
 pub use walks::{
     BiasedRandomWalk, MetropolisHastingsWalk, MultiIndependentRandomWalk, RandomWalkWithJump,

@@ -1,0 +1,376 @@
+//! Table-I algorithm registry: stable ids, parameterized specs, and
+//! boxed construction for callers that pick algorithms at runtime (the
+//! CLI, the serving layer).
+//!
+//! A [`AlgoSpec`] is a *value*: id plus optional parameter overrides.
+//! [`AlgoSpec::build`] validates it (zero depth, out-of-range
+//! probabilities, unknown names at [`AlgoSpec::by_name`] time) and
+//! returns the boxed [`Algorithm`], so misconfiguration surfaces as a
+//! typed [`RegistryError`] before any kernel runs instead of a panic
+//! deep inside the engine. [`AlgoSpec::key`] resolves defaults into a
+//! hashable [`AlgoKey`] — two specs that build the same algorithm
+//! compare equal, which is what lets a micro-batcher coalesce requests
+//! into one launch.
+
+use super::{
+    BiasedNeighborSampling, BiasedRandomWalk, ForestFire, LayerSampling, MetropolisHastingsWalk,
+    MultiDimRandomWalk, MultiIndependentRandomWalk, Node2Vec, RandomWalkWithJump,
+    RandomWalkWithRestart, SimpleRandomWalk, Snowball, UnbiasedNeighborSampling,
+};
+use crate::api::Algorithm;
+
+/// Stable identifier for each Table-I algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmId {
+    /// Unbiased random walk, NeighborSize 1.
+    SimpleRandomWalk,
+    /// Metropolis-Hastings walk (degree-corrected acceptance).
+    MetropolisHastingsWalk,
+    /// Unbiased walk that teleports to a random vertex with `p_jump`.
+    RandomWalkWithJump,
+    /// Unbiased walk that returns to its seed with `p_restart`.
+    RandomWalkWithRestart,
+    /// Many independent unbiased walks (one instance per seed).
+    MultiIndependentRandomWalk,
+    /// Degree-biased random walk.
+    BiasedRandomWalk,
+    /// Second-order p/q-biased walk.
+    Node2Vec,
+    /// Unbiased neighbor sampling (constant NeighborSize per hop).
+    UnbiasedNeighborSampling,
+    /// Weight/degree-biased neighbor sampling.
+    BiasedNeighborSampling,
+    /// Forest fire: geometric NeighborSize with burn probability `pf`.
+    ForestFire,
+    /// Snowball: every neighbor, breadth-first.
+    Snowball,
+    /// Layer sampling: shared per-layer neighbor pool.
+    LayerSampling,
+    /// Multi-dimensional random walk over a biased frontier pool.
+    MultiDimRandomWalk,
+}
+
+impl AlgorithmId {
+    /// Every Table-I algorithm, in the table's order.
+    pub const ALL: [AlgorithmId; 13] = [
+        AlgorithmId::SimpleRandomWalk,
+        AlgorithmId::MetropolisHastingsWalk,
+        AlgorithmId::RandomWalkWithJump,
+        AlgorithmId::RandomWalkWithRestart,
+        AlgorithmId::MultiIndependentRandomWalk,
+        AlgorithmId::BiasedRandomWalk,
+        AlgorithmId::Node2Vec,
+        AlgorithmId::UnbiasedNeighborSampling,
+        AlgorithmId::BiasedNeighborSampling,
+        AlgorithmId::ForestFire,
+        AlgorithmId::Snowball,
+        AlgorithmId::LayerSampling,
+        AlgorithmId::MultiDimRandomWalk,
+    ];
+
+    /// The registry name (matches the CLI's `--algo` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmId::SimpleRandomWalk => "simple-walk",
+            AlgorithmId::MetropolisHastingsWalk => "mh-walk",
+            AlgorithmId::RandomWalkWithJump => "jump-walk",
+            AlgorithmId::RandomWalkWithRestart => "restart-walk",
+            AlgorithmId::MultiIndependentRandomWalk => "mirw",
+            AlgorithmId::BiasedRandomWalk => "biased-walk",
+            AlgorithmId::Node2Vec => "node2vec",
+            AlgorithmId::UnbiasedNeighborSampling => "neighbor",
+            AlgorithmId::BiasedNeighborSampling => "biased-neighbor",
+            AlgorithmId::ForestFire => "forest-fire",
+            AlgorithmId::Snowball => "snowball",
+            AlgorithmId::LayerSampling => "layer",
+            AlgorithmId::MultiDimRandomWalk => "mdrw",
+        }
+    }
+
+    /// Looks an id up by registry name.
+    pub fn from_name(name: &str) -> Option<AlgorithmId> {
+        AlgorithmId::ALL.iter().copied().find(|id| id.name() == name)
+    }
+
+    /// True for walk-shaped algorithms whose `depth` parameter is a walk
+    /// length (or MDRW budget) rather than a hop count — the CLI maps
+    /// `--length` vs `--depth` with this.
+    pub fn uses_walk_length(self) -> bool {
+        matches!(
+            self,
+            AlgorithmId::SimpleRandomWalk
+                | AlgorithmId::MetropolisHastingsWalk
+                | AlgorithmId::RandomWalkWithJump
+                | AlgorithmId::RandomWalkWithRestart
+                | AlgorithmId::MultiIndependentRandomWalk
+                | AlgorithmId::BiasedRandomWalk
+                | AlgorithmId::Node2Vec
+                | AlgorithmId::MultiDimRandomWalk
+        )
+    }
+}
+
+/// Why a spec failed to resolve into an algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// [`AlgoSpec::by_name`] was given a name no Table-I algorithm has.
+    UnknownAlgorithm(String),
+    /// Depth / walk length resolved to zero — the run would sample
+    /// nothing, which a service treats as caller error.
+    ZeroDepth(AlgorithmId),
+    /// A probability-like parameter fell outside its valid range.
+    InvalidParam {
+        /// Algorithm the spec names.
+        id: AlgorithmId,
+        /// Offending parameter.
+        param: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownAlgorithm(name) => write!(f, "unknown algorithm '{name}'"),
+            RegistryError::ZeroDepth(id) => {
+                write!(f, "{}: depth/length 0 samples nothing", id.name())
+            }
+            RegistryError::InvalidParam { id, param, value } => {
+                write!(f, "{}: parameter {param} = {value} out of range", id.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Resolved, hashable identity of a spec: id plus every parameter after
+/// default substitution. Two specs with equal keys build algorithms
+/// with identical behavior, so they may share one engine launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AlgoKey {
+    id: AlgorithmId,
+    depth: usize,
+    neighbor_size: usize,
+    // Probability parameters, bit-cast: f64 is not Hash/Eq, bits are.
+    prob_bits: [u64; 5],
+}
+
+/// A parameterized reference to a Table-I algorithm. Unset fields take
+/// the registry defaults (the CLI's defaults: depth 2, walk length 40,
+/// NeighborSize 2, `pf` 0.7, `p`/`q` 1.0, `p_jump` 0.1, `p_restart`
+/// 0.15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgoSpec {
+    /// Which algorithm.
+    pub id: AlgorithmId,
+    /// Sampling depth, or walk length / MDRW budget for walk-shaped
+    /// algorithms.
+    pub depth: Option<usize>,
+    /// NeighborSize (layer size for layer sampling). Ignored by
+    /// algorithms whose NeighborSize is structural (walks, snowball).
+    pub neighbor_size: Option<usize>,
+    /// Forest-fire burn probability.
+    pub pf: Option<f64>,
+    /// node2vec return parameter.
+    pub p: Option<f64>,
+    /// node2vec in-out parameter.
+    pub q: Option<f64>,
+    /// Jump probability (random walk with jump).
+    pub p_jump: Option<f64>,
+    /// Restart probability (random walk with restart).
+    pub p_restart: Option<f64>,
+}
+
+/// Default walk length when `depth` is unset on a walk-shaped spec.
+const DEFAULT_LENGTH: usize = 40;
+/// Default traversal depth when `depth` is unset.
+const DEFAULT_DEPTH: usize = 2;
+/// Default NeighborSize.
+const DEFAULT_NS: usize = 2;
+
+impl AlgoSpec {
+    /// A spec with every parameter at its registry default.
+    pub fn new(id: AlgorithmId) -> Self {
+        AlgoSpec {
+            id,
+            depth: None,
+            neighbor_size: None,
+            pf: None,
+            p: None,
+            q: None,
+            p_jump: None,
+            p_restart: None,
+        }
+    }
+
+    /// Resolves a registry name, or a typed error for unknown names.
+    pub fn by_name(name: &str) -> Result<Self, RegistryError> {
+        AlgorithmId::from_name(name)
+            .map(AlgoSpec::new)
+            .ok_or_else(|| RegistryError::UnknownAlgorithm(name.to_string()))
+    }
+
+    /// Overrides the depth / walk length.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth);
+        self
+    }
+
+    /// Overrides the NeighborSize.
+    pub fn with_neighbor_size(mut self, ns: usize) -> Self {
+        self.neighbor_size = Some(ns);
+        self
+    }
+
+    fn resolved_depth(&self) -> usize {
+        self.depth.unwrap_or(if self.id.uses_walk_length() {
+            DEFAULT_LENGTH
+        } else {
+            DEFAULT_DEPTH
+        })
+    }
+
+    fn resolved_ns(&self) -> usize {
+        self.neighbor_size.unwrap_or(DEFAULT_NS)
+    }
+
+    /// The resolved identity of this spec (defaults substituted): the
+    /// hashable coalescing key of the serving layer's micro-batcher.
+    pub fn key(&self) -> AlgoKey {
+        AlgoKey {
+            id: self.id,
+            depth: self.resolved_depth(),
+            neighbor_size: self.resolved_ns(),
+            prob_bits: [
+                self.pf.unwrap_or(0.7).to_bits(),
+                self.p.unwrap_or(1.0).to_bits(),
+                self.q.unwrap_or(1.0).to_bits(),
+                self.p_jump.unwrap_or(0.1).to_bits(),
+                self.p_restart.unwrap_or(0.15).to_bits(),
+            ],
+        }
+    }
+
+    /// Validates the spec and builds the algorithm.
+    pub fn build(&self) -> Result<Box<dyn Algorithm>, RegistryError> {
+        let depth = self.resolved_depth();
+        if depth == 0 {
+            return Err(RegistryError::ZeroDepth(self.id));
+        }
+        let ns = self.resolved_ns();
+        let prob = |value: Option<f64>, default: f64, param: &'static str, open: bool| {
+            let v = value.unwrap_or(default);
+            let ok = if open { v > 0.0 && v < 1.0 } else { (0.0..=1.0).contains(&v) };
+            if ok && v.is_finite() {
+                Ok(v)
+            } else {
+                Err(RegistryError::InvalidParam { id: self.id, param, value: v })
+            }
+        };
+        let positive = |value: Option<f64>, default: f64, param: &'static str| {
+            let v = value.unwrap_or(default);
+            if v > 0.0 && v.is_finite() {
+                Ok(v)
+            } else {
+                Err(RegistryError::InvalidParam { id: self.id, param, value: v })
+            }
+        };
+        Ok(match self.id {
+            AlgorithmId::SimpleRandomWalk => Box::new(SimpleRandomWalk { length: depth }),
+            AlgorithmId::MetropolisHastingsWalk => {
+                Box::new(MetropolisHastingsWalk { length: depth })
+            }
+            AlgorithmId::RandomWalkWithJump => Box::new(RandomWalkWithJump {
+                length: depth,
+                p_jump: prob(self.p_jump, 0.1, "p_jump", false)?,
+            }),
+            AlgorithmId::RandomWalkWithRestart => Box::new(RandomWalkWithRestart {
+                length: depth,
+                p_restart: prob(self.p_restart, 0.15, "p_restart", false)?,
+            }),
+            AlgorithmId::MultiIndependentRandomWalk => {
+                Box::new(MultiIndependentRandomWalk { length: depth })
+            }
+            AlgorithmId::BiasedRandomWalk => Box::new(BiasedRandomWalk { length: depth }),
+            AlgorithmId::Node2Vec => Box::new(Node2Vec {
+                length: depth,
+                p: positive(self.p, 1.0, "p")?,
+                q: positive(self.q, 1.0, "q")?,
+            }),
+            AlgorithmId::UnbiasedNeighborSampling => {
+                Box::new(UnbiasedNeighborSampling { neighbor_size: ns, depth })
+            }
+            AlgorithmId::BiasedNeighborSampling => {
+                Box::new(BiasedNeighborSampling { neighbor_size: ns, depth })
+            }
+            AlgorithmId::ForestFire => {
+                Box::new(ForestFire { pf: prob(self.pf, 0.7, "pf", true)?, depth })
+            }
+            AlgorithmId::Snowball => Box::new(Snowball { depth }),
+            AlgorithmId::LayerSampling => Box::new(LayerSampling { layer_size: ns, depth }),
+            AlgorithmId::MultiDimRandomWalk => Box::new(MultiDimRandomWalk { budget: depth }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::FrontierMode;
+
+    #[test]
+    fn every_id_round_trips_by_name_and_builds() {
+        for id in AlgorithmId::ALL {
+            assert_eq!(AlgorithmId::from_name(id.name()), Some(id));
+            let algo = AlgoSpec::new(id).build().unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+            assert!(algo.config().depth > 0, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_typed() {
+        assert_eq!(
+            AlgoSpec::by_name("bogus"),
+            Err(RegistryError::UnknownAlgorithm("bogus".into()))
+        );
+    }
+
+    #[test]
+    fn zero_depth_rejected() {
+        match AlgoSpec::by_name("neighbor").unwrap().with_depth(0).build() {
+            Err(err) => {
+                assert_eq!(err, RegistryError::ZeroDepth(AlgorithmId::UnbiasedNeighborSampling))
+            }
+            Ok(_) => panic!("zero depth must be rejected"),
+        }
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut spec = AlgoSpec::new(AlgorithmId::ForestFire);
+        spec.pf = Some(1.0); // geometric NeighborSize needs pf < 1
+        assert!(matches!(spec.build(), Err(RegistryError::InvalidParam { param: "pf", .. })));
+        let mut spec = AlgoSpec::new(AlgorithmId::Node2Vec);
+        spec.p = Some(0.0);
+        assert!(matches!(spec.build(), Err(RegistryError::InvalidParam { param: "p", .. })));
+    }
+
+    #[test]
+    fn key_resolves_defaults() {
+        // Explicit defaults hash/compare equal to unset fields: the
+        // micro-batcher may coalesce them into one launch.
+        let implicit = AlgoSpec::new(AlgorithmId::UnbiasedNeighborSampling);
+        let explicit = implicit.with_depth(2).with_neighbor_size(2);
+        assert_eq!(implicit.key(), explicit.key());
+        assert_ne!(implicit.key(), implicit.with_depth(3).key());
+        assert_ne!(implicit.key(), AlgoSpec::new(AlgorithmId::Snowball).key());
+    }
+
+    #[test]
+    fn mdrw_is_the_only_pool_frontier_spec_with_replace() {
+        let algo = AlgoSpec::new(AlgorithmId::MultiDimRandomWalk).build().unwrap();
+        assert_eq!(algo.config().frontier, FrontierMode::BiasedReplace);
+    }
+}

@@ -162,6 +162,53 @@ pub trait Algorithm: Sync + Send {
     }
 }
 
+/// Forwarding impls so dynamically chosen algorithms (registry lookups,
+/// service requests) run through the generic engine without a bespoke
+/// adapter: `Sampler::new(&g, &boxed)` monomorphizes over the box.
+macro_rules! forward_algorithm {
+    ($ty:ty) => {
+        impl Algorithm for $ty {
+            fn name(&self) -> &'static str {
+                (**self).name()
+            }
+            fn config(&self) -> AlgoConfig {
+                (**self).config()
+            }
+            fn vertex_bias(&self, g: &Csr, v: VertexId) -> f64 {
+                (**self).vertex_bias(g, v)
+            }
+            fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+                (**self).edge_bias(g, e)
+            }
+            fn update(
+                &self,
+                g: &Csr,
+                e: &EdgeCand,
+                home: VertexId,
+                rng: &mut Philox,
+            ) -> UpdateAction {
+                (**self).update(g, e, home, rng)
+            }
+            fn accept(&self, g: &Csr, e: &EdgeCand, rng: &mut Philox) -> Option<VertexId> {
+                (**self).accept(g, e, rng)
+            }
+            fn on_dead_end(
+                &self,
+                g: &Csr,
+                v: VertexId,
+                home: VertexId,
+                rng: &mut Philox,
+            ) -> UpdateAction {
+                (**self).on_dead_end(g, v, home, rng)
+            }
+        }
+    };
+}
+
+forward_algorithm!(Box<dyn Algorithm>);
+forward_algorithm!(std::sync::Arc<dyn Algorithm>);
+forward_algorithm!(&dyn Algorithm);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,6 +49,74 @@ fn merge_launch_stats(stats: &mut SimStats, launch: &LaunchResult<Vec<(VertexId,
     stats.sampled_edges += launch.outputs.iter().map(|o| o.len() as u64).sum::<u64>();
 }
 
+/// A run rejected up front, before any kernel launch. Out-of-range
+/// seeds would otherwise panic deep inside CSR indexing; a serving
+/// layer needs the typed form to answer the caller instead of dying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// An instance was given no seed vertices at all.
+    EmptySeedSet {
+        /// Index of the offending instance.
+        instance: usize,
+    },
+    /// A seed vertex id is not a vertex of the graph.
+    SeedOutOfRange {
+        /// Index of the offending instance.
+        instance: usize,
+        /// The rejected vertex id.
+        vertex: VertexId,
+        /// The graph's vertex count.
+        num_vertices: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::EmptySeedSet { instance } => {
+                write!(f, "instance {instance} has an empty seed set")
+            }
+            RunError::SeedOutOfRange { instance, vertex, num_vertices } => write!(
+                f,
+                "instance {instance}: seed vertex {vertex} out of range (graph has {num_vertices} vertices)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Validates one-instance-per-set seed sets against `graph`: every set
+/// non-empty, every vertex id in range. An empty *list* of sets is fine
+/// (a run of zero instances), an empty *set* is not.
+pub fn validate_seed_sets(
+    graph: &Csr,
+    seed_sets: &[impl AsRef<[VertexId]>],
+) -> Result<(), RunError> {
+    let n = graph.num_vertices();
+    for (instance, set) in seed_sets.iter().enumerate() {
+        let set = set.as_ref();
+        if set.is_empty() {
+            return Err(RunError::EmptySeedSet { instance });
+        }
+        if let Some(&vertex) = set.iter().find(|&&v| v as usize >= n) {
+            return Err(RunError::SeedOutOfRange { instance, vertex, num_vertices: n });
+        }
+    }
+    Ok(())
+}
+
+/// Validates single-seed instances (one instance per entry of `seeds`).
+pub fn validate_single_seeds(graph: &Csr, seeds: &[VertexId]) -> Result<(), RunError> {
+    let n = graph.num_vertices();
+    match seeds.iter().position(|&v| v as usize >= n) {
+        None => Ok(()),
+        Some(instance) => {
+            Err(RunError::SeedOutOfRange { instance, vertex: seeds[instance], num_vertices: n })
+        }
+    }
+}
+
 /// Engine-level options shared by all instances of a run.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -166,12 +234,34 @@ impl<'g, A: Algorithm> Sampler<'g, A> {
         });
         let mut stats = SimStats::new();
         merge_launch_stats(&mut stats, &launch);
+        // Per-instance accounting: the kernels leave `sampled_edges` at
+        // zero (see `merge_launch_stats`); fill it in from the output so
+        // each entry is a complete, sliceable counter set.
+        let mut instance_stats = launch.task_stats;
+        for (s, inst) in instance_stats.iter_mut().zip(&launch.outputs) {
+            s.sampled_edges = inst.len() as u64;
+        }
         SampleOutput {
             instances: launch.outputs,
             stats,
+            instance_stats,
             warp_cycles: launch.warp_cycles,
             wall_seconds: t0.elapsed().as_secs_f64(),
         }
+    }
+
+    /// [`Sampler::run`] behind upfront validation: rejects empty seed
+    /// sets and out-of-range seed ids with a typed [`RunError`] instead
+    /// of panicking inside CSR indexing.
+    pub fn run_checked(&self, seed_sets: &[Vec<VertexId>]) -> Result<SampleOutput, RunError> {
+        validate_seed_sets(self.graph, seed_sets)?;
+        Ok(self.run(seed_sets))
+    }
+
+    /// [`Sampler::run_single_seeds`] behind upfront validation.
+    pub fn run_single_seeds_checked(&self, seeds: &[VertexId]) -> Result<SampleOutput, RunError> {
+        validate_single_seeds(self.graph, seeds)?;
+        Ok(self.run_single_seeds(seeds))
     }
 }
 
@@ -467,6 +557,47 @@ mod tests {
         let g = toy_graph();
         let algo = TestWalk { len: 2 };
         Sampler::new(&g, &algo).run_chunked(&[0], 0, |_, _| {});
+    }
+
+    #[test]
+    fn checked_run_rejects_bad_seeds_and_passes_good_ones() {
+        let g = toy_graph(); // 13 vertices
+        let algo = TestWalk { len: 5 };
+        let s = Sampler::new(&g, &algo);
+        assert_eq!(
+            s.run_single_seeds_checked(&[0, 99]).unwrap_err(),
+            RunError::SeedOutOfRange { instance: 1, vertex: 99, num_vertices: 13 }
+        );
+        assert_eq!(
+            s.run_checked(&[vec![3], vec![]]).unwrap_err(),
+            RunError::EmptySeedSet { instance: 1 }
+        );
+        assert_eq!(
+            s.run_checked(&[vec![3, 13]]).unwrap_err(),
+            RunError::SeedOutOfRange { instance: 0, vertex: 13, num_vertices: 13 }
+        );
+        let ok = s.run_single_seeds_checked(&[0, 12]).unwrap();
+        assert_eq!(ok.instances, s.run_single_seeds(&[0, 12]).instances);
+        // Zero instances is a valid (empty) run, not an error.
+        assert!(s.run_single_seeds_checked(&[]).unwrap().instances.is_empty());
+    }
+
+    #[test]
+    fn per_instance_stats_sum_to_run_stats() {
+        let g = toy_graph();
+        let algo = TestNs { ns: 2, depth: 2 };
+        let out = Sampler::new(&g, &algo).run_single_seeds(&[8, 0, 5]);
+        assert_eq!(out.instance_stats.len(), 3);
+        let summed: SimStats = out.instance_stats.iter().copied().sum();
+        assert_eq!(summed, out.stats);
+        for (s, inst) in out.instance_stats.iter().zip(&out.instances) {
+            assert_eq!(s.sampled_edges, inst.len() as u64);
+        }
+        // Slicing one instance out reproduces a solo run's accounting.
+        let solo = Sampler::new(&g, &algo).run_single_seeds(&[8]);
+        let sliced = out.slice(0..1);
+        assert_eq!(sliced.instances, solo.instances);
+        assert_eq!(sliced.stats, solo.stats);
     }
 
     #[test]

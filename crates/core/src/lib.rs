@@ -56,8 +56,9 @@ pub mod select;
 pub mod select_simt;
 pub mod step;
 
+pub use algorithms::registry::{AlgoSpec, AlgorithmId, RegistryError};
 pub use api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, UpdateAction};
-pub use engine::{RunOptions, Sampler};
+pub use engine::{RunError, RunOptions, Sampler};
 pub use output::SampleOutput;
 pub use select::{CollisionDetectorKind, SelectStrategy};
 pub use step::{FrontierSink, NeighborAccess, PoolSlot, StepEntry, StepKernel};

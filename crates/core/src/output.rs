@@ -14,6 +14,12 @@ pub struct SampleOutput {
     pub instances: Vec<Vec<(VertexId, VertexId)>>,
     /// Merged work counters.
     pub stats: SimStats,
+    /// Per-instance work counters, in instance order; `stats` is their
+    /// field-wise sum. The serving layer slices these back to
+    /// per-request accounting ([`SampleOutput::slice`]). Runtimes that
+    /// cannot attribute work per instance (the OOM scheduler interleaves
+    /// streams) leave entries with only `sampled_edges` filled.
+    pub instance_stats: Vec<SimStats>,
     /// Per-instance warp cycle counts (imbalance analysis).
     pub warp_cycles: Vec<u64>,
     /// Host wall-clock seconds spent simulating (reported alongside
@@ -22,6 +28,74 @@ pub struct SampleOutput {
 }
 
 impl SampleOutput {
+    /// An output with no instances (the identity of [`SampleOutput::extend`]).
+    pub fn empty() -> SampleOutput {
+        SampleOutput {
+            instances: Vec::new(),
+            stats: SimStats::new(),
+            instance_stats: Vec::new(),
+            warp_cycles: Vec::new(),
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Assembles an output from per-instance pieces, summing `stats`
+    /// from `instance_stats` and deriving `warp_cycles` — the shape
+    /// every executor that regroups instances (multi-GPU, the serving
+    /// layer) produces.
+    pub fn from_instances(
+        instances: Vec<Vec<(VertexId, VertexId)>>,
+        instance_stats: Vec<SimStats>,
+        wall_seconds: f64,
+    ) -> SampleOutput {
+        assert_eq!(instances.len(), instance_stats.len(), "one counter set per instance");
+        let stats: SimStats = instance_stats.iter().copied().sum();
+        let warp_cycles = instance_stats.iter().map(|s| s.warp_cycles).collect();
+        SampleOutput { instances, stats, instance_stats, warp_cycles, wall_seconds }
+    }
+
+    /// Clones out the contiguous instance range `range` as a standalone
+    /// output: its `stats` are the sum of the sliced per-instance
+    /// counters. This is how a micro-batching service turns one
+    /// coalesced launch back into per-request responses.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> SampleOutput {
+        let instance_stats: Vec<SimStats> = self.instance_stats[range.clone()].to_vec();
+        let stats: SimStats = instance_stats.iter().copied().sum();
+        SampleOutput {
+            instances: self.instances[range.clone()].to_vec(),
+            stats,
+            instance_stats,
+            warp_cycles: self.warp_cycles[range].to_vec(),
+            wall_seconds: self.wall_seconds,
+        }
+    }
+
+    /// Splits the output into consecutive chunks of `counts` instances
+    /// (must cover every instance exactly once), consuming `self`.
+    pub fn split_by_counts(self, counts: &[usize]) -> Vec<SampleOutput> {
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            self.instances.len(),
+            "counts must partition the instances"
+        );
+        let mut parts = Vec::with_capacity(counts.len());
+        let mut offset = 0;
+        for &n in counts {
+            parts.push(self.slice(offset..offset + n));
+            offset += n;
+        }
+        parts
+    }
+
+    /// Appends another output's instances (stats merge, wall clocks add).
+    pub fn extend(&mut self, other: SampleOutput) {
+        self.stats.merge(&other.stats);
+        self.instances.extend(other.instances);
+        self.instance_stats.extend(other.instance_stats);
+        self.warp_cycles.extend(other.warp_cycles);
+        self.wall_seconds += other.wall_seconds;
+    }
+
     /// Total sampled edges across instances.
     pub fn sampled_edges(&self) -> u64 {
         self.instances.iter().map(|i| i.len() as u64).sum()
@@ -96,6 +170,11 @@ mod tests {
         SampleOutput {
             instances: vec![vec![(0, 1), (1, 2)], vec![(3, 4)], vec![]],
             stats: SimStats { sampled_edges: 3, warp_cycles: 100, ..Default::default() },
+            instance_stats: vec![
+                SimStats { sampled_edges: 2, warp_cycles: 60, ..Default::default() },
+                SimStats { sampled_edges: 1, warp_cycles: 40, ..Default::default() },
+                SimStats::new(),
+            ],
             warp_cycles: vec![60, 40, 0],
             wall_seconds: 0.001,
         }
@@ -145,6 +224,7 @@ mod tests {
         let s = SampleOutput {
             instances: vec![vec![(3, 9), (3, 9), (9, 3)]],
             stats: SimStats::new(),
+            instance_stats: vec![SimStats::new()],
             warp_cycles: vec![0],
             wall_seconds: 0.0,
         };
@@ -155,13 +235,55 @@ mod tests {
 
     #[test]
     fn empty_output() {
-        let s = SampleOutput {
-            instances: vec![],
-            stats: SimStats::new(),
-            warp_cycles: vec![],
-            wall_seconds: 0.0,
-        };
+        let s = SampleOutput::empty();
         assert_eq!(s.edges_per_instance(), 0.0);
         assert_eq!(s.unique_vertices(), 0);
+    }
+
+    #[test]
+    fn slice_carries_exact_per_instance_accounting() {
+        let s = sample();
+        let head = s.slice(0..1);
+        assert_eq!(head.instances, vec![vec![(0, 1), (1, 2)]]);
+        assert_eq!(head.stats.sampled_edges, 2);
+        assert_eq!(head.stats.warp_cycles, 60);
+        assert_eq!(head.warp_cycles, vec![60]);
+        let tail = s.slice(1..3);
+        assert_eq!(tail.stats.sampled_edges, 1);
+        assert_eq!(tail.stats.warp_cycles, 40);
+        // The slices partition the whole: counters add back up.
+        assert_eq!(head.stats.merged(tail.stats).sampled_edges, s.stats.sampled_edges);
+    }
+
+    #[test]
+    fn split_by_counts_partitions_everything() {
+        let parts = sample().split_by_counts(&[2, 1]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].instances.len(), 2);
+        assert_eq!(parts[1].instances.len(), 1);
+        assert_eq!(parts[0].stats.sampled_edges, 3);
+        assert_eq!(parts[1].stats.sampled_edges, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn split_by_counts_rejects_partial_cover() {
+        sample().split_by_counts(&[2]);
+    }
+
+    #[test]
+    fn from_instances_and_extend_round_trip() {
+        let s = sample();
+        let mut rebuilt = SampleOutput::empty();
+        for part in s.slice(0..3).split_by_counts(&[1, 1, 1]) {
+            rebuilt.extend(part);
+        }
+        assert_eq!(rebuilt.instances, s.instances);
+        assert_eq!(rebuilt.instance_stats, s.instance_stats);
+        assert_eq!(rebuilt.stats.sampled_edges, 3);
+        let direct =
+            SampleOutput::from_instances(s.instances.clone(), s.instance_stats.clone(), 0.0);
+        assert_eq!(direct.warp_cycles, s.warp_cycles);
+        assert_eq!(direct.stats.warp_cycles, 100);
     }
 }

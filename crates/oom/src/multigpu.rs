@@ -25,8 +25,8 @@ use csaw_graph::{Csr, VertexId};
 use rayon::prelude::*;
 
 /// Per-device result of an in-memory group run:
-/// `(gpu_seconds, stats, instances, sampled_edges)`.
-type GpuRunResult = (f64, SimStats, Vec<Vec<(VertexId, VertexId)>>, u64);
+/// `(gpu_seconds, stats, instances, instance_stats, sampled_edges)`.
+type GpuRunResult = (f64, SimStats, Vec<Vec<(VertexId, VertexId)>>, Vec<SimStats>, u64);
 
 /// Per-device result of an out-of-memory group run:
 /// `(sim_seconds, transfers, instances, rounds)`.
@@ -43,6 +43,10 @@ pub struct MultiGpuOutput {
     pub sampled_edges: u64,
     /// Sampled edges per instance, concatenated in GPU-group order.
     pub instances: Vec<Vec<(VertexId, VertexId)>>,
+    /// Per-instance work counters, concatenated in the same order as
+    /// `instances` — the serving layer slices these back to per-request
+    /// accounting regardless of which device ran which group.
+    pub instance_stats: Vec<SimStats>,
 }
 
 impl MultiGpuOutput {
@@ -96,9 +100,15 @@ impl MultiGpu {
         let per = seed_sets.len().div_ceil(self.num_gpus).max(1);
         // Each chunk carries its global starting instance index so RNG
         // streams stay keyed by global instance: a split run draws exactly
-        // what the single-device run draws.
-        let chunks: Vec<(u32, &[Vec<VertexId>])> =
-            seed_sets.chunks(per).enumerate().map(|(j, chunk)| ((j * per) as u32, chunk)).collect();
+        // what the single-device run draws. The caller's own
+        // `instance_base` offsets every group, so a multi-GPU launch that
+        // is itself a segment of a larger coalesced batch still draws the
+        // segment's streams.
+        let chunks: Vec<(u32, &[Vec<VertexId>])> = seed_sets
+            .chunks(per)
+            .enumerate()
+            .map(|(j, chunk)| (opts.instance_base + (j * per) as u32, chunk))
+            .collect();
         // One host task per simulated GPU: the groups are disjoint and the
         // devices never communicate, so each chunk runs independently and
         // the per-group results are collected in group order.
@@ -116,18 +126,20 @@ impl MultiGpu {
                 let makespan =
                     csaw_gpu::cost::makespan_seconds(&out.warp_cycles, &self.device, slots);
                 let edges = out.sampled_edges();
-                (throughput.max(makespan), out.stats, out.instances, edges)
+                (throughput.max(makespan), out.stats, out.instances, out.instance_stats, edges)
             })
             .collect();
 
         let mut gpu_seconds = Vec::with_capacity(self.num_gpus);
         let mut gpu_stats = Vec::with_capacity(self.num_gpus);
         let mut instances = Vec::with_capacity(seed_sets.len());
+        let mut instance_stats = Vec::with_capacity(seed_sets.len());
         let mut sampled_edges = 0u64;
-        for (secs, stats, inst, edges) in results {
+        for (secs, stats, inst, inst_stats, edges) in results {
             gpu_seconds.push(secs);
             gpu_stats.push(stats);
             instances.extend(inst);
+            instance_stats.extend(inst_stats);
             sampled_edges += edges;
         }
         // Devices with no work finish instantly.
@@ -135,7 +147,7 @@ impl MultiGpu {
             gpu_seconds.push(0.0);
             gpu_stats.push(SimStats::new());
         }
-        MultiGpuOutput { gpu_seconds, gpu_stats, sampled_edges, instances }
+        MultiGpuOutput { gpu_seconds, gpu_stats, sampled_edges, instances, instance_stats }
     }
 
     /// Convenience for single-seed instances.
@@ -295,6 +307,31 @@ mod tests {
         let large = speedup(6000);
         assert!(large > small, "8k-analog should scale better: {large} vs {small}");
         assert!(large > 3.0, "saturated scaling should approach linear: {large}");
+    }
+
+    #[test]
+    fn outer_instance_base_offsets_every_group() {
+        // A multi-GPU launch that is itself a tail segment of a larger
+        // batch (the serving layer's coalesced launches) must draw the
+        // segment's global RNG streams: running seeds[24..] with
+        // `instance_base: 24` across 3 devices reproduces the full
+        // single-device run's tail, instance for instance.
+        let g = rmat(9, 4, RmatParams::GRAPH500, 7);
+        let algo = BiasedRandomWalk { length: 8 };
+        let s = seeds(60, 512);
+        let full = MultiGpu::new(1).run_single_seeds(&g, &algo, &s, RunOptions::default());
+        let tail = MultiGpu::new(3).run_single_seeds(
+            &g,
+            &algo,
+            &s[24..],
+            RunOptions { instance_base: 24, ..RunOptions::default() },
+        );
+        assert_eq!(tail.instances, full.instances[24..].to_vec());
+        // Per-instance counters travel with the instances and their sum
+        // matches the per-device aggregates.
+        assert_eq!(tail.instance_stats.len(), tail.instances.len());
+        let summed: u64 = tail.instance_stats.iter().map(|st| st.sampled_edges).sum();
+        assert_eq!(summed, tail.sampled_edges);
     }
 
     #[test]

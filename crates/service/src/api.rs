@@ -1,0 +1,190 @@
+//! The request/response surface of the sampling service.
+//!
+//! Requests name an algorithm (a Table-I registry spec or a custom
+//! [`Algorithm`] object), a seed list, an RNG seed, and an optional
+//! deadline. Responses carry the request's slice of the coalesced
+//! launch plus enough accounting ([`RequestStats`]) to reason about
+//! queueing and batching behavior — including the `instance_base` that
+//! makes the sample reproducible with a solo engine run.
+
+use csaw_core::api::{Algorithm, FrontierMode};
+use csaw_core::engine::RunError;
+use csaw_core::{AlgoSpec, RegistryError, SampleOutput};
+use csaw_graph::VertexId;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which algorithm a request runs.
+#[derive(Clone)]
+pub enum RequestAlgo {
+    /// A Table-I registry spec — validated and built at admission.
+    /// Specs with equal resolved keys may share a coalesced launch.
+    Spec(AlgoSpec),
+    /// A caller-supplied algorithm object. Custom algorithms batch only
+    /// with requests holding the *same* `Arc` (pointer identity): the
+    /// service cannot prove two distinct objects behave identically.
+    Custom(Arc<dyn Algorithm>),
+}
+
+impl std::fmt::Debug for RequestAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestAlgo::Spec(spec) => f.debug_tuple("Spec").field(spec).finish(),
+            RequestAlgo::Custom(a) => f.debug_tuple("Custom").field(&a.name()).finish(),
+        }
+    }
+}
+
+impl From<AlgoSpec> for RequestAlgo {
+    fn from(spec: AlgoSpec) -> RequestAlgo {
+        RequestAlgo::Spec(spec)
+    }
+}
+
+impl From<Arc<dyn Algorithm>> for RequestAlgo {
+    fn from(algo: Arc<dyn Algorithm>) -> RequestAlgo {
+        RequestAlgo::Custom(algo)
+    }
+}
+
+impl RequestAlgo {
+    /// Resolves a registry name (`"biased-walk"`, `"neighbor"`, ...).
+    pub fn by_name(name: &str) -> Result<RequestAlgo, RegistryError> {
+        AlgoSpec::by_name(name).map(RequestAlgo::Spec)
+    }
+}
+
+/// One sampling request.
+#[derive(Debug, Clone)]
+pub struct SamplingRequest {
+    /// What to run.
+    pub algo: RequestAlgo,
+    /// Seed vertices. For pool-replacement algorithms (MDRW) the whole
+    /// list seeds **one** instance's frontier pool; for every other
+    /// algorithm each seed starts its own instance.
+    pub seeds: Vec<VertexId>,
+    /// RNG seed — part of the batch key: only requests sampling from
+    /// the same seeded stream family coalesce.
+    pub rng_seed: u64,
+    /// Time budget measured from admission. A request that cannot be
+    /// answered within it gets [`ServiceError::Expired`], checked both
+    /// when the batcher dequeues it and when its batch completes.
+    pub deadline: Option<Duration>,
+}
+
+impl SamplingRequest {
+    /// A request with RNG seed 1 and no deadline.
+    pub fn new(algo: impl Into<RequestAlgo>, seeds: Vec<VertexId>) -> SamplingRequest {
+        SamplingRequest { algo: algo.into(), seeds, rng_seed: 1, deadline: None }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_rng_seed(mut self, seed: u64) -> SamplingRequest {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Sets a deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> SamplingRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// How many sampling instances this request occupies in a launch.
+    pub(crate) fn shape_seed_sets(&self, algo: &dyn Algorithm) -> Vec<Vec<VertexId>> {
+        match algo.config().frontier {
+            FrontierMode::BiasedReplace => vec![self.seeds.clone()],
+            _ => self.seeds.iter().map(|&s| vec![s]).collect(),
+        }
+    }
+}
+
+/// Why admission refused a request (the request itself is malformed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The algorithm spec failed to resolve (unknown name, zero depth,
+    /// out-of-range parameter).
+    Algorithm(RegistryError),
+    /// The seed list is empty or names a vertex the graph doesn't have.
+    Seeds(RunError),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Algorithm(e) => write!(f, "algorithm: {e}"),
+            RequestError::Seeds(e) => write!(f, "seeds: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Every way a submitted request can fail. The service's contract is
+/// that each accepted request terminates in exactly one of: a response,
+/// [`ServiceError::Expired`], or [`ServiceError::BatchFailed`] —
+/// nothing is silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Rejected at admission: the request is malformed.
+    Invalid(RequestError),
+    /// Rejected at admission: the queue is full (load shedding). Retry
+    /// after the hinted backoff.
+    QueueFull {
+        /// Suggested client backoff before resubmitting.
+        retry_after: Duration,
+    },
+    /// The deadline passed before a result could be delivered.
+    Expired,
+    /// The batch this request was coalesced into panicked; the message
+    /// is the panic payload. Other batches are unaffected.
+    BatchFailed(String),
+    /// The service is shutting down (or already gone) and no longer
+    /// admits work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Invalid(e) => write!(f, "invalid request: {e}"),
+            ServiceError::QueueFull { retry_after } => {
+                write!(f, "queue full; retry after {retry_after:?}")
+            }
+            ServiceError::Expired => write!(f, "deadline expired"),
+            ServiceError::BatchFailed(msg) => write!(f, "batch failed: {msg}"),
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Per-request accounting attached to every response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestStats {
+    /// Requests coalesced into the launch that served this one.
+    pub batch_requests: usize,
+    /// Total sampling instances in that launch.
+    pub batch_instances: usize,
+    /// Time from admission to dequeue by the batcher.
+    pub queue_wait: Duration,
+    /// Edges sampled for this request alone.
+    pub sampled_edges: u64,
+}
+
+/// The service's answer to one request.
+#[derive(Debug, Clone)]
+pub struct SamplingResponse {
+    /// Admission-order id (matches [`crate::Ticket::request_id`]).
+    pub request_id: u64,
+    /// Global instance range start assigned at admission. Re-running
+    /// the engine solo with `RunOptions { instance_base, .. }` and this
+    /// request's seeds reproduces `output` bit for bit.
+    pub instance_base: u32,
+    /// This request's slice of the coalesced launch: one entry per
+    /// instance, with per-instance work counters.
+    pub output: SampleOutput,
+    /// Queueing/batching accounting.
+    pub stats: RequestStats,
+}

@@ -1,0 +1,615 @@
+//! The micro-batching service: admission, coalescing, execution,
+//! slicing, and the robustness contract.
+//!
+//! One worker thread drains a bounded queue. Each cycle it dequeues the
+//! oldest runnable request, holds the batch open for
+//! [`ServiceConfig::batch_window`] (or until
+//! [`ServiceConfig::max_batch_instances`] accumulate), pulling in every
+//! queued request with the same **batch key** — resolved algorithm
+//! identity plus RNG seed, the pair that guarantees two requests draw
+//! from the same stream family. The batch runs as one multi-instance
+//! launch per contiguous `instance_base` segment (gaps appear when an
+//! admitted request expires before running), and the launch output is
+//! sliced back into per-request responses.
+//!
+//! Robustness:
+//!
+//! - **Load shedding**: a full queue rejects at admission with a
+//!   retry-after hint; nothing is queued that cannot be tracked.
+//! - **Deadlines**: checked when the batcher dequeues a request *and*
+//!   again when its batch completes — a response that would arrive late
+//!   is reported as [`ServiceError::Expired`], never silently dropped.
+//! - **Panic isolation**: each launch runs under `catch_unwind`; a
+//!   poisoned request fails its own batch with
+//!   [`ServiceError::BatchFailed`] and the worker keeps serving.
+//! - **Drain on shutdown**: `shutdown()` stops admission, processes
+//!   everything already queued (skipping the batch window), then joins
+//!   the worker.
+
+use crate::api::{
+    RequestAlgo, RequestError, RequestStats, SamplingRequest, SamplingResponse, ServiceError,
+};
+use crate::executor::{BatchExecutor, EngineExecutor};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use csaw_core::algorithms::registry::AlgoKey;
+use csaw_core::api::Algorithm;
+use csaw_core::engine::{validate_seed_sets, RunError, RunOptions};
+use csaw_graph::{Csr, VertexId};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Batching and admission knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Close a batch once it holds this many sampling instances.
+    pub max_batch_instances: usize,
+    /// How long the batcher holds a batch open for more same-key
+    /// requests after dequeuing its first member.
+    pub batch_window: Duration,
+    /// Maximum queued requests; admissions beyond this are shed.
+    pub queue_capacity: usize,
+    /// Start with the batcher paused (requests queue but nothing runs
+    /// until [`SamplingService::resume`]) — deterministic batching for
+    /// tests and controlled warm-up.
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            max_batch_instances: 64,
+            batch_window: Duration::from_millis(2),
+            queue_capacity: 256,
+            start_paused: false,
+        }
+    }
+}
+
+/// Resolved algorithm identity for coalescing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum AlgoIdentity {
+    /// Registry specs coalesce by resolved parameter key.
+    Spec(AlgoKey),
+    /// Custom algorithms coalesce only by `Arc` pointer identity.
+    Custom(usize),
+}
+
+/// Only requests with equal keys may share a launch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BatchKey {
+    algo: AlgoIdentity,
+    rng_seed: u64,
+}
+
+/// An admitted request waiting in the queue.
+struct Queued {
+    id: u64,
+    key: BatchKey,
+    algo: Arc<dyn Algorithm>,
+    seed_sets: Vec<Vec<VertexId>>,
+    instance_base: u32,
+    admitted: Instant,
+    expires: Option<Instant>,
+    reply: mpsc::Sender<Result<SamplingResponse, ServiceError>>,
+}
+
+struct State {
+    queue: VecDeque<Queued>,
+    /// Next instance_base per batch key — admission assigns each
+    /// request the contiguous range `[base, base + instances)`.
+    next_base: HashMap<BatchKey, u32>,
+    next_id: u64,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    stats: ServiceStats,
+    config: ServiceConfig,
+}
+
+/// Handle to one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    request_id: u64,
+    instance_base: u32,
+    rx: mpsc::Receiver<Result<SamplingResponse, ServiceError>>,
+}
+
+impl Ticket {
+    /// Admission-order id.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// The global instance range start assigned at admission — a solo
+    /// engine run with this `instance_base` reproduces the response.
+    pub fn instance_base(&self) -> u32 {
+        self.instance_base
+    }
+
+    /// Blocks until the request reaches a terminal state.
+    pub fn wait(self) -> Result<SamplingResponse, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is in flight.
+    pub fn try_wait(&self) -> Option<Result<SamplingResponse, ServiceError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The sampling service (see module docs).
+pub struct SamplingService {
+    shared: Arc<Shared>,
+    graph: Arc<Csr>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl SamplingService {
+    /// Starts the service with an explicit executor.
+    pub fn new(
+        graph: Arc<Csr>,
+        executor: Arc<dyn BatchExecutor>,
+        config: ServiceConfig,
+    ) -> SamplingService {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                next_base: HashMap::new(),
+                next_id: 0,
+                paused: config.start_paused,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            stats: ServiceStats::default(),
+            config,
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let graph = Arc::clone(&graph);
+            thread::Builder::new()
+                .name("csaw-service".into())
+                .spawn(move || worker_loop(&shared, &graph, &*executor))
+                .expect("spawn service worker")
+        };
+        SamplingService { shared, graph, worker: Some(worker) }
+    }
+
+    /// Starts the service on the in-memory engine.
+    pub fn with_engine(graph: Arc<Csr>, config: ServiceConfig) -> SamplingService {
+        SamplingService::new(graph, Arc::new(EngineExecutor), config)
+    }
+
+    /// Validates and enqueues a request. Returns a [`Ticket`] to wait
+    /// on, or a typed rejection (malformed request, full queue,
+    /// shutdown) — rejected requests never enter the queue.
+    pub fn submit(&self, req: SamplingRequest) -> Result<Ticket, ServiceError> {
+        let stats = &self.shared.stats;
+        ServiceStats::inc(&stats.submitted);
+
+        let invalid = |e: RequestError| {
+            ServiceStats::inc(&stats.rejected_invalid);
+            ServiceError::Invalid(e)
+        };
+        let (algo, identity): (Arc<dyn Algorithm>, AlgoIdentity) = match &req.algo {
+            RequestAlgo::Spec(spec) => {
+                let key = spec.key();
+                let built = spec.build().map_err(|e| invalid(RequestError::Algorithm(e)))?;
+                (Arc::from(built), AlgoIdentity::Spec(key))
+            }
+            RequestAlgo::Custom(a) => {
+                let ptr = Arc::as_ptr(a) as *const () as usize;
+                (Arc::clone(a), AlgoIdentity::Custom(ptr))
+            }
+        };
+        if req.seeds.is_empty() {
+            // An empty seed list would occupy zero instances and could
+            // never be answered; reject it up front.
+            return Err(invalid(RequestError::Seeds(RunError::EmptySeedSet { instance: 0 })));
+        }
+        let seed_sets = req.shape_seed_sets(&*algo);
+        validate_seed_sets(&self.graph, &seed_sets).map_err(|e| invalid(RequestError::Seeds(e)))?;
+
+        let key = BatchKey { algo: identity, rng_seed: req.rng_seed };
+        let instances = seed_sets.len() as u32;
+        let admitted = Instant::now();
+        let (tx, rx) = mpsc::channel();
+
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown {
+            ServiceStats::inc(&stats.rejected_shutdown);
+            return Err(ServiceError::ShuttingDown);
+        }
+        if st.queue.len() >= self.shared.config.queue_capacity {
+            ServiceStats::inc(&stats.rejected_queue_full);
+            // One batch window is roughly how long until the worker
+            // next relieves the queue.
+            let retry_after = self.shared.config.batch_window.max(Duration::from_micros(100));
+            return Err(ServiceError::QueueFull { retry_after });
+        }
+        let base_slot = st.next_base.entry(key.clone()).or_insert(0);
+        let instance_base = *base_slot;
+        *base_slot += instances;
+        let id = st.next_id;
+        st.next_id += 1;
+        st.queue.push_back(Queued {
+            id,
+            key,
+            algo,
+            seed_sets,
+            instance_base,
+            admitted,
+            expires: req.deadline.map(|d| admitted + d),
+            reply: tx,
+        });
+        ServiceStats::inc(&stats.accepted);
+        stats.queue_depth.store(st.queue.len() as u64, Relaxed);
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(Ticket { request_id: id, instance_base, rx })
+    }
+
+    /// Unpauses a service started with [`ServiceConfig::start_paused`].
+    pub fn resume(&self) {
+        self.shared.state.lock().unwrap().paused = false;
+        self.shared.cv.notify_all();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Stops admission, drains every queued request, joins the worker,
+    /// and returns the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        self.shared.stats.snapshot()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.shutdown = true;
+        // A paused service still drains: shutdown overrides pause.
+        st.paused = false;
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for SamplingService {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, graph: &Csr, executor: &dyn BatchExecutor) {
+    while let Some(batch) = collect_batch(shared) {
+        process_batch(shared, graph, executor, batch);
+    }
+}
+
+/// Marks a dequeued-but-expired request terminal.
+fn expire(shared: &Shared, q: Queued) {
+    ServiceStats::inc(&shared.stats.expired);
+    let _ = q.reply.send(Err(ServiceError::Expired));
+}
+
+/// Blocks until a batch is ready (first runnable request + window /
+/// size policy); `None` once the queue is drained after shutdown.
+fn collect_batch(shared: &Shared) -> Option<Vec<Queued>> {
+    let cfg = &shared.config;
+    let mut st = shared.state.lock().unwrap();
+
+    // Wait for the oldest runnable request, expiring dead heads as they
+    // come off the queue.
+    let first = loop {
+        if !st.paused {
+            let mut head = None;
+            while let Some(q) = st.queue.pop_front() {
+                if q.expires.is_some_and(|e| Instant::now() > e) {
+                    expire(shared, q);
+                } else {
+                    head = Some(q);
+                    break;
+                }
+            }
+            if let Some(q) = head {
+                break q;
+            }
+            if st.shutdown {
+                shared.stats.queue_depth.store(0, Relaxed);
+                return None;
+            }
+        }
+        st = shared.cv.wait(st).unwrap();
+    };
+
+    let key = first.key.clone();
+    let mut instances = first.seed_sets.len();
+    let mut batch = vec![first];
+    let window_closes = Instant::now() + cfg.batch_window;
+    loop {
+        // Pull every queued same-key request (in admission order) while
+        // the batch has room; expired ones terminate here — dequeue is
+        // a deadline checkpoint.
+        let mut i = 0;
+        while i < st.queue.len() && instances < cfg.max_batch_instances {
+            if st.queue[i].key == key {
+                let q = st.queue.remove(i).expect("index in bounds");
+                if q.expires.is_some_and(|e| Instant::now() > e) {
+                    expire(shared, q);
+                } else {
+                    instances += q.seed_sets.len();
+                    batch.push(q);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if instances >= cfg.max_batch_instances || st.shutdown {
+            // Full, or draining — don't hold the batch open.
+            break;
+        }
+        let now = Instant::now();
+        if now >= window_closes {
+            break;
+        }
+        let (guard, timeout) = shared.cv.wait_timeout(st, window_closes - now).unwrap();
+        st = guard;
+        if timeout.timed_out() {
+            // One final sweep for requests that arrived with the
+            // notification that raced the timeout, then close.
+            let mut i = 0;
+            while i < st.queue.len() && instances < cfg.max_batch_instances {
+                if st.queue[i].key == key {
+                    let q = st.queue.remove(i).expect("index in bounds");
+                    if q.expires.is_some_and(|e| Instant::now() > e) {
+                        expire(shared, q);
+                    } else {
+                        instances += q.seed_sets.len();
+                        batch.push(q);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            break;
+        }
+    }
+    shared.stats.queue_depth.store(st.queue.len() as u64, Relaxed);
+    Some(batch)
+}
+
+/// Runs one batch: contiguous-segment launches, output slicing,
+/// completion-time deadline checks, and panic isolation.
+fn process_batch(shared: &Shared, graph: &Csr, executor: &dyn BatchExecutor, batch: Vec<Queued>) {
+    let stats = &shared.stats;
+    let batch_requests = batch.len();
+    let batch_instances: usize = batch.iter().map(|q| q.seed_sets.len()).sum();
+    stats.record_batch(batch_instances);
+    let rng_seed = batch[0].key.rng_seed;
+    let algo = Arc::clone(&batch[0].algo);
+
+    // Expired admissions leave gaps in the instance_base sequence; each
+    // contiguous run of instances is one launch (RNG streams are keyed
+    // by global instance, so a segment launch at the segment's base
+    // reproduces exactly the solo draws).
+    let mut segments: Vec<Vec<Queued>> = Vec::new();
+    for q in batch {
+        match segments.last_mut() {
+            Some(seg)
+                if seg.last().map(|p| p.instance_base + p.seed_sets.len() as u32)
+                    == Some(q.instance_base) =>
+            {
+                seg.push(q);
+            }
+            _ => segments.push(vec![q]),
+        }
+    }
+
+    let dequeued = Instant::now();
+    for seg in segments {
+        let seed_sets: Vec<Vec<VertexId>> =
+            seg.iter().flat_map(|q| q.seed_sets.iter().cloned()).collect();
+        let opts = RunOptions {
+            seed: rng_seed,
+            instance_base: seg[0].instance_base,
+            ..RunOptions::default()
+        };
+        let result =
+            catch_unwind(AssertUnwindSafe(|| executor.execute(graph, &*algo, &seed_sets, opts)));
+        match result {
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                for q in seg {
+                    ServiceStats::inc(&stats.failed);
+                    let _ = q.reply.send(Err(ServiceError::BatchFailed(msg.clone())));
+                }
+            }
+            Ok(out) => {
+                ServiceStats::add(&stats.sampled_edges, out.stats.sampled_edges);
+                ServiceStats::add(&stats.transfers, out.transfers);
+                ServiceStats::add(&stats.bytes_transferred, out.bytes_transferred);
+                let counts: Vec<usize> = seg.iter().map(|q| q.seed_sets.len()).collect();
+                let parts = out.sample.split_by_counts(&counts);
+                let completed_at = Instant::now();
+                for (q, part) in seg.into_iter().zip(parts) {
+                    if q.expires.is_some_and(|e| completed_at > e) {
+                        // The result exists but arrived late: the
+                        // deadline contract reports that, always.
+                        expire(shared, q);
+                        continue;
+                    }
+                    ServiceStats::inc(&stats.completed);
+                    let response = SamplingResponse {
+                        request_id: q.id,
+                        instance_base: q.instance_base,
+                        stats: RequestStats {
+                            batch_requests,
+                            batch_instances,
+                            queue_wait: dequeued.saturating_duration_since(q.admitted),
+                            sampled_edges: part.sampled_edges(),
+                        },
+                        output: part,
+                    };
+                    let _ = q.reply.send(Ok(response));
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "batch panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::RequestAlgo;
+    use csaw_core::AlgoSpec;
+    use csaw_graph::generators::toy_graph;
+
+    fn engine_service(config: ServiceConfig) -> SamplingService {
+        SamplingService::with_engine(Arc::new(toy_graph()), config)
+    }
+
+    #[test]
+    fn round_trip_single_request() {
+        let svc = engine_service(ServiceConfig::default());
+        let req = SamplingRequest::new(RequestAlgo::by_name("biased-walk").unwrap(), vec![0, 8]);
+        let resp = svc.submit(req).unwrap().wait().unwrap();
+        assert_eq!(resp.instance_base, 0);
+        assert_eq!(resp.output.instances.len(), 2);
+        assert!(resp.stats.sampled_edges > 0);
+        let snap = svc.shutdown();
+        assert_eq!(snap.completed, 1);
+        assert!(snap.fully_accounted());
+    }
+
+    #[test]
+    fn paused_service_coalesces_everything_queued() {
+        let svc = engine_service(ServiceConfig {
+            start_paused: true,
+            max_batch_instances: 64,
+            ..ServiceConfig::default()
+        });
+        let spec = AlgoSpec::by_name("simple-walk").unwrap();
+        let tickets: Vec<Ticket> = (0u32..4)
+            .map(|i| svc.submit(SamplingRequest::new(spec, vec![i, i + 4])).unwrap())
+            .collect();
+        assert_eq!(svc.queue_depth(), 4);
+        svc.resume();
+        let mut bases = Vec::new();
+        for t in tickets {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.stats.batch_requests, 4);
+            assert_eq!(resp.stats.batch_instances, 8);
+            bases.push(resp.instance_base);
+        }
+        assert_eq!(bases, vec![0, 2, 4, 6], "contiguous admission-order ranges");
+        assert!(svc.shutdown().fully_accounted());
+    }
+
+    #[test]
+    fn different_rng_seeds_never_share_a_batch() {
+        let svc = engine_service(ServiceConfig { start_paused: true, ..ServiceConfig::default() });
+        let spec = AlgoSpec::by_name("simple-walk").unwrap();
+        let a = svc.submit(SamplingRequest::new(spec, vec![0]).with_rng_seed(1)).unwrap();
+        let b = svc.submit(SamplingRequest::new(spec, vec![0]).with_rng_seed(2)).unwrap();
+        svc.resume();
+        let ra = a.wait().unwrap();
+        let rb = b.wait().unwrap();
+        assert_eq!(ra.stats.batch_requests, 1);
+        assert_eq!(rb.stats.batch_requests, 1);
+        // Both are the first instance of their own stream family.
+        assert_eq!(ra.instance_base, 0);
+        assert_eq!(rb.instance_base, 0);
+        let snap = svc.shutdown();
+        assert_eq!(snap.batches, 2);
+    }
+
+    #[test]
+    fn invalid_requests_rejected_up_front() {
+        let svc = engine_service(ServiceConfig::default());
+        let spec = AlgoSpec::by_name("neighbor").unwrap();
+        // Out-of-range seed (toy graph has 13 vertices).
+        let err = svc.submit(SamplingRequest::new(spec, vec![0, 999])).unwrap_err();
+        assert!(matches!(err, ServiceError::Invalid(RequestError::Seeds(_))), "{err:?}");
+        // Empty seed set.
+        let err = svc.submit(SamplingRequest::new(spec, vec![])).unwrap_err();
+        assert!(matches!(err, ServiceError::Invalid(RequestError::Seeds(_))), "{err:?}");
+        // Zero depth.
+        let err = svc.submit(SamplingRequest::new(spec.with_depth(0), vec![0])).unwrap_err();
+        assert!(matches!(err, ServiceError::Invalid(RequestError::Algorithm(_))), "{err:?}");
+        let snap = svc.shutdown();
+        assert_eq!(snap.rejected_invalid, 3);
+        assert!(snap.fully_accounted());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let svc = engine_service(ServiceConfig::default());
+        svc.begin_shutdown();
+        let spec = AlgoSpec::by_name("simple-walk").unwrap();
+        let err = svc.submit(SamplingRequest::new(spec, vec![0])).unwrap_err();
+        assert_eq!(err, ServiceError::ShuttingDown);
+        let snap = svc.shutdown();
+        assert_eq!(snap.rejected_shutdown, 1);
+        assert!(snap.fully_accounted());
+    }
+
+    #[test]
+    fn max_batch_instances_splits_oversized_coalescing() {
+        let svc = engine_service(ServiceConfig {
+            start_paused: true,
+            max_batch_instances: 3,
+            ..ServiceConfig::default()
+        });
+        let spec = AlgoSpec::by_name("simple-walk").unwrap();
+        let tickets: Vec<Ticket> =
+            (0u32..6).map(|i| svc.submit(SamplingRequest::new(spec, vec![i])).unwrap()).collect();
+        svc.resume();
+        for t in tickets {
+            let resp = t.wait().unwrap();
+            assert!(resp.stats.batch_instances <= 3, "{}", resp.stats.batch_instances);
+        }
+        let snap = svc.shutdown();
+        assert_eq!(snap.batches, 2);
+        assert!(snap.fully_accounted());
+    }
+
+    #[test]
+    fn mdrw_request_is_one_pooled_instance() {
+        let svc = engine_service(ServiceConfig::default());
+        let spec = AlgoSpec::by_name("mdrw").unwrap().with_depth(6);
+        let resp = svc.submit(SamplingRequest::new(spec, vec![0, 4, 8])).unwrap().wait().unwrap();
+        assert_eq!(resp.output.instances.len(), 1, "pool seeds one instance");
+        assert!(svc.shutdown().fully_accounted());
+    }
+}

@@ -1,0 +1,173 @@
+//! Service observability: lock-free counters with a coherent snapshot.
+//!
+//! The counters encode the service's accounting contract. At any idle
+//! point (queue drained, no batch in flight):
+//!
+//! ```text
+//! submitted == accepted + rejected_invalid + rejected_queue_full + rejected_shutdown
+//! accepted  == completed + expired + failed
+//! ```
+//!
+//! [`StatsSnapshot::fully_accounted`] checks exactly that; the test
+//! suite asserts it after every drain.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Upper bounds (inclusive) of the batch-size histogram buckets,
+/// measured in sampling instances per coalesced launch. The last
+/// bucket is open-ended.
+pub const BATCH_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Number of histogram buckets (the [`BATCH_BUCKETS`] bounds plus the
+/// open-ended `> 64` bucket).
+pub const NUM_BUCKETS: usize = BATCH_BUCKETS.len() + 1;
+
+/// Monotonic counters updated by the admission path and the batcher.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests ever handed to `submit`.
+    pub submitted: AtomicU64,
+    /// Requests that passed validation and entered the queue.
+    pub accepted: AtomicU64,
+    /// Requests rejected as malformed.
+    pub rejected_invalid: AtomicU64,
+    /// Requests shed because the queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests refused because the service was shutting down.
+    pub rejected_shutdown: AtomicU64,
+    /// Accepted requests whose deadline passed before delivery.
+    pub expired: AtomicU64,
+    /// Accepted requests answered with a response.
+    pub completed: AtomicU64,
+    /// Accepted requests whose batch panicked.
+    pub failed: AtomicU64,
+    /// Coalesced launches executed.
+    pub batches: AtomicU64,
+    /// Current queue depth (gauge, not monotonic).
+    pub queue_depth: AtomicU64,
+    /// Edges sampled across all launches (batch totals).
+    pub sampled_edges: AtomicU64,
+    /// Host→device partition transfers across all launches (only the
+    /// out-of-memory executor reports these).
+    pub transfers: AtomicU64,
+    /// Bytes shipped host→device across all launches.
+    pub bytes_transferred: AtomicU64,
+    /// Batch-size histogram: bucket `i` counts launches whose instance
+    /// count is ≤ `BATCH_BUCKETS[i]` (last bucket: larger than all).
+    pub batch_hist: [AtomicU64; NUM_BUCKETS],
+}
+
+impl ServiceStats {
+    /// Bumps a counter by one.
+    pub(crate) fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Relaxed);
+    }
+
+    /// Bumps a counter by `n`.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Relaxed);
+    }
+
+    /// Records one executed launch of `instances` instances.
+    pub(crate) fn record_batch(&self, instances: usize) {
+        Self::inc(&self.batches);
+        let bucket = BATCH_BUCKETS
+            .iter()
+            .position(|&b| instances as u64 <= b)
+            .unwrap_or(BATCH_BUCKETS.len());
+        Self::inc(&self.batch_hist[bucket]);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Relaxed),
+            accepted: self.accepted.load(Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Relaxed),
+            expired: self.expired.load(Relaxed),
+            completed: self.completed.load(Relaxed),
+            failed: self.failed.load(Relaxed),
+            batches: self.batches.load(Relaxed),
+            queue_depth: self.queue_depth.load(Relaxed),
+            sampled_edges: self.sampled_edges.load(Relaxed),
+            transfers: self.transfers.load(Relaxed),
+            bytes_transferred: self.bytes_transferred.load(Relaxed),
+            batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Relaxed)),
+        }
+    }
+}
+
+/// Plain-value copy of [`ServiceStats`] (see its field docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub submitted: u64,
+    pub accepted: u64,
+    pub rejected_invalid: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_shutdown: u64,
+    pub expired: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub batches: u64,
+    pub queue_depth: u64,
+    pub sampled_edges: u64,
+    pub transfers: u64,
+    pub bytes_transferred: u64,
+    pub batch_hist: [u64; NUM_BUCKETS],
+}
+
+impl StatsSnapshot {
+    /// True when every submitted request has reached exactly one
+    /// terminal state. Only meaningful when the service is idle (after
+    /// a drain); mid-flight requests are accepted but not yet terminal.
+    pub fn fully_accounted(&self) -> bool {
+        self.submitted
+            == self.accepted
+                + self.rejected_invalid
+                + self.rejected_queue_full
+                + self.rejected_shutdown
+            && self.accepted == self.completed + self.expired + self.failed
+    }
+
+    /// Launches recorded by the histogram (should equal `batches`).
+    pub fn hist_total(&self) -> u64 {
+        self.batch_hist.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_all_sizes() {
+        let stats = ServiceStats::default();
+        for n in [1, 2, 3, 4, 65, 1000] {
+            stats.record_batch(n);
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.batches, 6);
+        assert_eq!(snap.hist_total(), 6);
+        assert_eq!(snap.batch_hist[0], 1, "n=1");
+        assert_eq!(snap.batch_hist[1], 1, "n=2");
+        assert_eq!(snap.batch_hist[2], 2, "n=3,4");
+        assert_eq!(snap.batch_hist[NUM_BUCKETS - 1], 2, "n=65,1000");
+    }
+
+    #[test]
+    fn accounting_identity() {
+        let stats = ServiceStats::default();
+        ServiceStats::add(&stats.submitted, 5);
+        ServiceStats::add(&stats.accepted, 3);
+        ServiceStats::add(&stats.rejected_invalid, 1);
+        ServiceStats::add(&stats.rejected_queue_full, 1);
+        ServiceStats::add(&stats.completed, 2);
+        ServiceStats::add(&stats.expired, 1);
+        assert!(stats.snapshot().fully_accounted());
+        ServiceStats::inc(&stats.submitted);
+        assert!(!stats.snapshot().fully_accounted());
+    }
+}

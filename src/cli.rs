@@ -154,31 +154,29 @@ pub fn load_graph(source: &str) -> Result<Csr, CliError> {
         .map_err(|e| CliError::Invalid(format!("cannot read '{source}': {e}")))
 }
 
-/// Builds the algorithm named by `--algo` with the CLI's parameters.
+/// Builds the algorithm named by `--algo` through the Table-I registry
+/// ([`csaw_core::algorithms::registry`]); unknown names and invalid
+/// parameters come back as typed registry errors.
 pub fn build_algorithm(cli: &Cli) -> Result<Box<dyn Algorithm>, CliError> {
     let name = cli.get("algo").unwrap_or("simple-walk");
-    let length = cli.get_usize("length", 40)?;
-    let depth = cli.get_usize("depth", 2)?;
-    let ns = cli.get_usize("ns", 2)?;
-    Ok(match name {
-        "simple-walk" => Box::new(SimpleRandomWalk { length }),
-        "biased-walk" => Box::new(BiasedRandomWalk { length }),
-        "mh-walk" => Box::new(MetropolisHastingsWalk { length }),
-        "jump-walk" => Box::new(RandomWalkWithJump { length, p_jump: cli.get_f64("pj", 0.1)? }),
-        "restart-walk" => {
-            Box::new(RandomWalkWithRestart { length, p_restart: cli.get_f64("pr", 0.15)? })
-        }
-        "node2vec" => {
-            Box::new(Node2Vec { length, p: cli.get_f64("p", 1.0)?, q: cli.get_f64("q", 1.0)? })
-        }
-        "neighbor" => Box::new(UnbiasedNeighborSampling { neighbor_size: ns, depth }),
-        "biased-neighbor" => Box::new(BiasedNeighborSampling { neighbor_size: ns, depth }),
-        "forest-fire" => Box::new(ForestFire { pf: cli.get_f64("pf", 0.7)?, depth }),
-        "snowball" => Box::new(Snowball { depth }),
-        "layer" => Box::new(LayerSampling { layer_size: ns, depth }),
-        "mdrw" => Box::new(MultiDimRandomWalk { budget: length }),
-        other => return Err(CliError::Invalid(format!("unknown --algo '{other}'\n{USAGE}"))),
-    })
+    let spec =
+        AlgoSpec::by_name(name).map_err(|e| CliError::Invalid(format!("--algo: {e}\n{USAGE}")))?;
+    let depth_flag = if spec.id.uses_walk_length() {
+        cli.get_usize("length", 40)?
+    } else {
+        cli.get_usize("depth", 2)?
+    };
+    let spec = AlgoSpec {
+        depth: Some(depth_flag),
+        neighbor_size: Some(cli.get_usize("ns", 2)?),
+        pf: Some(cli.get_f64("pf", 0.7)?),
+        p: Some(cli.get_f64("p", 1.0)?),
+        q: Some(cli.get_f64("q", 1.0)?),
+        p_jump: Some(cli.get_f64("pj", 0.1)?),
+        p_restart: Some(cli.get_f64("pr", 0.15)?),
+        ..spec
+    };
+    spec.build().map_err(|e| CliError::Invalid(format!("--algo {name}: {e}")))
 }
 
 /// Deterministic seed vertices spread over the graph.
@@ -186,58 +184,16 @@ pub fn pick_seeds(n: usize, num_vertices: usize) -> Vec<u32> {
     (0..n).map(|i| ((i as u64 * 2_654_435_761) % num_vertices.max(1) as u64) as u32).collect()
 }
 
-/// Runs a boxed algorithm through the engine (monomorphized via a
-/// forwarding adapter).
+/// Runs a boxed algorithm through the engine (monomorphized via the
+/// `&dyn Algorithm` forwarding impl in `csaw_core::api`).
 pub fn run_boxed(
     g: &Csr,
     algo: &dyn Algorithm,
     instances: usize,
     seed: u64,
 ) -> crate::core::SampleOutput {
-    struct Fwd<'a>(&'a dyn Algorithm);
-    impl Algorithm for Fwd<'_> {
-        fn name(&self) -> &'static str {
-            self.0.name()
-        }
-        fn config(&self) -> crate::core::api::AlgoConfig {
-            self.0.config()
-        }
-        fn vertex_bias(&self, g: &Csr, v: u32) -> f64 {
-            self.0.vertex_bias(g, v)
-        }
-        fn edge_bias(&self, g: &Csr, e: &crate::core::api::EdgeCand) -> f64 {
-            self.0.edge_bias(g, e)
-        }
-        fn update(
-            &self,
-            g: &Csr,
-            e: &crate::core::api::EdgeCand,
-            home: u32,
-            rng: &mut crate::gpu::Philox,
-        ) -> crate::core::api::UpdateAction {
-            self.0.update(g, e, home, rng)
-        }
-        fn accept(
-            &self,
-            g: &Csr,
-            e: &crate::core::api::EdgeCand,
-            rng: &mut crate::gpu::Philox,
-        ) -> Option<u32> {
-            self.0.accept(g, e, rng)
-        }
-        fn on_dead_end(
-            &self,
-            g: &Csr,
-            v: u32,
-            home: u32,
-            rng: &mut crate::gpu::Philox,
-        ) -> crate::core::api::UpdateAction {
-            self.0.on_dead_end(g, v, home, rng)
-        }
-    }
-    let fwd = Fwd(algo);
     let opts = RunOptions { seed, ..Default::default() };
-    let sampler = Sampler::new(g, &fwd).with_options(opts);
+    let sampler = Sampler::new(g, &algo).with_options(opts);
     if algo.config().frontier == FrontierMode::BiasedReplace {
         let pools = MultiDimRandomWalk::seed_pools(g.num_vertices(), instances, 64, seed);
         sampler.run(&pools)

@@ -17,6 +17,8 @@
 //!   SELECT with bipartite region search and strided bitmaps, the
 //!   sampling engine, and all thirteen Table-I algorithms ([`csaw_core`]).
 //! - [`oom`]: out-of-memory and multi-GPU runtimes ([`csaw_oom`]).
+//! - [`service`]: a micro-batching sampling service with admission
+//!   control, deadlines, and per-request accounting ([`csaw_service`]).
 //! - [`baselines`]: KnightKing- and GraphSAINT-style CPU comparators
 //!   ([`csaw_baselines`]).
 //!
@@ -73,3 +75,4 @@ pub use csaw_core as core;
 pub use csaw_gpu as gpu;
 pub use csaw_graph as graph;
 pub use csaw_oom as oom;
+pub use csaw_service as service;

@@ -159,6 +159,44 @@ fn weighted_graph_with_uniform_weights_matches_unweighted_distribution() {
 }
 
 #[test]
+fn checked_runs_reject_bad_seed_ids_with_typed_errors() {
+    use csaw::core::engine::RunError;
+    let g = csaw::graph::generators::toy_graph(); // 13 vertices
+    let walk = SimpleRandomWalk { length: 4 };
+    let s = Sampler::new(&g, &walk);
+    // Out-of-range single seed: the error pins the instance and vertex.
+    match s.run_single_seeds_checked(&[0, 99]) {
+        Err(RunError::SeedOutOfRange { instance, vertex, num_vertices }) => {
+            assert_eq!((instance, vertex, num_vertices), (1, 99, 13));
+        }
+        other => panic!("expected SeedOutOfRange, got {other:?}"),
+    }
+    // Empty seed *set* (an instance with no seeds) is an error...
+    match s.run_checked(&[vec![0], vec![]]) {
+        Err(RunError::EmptySeedSet { instance }) => assert_eq!(instance, 1),
+        other => panic!("expected EmptySeedSet, got {other:?}"),
+    }
+    // ...but an empty *list* of sets is a valid zero-instance run.
+    let out = s.run_checked(&[]).unwrap();
+    assert_eq!(out.instances.len(), 0);
+    // Valid seeds pass through to a normal run, bit-identical to the
+    // unchecked entry point.
+    let checked = s.run_single_seeds_checked(&[0, 8]).unwrap();
+    let unchecked = s.run_single_seeds(&[0, 8]);
+    assert_eq!(checked.instances, unchecked.instances);
+}
+
+#[test]
+fn run_error_messages_name_the_problem() {
+    use csaw::core::engine::RunError;
+    let oob = RunError::SeedOutOfRange { instance: 3, vertex: 42, num_vertices: 10 };
+    let msg = oob.to_string();
+    assert!(msg.contains("42") && msg.contains("10"), "{msg}");
+    let empty = RunError::EmptySeedSet { instance: 3 };
+    assert!(empty.to_string().contains('3'), "{empty}");
+}
+
+#[test]
 fn snowball_on_star_graph_is_one_shot() {
     let mut b = CsrBuilder::new().symmetrize(true);
     for i in 1..=6u32 {

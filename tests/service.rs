@@ -1,0 +1,254 @@
+//! Robustness contract of the sampling service: deadlines are always
+//! reported, saturation sheds instead of stalling, a poisoned request
+//! fails only its own batch, and every submitted request reaches
+//! exactly one terminal state.
+
+use csaw::core::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, UpdateAction};
+use csaw::core::AlgoSpec;
+use csaw::graph::generators::toy_graph;
+use csaw::graph::Csr;
+use csaw::service::{RequestAlgo, SamplingRequest, SamplingService, ServiceConfig, ServiceError};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec(name: &str) -> AlgoSpec {
+    AlgoSpec::by_name(name).unwrap()
+}
+
+fn engine_service(config: ServiceConfig) -> SamplingService {
+    SamplingService::with_engine(Arc::new(toy_graph()), config)
+}
+
+#[test]
+fn deadline_expiry_at_dequeue_is_reported_not_dropped() {
+    let svc = engine_service(ServiceConfig { start_paused: true, ..ServiceConfig::default() });
+    let ticket = svc
+        .submit(
+            SamplingRequest::new(spec("simple-walk"), vec![0])
+                .with_deadline(Duration::from_millis(5)),
+        )
+        .unwrap();
+    // Let the deadline pass while the batcher is paused, then resume:
+    // the request expires the moment the batcher dequeues it.
+    std::thread::sleep(Duration::from_millis(40));
+    svc.resume();
+    assert_eq!(ticket.wait().unwrap_err(), ServiceError::Expired);
+    let snap = svc.shutdown();
+    assert_eq!(snap.expired, 1);
+    assert_eq!(snap.batches, 0, "an expired request never launches");
+    assert!(snap.fully_accounted(), "{snap:?}");
+}
+
+/// A walk whose bias hook sleeps — stands in for a request that is
+/// admitted in time but whose batch outlives its deadline.
+struct SlowWalk {
+    step_sleep: Duration,
+}
+
+impl Algorithm for SlowWalk {
+    fn name(&self) -> &'static str {
+        "slow-walk"
+    }
+    fn config(&self) -> AlgoConfig {
+        AlgoConfig {
+            depth: 10,
+            neighbor_size: NeighborSize::Constant(1),
+            frontier: FrontierMode::IndependentPerVertex,
+            without_replacement: false,
+        }
+    }
+    fn edge_bias(&self, _g: &Csr, _e: &EdgeCand) -> f64 {
+        std::thread::sleep(self.step_sleep);
+        1.0
+    }
+}
+
+#[test]
+fn deadline_expiry_at_batch_completion_is_reported() {
+    let svc = engine_service(ServiceConfig::default());
+    let slow: Arc<dyn Algorithm> = Arc::new(SlowWalk { step_sleep: Duration::from_millis(10) });
+    // The batch is dequeued almost immediately (well inside 250ms) but
+    // takes ~500ms to run (10 steps x 5 neighbors x 10ms), so the
+    // deadline check at completion must fire.
+    let ticket = svc
+        .submit(
+            SamplingRequest::new(RequestAlgo::Custom(slow), vec![8])
+                .with_deadline(Duration::from_millis(250)),
+        )
+        .unwrap();
+    assert_eq!(ticket.wait().unwrap_err(), ServiceError::Expired);
+    let snap = svc.shutdown();
+    assert_eq!(snap.expired, 1);
+    assert_eq!(snap.batches, 1, "the batch ran; its result arrived late");
+    assert!(snap.fully_accounted(), "{snap:?}");
+}
+
+#[test]
+fn full_queue_sheds_load_with_retry_hint() {
+    let svc = engine_service(ServiceConfig {
+        start_paused: true,
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let t1 = svc.submit(SamplingRequest::new(spec("simple-walk"), vec![0])).unwrap();
+    let t2 = svc.submit(SamplingRequest::new(spec("simple-walk"), vec![1])).unwrap();
+    match svc.submit(SamplingRequest::new(spec("simple-walk"), vec![2])) {
+        Err(ServiceError::QueueFull { retry_after }) => {
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    svc.resume();
+    assert!(t1.wait().is_ok());
+    assert!(t2.wait().is_ok());
+    let snap = svc.shutdown();
+    assert_eq!(
+        (snap.submitted, snap.accepted, snap.rejected_queue_full, snap.completed),
+        (3, 2, 1, 2)
+    );
+    assert!(snap.fully_accounted(), "{snap:?}");
+}
+
+/// An algorithm whose UPDATE hook panics — the poisoned request.
+struct PanickingUpdate;
+
+impl Algorithm for PanickingUpdate {
+    fn name(&self) -> &'static str {
+        "panicking-update"
+    }
+    fn config(&self) -> AlgoConfig {
+        AlgoConfig {
+            depth: 4,
+            neighbor_size: NeighborSize::Constant(1),
+            frontier: FrontierMode::IndependentPerVertex,
+            without_replacement: false,
+        }
+    }
+    fn update(
+        &self,
+        _g: &Csr,
+        _e: &EdgeCand,
+        _home: u32,
+        _rng: &mut csaw::gpu::Philox,
+    ) -> UpdateAction {
+        panic!("poisoned request")
+    }
+}
+
+#[test]
+fn panicking_update_fails_only_its_batch() {
+    let svc = engine_service(ServiceConfig { start_paused: true, ..ServiceConfig::default() });
+    let poison: Arc<dyn Algorithm> = Arc::new(PanickingUpdate);
+    // Two requests sharing the poisoned Arc coalesce into one batch;
+    // the registry request forms its own (different batch key).
+    let p1 = svc
+        .submit(SamplingRequest::new(RequestAlgo::Custom(Arc::clone(&poison)), vec![0]))
+        .unwrap();
+    let p2 = svc.submit(SamplingRequest::new(RequestAlgo::Custom(poison), vec![1])).unwrap();
+    let healthy = svc.submit(SamplingRequest::new(spec("simple-walk"), vec![2])).unwrap();
+    svc.resume();
+    assert!(matches!(p1.wait(), Err(ServiceError::BatchFailed(_))));
+    assert!(matches!(p2.wait(), Err(ServiceError::BatchFailed(_))));
+    assert!(healthy.wait().is_ok(), "a healthy batch is unaffected by the poisoned one");
+    // The worker survived the panic and keeps serving.
+    let again = svc.submit(SamplingRequest::new(spec("simple-walk"), vec![3])).unwrap();
+    assert!(again.wait().is_ok());
+    let snap = svc.shutdown();
+    assert_eq!(snap.failed, 2);
+    assert_eq!(snap.completed, 2);
+    assert!(snap.fully_accounted(), "{snap:?}");
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    // A paused service with queued work: shutdown overrides the pause
+    // and answers everything before the worker exits.
+    let svc = engine_service(ServiceConfig { start_paused: true, ..ServiceConfig::default() });
+    let tickets: Vec<_> = (0u32..5)
+        .map(|i| svc.submit(SamplingRequest::new(spec("biased-walk"), vec![i])).unwrap())
+        .collect();
+    let snap = svc.shutdown();
+    assert_eq!(snap.completed, 5);
+    assert!(snap.fully_accounted(), "{snap:?}");
+    let mut edges = 0;
+    for t in tickets {
+        let resp = t.wait().expect("drained, not dropped");
+        assert_eq!(resp.stats.sampled_edges, resp.output.sampled_edges());
+        edges += resp.stats.sampled_edges;
+    }
+    assert_eq!(edges, snap.sampled_edges, "per-request slices cover the batch totals");
+}
+
+#[test]
+fn mixed_burst_is_exactly_accounted() {
+    let svc = engine_service(ServiceConfig {
+        start_paused: true,
+        queue_capacity: 3,
+        ..ServiceConfig::default()
+    });
+    // 1: invalid (out-of-range seed) — rejected at admission.
+    assert!(svc.submit(SamplingRequest::new(spec("neighbor"), vec![999])).is_err());
+    // 2-4: accepted; one carries an already-tiny deadline.
+    let ok1 = svc.submit(SamplingRequest::new(spec("neighbor"), vec![0])).unwrap();
+    let doomed = svc
+        .submit(
+            SamplingRequest::new(spec("neighbor"), vec![1]).with_deadline(Duration::from_millis(1)),
+        )
+        .unwrap();
+    let ok2 = svc.submit(SamplingRequest::new(spec("neighbor"), vec![2])).unwrap();
+    // 5: shed — the queue holds the 3 accepted requests.
+    assert!(matches!(
+        svc.submit(SamplingRequest::new(spec("neighbor"), vec![3])),
+        Err(ServiceError::QueueFull { .. })
+    ));
+    std::thread::sleep(Duration::from_millis(30));
+    svc.resume();
+    assert!(ok1.wait().is_ok());
+    assert_eq!(doomed.wait().unwrap_err(), ServiceError::Expired);
+    assert!(ok2.wait().is_ok());
+    let snap = svc.shutdown();
+    assert_eq!(snap.submitted, 5);
+    assert_eq!(snap.rejected_invalid, 1);
+    assert_eq!(snap.rejected_queue_full, 1);
+    assert_eq!(snap.accepted, 3);
+    assert_eq!(snap.expired, 1);
+    assert_eq!(snap.completed, 2);
+    assert!(snap.fully_accounted(), "{snap:?}");
+}
+
+#[test]
+fn expired_request_leaves_a_gap_batchmates_survive() {
+    // Three same-key requests admitted contiguously; the middle one
+    // expires at dequeue, splitting the batch into two contiguous
+    // segments — both of which must still reproduce their solo runs.
+    use csaw::core::engine::{RunOptions, Sampler};
+    let g = Arc::new(toy_graph());
+    let svc = SamplingService::with_engine(
+        Arc::clone(&g),
+        ServiceConfig { start_paused: true, ..ServiceConfig::default() },
+    );
+    let a = svc.submit(SamplingRequest::new(spec("biased-walk"), vec![0, 1])).unwrap();
+    let doomed = svc
+        .submit(
+            SamplingRequest::new(spec("biased-walk"), vec![2])
+                .with_deadline(Duration::from_millis(1)),
+        )
+        .unwrap();
+    let b = svc.submit(SamplingRequest::new(spec("biased-walk"), vec![3, 4])).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    svc.resume();
+    let ra = a.wait().unwrap();
+    assert_eq!(doomed.wait().unwrap_err(), ServiceError::Expired);
+    let rb = b.wait().unwrap();
+    assert_eq!((ra.instance_base, rb.instance_base), (0, 3), "gap at instance 2");
+    let algo = spec("biased-walk").build().unwrap();
+    let solo_a = Sampler::new(&g, &algo)
+        .with_options(RunOptions { seed: 1, instance_base: 0, ..RunOptions::default() })
+        .run_single_seeds(&[0, 1]);
+    let solo_b = Sampler::new(&g, &algo)
+        .with_options(RunOptions { seed: 1, instance_base: 3, ..RunOptions::default() })
+        .run_single_seeds(&[3, 4]);
+    assert_eq!(ra.output.instances, solo_a.instances);
+    assert_eq!(rb.output.instances, solo_b.instances);
+    assert!(svc.shutdown().fully_accounted());
+}
