@@ -35,6 +35,9 @@ impl Algorithm for ForestFire {
             without_replacement: true,
         }
     }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

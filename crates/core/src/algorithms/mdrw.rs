@@ -53,6 +53,9 @@ impl Algorithm for MultiDimRandomWalk {
     fn vertex_bias(&self, g: &Csr, v: VertexId) -> f64 {
         g.degree(v) as f64
     }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

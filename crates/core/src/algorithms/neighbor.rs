@@ -30,6 +30,9 @@ impl Algorithm for UnbiasedNeighborSampling {
     fn config(&self) -> AlgoConfig {
         ns_config(self.neighbor_size, self.depth)
     }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
+    }
 }
 
 /// Biased neighbor sampling: neighbors chosen proportionally to the edge

@@ -26,6 +26,9 @@ impl Algorithm for Snowball {
             without_replacement: true,
         }
     }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

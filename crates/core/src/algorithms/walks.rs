@@ -28,6 +28,9 @@ impl Algorithm for SimpleRandomWalk {
     fn config(&self) -> AlgoConfig {
         walk_config(self.length)
     }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
+    }
 }
 
 /// Multi-independent random walk (§II-A): semantically a
@@ -53,6 +56,9 @@ impl Algorithm for MultiIndependentRandomWalk {
     }
     fn config(&self) -> AlgoConfig {
         walk_config(self.length)
+    }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
     }
 }
 
@@ -82,6 +88,9 @@ impl Algorithm for MetropolisHastingsWalk {
         } else {
             Some(e.v) // stay
         }
+    }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
     }
 }
 
@@ -118,6 +127,9 @@ impl Algorithm for RandomWalkWithJump {
     ) -> UpdateAction {
         UpdateAction::Add(rng.below(g.num_vertices() as u64) as VertexId)
     }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
+    }
 }
 
 /// Random walk with restart: with probability `p_restart`, return to the
@@ -153,6 +165,9 @@ impl Algorithm for RandomWalkWithRestart {
         _rng: &mut Philox,
     ) -> UpdateAction {
         UpdateAction::Add(home)
+    }
+    fn edge_bias_is_uniform(&self) -> bool {
+        true
     }
 }
 

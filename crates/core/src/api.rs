@@ -132,6 +132,17 @@ pub trait Algorithm: Sync + Send {
         1.0
     }
 
+    /// Declares that [`Algorithm::edge_bias`] returns `1.0` for *every*
+    /// edge, letting the step kernel fill the bias lane directly instead
+    /// of materializing candidates and calling the hook per neighbor.
+    /// Conservative default `false`; algorithms that override `edge_bias`
+    /// must leave it `false` (debug builds verify the claim against the
+    /// hook). Purely a fast path: stats charges and sampled output are
+    /// identical either way.
+    fn edge_bias_is_uniform(&self) -> bool {
+        false
+    }
+
     /// `UPDATE` (Eq. 4): vertex added to the frontier pool after sampling
     /// `e`. Receives the instance's home seed (for restarts) and an RNG
     /// (for probabilistic jumps). Default: add the sampled neighbor.
@@ -179,6 +190,9 @@ macro_rules! forward_algorithm {
             }
             fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
                 (**self).edge_bias(g, e)
+            }
+            fn edge_bias_is_uniform(&self) -> bool {
+                (**self).edge_bias_is_uniform()
             }
             fn update(
                 &self,

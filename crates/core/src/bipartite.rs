@@ -78,13 +78,30 @@ pub fn adjust_and_search(
     }
 }
 
+/// *Updated sampling* for one step, arena-reuse form: masks the selected
+/// candidates' biases to zero in `masked` and rebuilds `ctps` in place
+/// (no allocation once both buffers are warm). Charges exactly what
+/// [`updated_ctps`] charges. Returns `false` — leaving `ctps` empty —
+/// when every candidate is selected (total bias zero).
+pub fn updated_ctps_into(
+    biases: &[f64],
+    selected: &[bool],
+    masked: &mut Vec<f64>,
+    ctps: &mut Ctps,
+    stats: &mut SimStats,
+) -> bool {
+    masked.clear();
+    masked.extend(biases.iter().zip(selected).map(|(&b, &s)| if s { 0.0 } else { b }));
+    ctps.rebuild(masked, stats)
+}
+
 /// Reference implementation of *updated sampling* for one step: rebuilds
 /// the CTPS with the selected candidates' biases zeroed and searches `r'`
 /// on it. Used by tests and the `Updated` strategy.
 pub fn updated_ctps(biases: &[f64], selected: &[bool], stats: &mut SimStats) -> Option<Ctps> {
-    let masked: Vec<f64> =
-        biases.iter().zip(selected).map(|(&b, &s)| if s { 0.0 } else { b }).collect();
-    Ctps::build(&masked, stats)
+    let mut masked = Vec::new();
+    let mut ctps = Ctps::empty();
+    updated_ctps_into(biases, selected, &mut masked, &mut ctps, stats).then_some(ctps)
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! because wider words collect more conflicts (§IV-B); the A2 ablation
 //! measures exactly that.
 
-use csaw_gpu::lockstep::{lockstep_test_and_set, CasOutcome};
+use csaw_gpu::lockstep::{lockstep_test_and_set_into, CasOutcome, LockstepScratch};
 use csaw_gpu::stats::SimStats;
 
 /// Detector selection plus bitmap word width in bits.
@@ -54,12 +54,20 @@ pub struct Detector {
     /// Selected candidate list (linear-search mode).
     selected: Vec<usize>,
     n: usize,
+    /// Reusable lockstep-round buffers (bitmap modes).
+    lockstep: LockstepScratch,
 }
 
 impl Detector {
     /// A detector for a pool of `n` candidates.
     pub fn new(kind: DetectorKind, n: usize) -> Self {
-        Detector { kind, bits: vec![false; n], selected: Vec::new(), n }
+        Detector {
+            kind,
+            bits: vec![false; n],
+            selected: Vec::new(),
+            n,
+            lockstep: LockstepScratch::new(),
+        }
     }
 
     /// Resets for a new pool of `n` candidates.
@@ -68,6 +76,15 @@ impl Detector {
         self.bits.clear();
         self.bits.resize(n, false);
         self.selected.clear();
+    }
+
+    /// Resets for a new pool of `n` candidates under a (possibly
+    /// different) detector kind, reusing every buffer — the arena-reuse
+    /// entry point: one `Detector` can serve interleaved SELECT calls of
+    /// different configurations without reallocating.
+    pub fn reset_for(&mut self, kind: DetectorKind, n: usize) {
+        self.kind = kind;
+        self.reset(n);
     }
 
     /// The detector's flavor.
@@ -108,22 +125,24 @@ impl Detector {
     }
 
     /// One lockstep round: every active lane attempts to claim its
-    /// candidate. `requests[lane] = Some(candidate)`. Returns
+    /// candidate. `requests[lane] = Some(candidate)`. Leaves
     /// `Some(true)` = claimed, `Some(false)` = duplicate, `None` = lane
-    /// inactive. Work is charged to `stats` according to the detector
-    /// model.
-    pub fn claim_round(
+    /// inactive, per lane, in `out` (cleared first; capacity reused).
+    /// Work is charged to `stats` according to the detector model.
+    pub fn claim_round_into(
         &mut self,
         requests: &[Option<usize>],
+        out: &mut Vec<Option<bool>>,
         stats: &mut SimStats,
-    ) -> Vec<Option<bool>> {
+    ) {
+        out.clear();
         match self.kind {
             DetectorKind::LinearSearch => {
                 // Shared-memory linear search: each active lane scans the
                 // current selected list (reads serialize on shared memory
                 // banks but need no atomics for the scan; the append is an
                 // atomic counter bump).
-                let mut out = vec![None; requests.len()];
+                out.resize(requests.len(), None);
                 for (lane, req) in requests.iter().enumerate() {
                     let Some(k) = *req else { continue };
                     let comparisons = self.selected.len() as u64 + 1;
@@ -139,7 +158,6 @@ impl Detector {
                         out[lane] = Some(true);
                     }
                 }
-                out
             }
             DetectorKind::ContiguousBitmap { word_bits }
             | DetectorKind::StridedBitmap { word_bits } => {
@@ -157,18 +175,32 @@ impl Detector {
                 };
                 let active = requests.iter().flatten().count() as u64;
                 stats.collision_searches += active; // one bit probe per lane
-                let outcomes = lockstep_test_and_set(&mut self.bits, requests, word_of, stats);
-                outcomes
-                    .into_iter()
-                    .map(|o| {
-                        o.map(|c| match c {
-                            CasOutcome::Won => true,
-                            CasOutcome::Lost => false,
-                        })
+                lockstep_test_and_set_into(
+                    &mut self.bits,
+                    requests,
+                    word_of,
+                    &mut self.lockstep,
+                    stats,
+                );
+                out.extend(self.lockstep.out.iter().map(|o| {
+                    o.map(|c| match c {
+                        CasOutcome::Won => true,
+                        CasOutcome::Lost => false,
                     })
-                    .collect()
+                }));
             }
         }
+    }
+
+    /// Allocating convenience wrapper over [`Detector::claim_round_into`].
+    pub fn claim_round(
+        &mut self,
+        requests: &[Option<usize>],
+        stats: &mut SimStats,
+    ) -> Vec<Option<bool>> {
+        let mut out = Vec::new();
+        self.claim_round_into(requests, &mut out, stats);
+        out
     }
 
     /// Number of candidates currently marked selected.

@@ -21,28 +21,47 @@ pub struct Ctps {
 }
 
 impl Ctps {
+    /// An empty CTPS holding no candidates — the reusable-arena starting
+    /// state. Nothing is selectable until [`Ctps::rebuild`] succeeds.
+    pub fn empty() -> Ctps {
+        Ctps { bounds: Vec::new(), total_bias: 0.0 }
+    }
+
     /// Builds the CTPS from raw biases with warp-counted work. Returns
     /// `None` when the total bias is zero or non-finite (nothing is
     /// selectable).
     pub fn build(biases: &[f64], stats: &mut SimStats) -> Option<Ctps> {
+        let mut c = Ctps::empty();
+        c.rebuild(biases, stats).then_some(c)
+    }
+
+    /// Rebuilds the CTPS in place from raw biases, reusing the bounds
+    /// buffer (no allocation once capacity is warm). Charges exactly the
+    /// work [`Ctps::build`] charges. Returns `false` — leaving `self`
+    /// empty — when the total bias is zero or non-finite.
+    pub fn rebuild(&mut self, biases: &[f64], stats: &mut SimStats) -> bool {
+        self.bounds.clear();
+        self.total_bias = 0.0;
         if biases.is_empty() {
-            return None;
+            return false;
         }
         debug_assert!(biases.iter().all(|&b| b >= 0.0), "negative bias");
-        let mut bounds = biases.to_vec();
-        inclusive_scan(&mut bounds, stats);
-        let total = *bounds.last().unwrap();
+        self.bounds.extend_from_slice(biases);
+        inclusive_scan(&mut self.bounds, stats);
+        let total = *self.bounds.last().unwrap();
         if !total.is_finite() || total <= 0.0 {
-            return None;
+            self.bounds.clear();
+            return false;
         }
         // Normalization: one division per element, one warp step per tile.
-        for b in bounds.iter_mut() {
+        for b in self.bounds.iter_mut() {
             *b /= total;
         }
-        stats.warp_cycles += bounds.len().div_ceil(WARP_SIZE) as u64;
+        stats.warp_cycles += self.bounds.len().div_ceil(WARP_SIZE) as u64;
         // Guard against FP drift: the last bound must be exactly 1.
-        *bounds.last_mut().unwrap() = 1.0;
-        Some(Ctps { bounds, total_bias: total })
+        *self.bounds.last_mut().unwrap() = 1.0;
+        self.total_bias = total;
+        true
     }
 
     /// Number of candidates.

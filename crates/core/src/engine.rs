@@ -25,7 +25,10 @@
 use crate::api::{Algorithm, FrontierMode};
 use crate::output::SampleOutput;
 use crate::select::SelectConfig;
-use crate::step::{CsrAccess, EmitSink, PoolSink, PoolSlot, StepEntry, StepKernel, TrialCounter};
+use crate::step::{
+    with_thread_scratch, CsrAccess, EmitSink, PoolSink, PoolSlot, StepEntry, StepKernel,
+    TrialCounter,
+};
 use csaw_gpu::device::LaunchResult;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Device;
@@ -289,17 +292,24 @@ fn run_instance(
         if cfg.without_replacement { seeds.iter().copied().collect() } else { HashSet::new() };
     let home = seeds.first().copied().unwrap_or(0);
 
-    match cfg.frontier {
+    // One arena per worker thread: the device launches instance kernels
+    // on a pool, and every instance on a thread reuses that thread's
+    // warm buffers — zero steady-state allocations in the step pipeline.
+    with_thread_scratch(|scratch| match cfg.frontier {
         FrontierMode::IndependentPerVertex => {
             let mut trials = TrialCounter::new();
+            // Double-buffered frontier: swap instead of `mem::take`, so
+            // neither buffer is ever reallocated between depths.
+            let mut frontier: Vec<PoolSlot> = Vec::new();
             for depth in 0..cfg.depth as u32 {
                 if pool.is_empty() {
                     break;
                 }
-                let frontier = std::mem::take(&mut pool);
+                std::mem::swap(&mut pool, &mut frontier);
+                pool.clear();
                 stats.frontier_ops += frontier.len() as u64;
                 trials.reset();
-                for slot in frontier {
+                for &slot in frontier.iter() {
                     let entry = StepEntry {
                         instance,
                         depth,
@@ -314,16 +324,18 @@ fn run_instance(
                         next: &mut pool,
                         out: &mut out,
                     };
-                    kernel.expand(&mut access, &entry, home, &mut sink, &mut stats);
+                    kernel.expand(&mut access, &entry, home, &mut sink, scratch, &mut stats);
                 }
             }
         }
         FrontierMode::SharedLayer => {
+            let mut frontier: Vec<PoolSlot> = Vec::new();
             for depth in 0..cfg.depth as u32 {
                 if pool.is_empty() {
                     break;
                 }
-                let frontier = std::mem::take(&mut pool);
+                std::mem::swap(&mut pool, &mut frontier);
+                pool.clear();
                 stats.frontier_ops += frontier.len() as u64;
                 let mut sink = PoolSink {
                     cfg: &cfg,
@@ -332,7 +344,15 @@ fn run_instance(
                     next: &mut pool,
                     out: &mut out,
                 };
-                kernel.expand_layer(&mut access, instance, depth, &frontier, &mut sink, &mut stats);
+                kernel.expand_layer(
+                    &mut access,
+                    instance,
+                    depth,
+                    &frontier,
+                    &mut sink,
+                    scratch,
+                    &mut stats,
+                );
             }
         }
         FrontierMode::BiasedReplace => {
@@ -348,11 +368,12 @@ fn run_instance(
                     home,
                     &mut pool,
                     &mut sink,
+                    scratch,
                     &mut stats,
                 );
             }
         }
-    }
+    });
     (out, stats)
 }
 

@@ -8,7 +8,9 @@
 
 use crate::api::{Algorithm, FrontierMode};
 use crate::select::SelectConfig;
-use crate::step::{CsrAccess, PoolSink, PoolSlot, StepEntry, StepKernel, TrialCounter};
+use crate::step::{
+    CsrAccess, PoolSink, PoolSlot, StepEntry, StepKernel, StepScratch, TrialCounter,
+};
 use csaw_gpu::stats::SimStats;
 use csaw_graph::{Csr, VertexId};
 use std::collections::HashSet;
@@ -51,15 +53,18 @@ pub fn profile_depths<A: Algorithm>(
     let mut edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seeds.len()];
     let mut trials = TrialCounter::new();
     let mut out = Vec::new();
+    let mut scratch = StepScratch::new();
+    let mut frontier: Vec<PoolSlot> = Vec::new();
 
     for depth in 0..cfg.depth {
         let mut frontier_total = 0u64;
         let mut edge_total = 0u64;
         trials.reset();
         for inst in 0..seeds.len() {
-            let frontier = std::mem::take(&mut frontiers[inst]);
+            std::mem::swap(&mut frontiers[inst], &mut frontier);
+            frontiers[inst].clear();
             frontier_total += frontier.len() as u64;
-            for slot in frontier {
+            for &slot in frontier.iter() {
                 let before = edges[inst].len();
                 let entry = StepEntry {
                     instance: inst as u32,
@@ -75,7 +80,14 @@ pub fn profile_depths<A: Algorithm>(
                     next: &mut frontiers[inst],
                     out: &mut edges[inst],
                 };
-                kernel.expand(&mut access, &entry, seeds[inst], &mut sink, &mut stats);
+                kernel.expand(
+                    &mut access,
+                    &entry,
+                    seeds[inst],
+                    &mut sink,
+                    &mut scratch,
+                    &mut stats,
+                );
                 edge_total += (edges[inst].len() - before) as u64;
             }
         }

@@ -14,7 +14,7 @@
 //! - [`SelectStrategy::Bipartite`]: adjust the random number and reuse the
 //!   original CTPS (Fig. 6c, Theorem 2) — the paper's contribution.
 
-use crate::bipartite::{adjust_and_search, updated_ctps, BipartiteOutcome};
+use crate::bipartite::{adjust_and_search, updated_ctps_into, BipartiteOutcome};
 use crate::collision::{Detector, DetectorKind};
 use crate::ctps::Ctps;
 use csaw_gpu::stats::SimStats;
@@ -72,43 +72,130 @@ impl Default for SelectConfig {
 /// genuinely stuck selection (pathological FP bias values) reaches this.
 const MAX_ROUNDS: usize = 1_000_000;
 
+/// Reusable selection arena: every buffer one SELECT call needs, owned
+/// once per worker and cleared (never dropped) between calls, so a
+/// steady-state SELECT performs zero heap allocations. The per-warp
+/// on-GPU analog is the warp's shared-memory working set (§IV-A), which
+/// is likewise allocated once per warp, not per SELECT.
+#[derive(Debug)]
+pub struct SelectScratch {
+    /// CTPS of the current pool, rebuilt in place per call.
+    pub(crate) ctps: Ctps,
+    /// Collision detector (bitmap words + lockstep lanes, reused).
+    pub(crate) detector: Detector,
+    /// Selected indices in claim order — the result of the `_into` calls.
+    pub out: Vec<usize>,
+    /// Lanes still needing a distinct candidate.
+    pending: Vec<usize>,
+    /// Next round's pending lanes (swapped with `pending` per round).
+    still_pending: Vec<usize>,
+    /// Phase-1 CTPS picks of the current round.
+    picks: Vec<usize>,
+    /// Lockstep claim-round request lanes (satellite fix: one buffer
+    /// reused across retry rounds instead of a fresh `Vec` per round).
+    requests: Vec<Option<usize>>,
+    /// Claim-round outcomes.
+    pub(crate) outcomes: Vec<Option<bool>>,
+    /// Bipartite retries of the current round: `(lane, hit)`.
+    bip_retry: Vec<(usize, usize)>,
+    /// Adjusted claim requests (bipartite phase 2).
+    adj_requests: Vec<Option<usize>>,
+    /// Lanes behind `adj_requests`.
+    adj_lanes: Vec<usize>,
+    /// Lanes whose adjustment restarted.
+    restart_lanes: Vec<usize>,
+    /// Per-candidate selected mask (updated-sampling rebuilds).
+    sel_mask: Vec<bool>,
+    /// Masked biases (updated-sampling rebuilds).
+    masked: Vec<f64>,
+}
+
+impl SelectScratch {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        SelectScratch {
+            ctps: Ctps::empty(),
+            detector: Detector::new(DetectorKind::paper_default(), 0),
+            out: Vec::new(),
+            pending: Vec::new(),
+            still_pending: Vec::new(),
+            picks: Vec::new(),
+            requests: Vec::new(),
+            outcomes: Vec::new(),
+            bip_retry: Vec::new(),
+            adj_requests: Vec::new(),
+            adj_lanes: Vec::new(),
+            restart_lanes: Vec::new(),
+            sel_mask: Vec::new(),
+            masked: Vec::new(),
+        }
+    }
+}
+
+impl Default for SelectScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Selects `k` distinct candidates with probability proportional to
-/// `biases`, simulating one warp. Returns the selected indices in claim
-/// order (at most `k`, fewer when fewer candidates carry positive bias).
-pub fn select_without_replacement(
+/// `biases`, simulating one warp. Leaves the selected indices in claim
+/// order (at most `k`, fewer when fewer candidates carry positive bias)
+/// in `scratch.out`. Identical draws, selections, and stats charges to
+/// [`select_without_replacement`] — the only difference is buffer reuse.
+pub fn select_without_replacement_into(
     biases: &[f64],
     k: usize,
     cfg: SelectConfig,
+    scratch: &mut SelectScratch,
     rng: &mut Philox,
     stats: &mut SimStats,
-) -> Vec<usize> {
+) {
+    let SelectScratch {
+        ctps,
+        detector,
+        out,
+        pending,
+        still_pending,
+        picks,
+        requests,
+        outcomes,
+        bip_retry,
+        adj_requests,
+        adj_lanes,
+        restart_lanes,
+        sel_mask,
+        masked,
+    } = scratch;
+    out.clear();
     let n = biases.len();
     if n == 0 || k == 0 {
-        return Vec::new();
+        return;
     }
     let selectable = biases.iter().filter(|&&b| b > 0.0).count();
     let k = k.min(selectable);
     if k == 0 {
-        return Vec::new();
+        return;
     }
 
-    let Some(mut ctps) = Ctps::build(biases, stats) else {
-        return Vec::new();
-    };
+    if !ctps.rebuild(biases, stats) {
+        return;
+    }
 
     // Short-circuit: taking every selectable candidate needs no draws.
     if k == selectable {
         stats.selections += k as u64;
         stats.select_iterations += k as u64;
-        return (0..n).filter(|&i| biases[i] > 0.0).collect();
+        out.extend((0..n).filter(|&i| biases[i] > 0.0));
+        return;
     }
 
-    let mut detector = Detector::new(cfg.detector, n);
-    let mut out = Vec::with_capacity(k);
+    detector.reset_for(cfg.detector, n);
 
-    // Lane states: each of the k lanes needs one distinct candidate.
-    // `pending[lane] = true` until the lane claims.
-    let mut pending: Vec<usize> = (0..k).collect();
+    // Lane states: each of the k lanes needs one distinct candidate;
+    // a lane stays in `pending` until it claims.
+    pending.clear();
+    pending.extend(0..k);
     let mut rounds = 0usize;
 
     while !pending.is_empty() {
@@ -116,24 +203,23 @@ pub fn select_without_replacement(
         assert!(rounds <= MAX_ROUNDS, "selection failed to converge");
 
         // Phase 1: every pending lane draws and searches the CTPS.
-        let picks: Vec<usize> = pending
-            .iter()
-            .map(|_| {
-                stats.rng_draws += 1;
-                stats.select_iterations += 1;
-                stats.warp_cycles += 4; // Philox draw
-                let r = rng.uniform();
-                ctps.search(r, stats)
-            })
-            .collect();
+        picks.clear();
+        for _ in 0..pending.len() {
+            stats.rng_draws += 1;
+            stats.select_iterations += 1;
+            stats.warp_cycles += 4; // Philox draw
+            let r = rng.uniform();
+            picks.push(ctps.search(r, stats));
+        }
         // Lockstep claim round. (Under the Updated strategy the CTPS has
         // zero weight on selected regions, so phase-1 picks only collide
         // lane-to-lane.)
-        let requests: Vec<Option<usize>> = picks.iter().map(|&p| Some(p)).collect();
-        let outcomes = detector.claim_round(&requests, stats);
+        requests.clear();
+        requests.extend(picks.iter().map(|&p| Some(p)));
+        detector.claim_round_into(requests, outcomes, stats);
 
-        let mut still_pending = Vec::new();
-        let mut bip_retry: Vec<(usize, usize)> = Vec::new(); // (lane, hit)
+        still_pending.clear();
+        bip_retry.clear();
         for (slot, lane) in pending.iter().enumerate() {
             match outcomes[slot] {
                 Some(true) => out.push(picks[slot]),
@@ -148,14 +234,14 @@ pub fn select_without_replacement(
         // Phase 2 (bipartite only): colliding lanes adjust their random
         // number per Theorem 2 and try once more within this iteration.
         if !bip_retry.is_empty() {
-            let mut adj_requests: Vec<Option<usize>> = Vec::with_capacity(bip_retry.len());
-            let mut adj_lanes: Vec<usize> = Vec::with_capacity(bip_retry.len());
-            let mut restart_lanes: Vec<usize> = Vec::new();
-            for &(lane, hit) in &bip_retry {
+            adj_requests.clear();
+            adj_lanes.clear();
+            restart_lanes.clear();
+            for &(lane, hit) in bip_retry.iter() {
                 stats.rng_draws += 1;
                 let r_prime = rng.uniform();
                 match adjust_and_search(
-                    &ctps,
+                    ctps,
                     hit,
                     r_prime,
                     |c, s| detector.is_selected(c, s),
@@ -169,43 +255,77 @@ pub fn select_without_replacement(
                 }
             }
             if !adj_requests.is_empty() {
-                let outcomes2 = detector.claim_round(&adj_requests, stats);
+                detector.claim_round_into(adj_requests, outcomes, stats);
                 for (slot, &lane) in adj_lanes.iter().enumerate() {
-                    match outcomes2[slot] {
+                    match outcomes[slot] {
                         Some(true) => out.push(adj_requests[slot].unwrap()),
                         Some(false) => restart_lanes.push(lane),
                         None => unreachable!(),
                     }
                 }
             }
-            still_pending.extend(restart_lanes);
+            still_pending.extend(restart_lanes.iter().copied());
         }
 
         // Updated sampling rebuilds the CTPS once per round with the
         // now-selected biases zeroed (a full warp prefix sum each time —
         // the cost the paper calls "time consuming").
         if cfg.strategy == SelectStrategy::Updated && !still_pending.is_empty() {
-            let sel: Vec<bool> = (0..n).map(|i| detector.is_selected(i, stats)).collect();
-            match updated_ctps(biases, &sel, stats) {
-                Some(c) => ctps = c,
-                None => break, // nothing selectable remains
+            sel_mask.clear();
+            for i in 0..n {
+                let s = detector.is_selected(i, stats);
+                sel_mask.push(s);
+            }
+            if !updated_ctps_into(biases, sel_mask, masked, ctps, stats) {
+                break; // nothing selectable remains
             }
         }
-        pending = still_pending;
+        std::mem::swap(pending, still_pending);
     }
 
     stats.selections += out.len() as u64;
-    out
+}
+
+/// Allocating convenience wrapper over
+/// [`select_without_replacement_into`]: returns the selected indices as a
+/// fresh `Vec`. Hot paths hold a [`SelectScratch`] and call the `_into`
+/// form instead.
+pub fn select_without_replacement(
+    biases: &[f64],
+    k: usize,
+    cfg: SelectConfig,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) -> Vec<usize> {
+    let mut scratch = SelectScratch::new();
+    select_without_replacement_into(biases, k, cfg, &mut scratch, rng, stats);
+    scratch.out
+}
+
+/// Selects one candidate *with replacement* (random walks; Fig. 2b line 4
+/// frontier selection), rebuilding `ctps` in place from `biases` — the
+/// arena-reuse form of [`select_one`]. Returns `None` when no candidate
+/// has positive bias.
+pub fn select_one_with(
+    biases: &[f64],
+    ctps: &mut Ctps,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) -> Option<usize> {
+    if !ctps.rebuild(biases, stats) {
+        return None;
+    }
+    stats.select_iterations += 1;
+    stats.selections += 1;
+    Some(ctps.sample_one(rng, stats))
 }
 
 /// Selects one candidate *with replacement* (random walks; Fig. 2b line 4
 /// frontier selection). Returns `None` when no candidate has positive
 /// bias.
 pub fn select_one(biases: &[f64], rng: &mut Philox, stats: &mut SimStats) -> Option<usize> {
-    let ctps = Ctps::build(biases, stats)?;
-    stats.select_iterations += 1;
-    stats.selections += 1;
-    Some(ctps.sample_one(rng, stats))
+    let mut ctps = Ctps::empty();
+    select_one_with(biases, &mut ctps, rng, stats)
 }
 
 #[cfg(test)]

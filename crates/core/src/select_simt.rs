@@ -13,11 +13,9 @@
 //! cuts divergence.
 
 use crate::bipartite::{adjust_and_search, BipartiteOutcome};
-use crate::collision::Detector;
 #[cfg(test)]
 use crate::collision::DetectorKind;
-use crate::ctps::Ctps;
-use crate::select::{SelectConfig, SelectStrategy};
+use crate::select::{SelectConfig, SelectScratch, SelectStrategy};
 use csaw_gpu::simt::{run_lockstep, DivergenceStats, LaneStep};
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
@@ -32,49 +30,56 @@ pub struct SimtSelection {
     pub divergence: DivergenceStats,
 }
 
-/// Lane-level SELECT: `k` lanes each claim one distinct candidate from
-/// `biases`, with per-lane retry loops executed in lockstep. Supports
-/// the `Repeated` and `Bipartite` strategies (`Updated` rebuilds shared
-/// state mid-kernel and needs the round-structured implementation).
-pub fn select_without_replacement_simt(
+/// Lane-level SELECT, arena-reuse form: `k` lanes each claim one distinct
+/// candidate from `biases`, with per-lane retry loops executed in
+/// lockstep. The selected indices land in `scratch.out`; the CTPS,
+/// detector, and outcome lanes are all reused from `scratch`. Supports
+/// the `Repeated` and `Bipartite` strategies (`Updated` rebuilds
+/// warp-shared state mid-kernel and needs the round-structured
+/// implementation).
+pub fn select_without_replacement_simt_into(
     biases: &[f64],
     k: usize,
     cfg: SelectConfig,
+    scratch: &mut SelectScratch,
     rng: &mut Philox,
     stats: &mut SimStats,
-) -> SimtSelection {
+) -> DivergenceStats {
     assert!(
         cfg.strategy != SelectStrategy::Updated,
         "Updated sampling rebuilds warp-shared state; use the round-based SELECT"
     );
+    scratch.out.clear();
     let n = biases.len();
     let selectable = biases.iter().filter(|&&b| b > 0.0).count();
     let k = k.min(selectable).min(csaw_gpu::WARP_SIZE);
     if k == 0 {
-        return SimtSelection { selected: Vec::new(), divergence: DivergenceStats::default() };
+        return DivergenceStats::default();
     }
-    let Some(ctps) = Ctps::build(biases, stats) else {
-        return SimtSelection { selected: Vec::new(), divergence: DivergenceStats::default() };
-    };
+    if !scratch.ctps.rebuild(biases, stats) {
+        return DivergenceStats::default();
+    }
     if k == selectable {
         stats.selections += k as u64;
         stats.select_iterations += k as u64;
-        return SimtSelection {
-            selected: (0..n).filter(|&i| biases[i] > 0.0).collect(),
-            divergence: DivergenceStats::default(),
-        };
+        scratch.out.extend((0..n).filter(|&i| biases[i] > 0.0));
+        return DivergenceStats::default();
     }
+
+    scratch.detector.reset_for(cfg.detector, n);
+    let ctps = &scratch.ctps;
 
     // The detector and RNG are warp-shared; lanes access them in lane
     // order within a lockstep step (deterministic, like hardware's fixed
     // arbitration in the simulated model).
-    let detector = RefCell::new(Detector::new(cfg.detector, n));
+    let detector = RefCell::new(&mut scratch.detector);
+    let outcomes_cell = RefCell::new(&mut scratch.outcomes);
     let rng = RefCell::new(rng);
     let stats_cell = RefCell::new(stats);
 
     let (results, divergence) = {
-        let ctps = &ctps;
         let detector = &detector;
+        let outcomes_cell = &outcomes_cell;
         let rng = &rng;
         let stats_cell = &stats_cell;
         run_lockstep(k, &mut SimStats::new(), move |_lane, _round| {
@@ -86,7 +91,8 @@ pub fn select_without_replacement_simt(
             let r = rng.uniform();
             let pick = ctps.search(r, &mut stats);
             let mut det = detector.borrow_mut();
-            let outcome = det.claim_round(&[Some(pick)], &mut stats);
+            let mut outcome = outcomes_cell.borrow_mut();
+            det.claim_round_into(&[Some(pick)], &mut outcome, &mut stats);
             if outcome[0] == Some(true) {
                 return LaneStep::Done(pick);
             }
@@ -97,8 +103,8 @@ pub fn select_without_replacement_simt(
                 if let BipartiteOutcome::Selected(c) =
                     adjust_and_search(ctps, pick, r2, is_sel, &mut stats)
                 {
-                    let outcome2 = det.claim_round(&[Some(c)], &mut stats);
-                    if outcome2[0] == Some(true) {
+                    det.claim_round_into(&[Some(c)], &mut outcome, &mut stats);
+                    if outcome[0] == Some(true) {
                         return LaneStep::Done(c);
                     }
                 }
@@ -109,7 +115,22 @@ pub fn select_without_replacement_simt(
     let stats = stats_cell.into_inner();
     stats.selections += results.len() as u64;
     stats.warp_cycles += divergence.steps; // issue slots
-    SimtSelection { selected: results, divergence }
+    scratch.out.extend(results);
+    divergence
+}
+
+/// Allocating convenience wrapper over
+/// [`select_without_replacement_simt_into`].
+pub fn select_without_replacement_simt(
+    biases: &[f64],
+    k: usize,
+    cfg: SelectConfig,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) -> SimtSelection {
+    let mut scratch = SelectScratch::new();
+    let divergence = select_without_replacement_simt_into(biases, k, cfg, &mut scratch, rng, stats);
+    SimtSelection { selected: scratch.out, divergence }
 }
 
 #[cfg(test)]

@@ -33,12 +33,15 @@
 
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, UpdateAction};
 use crate::collision::{charge_visited_check, DetectorKind};
-use crate::select::{select_one, select_without_replacement, SelectConfig, SelectStrategy};
-use crate::select_simt::select_without_replacement_simt;
+use crate::select::{
+    select_one_with, select_without_replacement_into, SelectConfig, SelectScratch, SelectStrategy,
+};
+use crate::select_simt::select_without_replacement_simt_into;
 use csaw_gpu::rng::task_key;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
 use csaw_graph::{Csr, PartitionSet, VertexId, Weight};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
 /// Sentinel "vertex" keying the RNG stream of pool-level steps (shared
@@ -90,6 +93,31 @@ pub fn gather_bytes(weighted: bool, deg: usize) -> usize {
     16 + deg * (4 + if weighted { 4 } else { 0 })
 }
 
+/// One gathered adjacency list: borrowed CSR ranges (neighbors + weights)
+/// plus the full graph for the algorithm hooks, bundled under a single
+/// borrow of the access. The kernel builds candidates *from* these slices
+/// on demand instead of materializing a `Vec<EdgeCand>` per step —
+/// [`Gathered::edge`] is the paper's `e = (v, u, w)` constructed in
+/// registers at use sites.
+pub struct Gathered<'a> {
+    /// The underlying graph (hooks always see the full CSR — biases may
+    /// inspect global structure such as degrees).
+    pub graph: &'a Csr,
+    /// `v`'s neighbor list.
+    pub neighbors: &'a [VertexId],
+    /// Per-neighbor edge weights (`None` on unweighted graphs).
+    pub weights: Option<&'a [Weight]>,
+}
+
+impl Gathered<'_> {
+    /// Candidate edge `i` of the gathered adjacency, materialized on
+    /// demand (no allocation; `EdgeCand` is `Copy`-sized).
+    #[inline]
+    pub fn edge(&self, i: usize, v: VertexId, prev: Option<VertexId>) -> EdgeCand {
+        EdgeCand { v, u: self.neighbors[i], weight: self.weights.map_or(1.0, |w| w[i]), prev }
+    }
+}
+
 /// Where the kernel's GATHERNEIGHBORS reads adjacency from, and what the
 /// runtime's memory system charges for it.
 pub trait NeighborAccess {
@@ -97,10 +125,10 @@ pub trait NeighborAccess {
     /// biases may inspect global structure such as degrees).
     fn graph(&self) -> &Csr;
 
-    /// Gathers `v`'s neighbor list and edge weights, charging whatever
-    /// the runtime models for the read (global-memory bytes, a partition
-    /// transfer, a page fault...).
-    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>);
+    /// Gathers `v`'s neighbor list and edge weights as borrowed slices,
+    /// charging whatever the runtime models for the read (global-memory
+    /// bytes, a partition transfer, a page fault...).
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_>;
 }
 
 /// In-memory access: the whole CSR is resident; a gather costs its
@@ -115,9 +143,13 @@ impl NeighborAccess for CsrAccess<'_> {
         self.graph
     }
 
-    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>) {
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
         stats.read_gmem(gather_bytes(self.graph.is_weighted(), self.graph.degree(v)));
-        (self.graph.neighbors(v), self.graph.neighbor_weights(v))
+        Gathered {
+            graph: self.graph,
+            neighbors: self.graph.neighbors(v),
+            weights: self.graph.neighbor_weights(v),
+        }
     }
 }
 
@@ -138,10 +170,10 @@ impl NeighborAccess for PartitionAccess<'_> {
         self.graph
     }
 
-    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>) {
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
         let p = self.parts.get(self.parts.partition_of(v));
         stats.read_gmem(gather_bytes(self.graph.is_weighted(), p.degree(v)));
-        (p.neighbors(v), p.neighbor_weights(v))
+        Gathered { graph: self.graph, neighbors: p.neighbors(v), weights: p.neighbor_weights(v) }
     }
 }
 
@@ -250,6 +282,47 @@ impl TrialCounter {
     }
 }
 
+/// Reusable per-worker expand arena: every buffer a step needs —
+/// candidate union pool, edge/vertex bias lanes, and the full
+/// [`SelectScratch`] — owned once per worker (or stream) and cleared,
+/// never dropped, between steps. With a warm scratch a steady-state
+/// expand performs **zero heap allocations**; the on-GPU analog is the
+/// warp's shared-memory working set, allocated at kernel launch rather
+/// than per step.
+#[derive(Debug, Default)]
+pub struct StepScratch {
+    /// Union candidate pool (shared-layer steps gather every frontier
+    /// slot's adjacency here; per-vertex steps borrow CSR ranges
+    /// directly and leave this untouched).
+    cands: Vec<EdgeCand>,
+    /// EDGEBIAS lane per candidate.
+    biases: Vec<f64>,
+    /// VERTEXBIAS lane per pool slot (biased-replace steps).
+    vbiases: Vec<f64>,
+    /// The SELECT arena (CTPS, detector bitmap, lane buffers).
+    select: SelectScratch,
+}
+
+impl StepScratch {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<StepScratch> = RefCell::new(StepScratch::new());
+}
+
+/// Runs `f` with this thread's shared [`StepScratch`] — the
+/// one-arena-per-worker pattern for runtimes that launch kernel closures
+/// on a thread pool and cannot thread `&mut` scratch through a `Fn`
+/// bound. Not reentrant: `f` must not call `with_thread_scratch` again
+/// (the inner borrow would panic), which the kernel never does.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut StepScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// The shared expand kernel: the Fig. 2b step pipeline bound to one
 /// algorithm, SELECT configuration, and RNG seed.
 pub struct StepKernel<'a> {
@@ -312,6 +385,7 @@ impl<'a> StepKernel<'a> {
         entry: &StepEntry,
         home: VertexId,
         sink: &mut S,
+        scratch: &mut StepScratch,
         stats: &mut SimStats,
     ) {
         let v = entry.vertex;
@@ -319,10 +393,10 @@ impl<'a> StepKernel<'a> {
             self.seed,
             task_key(entry.instance, entry.depth, entry.vertex, entry.trial),
         );
-        let cands = self.candidates(access, v, entry.prev, stats);
-        let g = access.graph();
+        let gat = access.gather(v, stats);
+        let g = gat.graph;
 
-        if cands.is_empty() {
+        if gat.neighbors.is_empty() {
             match self.algo.on_dead_end(g, v, home, &mut rng) {
                 UpdateAction::Add(w) => self.offer(entry, w, Some(v), sink, stats),
                 UpdateAction::Discard => {}
@@ -330,13 +404,15 @@ impl<'a> StepKernel<'a> {
             return;
         }
 
-        let k = self.cfg.neighbor_size.realize(cands.len(), &mut rng);
+        let k = self.cfg.neighbor_size.realize(gat.neighbors.len(), &mut rng);
         if k == 0 {
             return;
         }
-        let biases = self.biases(g, &cands, stats);
-        for idx in self.select_picks(&biases, k, &mut rng, stats) {
-            let mut cand = cands[idx];
+        let StepScratch { biases, select, .. } = scratch;
+        self.fill_biases(&gat, v, entry.prev, biases, stats);
+        self.select_picks_into(biases, k, &mut rng, select, stats);
+        for &idx in select.out.iter() {
+            let mut cand = gat.edge(idx, v, entry.prev);
             if let Some(w) = self.algo.accept(g, &cand, &mut rng) {
                 if w == v {
                     // Rejected move (metropolis-hastings stays): the step
@@ -358,6 +434,7 @@ impl<'a> StepKernel<'a> {
     /// Expands a whole frontier against one shared neighbor pool — the
     /// [`crate::api::FrontierMode::SharedLayer`] step (layer sampling,
     /// §II-A): `NeighborSize` vertices are selected from the union pool.
+    #[allow(clippy::too_many_arguments)] // mirrors the device kernel's launch signature
     pub fn expand_layer<N: NeighborAccess, S: FrontierSink>(
         &self,
         access: &mut N,
@@ -365,21 +442,27 @@ impl<'a> StepKernel<'a> {
         depth: u32,
         frontier: &[PoolSlot],
         sink: &mut S,
+        scratch: &mut StepScratch,
         stats: &mut SimStats,
     ) {
         let entry = StepEntry { instance, depth, vertex: POOL_STEP_VERTEX, prev: None, trial: 0 };
         let mut rng = Philox::for_task(self.seed, task_key(instance, depth, POOL_STEP_VERTEX, 0));
-        let mut cands: Vec<EdgeCand> = Vec::new();
+        let StepScratch { cands, biases, select, .. } = scratch;
+        cands.clear();
         for slot in frontier {
-            cands.extend(self.candidates(access, slot.vertex, slot.prev, stats));
+            let gat = access.gather(slot.vertex, stats);
+            for i in 0..gat.neighbors.len() {
+                cands.push(gat.edge(i, slot.vertex, slot.prev));
+            }
         }
         if cands.is_empty() {
             return;
         }
         let k = self.cfg.neighbor_size.realize(cands.len(), &mut rng);
         let g = access.graph();
-        let biases = self.biases(g, &cands, stats);
-        for idx in self.select_picks(&biases, k, &mut rng, stats) {
+        self.fill_biases_cands(g, cands, biases, stats);
+        self.select_picks_into(biases, k, &mut rng, select, stats);
+        for &idx in select.out.iter() {
             let cand = cands[idx];
             sink.emit(&entry, (cand.v, cand.u));
             match self.algo.update(g, &cand, cand.v, &mut rng) {
@@ -396,6 +479,7 @@ impl<'a> StepKernel<'a> {
     /// The pool is mutated in place; `sink` only receives `emit`s (use
     /// [`EmitSink`]).
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // mirrors the device kernel's launch signature
     pub fn expand_replace<N: NeighborAccess, S: FrontierSink>(
         &self,
         access: &mut N,
@@ -404,27 +488,30 @@ impl<'a> StepKernel<'a> {
         home: VertexId,
         pool: &mut Vec<PoolSlot>,
         sink: &mut S,
+        scratch: &mut StepScratch,
         stats: &mut SimStats,
     ) {
         let entry = StepEntry { instance, depth, vertex: POOL_STEP_VERTEX, prev: None, trial: 0 };
         let mut rng = Philox::for_task(self.seed, task_key(instance, depth, POOL_STEP_VERTEX, 0));
+        let StepScratch { biases, vbiases, select, .. } = scratch;
 
         // Frontier selection by VERTEXBIAS (Fig. 2b line 4).
-        let vbiases: Vec<f64> = {
+        vbiases.clear();
+        {
             let g = access.graph();
-            pool.iter().map(|s| self.algo.vertex_bias(g, s.vertex)).collect()
-        };
+            vbiases.extend(pool.iter().map(|s| self.algo.vertex_bias(g, s.vertex)));
+        }
         stats.read_gmem(4 * pool.len()); // degree reads for the biases
-        let Some(j) = select_one(&vbiases, &mut rng, stats) else {
+        let Some(j) = select_one_with(vbiases, &mut select.ctps, &mut rng, stats) else {
             pool.clear();
             return;
         };
         let slot = pool[j];
         let v = slot.vertex;
-        let cands = self.candidates(access, v, slot.prev, stats);
-        let g = access.graph();
+        let gat = access.gather(v, stats);
+        let g = gat.graph;
 
-        if cands.is_empty() {
+        if gat.neighbors.is_empty() {
             match self.algo.on_dead_end(g, v, home, &mut rng) {
                 UpdateAction::Add(w) => pool[j] = PoolSlot { vertex: w, prev: Some(v) },
                 UpdateAction::Discard => {
@@ -434,12 +521,12 @@ impl<'a> StepKernel<'a> {
             return;
         }
 
-        let biases = self.biases(g, &cands, stats);
-        let Some(idx) = select_one(&biases, &mut rng, stats) else {
+        self.fill_biases(&gat, v, slot.prev, biases, stats);
+        let Some(idx) = select_one_with(biases, &mut select.ctps, &mut rng, stats) else {
             pool.swap_remove(j);
             return;
         };
-        let cand = cands[idx];
+        let cand = gat.edge(idx, v, slot.prev);
         sink.emit(&entry, (cand.v, cand.u));
         match self.algo.update(g, &cand, home, &mut rng) {
             UpdateAction::Add(w) => pool[j] = PoolSlot { vertex: w, prev: Some(v) },
@@ -450,48 +537,86 @@ impl<'a> StepKernel<'a> {
         stats.frontier_ops += 1;
     }
 
-    /// GATHERNEIGHBORS: materializes `v`'s candidate edges through the
-    /// access trait (which charges the gather).
-    fn candidates<N: NeighborAccess>(
+    /// EDGEBIAS over a gathered adjacency, filling the caller's bias
+    /// lane and charging one warp-cycle per 32 lanes of evaluation. When
+    /// the algorithm declares its edge bias uniform
+    /// ([`Algorithm::edge_bias_is_uniform`]) the lane is filled with 1.0
+    /// directly — no per-neighbor hook calls, no `EdgeCand`
+    /// materialization (debug builds still verify the claim).
+    fn fill_biases(
         &self,
-        access: &mut N,
+        gat: &Gathered<'_>,
         v: VertexId,
         prev: Option<VertexId>,
+        biases: &mut Vec<f64>,
         stats: &mut SimStats,
-    ) -> Vec<EdgeCand> {
-        let (neighbors, weights) = access.gather(v, stats);
-        neighbors
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| EdgeCand { v, u, weight: weights.map_or(1.0, |w| w[i]), prev })
-            .collect()
+    ) {
+        biases.clear();
+        if self.algo.edge_bias_is_uniform() {
+            biases.resize(gat.neighbors.len(), 1.0);
+            #[cfg(debug_assertions)]
+            for i in 0..gat.neighbors.len() {
+                debug_assert_eq!(
+                    self.algo.edge_bias(gat.graph, &gat.edge(i, v, prev)),
+                    1.0,
+                    "edge_bias_is_uniform() contradicted by edge_bias()"
+                );
+            }
+        } else {
+            biases.extend(
+                (0..gat.neighbors.len())
+                    .map(|i| self.algo.edge_bias(gat.graph, &gat.edge(i, v, prev))),
+            );
+        }
+        stats.warp_cycles += biases.len().div_ceil(32) as u64;
     }
 
-    /// EDGEBIAS over the candidate pool, charging one warp-cycle per 32
-    /// lanes of bias evaluation.
-    fn biases(&self, g: &Csr, cands: &[EdgeCand], stats: &mut SimStats) -> Vec<f64> {
-        let biases: Vec<f64> = cands.iter().map(|c| self.algo.edge_bias(g, c)).collect();
+    /// [`Self::fill_biases`] over an already-materialized candidate pool
+    /// (the shared-layer union pool).
+    fn fill_biases_cands(
+        &self,
+        g: &Csr,
+        cands: &[EdgeCand],
+        biases: &mut Vec<f64>,
+        stats: &mut SimStats,
+    ) {
+        biases.clear();
+        if self.algo.edge_bias_is_uniform() {
+            biases.resize(cands.len(), 1.0);
+            debug_assert!(
+                cands.iter().all(|c| self.algo.edge_bias(g, c) == 1.0),
+                "edge_bias_is_uniform() contradicted by edge_bias()"
+            );
+        } else {
+            biases.extend(cands.iter().map(|c| self.algo.edge_bias(g, c)));
+        }
         stats.warp_cycles += biases.len().div_ceil(32) as u64;
-        biases
     }
 
     /// SELECT: without-replacement (per the run's strategy/SIMT options)
-    /// or `k` independent with-replacement draws.
-    fn select_picks(
+    /// or `k` independent with-replacement draws. The picks land in
+    /// `select.out`.
+    fn select_picks_into(
         &self,
         biases: &[f64],
         k: usize,
         rng: &mut Philox,
+        select: &mut SelectScratch,
         stats: &mut SimStats,
-    ) -> Vec<usize> {
+    ) {
         if self.cfg.without_replacement {
             if self.use_simt_select && self.select.strategy != SelectStrategy::Updated {
-                select_without_replacement_simt(biases, k, self.select, rng, stats).selected
+                select_without_replacement_simt_into(biases, k, self.select, select, rng, stats);
             } else {
-                select_without_replacement(biases, k, self.select, rng, stats)
+                select_without_replacement_into(biases, k, self.select, select, rng, stats);
             }
         } else {
-            (0..k).filter_map(|_| select_one(biases, rng, stats)).collect()
+            select.out.clear();
+            for _ in 0..k {
+                if let Some(i) = select_one_with(biases, &mut select.ctps, rng, stats) {
+                    select.out.push(i);
+                }
+            }
         }
     }
 
@@ -551,7 +676,8 @@ mod tests {
             next: &mut next,
             out: &mut out,
         };
-        kernel.expand(&mut access, entry, entry.vertex, &mut sink, &mut stats);
+        let mut scratch = StepScratch::new();
+        kernel.expand(&mut access, entry, entry.vertex, &mut sink, &mut scratch, &mut stats);
         (out, next)
     }
 

@@ -28,6 +28,7 @@
 //! - [`device::Device`]: a rayon-backed executor that runs warp tasks in
 //!   parallel and merges their [`stats::SimStats`].
 
+pub mod alloc_count;
 pub mod config;
 pub mod cost;
 pub mod device;

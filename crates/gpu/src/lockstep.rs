@@ -24,50 +24,91 @@ pub enum CasOutcome {
     Lost,
 }
 
+/// Reusable working buffers for [`lockstep_test_and_set_into`]: the
+/// active-lane list, the word-address scratch, and the outcome lanes.
+/// Owning one per worker makes steady-state lockstep rounds
+/// allocation-free (the buffers are cleared, never dropped).
+#[derive(Debug, Default, Clone)]
+pub struct LockstepScratch {
+    /// Active `(lane, bit)` pairs of the current round.
+    active: Vec<(usize, usize)>,
+    /// Word addresses of the active lanes (sorted to find conflicts).
+    words: Vec<usize>,
+    /// Per-lane outcomes of the current round.
+    pub out: Vec<Option<CasOutcome>>,
+}
+
+impl LockstepScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Executes one lockstep round of test-and-set operations on a bit array.
 ///
 /// `requests[i] = Some(bit_index)` means lane `i` atomically tests-and-sets
 /// that bit; `None` means the lane is inactive. `word_of` maps a bit index
 /// to its storage word (contiguous vs. strided bitmaps differ only here).
 ///
-/// Returns one [`CasOutcome`] per active request, in lane order. Conflicts
-/// (two active lanes addressing the same *word* in this round) are counted
-/// into `stats.atomic_conflicts` — note that hardware serializes on word
-/// granularity even when the *bits* differ, which is why 8-bit words beat
-/// 32-bit words (§IV-B) and strided beats contiguous.
+/// Leaves one [`CasOutcome`] per active request, in lane order, in
+/// `scratch.out`. Conflicts (two active lanes addressing the same *word*
+/// in this round) are counted into `stats.atomic_conflicts` — note that
+/// hardware serializes on word granularity even when the *bits* differ,
+/// which is why 8-bit words beat 32-bit words (§IV-B) and strided beats
+/// contiguous.
+pub fn lockstep_test_and_set_into(
+    bits: &mut [bool],
+    requests: &[Option<usize>],
+    word_of: impl Fn(usize) -> usize,
+    scratch: &mut LockstepScratch,
+    stats: &mut SimStats,
+) {
+    // Count same-word serialization within this round.
+    scratch.active.clear();
+    scratch
+        .active
+        .extend(requests.iter().enumerate().filter_map(|(lane, r)| r.map(|bit| (lane, bit))));
+
+    scratch.words.clear();
+    scratch.words.extend(scratch.active.iter().map(|&(_, bit)| word_of(bit)));
+    scratch.words.sort_unstable();
+    for w in scratch.words.chunk_by(|a, b| a == b) {
+        // k lanes on one word: k atomic ops, k-1 serialized behind the first.
+        stats.atomic_conflicts += (w.len() - 1) as u64;
+        // Serialization also costs extra cycles: the round takes as long as
+        // its deepest word queue.
+    }
+    let max_queue =
+        scratch.words.chunk_by(|a, b| a == b).map(|c| c.len()).max().unwrap_or(0) as u64;
+    stats.atomic_ops += scratch.active.len() as u64;
+    stats.warp_cycles += ATOMIC_CYCLES * max_queue; // round takes its deepest word queue
+
+    // Apply in lane order (lowest lane wins a contended bit).
+    scratch.out.clear();
+    scratch.out.resize(requests.len(), None);
+    for &(lane, bit) in &scratch.active {
+        if bits[bit] {
+            scratch.out[lane] = Some(CasOutcome::Lost);
+        } else {
+            bits[bit] = true;
+            scratch.out[lane] = Some(CasOutcome::Won);
+        }
+    }
+}
+
+/// Allocating convenience wrapper over [`lockstep_test_and_set_into`]:
+/// returns the outcomes as a fresh `Vec`. Hot paths hold a
+/// [`LockstepScratch`] and call the `_into` form instead.
 pub fn lockstep_test_and_set(
     bits: &mut [bool],
     requests: &[Option<usize>],
     word_of: impl Fn(usize) -> usize,
     stats: &mut SimStats,
 ) -> Vec<Option<CasOutcome>> {
-    // Count same-word serialization within this round.
-    let active: Vec<(usize, usize)> =
-        requests.iter().enumerate().filter_map(|(lane, r)| r.map(|bit| (lane, bit))).collect();
-
-    let mut words: Vec<usize> = active.iter().map(|&(_, bit)| word_of(bit)).collect();
-    words.sort_unstable();
-    for w in words.chunk_by(|a, b| a == b) {
-        // k lanes on one word: k atomic ops, k-1 serialized behind the first.
-        stats.atomic_conflicts += (w.len() - 1) as u64;
-        // Serialization also costs extra cycles: the round takes as long as
-        // its deepest word queue.
-    }
-    let max_queue = words.chunk_by(|a, b| a == b).map(|c| c.len()).max().unwrap_or(0) as u64;
-    stats.atomic_ops += active.len() as u64;
-    stats.warp_cycles += ATOMIC_CYCLES * max_queue; // round takes its deepest word queue
-
-    // Apply in lane order (lowest lane wins a contended bit).
-    let mut out = vec![None; requests.len()];
-    for &(lane, bit) in &active {
-        if bits[bit] {
-            out[lane] = Some(CasOutcome::Lost);
-        } else {
-            bits[bit] = true;
-            out[lane] = Some(CasOutcome::Won);
-        }
-    }
-    out
+    let mut scratch = LockstepScratch::new();
+    lockstep_test_and_set_into(bits, requests, word_of, &mut scratch, stats);
+    scratch.out
 }
 
 #[cfg(test)]

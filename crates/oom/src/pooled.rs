@@ -20,12 +20,14 @@
 use crate::config::OomConfig;
 use crate::scheduler::{OomOutput, OomRunner, KERNEL_LAUNCH_OVERHEAD};
 use csaw_core::api::{Algorithm, FrontierMode};
-use csaw_core::step::{gather_bytes, EmitSink, NeighborAccess, PoolSink, PoolSlot, StepKernel};
+use csaw_core::step::{
+    gather_bytes, EmitSink, Gathered, NeighborAccess, PoolSink, PoolSlot, StepKernel, StepScratch,
+};
 use csaw_gpu::cost::gpu_kernel_seconds;
 use csaw_gpu::memory::DeviceMemory;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::transfer::TransferEngine;
-use csaw_graph::{Csr, Partition, PartitionSet, VertexId, Weight};
+use csaw_graph::{Csr, Partition, PartitionSet, VertexId};
 use std::collections::{HashSet, VecDeque};
 
 /// Demand-resident partition access: a gather whose partition is not on
@@ -75,12 +77,16 @@ impl NeighborAccess for ResidentAccess<'_> {
         self.graph
     }
 
-    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>) {
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
         let p = self.parts.partition_of(v);
         self.fault_in(p);
         let part = self.parts.get(p);
         stats.read_gmem(gather_bytes(self.graph.is_weighted(), part.degree(v)));
-        (part.neighbors(v), part.neighbor_weights(v))
+        Gathered {
+            graph: self.graph,
+            neighbors: part.neighbors(v),
+            weights: part.neighbor_weights(v),
+        }
     }
 }
 
@@ -101,6 +107,10 @@ pub(crate) fn run_pooled<A: Algorithm>(
     let mut outputs: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seed_sets.len()];
     let mut stats = SimStats::new();
     let mut rounds = 0usize;
+    // Instances run serially on one stream: one warm arena (and one
+    // frontier double-buffer) serves the whole run allocation-free.
+    let mut scratch = StepScratch::new();
+    let mut frontier: Vec<PoolSlot> = Vec::new();
 
     for (i, seeds) in seed_sets.iter().enumerate() {
         let instance = runner.instance_base + i as u32;
@@ -117,7 +127,8 @@ pub(crate) fn run_pooled<A: Algorithm>(
             steps += 1;
             match cfg.frontier {
                 FrontierMode::SharedLayer => {
-                    let frontier = std::mem::take(&mut pool);
+                    std::mem::swap(&mut pool, &mut frontier);
+                    pool.clear();
                     stats.frontier_ops += frontier.len() as u64;
                     let mut sink = PoolSink {
                         cfg: &cfg,
@@ -132,6 +143,7 @@ pub(crate) fn run_pooled<A: Algorithm>(
                         depth,
                         &frontier,
                         &mut sink,
+                        &mut scratch,
                         &mut stats,
                     );
                 }
@@ -144,6 +156,7 @@ pub(crate) fn run_pooled<A: Algorithm>(
                         home,
                         &mut pool,
                         &mut sink,
+                        &mut scratch,
                         &mut stats,
                     );
                 }

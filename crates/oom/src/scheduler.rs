@@ -46,7 +46,7 @@ use csaw_core::api::{AlgoConfig, Algorithm, FrontierMode};
 use csaw_core::collision::{charge_visited_check, DetectorKind};
 use csaw_core::frontier::{FrontierEntry, FrontierQueue};
 use csaw_core::select::SelectConfig;
-use csaw_core::step::{FrontierSink, PartitionAccess, StepEntry, StepKernel};
+use csaw_core::step::{with_thread_scratch, FrontierSink, PartitionAccess, StepEntry, StepKernel};
 use csaw_gpu::config::DeviceConfig;
 use csaw_gpu::cost::gpu_kernel_seconds_with_slots;
 use csaw_gpu::device::Device;
@@ -551,7 +551,9 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
         let mut stats = SimStats::new();
         let mut straggler_cycles: u64 = 0;
         let mut per_instance: HashMap<u32, u64> = HashMap::new();
-        loop {
+        // Per-stream arena: stream tasks run one per host thread, so the
+        // thread-local scratch is private to this round's stream.
+        with_thread_scratch(|scratch| loop {
             let batch = queue.drain_all();
             if batch.is_empty() {
                 break;
@@ -578,7 +580,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                     outbox: &mut outbox,
                     edges: &mut edges,
                 };
-                kernel.expand(&mut access, &step, seeds[local], &mut sink, &mut stats);
+                kernel.expand(&mut access, &step, seeds[local], &mut sink, scratch, &mut stats);
                 if !self.cfg.batched {
                     let c = per_instance.entry(instance).or_insert(0);
                     *c += stats.warp_cycles - before;
@@ -588,7 +590,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             if !self.cfg.workload_aware {
                 break; // baseline: one pass per round
             }
-        }
+        });
         (StreamRound { queue, shard, outbox, edges, straggler_cycles }, stats)
     }
 }

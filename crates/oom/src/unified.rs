@@ -21,12 +21,13 @@
 use csaw_core::api::{Algorithm, FrontierMode};
 use csaw_core::select::SelectConfig;
 use csaw_core::step::{
-    gather_bytes, NeighborAccess, PoolSink, PoolSlot, StepEntry, StepKernel, TrialCounter,
+    gather_bytes, Gathered, NeighborAccess, PoolSink, PoolSlot, StepEntry, StepKernel, StepScratch,
+    TrialCounter,
 };
 use csaw_gpu::config::DeviceConfig;
 use csaw_gpu::cost::gpu_kernel_seconds;
 use csaw_gpu::stats::SimStats;
-use csaw_graph::{Csr, VertexId, Weight};
+use csaw_graph::{Csr, VertexId};
 use std::collections::{HashSet, VecDeque};
 
 /// Driver-side latency of servicing one GPU page fault (fault interrupt,
@@ -113,13 +114,17 @@ impl NeighborAccess for PagedAccess<'_> {
         self.graph
     }
 
-    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> (&[VertexId], Option<&[Weight]>) {
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
         let deg = self.graph.degree(v);
         let start_byte = self.graph.row_ptr()[v as usize] * 4;
         let faulted = self.cache.touch(start_byte, deg * 4);
         self.bytes_migrated += faulted * PAGE_BYTES as u64;
         stats.read_gmem(gather_bytes(self.graph.is_weighted(), deg));
-        (self.graph.neighbors(v), self.graph.neighbor_weights(v))
+        Gathered {
+            graph: self.graph,
+            neighbors: self.graph.neighbors(v),
+            weights: self.graph.neighbor_weights(v),
+        }
     }
 }
 
@@ -180,14 +185,19 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
             )
             .collect();
 
+        // One warm arena and one frontier double-buffer serve every
+        // instance of the serial BSP loop allocation-free.
+        let mut scratch = StepScratch::new();
+        let mut frontier: Vec<PoolSlot> = Vec::new();
         let mut trials = TrialCounter::new();
         for depth in 0..algo_cfg.depth as u32 {
             let mut any = false;
             trials.reset();
             for inst in 0..seeds.len() {
-                let frontier = std::mem::take(&mut frontiers[inst]);
+                std::mem::swap(&mut frontiers[inst], &mut frontier);
+                frontiers[inst].clear();
                 stats.frontier_ops += frontier.len() as u64;
-                for slot in frontier {
+                for &slot in frontier.iter() {
                     any = true;
                     let entry = StepEntry {
                         instance: inst as u32,
@@ -203,7 +213,14 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
                         next: &mut frontiers[inst],
                         out: &mut outputs[inst],
                     };
-                    kernel.expand(&mut access, &entry, seeds[inst], &mut sink, &mut stats);
+                    kernel.expand(
+                        &mut access,
+                        &entry,
+                        seeds[inst],
+                        &mut sink,
+                        &mut scratch,
+                        &mut stats,
+                    );
                 }
             }
             if !any {

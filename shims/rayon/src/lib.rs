@@ -61,6 +61,10 @@ where
     }
     let f = &f;
     let mut out: Vec<Vec<U>> = std::thread::scope(|scope| {
+        // The intermediate collect is load-bearing: it spawns every
+        // worker before the first join. Fusing spawn and join into one
+        // lazy chain would run the chunks serially.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|c| {

@@ -143,8 +143,7 @@ fn update_discard_everything_terminates_early() {
 #[test]
 fn weighted_graph_with_uniform_weights_matches_unweighted_distribution() {
     use std::collections::HashMap;
-    let g = csaw::graph::generators::toy_graph();
-    let gw = g.clone().with_unit_weights();
+    let gw = csaw::graph::generators::toy_graph().with_unit_weights();
     let algo = BiasedNeighborSampling { neighbor_size: 1, depth: 1 };
     // On the weighted copy the bias is the (unit) weight -> uniform.
     let out = Sampler::new(&gw, &algo).run_single_seeds(&vec![8; 40_000]);

@@ -45,6 +45,10 @@ fn serve(
     svc: &SamplingService,
     requests: &[(usize, Vec<u32>, u64)],
 ) -> Vec<(AlgoSpec, Vec<u32>, u64, u32, Vec<Vec<(u32, u32)>>)> {
+    // Load-bearing collect: every submit must land while the service is
+    // paused (one admission batch); fusing with the wait loop below
+    // would interleave submits past resume().
+    #[allow(clippy::needless_collect)]
     let tickets: Vec<_> = requests
         .iter()
         .map(|(choice, seeds, rng_seed)| {

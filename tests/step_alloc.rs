@@ -1,0 +1,200 @@
+//! Allocation-regression gate for the expand hot path.
+//!
+//! Drives the shared [`StepKernel`] directly — the same per-mode driver
+//! loops the engine uses — under a counting global allocator, and asserts
+//! that a steady-state repetition of every Table-I algorithm performs
+//! **exactly zero** heap allocations. Any `Vec`/`Box`/`HashSet` growth
+//! inside `expand`/`expand_layer`/`expand_replace`, SELECT, or the SIMT
+//! warp scan trips this test, so per-step churn cannot creep back in.
+//!
+//! The binary holds a single `#[test]` on purpose: the counting allocator
+//! is process-global, and a concurrent test thread allocating during the
+//! measured window would produce false positives.
+
+use csaw::core::algorithms::registry::{AlgoSpec, AlgorithmId};
+use csaw::core::api::FrontierMode;
+use csaw::core::select::SelectConfig;
+use csaw::core::step::{
+    CsrAccess, EmitSink, PoolSink, PoolSlot, StepEntry, StepKernel, StepScratch, TrialCounter,
+};
+use csaw::gpu::alloc_count::CountingAllocator;
+use csaw::gpu::stats::SimStats;
+use csaw::graph::generators::{rmat, RmatParams};
+use csaw::graph::{Csr, VertexId};
+use std::collections::HashSet;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Reusable driver state, cleared (never dropped) between repetitions so
+/// steady-state repetitions run entirely in warmed capacity.
+#[derive(Default)]
+struct DriverBufs {
+    pool: Vec<PoolSlot>,
+    frontier: Vec<PoolSlot>,
+    visited: HashSet<VertexId>,
+    out: Vec<(VertexId, VertexId)>,
+    trials: TrialCounter,
+    stats: SimStats,
+    scratch: StepScratch,
+}
+
+/// One full repetition: every instance of the algorithm over its seed
+/// chunks. Deterministic (draws keyed by task), so every repetition
+/// performs identical work. Returns kernel step invocations.
+fn run_rep(kernel: &StepKernel<'_>, g: &Csr, chunks: &[Vec<VertexId>], b: &mut DriverBufs) -> u64 {
+    let cfg = *kernel.cfg();
+    let detector = kernel.select().detector;
+    let mut access = CsrAccess { graph: g };
+    let mut steps = 0u64;
+    for (inst, seeds) in chunks.iter().enumerate() {
+        let inst = inst as u32;
+        let home = seeds[0];
+        b.pool.clear();
+        b.pool.extend(seeds.iter().map(|&s| PoolSlot::seed(s)));
+        b.visited.clear();
+        if cfg.without_replacement {
+            b.visited.extend(seeds.iter().copied());
+        }
+        b.out.clear();
+        match cfg.frontier {
+            FrontierMode::IndependentPerVertex => {
+                for depth in 0..cfg.depth {
+                    if b.pool.is_empty() {
+                        break;
+                    }
+                    std::mem::swap(&mut b.pool, &mut b.frontier);
+                    b.pool.clear();
+                    b.trials.reset();
+                    for i in 0..b.frontier.len() {
+                        let slot = b.frontier[i];
+                        let entry = StepEntry {
+                            instance: inst,
+                            depth: depth as u32,
+                            vertex: slot.vertex,
+                            prev: slot.prev,
+                            trial: b.trials.next(inst, slot.vertex),
+                        };
+                        let mut sink = PoolSink {
+                            cfg: &cfg,
+                            detector,
+                            visited: &mut b.visited,
+                            next: &mut b.pool,
+                            out: &mut b.out,
+                        };
+                        kernel.expand(
+                            &mut access,
+                            &entry,
+                            home,
+                            &mut sink,
+                            &mut b.scratch,
+                            &mut b.stats,
+                        );
+                        steps += 1;
+                    }
+                }
+            }
+            FrontierMode::SharedLayer => {
+                for depth in 0..cfg.depth {
+                    if b.pool.is_empty() {
+                        break;
+                    }
+                    std::mem::swap(&mut b.pool, &mut b.frontier);
+                    b.pool.clear();
+                    let mut sink = PoolSink {
+                        cfg: &cfg,
+                        detector,
+                        visited: &mut b.visited,
+                        next: &mut b.pool,
+                        out: &mut b.out,
+                    };
+                    kernel.expand_layer(
+                        &mut access,
+                        inst,
+                        depth as u32,
+                        &b.frontier,
+                        &mut sink,
+                        &mut b.scratch,
+                        &mut b.stats,
+                    );
+                    steps += 1;
+                }
+            }
+            FrontierMode::BiasedReplace => {
+                for depth in 0..cfg.depth {
+                    if b.pool.is_empty() {
+                        break;
+                    }
+                    let mut sink = EmitSink(&mut b.out);
+                    kernel.expand_replace(
+                        &mut access,
+                        inst,
+                        depth as u32,
+                        home,
+                        &mut b.pool,
+                        &mut sink,
+                        &mut b.scratch,
+                        &mut b.stats,
+                    );
+                    steps += 1;
+                }
+            }
+        }
+    }
+    steps
+}
+
+/// Every Table-I algorithm: two warm-up repetitions, then one measured
+/// repetition that must allocate nothing.
+///
+/// Two warm-ups, not one: the pool/frontier double buffer swaps roles
+/// when a repetition performs an odd number of depth steps, so the
+/// second pass warms the other parity's capacities.
+#[test]
+fn steady_state_step_allocates_nothing() {
+    // Power-law graph large enough to exercise long adjacency gathers
+    // and without-replacement retries, small enough for a test.
+    let g = rmat(9, 8, RmatParams::MILD, 42);
+    let n = g.num_vertices() as VertexId;
+
+    for id in AlgorithmId::ALL {
+        let spec = if id.uses_walk_length() {
+            AlgoSpec::new(id).with_depth(12)
+        } else {
+            AlgoSpec::new(id)
+        };
+        let algo = spec.build().expect("registry specs are valid");
+        let cfg = algo.config();
+        let seeds_per = match cfg.frontier {
+            FrontierMode::IndependentPerVertex => 1,
+            _ => 3,
+        };
+        let chunks: Vec<Vec<VertexId>> = (0..16)
+            .map(|i| (0..seeds_per).map(|j| ((i * seeds_per + j) as VertexId * 131) % n).collect())
+            .collect();
+
+        let kernel = StepKernel::new(&*algo, 0x5eed).with_select(SelectConfig::paper_best());
+        let mut bufs = DriverBufs::default();
+
+        let warm1 = run_rep(&kernel, &g, &chunks, &mut bufs);
+        let warm2 = run_rep(&kernel, &g, &chunks, &mut bufs);
+        assert_eq!(warm1, warm2, "{}: repetitions must perform identical work", id.name());
+
+        let before = ALLOC.snapshot();
+        let steps = run_rep(&kernel, &g, &chunks, &mut bufs);
+        let delta = ALLOC.snapshot().since(&before);
+
+        assert_eq!(steps, warm1, "{}: repetitions must perform identical work", id.name());
+        assert!(steps > 0, "{}: workload must actually step", id.name());
+        assert_eq!(
+            delta.allocations,
+            0,
+            "{}: steady-state repetition allocated {} times ({} bytes) over {} steps — \
+             the zero-allocation hot path has regressed",
+            id.name(),
+            delta.allocations,
+            delta.bytes,
+            steps
+        );
+    }
+}
