@@ -46,6 +46,7 @@ static ALLOC: CountingAllocator = CountingAllocator::new();
 #[derive(Default)]
 struct DriverBufs {
     pool: Vec<PoolSlot>,
+    pool_biases: Vec<f64>,
     frontier: Vec<PoolSlot>,
     visited: HashSet<VertexId>,
     out: Vec<(VertexId, VertexId)>,
@@ -141,6 +142,7 @@ fn run_rep(
                 }
             }
             FrontierMode::BiasedReplace => {
+                b.pool_biases.clear();
                 for depth in 0..cfg.depth {
                     if b.pool.is_empty() {
                         break;
@@ -152,6 +154,7 @@ fn run_rep(
                         depth as u32,
                         home,
                         &mut b.pool,
+                        &mut b.pool_biases,
                         &mut sink,
                         &mut b.scratch,
                         &mut b.stats,

@@ -307,7 +307,7 @@ pub fn quality(scale: Scale) -> Vec<Table> {
 /// trade-off inside C-SAW.
 pub fn ablate_precompute(scale: Scale) -> Vec<Table> {
     use csaw_core::algorithms::BiasedRandomWalk;
-    use csaw_core::precompute::CtpsCache;
+    use csaw_core::precompute::EagerCtpsCache;
     let mut t = Table::new(
         "A7 - static-bias CTPS cache vs per-step recompute (biased walk)",
         &["graph", "recompute cyc/edge", "cached cyc/edge", "speedup", "cache MB", "build cycles"],
@@ -318,7 +318,7 @@ pub fn ablate_precompute(scale: Scale) -> Vec<Table> {
         let s = seeds(scale.walk_instances() / 4, g.num_vertices());
         let algo = BiasedRandomWalk { length };
         let engine = Sampler::new(&g, &algo).run_single_seeds(&s);
-        let cache = CtpsCache::build(&g, &algo);
+        let cache = EagerCtpsCache::build(&g, &algo);
         let (_, cached) = cache.run_walks(&g, &s, length, 0xA7);
         let per = |s: &SimStats| s.warp_cycles as f64 / s.sampled_edges.max(1) as f64;
         t.row(vec![

@@ -33,6 +33,12 @@ impl Algorithm for LayerSampling {
         // Importance ∝ candidate degree (static bias per Table I).
         g.degree(e.u) as f64
     }
+    fn edge_bias_is_static(&self) -> bool {
+        // Static per Table I. The shared-layer union pool is still built
+        // per step, so expand_layer never consults the per-vertex cache —
+        // the flag is accurate but only the per-vertex path exploits it.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,12 @@ impl Algorithm for MultiDimRandomWalk {
     fn edge_bias_is_uniform(&self) -> bool {
         true
     }
+    fn edge_bias_is_static(&self) -> bool {
+        // Opted out of static-bias CTPS caching: mdrw's selection state is
+        // dominated by the dynamic VERTEXBIAS pool, and its uniform edge
+        // selection is served closed-form — there is no table worth caching.
+        false
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,9 @@ impl Algorithm for BiasedNeighborSampling {
             g.degree(e.u) as f64
         }
     }
+    fn edge_bias_is_static(&self) -> bool {
+        true // edge weight or endpoint degree: per-edge, no walk state
+    }
 }
 
 #[cfg(test)]

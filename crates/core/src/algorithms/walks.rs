@@ -189,6 +189,9 @@ impl Algorithm for BiasedRandomWalk {
     fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
         g.degree(e.u) as f64
     }
+    fn edge_bias_is_static(&self) -> bool {
+        true // degree of the endpoint: per-edge, no walk state
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,18 @@ pub trait Algorithm: Sync + Send {
         false
     }
 
+    /// Declares that [`Algorithm::edge_bias`] depends only on the edge
+    /// itself — not on `prev` or any other walk state — so a vertex's CTPS
+    /// is the same on every visit and may be cached across instances
+    /// ([`crate::ctps_cache::CtpsCache`]). Uniform bias is trivially
+    /// static, hence the default. Second-order algorithms (node2vec) and
+    /// walk-state-dependent biases must return `false`. Like
+    /// `edge_bias_is_uniform`, purely an optimization flag: sampled output
+    /// and stats charges are identical either way.
+    fn edge_bias_is_static(&self) -> bool {
+        self.edge_bias_is_uniform()
+    }
+
     /// `UPDATE` (Eq. 4): vertex added to the frontier pool after sampling
     /// `e`. Receives the instance's home seed (for restarts) and an RNG
     /// (for probabilistic jumps). Default: add the sampled neighbor.
@@ -193,6 +205,9 @@ macro_rules! forward_algorithm {
             }
             fn edge_bias_is_uniform(&self) -> bool {
                 (**self).edge_bias_is_uniform()
+            }
+            fn edge_bias_is_static(&self) -> bool {
+                (**self).edge_bias_is_static()
             }
             fn update(
                 &self,

@@ -26,7 +26,7 @@
 //! Fig. 6c walkthrough is still reproduced verbatim as a boundary-mapping
 //! test below.
 
-use crate::ctps::Ctps;
+use crate::ctps::{Ctps, CtpsView};
 use csaw_gpu::stats::SimStats;
 
 /// Outcome of one bipartite adjustment attempt.
@@ -45,8 +45,9 @@ pub enum BipartiteOutcome {
 /// number selects on the *original* CTPS. `is_selected` reports whether a
 /// candidate is already taken; it receives the stats sink so the detector
 /// can charge the probe (see [`crate::collision::Detector::is_selected`]).
-pub fn adjust_and_search(
-    ctps: &Ctps,
+/// Generic over [`CtpsView`] so the closed-form uniform path reuses it.
+pub fn adjust_and_search<C: CtpsView>(
+    ctps: &C,
     hit: usize,
     r_prime: f64,
     mut is_selected: impl FnMut(usize, &mut SimStats) -> bool,

@@ -9,12 +9,14 @@
 //! and the normalization is distributed across lanes, exactly as in §IV-A.
 
 use csaw_gpu::stats::SimStats;
-use csaw_gpu::warp::{binary_search_region, inclusive_scan, WARP_SIZE};
+use csaw_gpu::warp::{
+    binary_search_region, binary_search_region_by, inclusive_scan, scan_cost, WARP_SIZE,
+};
 use csaw_gpu::Philox;
 
 /// A built CTPS: `bounds[k]` is `F_{k+1}`, the upper edge of candidate
 /// `k`'s region (so `bounds.last() == 1.0` when total bias is positive).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Ctps {
     bounds: Vec<f64>,
     total_bias: f64,
@@ -118,6 +120,100 @@ impl Ctps {
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
     }
+
+    /// Copies another CTPS's bounds into this one, reusing this buffer's
+    /// capacity (no allocation once warm). Charges nothing — callers that
+    /// load cached bounds charge their own cost model.
+    pub fn assign(&mut self, src: &Ctps) {
+        self.bounds.clear();
+        self.bounds.extend_from_slice(&src.bounds);
+        self.total_bias = src.total_bias;
+    }
+}
+
+/// The bound `F_{k+1}` a CTPS built from `n` unit biases would hold at
+/// index `k`, computed closed-form. Bit-identical to the materialized
+/// array: the Kogge-Stone prefix sums of 1.0s are exact integers below
+/// 2^53, each normalization is one correctly-rounded division by `n`, and
+/// the final bound is forced to exactly 1.0 — all reproduced here.
+#[inline]
+pub fn uniform_bound(n: usize, k: usize) -> f64 {
+    debug_assert!(k < n);
+    if k + 1 == n {
+        1.0
+    } else {
+        (k + 1) as f64 / n as f64
+    }
+}
+
+/// Charges exactly what [`Ctps::rebuild`] charges for `n` unit biases
+/// (Kogge-Stone scan steps plus one normalization warp step per tile),
+/// without building anything. `n` must be positive.
+pub fn uniform_rebuild_cost(n: usize, stats: &mut SimStats) {
+    debug_assert!(n > 0);
+    scan_cost(n, stats);
+    stats.warp_cycles += n.div_ceil(WARP_SIZE) as u64;
+}
+
+/// [`Ctps::search`] over the implicit uniform CTPS of `n` candidates:
+/// identical index, identical probe charges (the probe count depends on
+/// `r`, so the loop arithmetic is replicated rather than formula-charged).
+#[inline]
+pub fn uniform_search(n: usize, r: f64, stats: &mut SimStats) -> usize {
+    let k = binary_search_region_by(n, r, |i| uniform_bound(n, i), stats);
+    // Uniform regions all have width 1/n > 0 for any realistic n, so the
+    // zero-width skip in Ctps::search never fires on this path.
+    debug_assert!(uniform_bound(n, k) > if k == 0 { 0.0 } else { uniform_bound(n, k - 1) });
+    k
+}
+
+/// [`Ctps::sample_one`] over the implicit uniform CTPS of `n` candidates.
+pub fn uniform_sample_one(n: usize, rng: &mut Philox, stats: &mut SimStats) -> usize {
+    stats.rng_draws += 1;
+    stats.warp_cycles += 4; // Philox draw
+    let r = rng.uniform();
+    uniform_search(n, r, stats)
+}
+
+/// A searchable view of a CTPS: materialized bounds ([`Ctps`]) or the
+/// implicit uniform CTPS ([`UniformCtps`]) that is never built. The SELECT
+/// claim loop and the bipartite adjustment are generic over this so the
+/// closed-form uniform path runs *the same code* — and therefore draws the
+/// same random numbers and charges the same work — as the materialized
+/// path.
+pub trait CtpsView {
+    /// Candidate whose region contains `r` (see [`Ctps::search`]).
+    fn search(&self, r: f64, stats: &mut SimStats) -> usize;
+    /// Region `(l, h)` of candidate `k` (see [`Ctps::region`]).
+    fn region(&self, k: usize) -> (f64, f64);
+}
+
+impl CtpsView for Ctps {
+    fn search(&self, r: f64, stats: &mut SimStats) -> usize {
+        Ctps::search(self, r, stats)
+    }
+    fn region(&self, k: usize) -> (f64, f64) {
+        Ctps::region(self, k)
+    }
+}
+
+/// The implicit CTPS of `n` unit biases — bit-identical to
+/// `Ctps::build(&vec![1.0; n])` (see [`uniform_bound`]) without
+/// materializing anything.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformCtps {
+    /// Candidate count.
+    pub n: usize,
+}
+
+impl CtpsView for UniformCtps {
+    fn search(&self, r: f64, stats: &mut SimStats) -> usize {
+        uniform_search(self.n, r, stats)
+    }
+    fn region(&self, k: usize) -> (f64, f64) {
+        let l = if k == 0 { 0.0 } else { uniform_bound(self.n, k - 1) };
+        (l, uniform_bound(self.n, k))
+    }
 }
 
 #[cfg(test)]
@@ -213,5 +309,59 @@ mod tests {
         let c = Ctps::build(&[42.0], &mut s).unwrap();
         assert_eq!(c.search(0.7, &mut s), 0);
         assert_eq!(c.probability(0), 1.0);
+    }
+
+    #[test]
+    fn assign_copies_bounds_and_total() {
+        let c = fig1_ctps();
+        let mut d = Ctps::empty();
+        d.assign(&c);
+        assert_eq!(d, c);
+        // Re-assign reuses capacity and overwrites.
+        let mut s = SimStats::new();
+        let c2 = Ctps::build(&[1.0, 1.0], &mut s).unwrap();
+        d.assign(&c2);
+        assert_eq!(d, c2);
+    }
+
+    #[test]
+    fn uniform_closed_form_is_bit_identical() {
+        // The implicit uniform CTPS must reproduce the materialized one
+        // exactly: same bounds bitwise, same searched index, same charges.
+        for n in [1usize, 2, 3, 5, 31, 32, 33, 64, 100, 1000] {
+            let mut build_stats = SimStats::new();
+            let c = Ctps::build(&vec![1.0; n], &mut build_stats).unwrap();
+            let mut cost_stats = SimStats::new();
+            uniform_rebuild_cost(n, &mut cost_stats);
+            assert_eq!(cost_stats, build_stats, "rebuild charges n={n}");
+            for (k, &b) in c.bounds().iter().enumerate() {
+                assert_eq!(b.to_bits(), uniform_bound(n, k).to_bits(), "bound n={n} k={k}");
+            }
+            for step in 0..100 {
+                let r = step as f64 / 100.0;
+                let mut s_mat = SimStats::new();
+                let mut s_cf = SimStats::new();
+                assert_eq!(c.search(r, &mut s_mat), uniform_search(n, r, &mut s_cf));
+                assert_eq!(s_mat, s_cf, "search charges n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sample_one_matches_materialized() {
+        let n = 37;
+        let mut s = SimStats::new();
+        let c = Ctps::build(&vec![1.0; n], &mut s).unwrap();
+        let mut rng_a = Philox::new(99);
+        let mut rng_b = Philox::new(99);
+        let mut sa = SimStats::new();
+        let mut sb = SimStats::new();
+        for _ in 0..500 {
+            assert_eq!(
+                c.sample_one(&mut rng_a, &mut sa),
+                uniform_sample_one(n, &mut rng_b, &mut sb)
+            );
+        }
+        assert_eq!(sa, sb);
     }
 }

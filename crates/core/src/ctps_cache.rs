@@ -1,0 +1,490 @@
+//! Hot-vertex CTPS cache: budgeted cross-instance reuse of per-vertex
+//! transition-probability tables.
+//!
+//! §VII rejects full precomputation because "large graphs cannot afford
+//! to index the probabilities of all vertices" — but on power-law graphs
+//! a small set of hub vertices absorbs most visits across the thousands
+//! of concurrent instances a launch runs. This cache keeps the CTPS of
+//! *hot* vertices under a byte budget: lazily populated on miss, shared
+//! by every instance of a launch, evicted with a degree-aware clock so
+//! hubs stick and leaves churn.
+//!
+//! Only algorithms whose [`crate::api::Algorithm::edge_bias`] is *static*
+//! (`edge_bias_is_static()`, no walk-state dependence) may use it: their
+//! CTPS for a vertex is the same on every visit, so a hit can binary-search
+//! the cached bounds directly. The load-bearing invariant is that a hit
+//! consumes exactly the same RNG draws and selects exactly the same
+//! indices as a rebuild — the cache changes the *cost model* (hits charge
+//! a cheap cached-table gather instead of the bias gather + Kogge-Stone
+//! scan), never the sampled output.
+//!
+//! Admission verifies per-region that a positive bound width corresponds
+//! to a positive raw bias (see [`widths_agree`]); entries failing the
+//! check (pathological FP collapse) are never cached, so the preloaded
+//! SELECT's zero-width-region handling matches the rebuilt path exactly.
+//!
+//! Out-of-memory streams tag entries with a residency *epoch*: when a
+//! partition swap changes what is device-resident, the epoch bumps and
+//! stale entries are lazily dropped on the next lookup — modelling that a
+//! real GPU would free cached tables along with the partition's memory.
+
+use crate::api::{Algorithm, EdgeCand};
+use crate::ctps::Ctps;
+use csaw_gpu::stats::SimStats;
+use csaw_graph::{Csr, VertexId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fixed per-entry overhead charged against the budget on top of the
+/// 8 bytes per bound: slot bookkeeping, map entry, epoch/degree tags.
+pub const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// Bytes one cached entry of `len` bounds charges against the budget.
+pub fn entry_bytes(len: usize) -> usize {
+    ENTRY_OVERHEAD_BYTES + 8 * len
+}
+
+/// True when every region of `ctps` has positive width exactly where the
+/// raw bias is positive. Guarantees the preloaded SELECT path (which sees
+/// only widths) partitions candidates identically to the rebuilt path
+/// (which sees raw biases); admission requires it.
+pub fn widths_agree(ctps: &Ctps, biases: &[f64]) -> bool {
+    ctps.len() == biases.len()
+        && (0..ctps.len()).all(|i| (ctps.probability(i) > 0.0) == (biases[i] > 0.0))
+}
+
+/// Builds vertex `v`'s static-bias CTPS into `ctps` (reusing `biases` as
+/// the gather lane): `EDGEBIAS` with no walk context (`prev = None`),
+/// valid exactly when the bias is static. Returns `false` — leaving the
+/// CTPS empty — for zero-degree or zero-total-bias vertices. Charges the
+/// scan/normalize work into `stats`; gather charges are the caller's.
+pub fn build_vertex_ctps<A: Algorithm + ?Sized>(
+    g: &Csr,
+    algo: &A,
+    v: VertexId,
+    biases: &mut Vec<f64>,
+    ctps: &mut Ctps,
+    stats: &mut SimStats,
+) -> bool {
+    biases.clear();
+    biases.extend(g.neighbors(v).iter().enumerate().map(|(i, &u)| {
+        algo.edge_bias(g, &EdgeCand { v, u, weight: g.edge_weight(v, i), prev: None })
+    }));
+    ctps.rebuild(biases, stats)
+}
+
+/// What a lookup found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The vertex's CTPS was cached at the current epoch and has been
+    /// copied into the destination arena.
+    Hit {
+        /// Number of positive-bias candidates (selectable count).
+        selectable: u32,
+        /// The vertex's degree (== CTPS length).
+        degree: u32,
+    },
+    /// Not cached (or cached at a stale epoch, now dropped).
+    Miss,
+}
+
+/// Monotonic counters plus the bytes gauge, readable without locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Total lookups (`hits + misses` — the conservation identity).
+    pub lookups: u64,
+    /// Lookups served from a cached entry.
+    pub hits: u64,
+    /// Lookups that found nothing (including stale-epoch drops).
+    pub misses: u64,
+    /// Entries admitted into the cache.
+    pub promotions: u64,
+    /// Entries removed: clock eviction, stale epoch, or re-promotion race.
+    pub evictions: u64,
+    /// Promotions refused by the budget (entry too large, or the clock
+    /// declined to evict hotter/bigger entries for it).
+    pub admission_rejects: u64,
+    /// Bytes currently charged against the budget (gauge).
+    pub bytes: u64,
+    /// The configured byte budget.
+    pub budget: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+}
+
+impl CacheSnapshot {
+    /// The conservation identities every consistent snapshot satisfies:
+    /// `lookups == hits + misses`, `promotions <= misses`, and
+    /// `bytes <= budget`.
+    pub fn is_conserved(&self) -> bool {
+        self.lookups == self.hits + self.misses
+            && self.promotions <= self.misses
+            && self.bytes <= self.budget
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    promotions: AtomicU64,
+    evictions: AtomicU64,
+    admission_rejects: AtomicU64,
+    bytes: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    vertex: VertexId,
+    ctps: Ctps,
+    selectable: u32,
+    degree: u32,
+    epoch: u64,
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<VertexId, usize>,
+    slots: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    hand: usize,
+    bytes: usize,
+}
+
+impl Shard {
+    /// Drops slot `i`, returning its byte charge.
+    fn evict_slot(&mut self, i: usize) -> usize {
+        let e = self.slots[i].take().expect("evicting an occupied slot");
+        self.map.remove(&e.vertex);
+        self.free.push(i);
+        let freed = entry_bytes(e.ctps.len());
+        self.bytes -= freed;
+        freed
+    }
+}
+
+/// A byte-budgeted, sharded, lazily-populated cache of per-vertex CTPS
+/// tables for static-edge-bias algorithms. Shared by reference across the
+/// instances (and rayon workers) of a launch; see the module docs for the
+/// bit-identical-output invariant.
+#[derive(Debug)]
+pub struct CtpsCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    budget: usize,
+    counters: Counters,
+}
+
+/// Default shard count: enough to keep engine workers from serializing on
+/// one lock, deterministic (vertex id modulo) so behavior never depends
+/// on thread timing for *placement* (only hit/miss timing is racy, which
+/// affects cost accounting alone, never sampled output).
+const DEFAULT_SHARDS: usize = 16;
+
+impl CtpsCache {
+    /// A cache with `budget` bytes split over the default shard count.
+    pub fn new(budget: usize) -> Self {
+        Self::with_shards(budget, DEFAULT_SHARDS)
+    }
+
+    /// A cache with `budget` bytes split evenly over `shards` locks.
+    pub fn with_shards(budget: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        CtpsCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget / shards,
+            budget,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn shard_of(&self, v: VertexId) -> &Mutex<Shard> {
+        &self.shards[v as usize % self.shards.len()]
+    }
+
+    /// Looks up vertex `v`'s CTPS at residency `epoch`. On a hit the
+    /// cached bounds are copied into `dst` (allocation-free once `dst`'s
+    /// capacity is warm) and the entry's clock reference bit is set. A
+    /// stale-epoch entry is dropped (counted as an eviction) and reported
+    /// as a miss. Charges nothing — callers charge their cost model.
+    pub fn lookup_into(&self, v: VertexId, epoch: u64, dst: &mut Ctps) -> CacheOutcome {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(v).lock().unwrap();
+        if let Some(&slot) = shard.map.get(&v) {
+            let stale = shard.slots[slot].as_ref().expect("mapped slot occupied").epoch != epoch;
+            if stale {
+                let freed = shard.evict_slot(slot);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                self.counters.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
+            } else {
+                let e = shard.slots[slot].as_mut().expect("mapped slot occupied");
+                e.referenced = true;
+                dst.assign(&e.ctps);
+                let out = CacheOutcome::Hit { selectable: e.selectable, degree: e.degree };
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return out;
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        CacheOutcome::Miss
+    }
+
+    /// Offers vertex `v`'s freshly built CTPS for admission at residency
+    /// `epoch`. The degree-aware clock makes room: stale-epoch entries go
+    /// first, reference bits grant one round of grace, and an unreferenced
+    /// entry is only displaced by an incomer of equal or higher degree —
+    /// hubs stick, leaves churn. Refusal (entry larger than the shard
+    /// budget, or the clock declined) counts an admission reject and is
+    /// not an error; the caller already has its built CTPS. Returns
+    /// whether the entry was admitted.
+    ///
+    /// Callers must have verified [`widths_agree`] against the raw biases
+    /// and pass `selectable` consistent with it.
+    pub fn promote(
+        &self,
+        v: VertexId,
+        epoch: u64,
+        ctps: &Ctps,
+        selectable: u32,
+        degree: u32,
+    ) -> bool {
+        debug_assert_eq!(ctps.len(), degree as usize);
+        debug_assert!(selectable as usize <= ctps.len());
+        let needed = entry_bytes(ctps.len());
+        if ctps.is_empty() || needed > self.shard_budget {
+            self.counters.admission_rejects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut shard = self.shard_of(v).lock().unwrap();
+        if shard.map.contains_key(&v) {
+            // Another worker promoted `v` between our miss and now; the
+            // cached copy is identical (static bias), keep it.
+            return false;
+        }
+
+        // Degree-aware clock: sweep at most two full revolutions.
+        let len = shard.slots.len();
+        let mut probes = 0usize;
+        let mut evicted = 0u64;
+        let mut freed = 0u64;
+        while shard.bytes + needed > self.shard_budget && probes < 2 * len {
+            let i = shard.hand;
+            shard.hand = (shard.hand + 1) % len;
+            probes += 1;
+            let Some(e) = shard.slots[i].as_mut() else { continue };
+            if e.epoch != epoch {
+                freed += shard.evict_slot(i) as u64;
+                evicted += 1;
+            } else if e.referenced {
+                e.referenced = false;
+            } else if e.degree <= degree {
+                freed += shard.evict_slot(i) as u64;
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.counters.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+        if shard.bytes + needed > self.shard_budget {
+            self.counters.admission_rejects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+
+        let mut stored = Ctps::empty();
+        stored.assign(ctps);
+        let entry = Entry { vertex: v, ctps: stored, selectable, degree, epoch, referenced: false };
+        let slot = match shard.free.pop() {
+            Some(i) => {
+                shard.slots[i] = Some(entry);
+                i
+            }
+            None => {
+                shard.slots.push(Some(entry));
+                shard.slots.len() - 1
+            }
+        };
+        shard.map.insert(v, slot);
+        shard.bytes += needed;
+        self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes.fetch_add(needed as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// Entries currently cached (locks every shard).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent-enough snapshot of the counters (individually atomic;
+    /// the bytes gauge is reconciled against the locked shards).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            lookups: self.counters.lookups.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            promotions: self.counters.promotions.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            admission_rejects: self.counters.admission_rejects.load(Ordering::Relaxed),
+            bytes: self.counters.bytes.load(Ordering::Relaxed),
+            budget: self.budget as u64,
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::BiasedRandomWalk;
+    use csaw_graph::generators::{rmat, toy_graph, RmatParams};
+
+    fn built(g: &Csr, v: VertexId) -> (Ctps, usize) {
+        let algo = BiasedRandomWalk { length: 1 };
+        let mut biases = Vec::new();
+        let mut ctps = Ctps::empty();
+        let mut s = SimStats::new();
+        assert!(build_vertex_ctps(g, &algo, v, &mut biases, &mut ctps, &mut s));
+        let selectable = biases.iter().filter(|&&b| b > 0.0).count();
+        assert!(widths_agree(&ctps, &biases));
+        (ctps, selectable)
+    }
+
+    #[test]
+    fn miss_then_promote_then_hit() {
+        let g = toy_graph();
+        let cache = CtpsCache::new(1 << 20);
+        let mut dst = Ctps::empty();
+        assert_eq!(cache.lookup_into(8, 0, &mut dst), CacheOutcome::Miss);
+        let (ctps, selectable) = built(&g, 8);
+        assert!(cache.promote(8, 0, &ctps, selectable as u32, ctps.len() as u32));
+        match cache.lookup_into(8, 0, &mut dst) {
+            CacheOutcome::Hit { selectable: s, degree } => {
+                assert_eq!(s as usize, selectable);
+                assert_eq!(degree as usize, ctps.len());
+                assert_eq!(dst, ctps, "hit must hand back identical bounds");
+            }
+            CacheOutcome::Miss => panic!("expected hit"),
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.lookups, 2);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.promotions, 1);
+        assert_eq!(snap.entries, 1);
+        assert_eq!(snap.bytes as usize, entry_bytes(ctps.len()));
+        assert!(snap.is_conserved());
+    }
+
+    #[test]
+    fn stale_epoch_drops_entry() {
+        let g = toy_graph();
+        let cache = CtpsCache::new(1 << 20);
+        let (ctps, selectable) = built(&g, 8);
+        assert!(cache.promote(8, 0, &ctps, selectable as u32, ctps.len() as u32));
+        let mut dst = Ctps::empty();
+        // Epoch moved on: the entry is dropped and reported as a miss.
+        assert_eq!(cache.lookup_into(8, 1, &mut dst), CacheOutcome::Miss);
+        let snap = cache.snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.entries, 0);
+        assert_eq!(snap.bytes, 0);
+        assert!(snap.is_conserved());
+        // Re-promotion at the new epoch hits again.
+        assert!(cache.promote(8, 1, &ctps, selectable as u32, ctps.len() as u32));
+        assert!(matches!(cache.lookup_into(8, 1, &mut dst), CacheOutcome::Hit { .. }));
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_hubs_stick() {
+        let g = rmat(8, 8, RmatParams::MILD, 7);
+        // One shard so the clock actually contends; tight budget.
+        let budget = 4 * 1024;
+        let cache = CtpsCache::with_shards(budget, 1);
+        let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        // Promote in degree order, leaves last, then hubs again.
+        order.sort_by_key(|&v| g.degree(v));
+        let hub = *order.last().unwrap();
+        for pass in 0..3 {
+            for &v in &order {
+                if g.degree(v) == 0 {
+                    continue;
+                }
+                let (ctps, selectable) = built(&g, v);
+                let mut dst = Ctps::empty();
+                if cache.lookup_into(v, 0, &mut dst) == CacheOutcome::Miss {
+                    cache.promote(v, 0, &ctps, selectable as u32, ctps.len() as u32);
+                }
+                let snap = cache.snapshot();
+                assert!(snap.bytes <= snap.budget, "budget violated at pass {pass} v {v}");
+                assert!(snap.is_conserved());
+            }
+        }
+        // The hub, touched every pass, must still be resident.
+        let mut dst = Ctps::empty();
+        assert!(
+            matches!(cache.lookup_into(hub, 0, &mut dst), CacheOutcome::Hit { .. }),
+            "hub should have stuck under clock pressure"
+        );
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let g = toy_graph();
+        let cache = CtpsCache::new(16); // smaller than any entry
+        let (ctps, selectable) = built(&g, 8);
+        assert!(!cache.promote(8, 0, &ctps, selectable as u32, ctps.len() as u32));
+        let snap = cache.snapshot();
+        assert_eq!(snap.admission_rejects, 1);
+        assert_eq!(snap.entries, 0);
+    }
+
+    #[test]
+    fn double_promote_keeps_first() {
+        let g = toy_graph();
+        let cache = CtpsCache::new(1 << 20);
+        let (ctps, selectable) = built(&g, 8);
+        assert!(cache.promote(8, 0, &ctps, selectable as u32, ctps.len() as u32));
+        assert!(!cache.promote(8, 0, &ctps, selectable as u32, ctps.len() as u32));
+        assert_eq!(cache.snapshot().promotions, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn widths_agree_detects_mismatch() {
+        let mut s = SimStats::new();
+        let ctps = Ctps::build(&[1.0, 0.0, 2.0], &mut s).unwrap();
+        assert!(widths_agree(&ctps, &[1.0, 0.0, 2.0]));
+        assert!(!widths_agree(&ctps, &[1.0, 1.0, 2.0]));
+        assert!(!widths_agree(&ctps, &[1.0, 0.0]));
+    }
+
+    #[test]
+    fn build_vertex_ctps_matches_precompute_shape() {
+        // v8 of the toy graph under degree bias: the Fig. 1b bounds.
+        let g = toy_graph();
+        let (ctps, _) = built(&g, 8);
+        assert!((ctps.bounds()[0] - 0.2).abs() < 1e-12);
+        assert!((ctps.bounds()[1] - 0.6).abs() < 1e-12);
+        // Zero-degree vertex: build fails, nothing cached.
+        let chain = csaw_graph::CsrBuilder::new().add_edge(0, 1).build();
+        let algo = BiasedRandomWalk { length: 1 };
+        let mut biases = Vec::new();
+        let mut ctps = Ctps::empty();
+        let mut s = SimStats::new();
+        assert!(!build_vertex_ctps(&chain, &algo, 1, &mut biases, &mut ctps, &mut s));
+    }
+}

@@ -138,6 +138,11 @@ pub struct RunOptions {
     /// chunk so a split run samples exactly what a single-device run of
     /// the whole seed list would.
     pub instance_base: u32,
+    /// Optional hot-vertex CTPS cache shared by every instance of the run
+    /// (see [`crate::ctps_cache`]). Consulted only for static non-uniform
+    /// edge biases; sampled output is bit-identical with or without it.
+    /// `None` (the default) disables cross-instance CTPS reuse.
+    pub ctps_cache: Option<std::sync::Arc<crate::ctps_cache::CtpsCache>>,
 }
 
 impl Default for RunOptions {
@@ -147,6 +152,7 @@ impl Default for RunOptions {
             select: SelectConfig::paper_best(),
             use_simt_select: false,
             instance_base: 0,
+            ctps_cache: None,
         }
     }
 }
@@ -281,7 +287,8 @@ fn run_instance(
     let cfg = algo.config();
     let kernel = StepKernel::new(algo, opts.seed)
         .with_select(opts.select)
-        .with_simt_select(opts.use_simt_select);
+        .with_simt_select(opts.use_simt_select)
+        .with_ctps_cache(opts.ctps_cache.as_deref());
     let instance = opts.instance_base + instance;
     let mut stats = SimStats::new();
     let mut access = CsrAccess { graph: g };
@@ -356,6 +363,10 @@ fn run_instance(
             }
         }
         FrontierMode::BiasedReplace => {
+            // Per-instance VERTEXBIAS lane, maintained incrementally by
+            // `expand_replace` (cold on the first step, then one slot per
+            // UPDATE instead of a full pool rescan).
+            let mut pool_biases: Vec<f64> = Vec::new();
             for depth in 0..cfg.depth as u32 {
                 if pool.is_empty() {
                     break;
@@ -367,6 +378,7 @@ fn run_instance(
                     depth,
                     home,
                     &mut pool,
+                    &mut pool_biases,
                     &mut sink,
                     scratch,
                     &mut stats,

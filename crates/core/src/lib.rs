@@ -43,6 +43,7 @@ pub mod api;
 pub mod bipartite;
 pub mod collision;
 pub mod ctps;
+pub mod ctps_cache;
 pub mod dartboard;
 pub mod engine;
 pub mod estimators;

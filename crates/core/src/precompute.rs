@@ -9,44 +9,43 @@
 //! and memory footprint accounted, so the harness can show when caching
 //! beats recomputing the CTPS every step (long walks, static bias) and
 //! what it costs (one f64 per edge of device memory).
+//!
+//! The eager all-vertices build here and the lazy budgeted
+//! [`crate::ctps_cache::CtpsCache`] share the same per-vertex builder
+//! ([`crate::ctps_cache::build_vertex_ctps`]), so the two strategies are
+//! the endpoints of one budget axis: this cache is the 100%-budget,
+//! paid-up-front point of the lazy cache's sweep.
 
-use crate::api::{Algorithm, EdgeCand};
+use crate::api::Algorithm;
 use crate::ctps::Ctps;
+use crate::ctps_cache::build_vertex_ctps;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
 use csaw_graph::{Csr, VertexId};
 
-/// Per-vertex CTPS tables for a static edge bias.
-pub struct CtpsCache {
+/// Eagerly-built per-vertex CTPS tables for a static edge bias.
+pub struct EagerCtpsCache {
     tables: Vec<Option<Ctps>>,
     /// Work spent building the tables (priced separately, like
     /// KnightKing's alias preprocessing).
     pub build_stats: SimStats,
 }
 
-impl CtpsCache {
+impl EagerCtpsCache {
     /// Builds one CTPS per vertex using `algo`'s `EDGEBIAS` with no walk
     /// context (`prev = None`) — only valid for static biases, which by
     /// definition ignore runtime state.
     pub fn build<A: Algorithm>(g: &Csr, algo: &A) -> Self {
         let mut build_stats = SimStats::new();
+        let mut biases: Vec<f64> = Vec::new();
+        let mut scratch = Ctps::empty();
         let tables: Vec<Option<Ctps>> = (0..g.num_vertices() as VertexId)
             .map(|v| {
-                let biases: Vec<f64> = g
-                    .neighbors(v)
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &u)| {
-                        algo.edge_bias(
-                            g,
-                            &EdgeCand { v, u, weight: g.edge_weight(v, i), prev: None },
-                        )
-                    })
-                    .collect();
-                Ctps::build(&biases, &mut build_stats)
+                build_vertex_ctps(g, algo, v, &mut biases, &mut scratch, &mut build_stats)
+                    .then(|| scratch.clone())
             })
             .collect();
-        CtpsCache { tables, build_stats }
+        EagerCtpsCache { tables, build_stats }
     }
 
     /// Device bytes the cache occupies: one f64 bound per edge.
@@ -110,7 +109,7 @@ mod tests {
     fn cached_tables_match_direct_ctps() {
         let g = toy_graph();
         let algo = BiasedRandomWalk { length: 1 };
-        let cache = CtpsCache::build(&g, &algo);
+        let cache = EagerCtpsCache::build(&g, &algo);
         // v8's cached CTPS must equal the Fig. 1b values.
         let t = cache.tables[8].as_ref().unwrap();
         assert!((t.bounds()[0] - 0.2).abs() < 1e-12);
@@ -121,7 +120,7 @@ mod tests {
     #[test]
     fn cache_size_is_one_f64_per_edge() {
         let g = toy_graph();
-        let cache = CtpsCache::build(&g, &BiasedRandomWalk { length: 1 });
+        let cache = EagerCtpsCache::build(&g, &BiasedRandomWalk { length: 1 });
         assert_eq!(cache.size_bytes(), g.num_edges() * 8);
     }
 
@@ -129,7 +128,7 @@ mod tests {
     fn cached_walk_distribution_matches_engine() {
         let g = toy_graph();
         let algo = BiasedRandomWalk { length: 1 };
-        let cache = CtpsCache::build(&g, &algo);
+        let cache = EagerCtpsCache::build(&g, &algo);
         let seeds = vec![8u32; 60_000];
         let (paths, _) = cache.run_walks(&g, &seeds, 1, 3);
         let mut counts: HashMap<u32, usize> = HashMap::new();
@@ -154,7 +153,7 @@ mod tests {
         let g = rmat(10, 8, RmatParams::GRAPH500, 1);
         let algo = BiasedRandomWalk { length: 64 };
         let seeds: Vec<u32> = (0..64).collect();
-        let cache = CtpsCache::build(&g, &algo);
+        let cache = EagerCtpsCache::build(&g, &algo);
         let (_, cached) = cache.run_walks(&g, &seeds, 64, 5);
         let engine = Sampler::new(&g, &algo).run_single_seeds(&seeds);
         let per = |s: &SimStats| s.warp_cycles as f64 / s.sampled_edges.max(1) as f64;
@@ -175,7 +174,7 @@ mod tests {
         // 2 is zero (2 has no out-edges), so the cached walk stops after
         // one hop — the same place the engine's select_one would stop.
         let g = csaw_graph::CsrBuilder::new().add_edge(0, 1).add_edge(1, 2).build();
-        let cache = CtpsCache::build(&g, &BiasedRandomWalk { length: 10 });
+        let cache = EagerCtpsCache::build(&g, &BiasedRandomWalk { length: 10 });
         let (paths, _) = cache.run_walks(&g, &[0], 10, 1);
         assert_eq!(paths[0], vec![(0, 1)]);
     }

@@ -16,7 +16,7 @@
 
 use crate::bipartite::{adjust_and_search, updated_ctps_into, BipartiteOutcome};
 use crate::collision::{Detector, DetectorKind};
-use crate::ctps::Ctps;
+use crate::ctps::{uniform_rebuild_cost, uniform_sample_one, Ctps, CtpsView, UniformCtps};
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
 
@@ -196,8 +196,103 @@ pub fn select_without_replacement_into(
     // a lane stays in `pending` until it claims.
     pending.clear();
     pending.extend(0..k);
-    let mut rounds = 0usize;
 
+    if cfg.strategy == SelectStrategy::Updated {
+        // Updated sampling mutates the CTPS between rounds (rebuild with
+        // selected biases zeroed), so it keeps its own round loop; the
+        // immutable-CTPS strategies share the generic claim loop below.
+        let mut rounds = 0usize;
+        while !pending.is_empty() {
+            rounds += 1;
+            assert!(rounds <= MAX_ROUNDS, "selection failed to converge");
+
+            // Phase 1: every pending lane draws and searches the CTPS.
+            // (The rebuilt CTPS has zero weight on selected regions, so
+            // picks only collide lane-to-lane.)
+            picks.clear();
+            for _ in 0..pending.len() {
+                stats.rng_draws += 1;
+                stats.select_iterations += 1;
+                stats.warp_cycles += 4; // Philox draw
+                let r = rng.uniform();
+                picks.push(ctps.search(r, stats));
+            }
+            requests.clear();
+            requests.extend(picks.iter().map(|&p| Some(p)));
+            detector.claim_round_into(requests, outcomes, stats);
+
+            still_pending.clear();
+            for (slot, lane) in pending.iter().enumerate() {
+                match outcomes[slot] {
+                    Some(true) => out.push(picks[slot]),
+                    Some(false) => still_pending.push(*lane),
+                    None => unreachable!("all lanes were active"),
+                }
+            }
+
+            // Rebuild once per round with the now-selected biases zeroed
+            // (a full warp prefix sum each time — the cost the paper
+            // calls "time consuming").
+            if !still_pending.is_empty() {
+                sel_mask.clear();
+                for i in 0..n {
+                    let s = detector.is_selected(i, stats);
+                    sel_mask.push(s);
+                }
+                if !updated_ctps_into(biases, sel_mask, masked, ctps, stats) {
+                    break; // nothing selectable remains
+                }
+            }
+            std::mem::swap(pending, still_pending);
+        }
+    } else {
+        claim_rounds(
+            &*ctps,
+            cfg,
+            detector,
+            out,
+            pending,
+            still_pending,
+            picks,
+            requests,
+            outcomes,
+            bip_retry,
+            adj_requests,
+            adj_lanes,
+            restart_lanes,
+            rng,
+            stats,
+        );
+    }
+
+    stats.selections += out.len() as u64;
+}
+
+/// The SELECT claim loop for the immutable-CTPS strategies (Repeated and
+/// Bipartite), generic over [`CtpsView`] so materialized, cache-preloaded,
+/// and implicit-uniform CTPSs run the identical draw/claim/adjust
+/// sequence. `pending` holds the lanes still needing a candidate; selected
+/// indices are appended to `out` in claim order.
+#[allow(clippy::too_many_arguments)]
+fn claim_rounds<C: CtpsView>(
+    ctps: &C,
+    cfg: SelectConfig,
+    detector: &mut Detector,
+    out: &mut Vec<usize>,
+    pending: &mut Vec<usize>,
+    still_pending: &mut Vec<usize>,
+    picks: &mut Vec<usize>,
+    requests: &mut Vec<Option<usize>>,
+    outcomes: &mut Vec<Option<bool>>,
+    bip_retry: &mut Vec<(usize, usize)>,
+    adj_requests: &mut Vec<Option<usize>>,
+    adj_lanes: &mut Vec<usize>,
+    restart_lanes: &mut Vec<usize>,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) {
+    debug_assert!(cfg.strategy != SelectStrategy::Updated, "Updated mutates the CTPS");
+    let mut rounds = 0usize;
     while !pending.is_empty() {
         rounds += 1;
         assert!(rounds <= MAX_ROUNDS, "selection failed to converge");
@@ -211,9 +306,7 @@ pub fn select_without_replacement_into(
             let r = rng.uniform();
             picks.push(ctps.search(r, stats));
         }
-        // Lockstep claim round. (Under the Updated strategy the CTPS has
-        // zero weight on selected regions, so phase-1 picks only collide
-        // lane-to-lane.)
+        // Lockstep claim round.
         requests.clear();
         requests.extend(picks.iter().map(|&p| Some(p)));
         detector.claim_round_into(requests, outcomes, stats);
@@ -266,24 +359,8 @@ pub fn select_without_replacement_into(
             }
             still_pending.extend(restart_lanes.iter().copied());
         }
-
-        // Updated sampling rebuilds the CTPS once per round with the
-        // now-selected biases zeroed (a full warp prefix sum each time —
-        // the cost the paper calls "time consuming").
-        if cfg.strategy == SelectStrategy::Updated && !still_pending.is_empty() {
-            sel_mask.clear();
-            for i in 0..n {
-                let s = detector.is_selected(i, stats);
-                sel_mask.push(s);
-            }
-            if !updated_ctps_into(biases, sel_mask, masked, ctps, stats) {
-                break; // nothing selectable remains
-            }
-        }
         std::mem::swap(pending, still_pending);
     }
-
-    stats.selections += out.len() as u64;
 }
 
 /// Allocating convenience wrapper over
@@ -326,6 +403,178 @@ pub fn select_one_with(
 pub fn select_one(biases: &[f64], rng: &mut Philox, stats: &mut SimStats) -> Option<usize> {
     let mut ctps = Ctps::empty();
     select_one_with(biases, &mut ctps, rng, stats)
+}
+
+/// [`select_one_with`] when `ctps` already holds the bounds for the
+/// candidate pool (a hot-vertex cache hit): skips the rebuild — the caller
+/// charges the cache-hit cost model instead — and consumes exactly one
+/// RNG draw, returning the identical index the rebuilt path would return.
+pub fn select_one_preloaded(ctps: &Ctps, rng: &mut Philox, stats: &mut SimStats) -> Option<usize> {
+    if ctps.is_empty() {
+        return None;
+    }
+    stats.select_iterations += 1;
+    stats.selections += 1;
+    Some(ctps.sample_one(rng, stats))
+}
+
+/// [`select_one_with`] over `n` implicit unit biases: identical draw,
+/// index, and stats charges to rebuilding from `&[1.0; n]`, with no CTPS
+/// materialization. Returns `None` when `n == 0`.
+pub fn select_one_uniform(n: usize, rng: &mut Philox, stats: &mut SimStats) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    uniform_rebuild_cost(n, stats);
+    stats.select_iterations += 1;
+    stats.selections += 1;
+    Some(uniform_sample_one(n, rng, stats))
+}
+
+/// [`select_without_replacement_into`] when `scratch.ctps` already holds
+/// the pool's bounds (a hot-vertex cache hit): skips the rebuild — the
+/// caller charges the cache-hit cost model instead — and consumes exactly
+/// the same RNG draws, leaving the identical index sequence in
+/// `scratch.out`. `selectable` must equal the number of positive-width
+/// regions (cache admission verifies width/bias agreement per region).
+/// Not valid for [`SelectStrategy::Updated`], which needs the raw biases.
+pub fn select_without_replacement_preloaded_into(
+    selectable: usize,
+    k: usize,
+    cfg: SelectConfig,
+    scratch: &mut SelectScratch,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) {
+    debug_assert!(cfg.strategy != SelectStrategy::Updated, "Updated rebuilds from raw biases");
+    let SelectScratch {
+        ctps,
+        detector,
+        out,
+        pending,
+        still_pending,
+        picks,
+        requests,
+        outcomes,
+        bip_retry,
+        adj_requests,
+        adj_lanes,
+        restart_lanes,
+        ..
+    } = scratch;
+    out.clear();
+    let n = ctps.len();
+    if n == 0 || k == 0 {
+        return;
+    }
+    debug_assert_eq!(
+        selectable,
+        (0..n).filter(|&i| ctps.probability(i) > 0.0).count(),
+        "cached selectable count out of sync with region widths"
+    );
+    let k = k.min(selectable);
+    if k == 0 {
+        return;
+    }
+
+    // Short-circuit: taking every selectable candidate needs no draws.
+    if k == selectable {
+        stats.selections += k as u64;
+        stats.select_iterations += k as u64;
+        out.extend((0..n).filter(|&i| ctps.probability(i) > 0.0));
+        return;
+    }
+
+    detector.reset_for(cfg.detector, n);
+    pending.clear();
+    pending.extend(0..k);
+    claim_rounds(
+        &*ctps,
+        cfg,
+        detector,
+        out,
+        pending,
+        still_pending,
+        picks,
+        requests,
+        outcomes,
+        bip_retry,
+        adj_requests,
+        adj_lanes,
+        restart_lanes,
+        rng,
+        stats,
+    );
+    stats.selections += out.len() as u64;
+}
+
+/// [`select_without_replacement_into`] over `n` implicit unit biases:
+/// identical draws, indices, and stats charges to the materialized call
+/// with `&[1.0; n]`, without building the CTPS. Not valid for
+/// [`SelectStrategy::Updated`] (which rebuilds from raw biases — callers
+/// fall back to the materialized path).
+pub fn select_without_replacement_uniform_into(
+    n: usize,
+    k: usize,
+    cfg: SelectConfig,
+    scratch: &mut SelectScratch,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) {
+    debug_assert!(cfg.strategy != SelectStrategy::Updated, "Updated rebuilds from raw biases");
+    let SelectScratch {
+        detector,
+        out,
+        pending,
+        still_pending,
+        picks,
+        requests,
+        outcomes,
+        bip_retry,
+        adj_requests,
+        adj_lanes,
+        restart_lanes,
+        ..
+    } = scratch;
+    out.clear();
+    if n == 0 || k == 0 {
+        return;
+    }
+    // Every unit bias is positive: selectable == n.
+    let k = k.min(n);
+    // The virtual rebuild always succeeds and charges exactly what
+    // Ctps::rebuild(&[1.0; n]) charges.
+    uniform_rebuild_cost(n, stats);
+
+    // Short-circuit: taking every candidate needs no draws.
+    if k == n {
+        stats.selections += k as u64;
+        stats.select_iterations += k as u64;
+        out.extend(0..n);
+        return;
+    }
+
+    detector.reset_for(cfg.detector, n);
+    pending.clear();
+    pending.extend(0..k);
+    claim_rounds(
+        &UniformCtps { n },
+        cfg,
+        detector,
+        out,
+        pending,
+        still_pending,
+        picks,
+        requests,
+        outcomes,
+        bip_retry,
+        adj_requests,
+        adj_lanes,
+        restart_lanes,
+        rng,
+        stats,
+    );
+    stats.selections += out.len() as u64;
 }
 
 #[cfg(test)]
@@ -516,6 +765,141 @@ mod tests {
         assert!((counts[2] as f64 / 90_000.0 - 6.0 / 9.0).abs() < 0.01);
         assert!(select_one(&[0.0, 0.0], &mut rng, &mut s).is_none());
         assert!(select_one(&[], &mut rng, &mut s).is_none());
+    }
+
+    /// The closed-form uniform SELECT must be bit-identical to the
+    /// materialized path — same indices, same RNG consumption, same stats
+    /// charges — across sizes, draw counts, and both immutable-CTPS
+    /// strategies.
+    #[test]
+    fn uniform_closed_form_select_is_bit_identical() {
+        for cfg in [
+            SelectConfig {
+                strategy: SelectStrategy::Repeated,
+                detector: DetectorKind::LinearSearch,
+            },
+            SelectConfig::paper_best(),
+        ] {
+            for n in [1usize, 2, 3, 5, 8, 31, 32, 33, 64] {
+                for k in [1usize, 2, n / 2, n.saturating_sub(1), n] {
+                    if k == 0 {
+                        continue;
+                    }
+                    let biases = vec![1.0; n];
+                    let mut rng_a = Philox::for_task(7, (n * 1000 + k) as u64);
+                    let mut rng_b = rng_a.clone();
+                    let mut sa = SimStats::new();
+                    let mut sb = SimStats::new();
+                    let mut scr_a = SelectScratch::new();
+                    let mut scr_b = SelectScratch::new();
+                    for _ in 0..50 {
+                        select_without_replacement_into(
+                            &biases, k, cfg, &mut scr_a, &mut rng_a, &mut sa,
+                        );
+                        select_without_replacement_uniform_into(
+                            n, k, cfg, &mut scr_b, &mut rng_b, &mut sb,
+                        );
+                        assert_eq!(scr_a.out, scr_b.out, "cfg={cfg:?} n={n} k={k}");
+                        assert_eq!(sa, sb, "charges cfg={cfg:?} n={n} k={k}");
+                        assert_eq!(rng_a.uniform(), rng_b.uniform(), "stream sync");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_one_uniform_is_bit_identical() {
+        for n in [1usize, 2, 5, 32, 100] {
+            let biases = vec![1.0; n];
+            let mut ctps = Ctps::empty();
+            let mut rng_a = Philox::for_task(8, n as u64);
+            let mut rng_b = rng_a.clone();
+            let mut sa = SimStats::new();
+            let mut sb = SimStats::new();
+            for _ in 0..200 {
+                assert_eq!(
+                    select_one_with(&biases, &mut ctps, &mut rng_a, &mut sa),
+                    select_one_uniform(n, &mut rng_b, &mut sb),
+                );
+            }
+            assert_eq!(sa, sb, "n={n}");
+        }
+        let mut rng = Philox::new(1);
+        let mut s = SimStats::new();
+        assert!(select_one_uniform(0, &mut rng, &mut s).is_none());
+    }
+
+    /// The preloaded path (cache hit) must return the same indices and
+    /// consume the same draws as a full rebuild over the same biases —
+    /// only the build charges differ.
+    #[test]
+    fn preloaded_select_matches_rebuilt_output() {
+        let pools: Vec<Vec<f64>> = vec![
+            vec![3.0, 6.0, 2.0, 2.0, 2.0],
+            vec![1.0, 0.0, 5.0, 0.0, 2.0, 9.0],
+            vec![10.0, 1.0],
+            (1..=40).map(|x| ((x * 7) % 11 + 1) as f64).collect(),
+        ];
+        for cfg in [
+            SelectConfig {
+                strategy: SelectStrategy::Repeated,
+                detector: DetectorKind::LinearSearch,
+            },
+            SelectConfig::paper_best(),
+        ] {
+            for biases in &pools {
+                let selectable = biases.iter().filter(|&&b| b > 0.0).count();
+                for k in 1..=selectable {
+                    let mut built_stats = SimStats::new();
+                    let built = Ctps::build(biases, &mut built_stats).unwrap();
+                    let mut rng_a = Philox::for_task(9, k as u64);
+                    let mut rng_b = rng_a.clone();
+                    let mut sa = SimStats::new();
+                    let mut sb = SimStats::new();
+                    let mut scr_a = SelectScratch::new();
+                    let mut scr_b = SelectScratch::new();
+                    for _ in 0..30 {
+                        select_without_replacement_into(
+                            biases, k, cfg, &mut scr_a, &mut rng_a, &mut sa,
+                        );
+                        scr_b.ctps.assign(&built);
+                        select_without_replacement_preloaded_into(
+                            selectable, k, cfg, &mut scr_b, &mut rng_b, &mut sb,
+                        );
+                        assert_eq!(scr_a.out, scr_b.out, "cfg={cfg:?} k={k} {biases:?}");
+                        assert_eq!(rng_a.uniform(), rng_b.uniform(), "stream sync");
+                    }
+                    // Same RNG/selection accounting; the preloaded path
+                    // never charges the scan.
+                    assert_eq!(sa.rng_draws, sb.rng_draws);
+                    assert_eq!(sa.selections, sb.selections);
+                    assert_eq!(sb.scan_steps, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preloaded_select_one_matches_rebuilt_output() {
+        let biases = vec![3.0, 6.0, 2.0, 2.0, 2.0];
+        let mut s = SimStats::new();
+        let built = Ctps::build(&biases, &mut s).unwrap();
+        let mut ctps = Ctps::empty();
+        let mut rng_a = Philox::new(11);
+        let mut rng_b = rng_a.clone();
+        let mut sa = SimStats::new();
+        let mut sb = SimStats::new();
+        for _ in 0..500 {
+            assert_eq!(
+                select_one_with(&biases, &mut ctps, &mut rng_a, &mut sa),
+                select_one_preloaded(&built, &mut rng_b, &mut sb),
+            );
+        }
+        assert_eq!(sa.rng_draws, sb.rng_draws);
+        assert_eq!(sa.selections, sb.selections);
+        assert_eq!(sb.scan_steps, 0, "preloaded never scans");
+        assert!(select_one_preloaded(&Ctps::empty(), &mut rng_b, &mut sb).is_none());
     }
 
     #[test]

@@ -33,8 +33,11 @@
 
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, UpdateAction};
 use crate::collision::{charge_visited_check, DetectorKind};
+use crate::ctps_cache::{self, CacheOutcome, CtpsCache};
 use crate::select::{
-    select_one_with, select_without_replacement_into, SelectConfig, SelectScratch, SelectStrategy,
+    select_one_preloaded, select_one_uniform, select_one_with, select_without_replacement_into,
+    select_without_replacement_preloaded_into, select_without_replacement_uniform_into,
+    SelectConfig, SelectScratch, SelectStrategy,
 };
 use crate::select_simt::select_without_replacement_simt_into;
 use csaw_gpu::rng::task_key;
@@ -129,6 +132,22 @@ pub trait NeighborAccess {
     /// charging whatever the runtime models for the read (global-memory
     /// bytes, a partition transfer, a page fault...).
     fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_>;
+
+    /// Re-borrows `v`'s adjacency **without charging** the memory system.
+    /// Used by the CTPS-cache hit path, whose cost model charges the
+    /// cached-table read (plus the picked neighbors) instead of a full
+    /// adjacency gather.
+    fn fetch(&mut self, v: VertexId) -> Gathered<'_>;
+
+    /// Residency epoch tagging cached per-vertex state. Runtimes that
+    /// change what adjacency is device-resident mid-run (the out-of-memory
+    /// scheduler's partition swaps) bump this so stale
+    /// [`crate::ctps_cache::CtpsCache`] entries are dropped — a resident
+    /// cache on a real GPU dies with the partition's device memory.
+    /// Fully-resident runtimes keep the default constant epoch.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// In-memory access: the whole CSR is resident; a gather costs its
@@ -145,6 +164,10 @@ impl NeighborAccess for CsrAccess<'_> {
 
     fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
         stats.read_gmem(gather_bytes(self.graph.is_weighted(), self.graph.degree(v)));
+        self.fetch(v)
+    }
+
+    fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
         Gathered {
             graph: self.graph,
             neighbors: self.graph.neighbors(v),
@@ -163,6 +186,9 @@ pub struct PartitionAccess<'g> {
     pub graph: &'g Csr,
     /// The partitioning whose slices serve the gathers.
     pub parts: &'g PartitionSet,
+    /// Residency epoch of the stream this access serves (bumped by the
+    /// scheduler whenever device-resident partitions change).
+    pub epoch: u64,
 }
 
 impl NeighborAccess for PartitionAccess<'_> {
@@ -173,7 +199,16 @@ impl NeighborAccess for PartitionAccess<'_> {
     fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
         let p = self.parts.get(self.parts.partition_of(v));
         stats.read_gmem(gather_bytes(self.graph.is_weighted(), p.degree(v)));
+        self.fetch(v)
+    }
+
+    fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
+        let p = self.parts.get(self.parts.partition_of(v));
         Gathered { graph: self.graph, neighbors: p.neighbors(v), weights: p.neighbor_weights(v) }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -297,10 +332,12 @@ pub struct StepScratch {
     cands: Vec<EdgeCand>,
     /// EDGEBIAS lane per candidate.
     biases: Vec<f64>,
-    /// VERTEXBIAS lane per pool slot (biased-replace steps).
-    vbiases: Vec<f64>,
     /// The SELECT arena (CTPS, detector bitmap, lane buffers).
     select: SelectScratch,
+    /// Debug-only rebuild lane: cache hits re-derive the CTPS here and
+    /// assert it matches the cached bounds bit for bit.
+    #[cfg(debug_assertions)]
+    dbg_ctps: crate::ctps::Ctps,
 }
 
 impl StepScratch {
@@ -331,6 +368,8 @@ pub struct StepKernel<'a> {
     select: SelectConfig,
     use_simt_select: bool,
     seed: u64,
+    cache: Option<&'a CtpsCache>,
+    force_rebuild: bool,
 }
 
 impl<'a> StepKernel<'a> {
@@ -342,6 +381,8 @@ impl<'a> StepKernel<'a> {
             select: SelectConfig::paper_best(),
             use_simt_select: false,
             seed,
+            cache: None,
+            force_rebuild: false,
         }
     }
 
@@ -356,6 +397,55 @@ impl<'a> StepKernel<'a> {
     pub fn with_simt_select(mut self, use_simt: bool) -> Self {
         self.use_simt_select = use_simt;
         self
+    }
+
+    /// Shares a hot-vertex CTPS cache across the expansions this kernel
+    /// runs. Consulted only when the algorithm's edge bias is static and
+    /// non-uniform and the SELECT configuration reuses a built CTPS
+    /// unmodified (see [`crate::ctps_cache`]); sampled output is
+    /// bit-identical with or without it.
+    pub fn with_ctps_cache(mut self, cache: Option<&'a CtpsCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Forces every expansion down the materialized rebuild path — no
+    /// closed-form uniform selection, no CTPS cache. The bench baseline;
+    /// output is bit-identical either way.
+    pub fn with_force_rebuild(mut self, force: bool) -> Self {
+        self.force_rebuild = force;
+        self
+    }
+
+    /// True when the SELECT configuration consumes a built CTPS without
+    /// mutating it mid-select — the precondition for both the closed-form
+    /// uniform path and the CTPS cache. Updated sampling rebuilds the
+    /// CTPS per round; the SIMT executor owns its own build.
+    fn select_reuses_ctps(&self) -> bool {
+        if self.cfg.without_replacement {
+            !self.use_simt_select && self.select.strategy != SelectStrategy::Updated
+        } else {
+            true
+        }
+    }
+
+    /// The cache, if this kernel's algorithm/SELECT combination may use it.
+    fn effective_cache(&self) -> Option<&'a CtpsCache> {
+        if self.force_rebuild
+            || self.algo.edge_bias_is_uniform()
+            || !self.algo.edge_bias_is_static()
+            || !self.select_reuses_ctps()
+        {
+            return None;
+        }
+        self.cache
+    }
+
+    /// True when uniform-bias selection is served closed-form (no bias
+    /// lane, no materialized CTPS) — charge-identical and bit-identical
+    /// to the materialized path.
+    fn uniform_closed_form(&self) -> bool {
+        self.algo.edge_bias_is_uniform() && !self.force_rebuild && self.select_reuses_ctps()
     }
 
     /// The algorithm's structural configuration.
@@ -393,6 +483,30 @@ impl<'a> StepKernel<'a> {
             self.seed,
             task_key(entry.instance, entry.depth, entry.vertex, entry.trial),
         );
+
+        let cache = self.effective_cache();
+        let epoch = access.epoch();
+        if let Some(cache) = cache {
+            match cache.lookup_into(v, epoch, &mut scratch.select.ctps) {
+                CacheOutcome::Hit { selectable, degree } => {
+                    stats.ctps_cache_hits += 1;
+                    self.expand_cached(
+                        access,
+                        entry,
+                        home,
+                        selectable as usize,
+                        degree as usize,
+                        &mut rng,
+                        sink,
+                        scratch,
+                        stats,
+                    );
+                    return;
+                }
+                CacheOutcome::Miss => stats.ctps_cache_misses += 1,
+            }
+        }
+
         let gat = access.gather(v, stats);
         let g = gat.graph;
 
@@ -409,11 +523,137 @@ impl<'a> StepKernel<'a> {
             return;
         }
         let StepScratch { biases, select, .. } = scratch;
-        self.fill_biases(&gat, v, entry.prev, biases, stats);
-        self.select_picks_into(biases, k, &mut rng, select, stats);
-        for &idx in select.out.iter() {
+        if self.uniform_closed_form() {
+            // The bias lane would be all-ones: charge its (skipped) fill
+            // and serve SELECT closed-form — bit-identical picks and
+            // charges, no lane write, no materialized CTPS.
+            let n = gat.neighbors.len();
+            #[cfg(debug_assertions)]
+            for i in 0..n {
+                debug_assert_eq!(
+                    self.algo.edge_bias(g, &gat.edge(i, v, entry.prev)),
+                    1.0,
+                    "edge_bias_is_uniform() contradicted by edge_bias()"
+                );
+            }
+            stats.warp_cycles += n.div_ceil(32) as u64;
+            if self.cfg.without_replacement {
+                select_without_replacement_uniform_into(n, k, self.select, select, &mut rng, stats);
+            } else {
+                select.out.clear();
+                for _ in 0..k {
+                    if let Some(i) = select_one_uniform(n, &mut rng, stats) {
+                        select.out.push(i);
+                    }
+                }
+            }
+        } else {
+            self.fill_biases(&gat, v, entry.prev, biases, stats);
+            self.select_picks_into(biases, k, &mut rng, select, stats);
+            if let Some(cache) = cache {
+                // The select left its pristine CTPS build in the arena
+                // (Updated sampling, which masks it in place, never takes
+                // the cache path): offer it for admission.
+                let selectable = biases.iter().filter(|&&b| b > 0.0).count();
+                if selectable > 0 && ctps_cache::widths_agree(&select.ctps, biases) {
+                    cache.promote(v, epoch, &select.ctps, selectable as u32, biases.len() as u32);
+                }
+            }
+        }
+        self.emit_picks(&gat, entry, home, &select.out, 0, &mut rng, sink, stats);
+    }
+
+    /// The cache-hit expand: the CTPS is already in the select arena
+    /// (copied by the cache lookup); selection binary-searches it
+    /// directly. Consumes exactly the RNG draws of the rebuild path —
+    /// the cache changes the charged cost (a cached-table read instead of
+    /// gather + bias fill + scan), never the sampled output, which debug
+    /// builds assert bound for bound against a fresh rebuild.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_cached<N: NeighborAccess, S: FrontierSink>(
+        &self,
+        access: &mut N,
+        entry: &StepEntry,
+        home: VertexId,
+        selectable: usize,
+        degree: usize,
+        rng: &mut Philox,
+        sink: &mut S,
+        scratch: &mut StepScratch,
+        stats: &mut SimStats,
+    ) {
+        let v = entry.vertex;
+        // Cached-table read: the row header plus the bound words a binary
+        // search touches (≤ 8 modeled probes, as in the eager A7 cache).
+        stats.read_gmem(16 + 8 * degree.min(8));
+        let gat = access.fetch(v);
+        debug_assert_eq!(gat.neighbors.len(), degree, "cached degree diverged from adjacency");
+        // Empty CTPSs are never admitted, so degree > 0: no dead-end here.
+        let k = self.cfg.neighbor_size.realize(degree, rng);
+        if k == 0 {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut check = SimStats::new();
+            scratch.biases.clear();
+            scratch.biases.extend(
+                (0..degree).map(|i| self.algo.edge_bias(gat.graph, &gat.edge(i, v, entry.prev))),
+            );
+            scratch.dbg_ctps.rebuild(&scratch.biases, &mut check);
+            assert_eq!(
+                scratch.dbg_ctps, scratch.select.ctps,
+                "cached CTPS of v{v} diverged from a fresh rebuild"
+            );
+            assert_eq!(scratch.biases.iter().filter(|&&b| b > 0.0).count(), selectable);
+        }
+        let select = &mut scratch.select;
+        if self.cfg.without_replacement {
+            select_without_replacement_preloaded_into(
+                selectable,
+                k,
+                self.select,
+                select,
+                rng,
+                stats,
+            );
+        } else {
+            select.out.clear();
+            for _ in 0..k {
+                if let Some(i) = select_one_preloaded(&select.ctps, rng, stats) {
+                    select.out.push(i);
+                }
+            }
+        }
+        let pick_bytes = 4 + if gat.graph.is_weighted() { 4 } else { 0 };
+        self.emit_picks(&gat, entry, home, &select.out, pick_bytes, rng, sink, stats);
+    }
+
+    /// The accept → emit → UPDATE → offer tail of a per-vertex step,
+    /// shared by the rebuild and cache-hit paths. A nonzero `pick_bytes`
+    /// charges a global-memory read per pick — the cache-hit path reads
+    /// only the picked neighbors, where the rebuild path already paid for
+    /// the full adjacency gather.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_picks<S: FrontierSink>(
+        &self,
+        gat: &Gathered<'_>,
+        entry: &StepEntry,
+        home: VertexId,
+        picks: &[usize],
+        pick_bytes: usize,
+        rng: &mut Philox,
+        sink: &mut S,
+        stats: &mut SimStats,
+    ) {
+        let v = entry.vertex;
+        let g = gat.graph;
+        for &idx in picks {
+            if pick_bytes > 0 {
+                stats.read_gmem(pick_bytes);
+            }
             let mut cand = gat.edge(idx, v, entry.prev);
-            if let Some(w) = self.algo.accept(g, &cand, &mut rng) {
+            if let Some(w) = self.algo.accept(g, &cand, rng) {
                 if w == v {
                     // Rejected move (metropolis-hastings stays): the step
                     // is consumed; the walker remains at v with its
@@ -424,7 +664,7 @@ impl<'a> StepKernel<'a> {
                 cand.u = w;
             }
             sink.emit(entry, (cand.v, cand.u));
-            match self.algo.update(g, &cand, home, &mut rng) {
+            match self.algo.update(g, &cand, home, rng) {
                 UpdateAction::Add(w) => self.offer(entry, w, Some(v), sink, stats),
                 UpdateAction::Discard => {}
             }
@@ -478,7 +718,14 @@ impl<'a> StepKernel<'a> {
     /// its neighbors is sampled, and the neighbor replaces the pool slot.
     /// The pool is mutated in place; `sink` only receives `emit`s (use
     /// [`EmitSink`]).
-    #[allow(clippy::too_many_arguments)]
+    ///
+    /// `pool_biases` is the caller-owned `VERTEXBIAS` lane, maintained
+    /// **incrementally**: the first step (or any step where its length
+    /// disagrees with the pool) scans the whole pool, after which each
+    /// UPDATE touches only the one replaced slot — amortizing what §V's
+    /// Fig. 9b workload otherwise pays as a full `O(pool)` rescan per
+    /// sampled edge. Keep one lane per pool, clear it whenever the pool
+    /// is re-seeded. Sampled output is identical to rescanning.
     #[allow(clippy::too_many_arguments)] // mirrors the device kernel's launch signature
     pub fn expand_replace<N: NeighborAccess, S: FrontierSink>(
         &self,
@@ -487,23 +734,37 @@ impl<'a> StepKernel<'a> {
         depth: u32,
         home: VertexId,
         pool: &mut Vec<PoolSlot>,
+        pool_biases: &mut Vec<f64>,
         sink: &mut S,
         scratch: &mut StepScratch,
         stats: &mut SimStats,
     ) {
         let entry = StepEntry { instance, depth, vertex: POOL_STEP_VERTEX, prev: None, trial: 0 };
         let mut rng = Philox::for_task(self.seed, task_key(instance, depth, POOL_STEP_VERTEX, 0));
-        let StepScratch { biases, vbiases, select, .. } = scratch;
+        let StepScratch { biases, select, .. } = scratch;
 
-        // Frontier selection by VERTEXBIAS (Fig. 2b line 4).
-        vbiases.clear();
-        {
+        // Frontier selection by VERTEXBIAS (Fig. 2b line 4). Cold lane:
+        // full scan. Warm lane: already maintained by the previous step's
+        // UPDATE, nothing to read.
+        if pool_biases.len() != pool.len() {
+            pool_biases.clear();
             let g = access.graph();
-            vbiases.extend(pool.iter().map(|s| self.algo.vertex_bias(g, s.vertex)));
+            pool_biases.extend(pool.iter().map(|s| self.algo.vertex_bias(g, s.vertex)));
+            stats.read_gmem(4 * pool.len()); // degree reads for the biases
+        } else {
+            debug_assert!(
+                {
+                    let g = access.graph();
+                    pool.iter()
+                        .zip(pool_biases.iter())
+                        .all(|(s, &b)| b == self.algo.vertex_bias(g, s.vertex))
+                },
+                "incrementally maintained VERTEXBIAS lane diverged from the pool"
+            );
         }
-        stats.read_gmem(4 * pool.len()); // degree reads for the biases
-        let Some(j) = select_one_with(vbiases, &mut select.ctps, &mut rng, stats) else {
+        let Some(j) = select_one_with(pool_biases, &mut select.ctps, &mut rng, stats) else {
             pool.clear();
+            pool_biases.clear();
             return;
         };
         let slot = pool[j];
@@ -513,25 +774,53 @@ impl<'a> StepKernel<'a> {
 
         if gat.neighbors.is_empty() {
             match self.algo.on_dead_end(g, v, home, &mut rng) {
-                UpdateAction::Add(w) => pool[j] = PoolSlot { vertex: w, prev: Some(v) },
+                UpdateAction::Add(w) => {
+                    pool[j] = PoolSlot { vertex: w, prev: Some(v) };
+                    pool_biases[j] = self.algo.vertex_bias(g, w);
+                    stats.read_gmem(4); // the one replaced slot's degree
+                }
                 UpdateAction::Discard => {
                     pool.swap_remove(j);
+                    pool_biases.swap_remove(j);
                 }
             }
             return;
         }
 
-        self.fill_biases(&gat, v, slot.prev, biases, stats);
-        let Some(idx) = select_one_with(biases, &mut select.ctps, &mut rng, stats) else {
+        let idx = if self.uniform_closed_form() {
+            // Uniform EDGEBIAS (the MDRW case): closed-form neighbor
+            // selection, charge-identical to the materialized lane.
+            let n = gat.neighbors.len();
+            #[cfg(debug_assertions)]
+            for i in 0..n {
+                debug_assert_eq!(
+                    self.algo.edge_bias(g, &gat.edge(i, v, slot.prev)),
+                    1.0,
+                    "edge_bias_is_uniform() contradicted by edge_bias()"
+                );
+            }
+            stats.warp_cycles += n.div_ceil(32) as u64;
+            select_one_uniform(n, &mut rng, stats)
+        } else {
+            self.fill_biases(&gat, v, slot.prev, biases, stats);
+            select_one_with(biases, &mut select.ctps, &mut rng, stats)
+        };
+        let Some(idx) = idx else {
             pool.swap_remove(j);
+            pool_biases.swap_remove(j);
             return;
         };
         let cand = gat.edge(idx, v, slot.prev);
         sink.emit(&entry, (cand.v, cand.u));
         match self.algo.update(g, &cand, home, &mut rng) {
-            UpdateAction::Add(w) => pool[j] = PoolSlot { vertex: w, prev: Some(v) },
+            UpdateAction::Add(w) => {
+                pool[j] = PoolSlot { vertex: w, prev: Some(v) };
+                pool_biases[j] = self.algo.vertex_bias(g, w);
+                stats.read_gmem(4); // the one replaced slot's degree
+            }
             UpdateAction::Discard => {
                 pool.swap_remove(j);
+                pool_biases.swap_remove(j);
             }
         }
         stats.frontier_ops += 1;

@@ -46,6 +46,11 @@ pub struct SimStats {
     pub sampled_edges: u64,
     /// Frontier queue pushes/pops.
     pub frontier_ops: u64,
+    /// Static-bias expansions served from a hot-vertex CTPS cache hit
+    /// (the CTPS bounds were reused instead of rebuilt).
+    pub ctps_cache_hits: u64,
+    /// Static-bias expansions that missed the CTPS cache and rebuilt.
+    pub ctps_cache_misses: u64,
 }
 
 impl SimStats {
@@ -69,6 +74,8 @@ impl SimStats {
         self.gmem_transactions += other.gmem_transactions;
         self.sampled_edges += other.sampled_edges;
         self.frontier_ops += other.frontier_ops;
+        self.ctps_cache_hits += other.ctps_cache_hits;
+        self.ctps_cache_misses += other.ctps_cache_misses;
     }
 
     /// Merge that consumes the right-hand side (for fold/reduce).

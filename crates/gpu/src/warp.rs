@@ -67,6 +67,31 @@ pub fn inclusive_scan(vals: &mut [f64], stats: &mut SimStats) {
     }
 }
 
+/// Charges exactly the lockstep steps [`inclusive_scan`] would charge for
+/// an `n`-element scan, without touching any data. Used by closed-form
+/// paths (uniform bias) that skip materializing the CTPS but must keep the
+/// cost model bit-identical to the scanning path.
+pub fn scan_cost(n: usize, stats: &mut SimStats) {
+    let mut remaining = n;
+    while remaining > 0 {
+        let tile_len = remaining.min(WARP_SIZE);
+        let mut d = 1;
+        while d < tile_len {
+            d <<= 1;
+            stats.scan_steps += 1;
+            stats.warp_cycles += 1;
+        }
+        if tile_len == 1 {
+            stats.scan_steps += 1;
+            stats.warp_cycles += 1;
+        }
+        // Carry broadcast, charged per tile whether or not the carry is zero.
+        stats.scan_steps += 1;
+        stats.warp_cycles += 1;
+        remaining -= tile_len;
+    }
+}
+
 /// Warp ballot: packs per-lane predicates into a mask (lane i → bit i).
 /// Slices shorter than a full warp leave high bits zero.
 pub fn ballot(preds: &[bool]) -> u32 {
@@ -112,6 +137,33 @@ pub fn binary_search_region(bounds: &[f64], r: f64, stats: &mut SimStats) -> usi
         }
     }
     lo.min(bounds.len() - 1)
+}
+
+/// [`binary_search_region`] over *implicit* bounds: `bound(i)` plays the
+/// role of `bounds[i]` for an `n`-region CTPS that was never materialized.
+/// The loop arithmetic — and therefore the probe count, which depends on
+/// which side of each midpoint `r` falls — is identical to the explicit
+/// version, so charges match bit-for-bit.
+pub fn binary_search_region_by(
+    n: usize,
+    r: f64,
+    bound: impl Fn(usize) -> f64,
+    stats: &mut SimStats,
+) -> usize {
+    debug_assert!(n > 0);
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        stats.search_steps += 1;
+        stats.warp_cycles += SEARCH_PROBE_CYCLES;
+        if r < bound(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo.min(n - 1)
 }
 
 #[cfg(test)]
@@ -198,6 +250,35 @@ mod tests {
         assert_eq!(binary_search_region(&f, 0.748, &mut s), 3); // v10
         assert_eq!(binary_search_region(&f, 0.999, &mut s), 4);
         assert!(s.search_steps >= 5);
+    }
+
+    #[test]
+    fn scan_cost_matches_inclusive_scan_charges() {
+        for n in [0usize, 1, 2, 5, 31, 32, 33, 64, 100, 257] {
+            let mut v = vec![1.0; n];
+            let mut scanned = SimStats::new();
+            inclusive_scan(&mut v, &mut scanned);
+            let mut charged = SimStats::new();
+            scan_cost(n, &mut charged);
+            assert_eq!(charged, scanned, "n={n}");
+        }
+    }
+
+    #[test]
+    fn implicit_search_matches_explicit() {
+        for n in [1usize, 2, 3, 7, 32, 33, 100] {
+            let bounds: Vec<f64> =
+                (0..n).map(|i| if i + 1 == n { 1.0 } else { (i + 1) as f64 / n as f64 }).collect();
+            for step in 0..50 {
+                let r = step as f64 / 50.0;
+                let mut s_exp = SimStats::new();
+                let mut s_imp = SimStats::new();
+                let k_exp = binary_search_region(&bounds, r, &mut s_exp);
+                let k_imp = binary_search_region_by(n, r, |i| bounds[i], &mut s_imp);
+                assert_eq!(k_exp, k_imp, "n={n} r={r}");
+                assert_eq!(s_exp, s_imp, "charges must match for n={n} r={r}");
+            }
+        }
     }
 
     #[test]

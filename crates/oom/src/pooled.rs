@@ -88,6 +88,17 @@ impl NeighborAccess for ResidentAccess<'_> {
             weights: part.neighbor_weights(v),
         }
     }
+
+    fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
+        let p = self.parts.partition_of(v);
+        self.fault_in(p);
+        let part = self.parts.get(p);
+        Gathered {
+            graph: self.graph,
+            neighbors: part.neighbors(v),
+            weights: part.neighbor_weights(v),
+        }
+    }
 }
 
 /// Runs pool-frontier instances out-of-memory: the engine's per-instance
@@ -111,10 +122,14 @@ pub(crate) fn run_pooled<A: Algorithm>(
     // frontier double-buffer) serves the whole run allocation-free.
     let mut scratch = StepScratch::new();
     let mut frontier: Vec<PoolSlot> = Vec::new();
+    let mut pool_biases: Vec<f64> = Vec::new();
 
     for (i, seeds) in seed_sets.iter().enumerate() {
         let instance = runner.instance_base + i as u32;
         let mut pool: Vec<PoolSlot> = seeds.iter().map(|&v| PoolSlot::seed(v)).collect();
+        // The amortized bias lane is per-pool state: a stale lane from the
+        // previous instance must not leak into this one.
+        pool_biases.clear();
         let mut visited: HashSet<VertexId> =
             if cfg.without_replacement { seeds.iter().copied().collect() } else { HashSet::new() };
         let home = seeds.first().copied().unwrap_or(0);
@@ -155,6 +170,7 @@ pub(crate) fn run_pooled<A: Algorithm>(
                         depth,
                         home,
                         &mut pool,
+                        &mut pool_biases,
                         &mut sink,
                         &mut scratch,
                         &mut stats,

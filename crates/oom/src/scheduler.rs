@@ -44,6 +44,7 @@ use crate::config::OomConfig;
 use crate::timeline::{EventKind, TimelineEvent};
 use csaw_core::api::{AlgoConfig, Algorithm, FrontierMode};
 use csaw_core::collision::{charge_visited_check, DetectorKind};
+use csaw_core::ctps_cache::CtpsCache;
 use csaw_core::frontier::{FrontierEntry, FrontierQueue};
 use csaw_core::select::SelectConfig;
 use csaw_core::step::{with_thread_scratch, FrontierSink, PartitionAccess, StepEntry, StepKernel};
@@ -139,6 +140,11 @@ struct StreamTask {
     partition: usize,
     queue: FrontierQueue,
     shard: Vec<HashSet<VertexId>>,
+    /// This stream's hot-vertex CTPS cache shard (None when disabled).
+    cache: Option<std::sync::Arc<CtpsCache>>,
+    /// Residency epoch of the round: entries cached under an older epoch
+    /// are lazily dropped (their device memory died with a partition swap).
+    epoch: u64,
 }
 
 /// What one stream's round task produces (its `SimStats` travels
@@ -220,6 +226,7 @@ pub struct OomRunner<'g, A: Algorithm> {
     pub(crate) select: SelectConfig,
     pub(crate) seed: u64,
     pub(crate) instance_base: u32,
+    pub(crate) ctps_cache_budget: usize,
 }
 
 impl<'g, A: Algorithm> OomRunner<'g, A> {
@@ -238,6 +245,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             select: SelectConfig::paper_best(),
             seed: 0x5eed,
             instance_base: 0,
+            ctps_cache_budget: 0,
         }
     }
 
@@ -264,6 +272,16 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
     /// sample exactly what a single-device run would).
     pub fn with_instance_base(mut self, base: u32) -> Self {
         self.instance_base = base;
+        self
+    }
+
+    /// Enables the hot-vertex CTPS cache with `budget` device bytes,
+    /// split into per-stream shards (each CUDA stream's kernels reuse
+    /// their own shard; a partition swap bumps the residency epoch and
+    /// lazily drops stale entries). `0` (the default) disables caching.
+    /// Sampled output is bit-identical with or without the cache.
+    pub fn with_ctps_cache_budget(mut self, budget: usize) -> Self {
+        self.ctps_cache_budget = budget;
         self
     }
 
@@ -346,6 +364,19 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
         let mut rounds = 0usize;
         let total_warps = self.device.total_warps();
 
+        // Per-stream CTPS cache shards: each stream's kernels reuse their
+        // own shard across rounds, with the residency epoch dropping
+        // entries whose backing device memory was recycled by a swap.
+        let caches: Vec<Option<std::sync::Arc<CtpsCache>>> = if self.ctps_cache_budget > 0 {
+            let per_stream = self.ctps_cache_budget / self.cfg.num_kernels.max(1);
+            (0..self.cfg.num_kernels)
+                .map(|_| Some(std::sync::Arc::new(CtpsCache::new(per_stream))))
+                .collect()
+        } else {
+            vec![None; self.cfg.num_kernels]
+        };
+        let mut epoch: u64 = 0;
+
         while queues.iter().any(|q| !q.is_empty()) {
             rounds += 1;
 
@@ -378,6 +409,10 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                     }
                     memory.release(p).expect("resident partition releases");
                 }
+                // Device residency is about to change: any CTPS entry
+                // built from the previous layout may now point at
+                // recycled memory, so retire the whole generation.
+                epoch += 1;
             }
 
             // 3. Issue transfers serially in stream order (the PCIe bus is
@@ -415,6 +450,8 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                     partition: p,
                     queue: std::mem::take(&mut queues[p]),
                     shard: std::mem::take(&mut visited[p]),
+                    cache: caches[stream].clone(),
+                    epoch,
                 });
             }
 
@@ -542,8 +579,10 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
         seeds: &[VertexId],
         task: StreamTask,
     ) -> (StreamRound, SimStats) {
-        let kernel = StepKernel::new(self.algo, self.seed).with_select(self.select);
-        let mut access = PartitionAccess { graph: self.graph, parts };
+        let kernel = StepKernel::new(self.algo, self.seed)
+            .with_select(self.select)
+            .with_ctps_cache(task.cache.as_deref());
+        let mut access = PartitionAccess { graph: self.graph, parts, epoch: task.epoch };
         let mut queue = task.queue;
         let mut shard = task.shard;
         let mut outbox: Vec<Outbound> = Vec::new();

@@ -126,6 +126,14 @@ impl NeighborAccess for PagedAccess<'_> {
             weights: self.graph.neighbor_weights(v),
         }
     }
+
+    fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
+        Gathered {
+            graph: self.graph,
+            neighbors: self.graph.neighbors(v),
+            weights: self.graph.neighbor_weights(v),
+        }
+    }
 }
 
 /// Unified-memory sampler: same algorithms, demand paging instead of
@@ -137,6 +145,7 @@ pub struct UnifiedRunner<'g, A: Algorithm> {
     device: DeviceConfig,
     select: SelectConfig,
     seed: u64,
+    ctps_cache_budget: usize,
 }
 
 impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
@@ -147,7 +156,14 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
             FrontierMode::IndependentPerVertex,
             "unified-memory comparator covers the per-vertex frontier algorithms"
         );
-        UnifiedRunner { graph, algo, device, select: SelectConfig::paper_best(), seed: 0x5eed }
+        UnifiedRunner {
+            graph,
+            algo,
+            device,
+            select: SelectConfig::paper_best(),
+            seed: 0x5eed,
+            ctps_cache_budget: 0,
+        }
     }
 
     /// Overrides the RNG seed.
@@ -156,10 +172,23 @@ impl<'g, A: Algorithm> UnifiedRunner<'g, A> {
         self
     }
 
+    /// Byte budget for a hot-vertex CTPS cache shared by every instance
+    /// of a run (0 — the default — disables caching). The CSR is
+    /// read-only under demand paging, so cached bounds never go stale
+    /// and the cache stays on epoch 0.
+    pub fn with_ctps_cache_budget(mut self, budget: usize) -> Self {
+        self.ctps_cache_budget = budget;
+        self
+    }
+
     /// Runs one single-seed instance per seed, demand-paging the CSR.
     pub fn run(&self, seeds: &[VertexId]) -> UnifiedOutput {
         let algo_cfg = self.algo.config();
-        let kernel = StepKernel::new(self.algo, self.seed).with_select(self.select);
+        let cache = (self.ctps_cache_budget > 0)
+            .then(|| csaw_core::ctps_cache::CtpsCache::new(self.ctps_cache_budget));
+        let kernel = StepKernel::new(self.algo, self.seed)
+            .with_select(self.select)
+            .with_ctps_cache(cache.as_ref());
         let mut access = PagedAccess {
             graph: self.graph,
             cache: PageCache::new(self.device.memory_bytes),

@@ -137,11 +137,15 @@ impl BatchExecutor for OomExecutor {
         seed_sets: &[Vec<VertexId>],
         opts: RunOptions,
     ) -> BatchOutput {
+        // The scheduler's streams shard their caches per residency epoch,
+        // so the shared service cache hands over only its byte budget.
+        let cache_budget = opts.ctps_cache.as_ref().map_or(0, |c| c.budget());
         let runner = OomRunner::new(graph, &algo, self.cfg)
             .with_device(self.device)
             .with_seed(opts.seed)
             .with_select(opts.select)
-            .with_instance_base(opts.instance_base);
+            .with_instance_base(opts.instance_base)
+            .with_ctps_cache_budget(cache_budget);
         let out = if algo.config().frontier == FrontierMode::IndependentPerVertex {
             // The service shapes one single-seed instance per vertex for
             // per-vertex-frontier algorithms; the scheduler's plain entry

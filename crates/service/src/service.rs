@@ -33,6 +33,7 @@ use crate::executor::{BatchExecutor, EngineExecutor};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use csaw_core::algorithms::registry::AlgoKey;
 use csaw_core::api::Algorithm;
+use csaw_core::ctps_cache::CtpsCache;
 use csaw_core::engine::{validate_seed_sets, RunError, RunOptions};
 use csaw_graph::{Csr, VertexId};
 use std::collections::{HashMap, VecDeque};
@@ -56,6 +57,11 @@ pub struct ServiceConfig {
     /// until [`SamplingService::resume`]) — deterministic batching for
     /// tests and controlled warm-up.
     pub start_paused: bool,
+    /// Byte budget for the per-algorithm hot-vertex CTPS caches shared
+    /// across every batch the worker serves (0 disables caching).
+    /// Coalesced same-graph requests re-hit transition-probability
+    /// tables built for earlier batches of the same algorithm.
+    pub ctps_cache_budget: usize,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +71,7 @@ impl Default for ServiceConfig {
             batch_window: Duration::from_millis(2),
             queue_capacity: 256,
             start_paused: false,
+            ctps_cache_budget: 4 << 20,
         }
     }
 }
@@ -302,8 +309,14 @@ impl Drop for SamplingService {
 }
 
 fn worker_loop(shared: &Shared, graph: &Csr, executor: &dyn BatchExecutor) {
+    // One hot-vertex CTPS cache per algorithm identity, shared by every
+    // batch the worker serves for that algorithm: coalesced same-graph
+    // requests re-hit transition-probability tables built for earlier
+    // batches. The map lives as long as the worker, so the cache's byte
+    // budget — not batch boundaries — bounds its footprint.
+    let mut caches: HashMap<AlgoIdentity, Arc<CtpsCache>> = HashMap::new();
     while let Some(batch) = collect_batch(shared) {
-        process_batch(shared, graph, executor, batch);
+        process_batch(shared, graph, executor, batch, &mut caches);
     }
 }
 
@@ -401,13 +414,32 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Queued>> {
 
 /// Runs one batch: contiguous-segment launches, output slicing,
 /// completion-time deadline checks, and panic isolation.
-fn process_batch(shared: &Shared, graph: &Csr, executor: &dyn BatchExecutor, batch: Vec<Queued>) {
+fn process_batch(
+    shared: &Shared,
+    graph: &Csr,
+    executor: &dyn BatchExecutor,
+    batch: Vec<Queued>,
+    caches: &mut HashMap<AlgoIdentity, Arc<CtpsCache>>,
+) {
     let stats = &shared.stats;
     let batch_requests = batch.len();
     let batch_instances: usize = batch.iter().map(|q| q.seed_sets.len()).sum();
     stats.record_batch(batch_instances);
     let rng_seed = batch[0].key.rng_seed;
     let algo = Arc::clone(&batch[0].algo);
+
+    // Only algorithms whose edge bias is static and non-uniform consult
+    // the cache; everything else skips the map so a stray key never
+    // pins an unused allocation.
+    let budget = shared.config.ctps_cache_budget;
+    let cache: Option<Arc<CtpsCache>> =
+        (budget > 0 && algo.edge_bias_is_static() && !algo.edge_bias_is_uniform()).then(|| {
+            Arc::clone(
+                caches
+                    .entry(batch[0].key.algo.clone())
+                    .or_insert_with(|| Arc::new(CtpsCache::new(budget))),
+            )
+        });
 
     // Expired admissions leave gaps in the instance_base sequence; each
     // contiguous run of instances is one launch (RNG streams are keyed
@@ -433,6 +465,7 @@ fn process_batch(shared: &Shared, graph: &Csr, executor: &dyn BatchExecutor, bat
         let opts = RunOptions {
             seed: rng_seed,
             instance_base: seg[0].instance_base,
+            ctps_cache: cache.clone(),
             ..RunOptions::default()
         };
         let result =
@@ -476,6 +509,20 @@ fn process_batch(shared: &Shared, graph: &Csr, executor: &dyn BatchExecutor, bat
             }
         }
     }
+
+    // Publish worker-lifetime cache totals (the caches outlive batches,
+    // so these are gauges: each batch's publish replaces the last).
+    let mut totals = csaw_core::ctps_cache::CacheSnapshot::default();
+    for c in caches.values() {
+        let s = c.snapshot();
+        totals.lookups += s.lookups;
+        totals.hits += s.hits;
+        totals.misses += s.misses;
+        totals.promotions += s.promotions;
+        totals.evictions += s.evictions;
+        totals.bytes += s.bytes;
+    }
+    stats.record_cache(&totals);
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -55,6 +55,19 @@ pub struct ServiceStats {
     /// Batch-size histogram: bucket `i` counts launches whose instance
     /// count is ≤ `BATCH_BUCKETS[i]` (last bucket: larger than all).
     pub batch_hist: [AtomicU64; NUM_BUCKETS],
+    /// CTPS-cache lookups across the worker's per-algorithm caches
+    /// (worker-lifetime totals, refreshed after every batch).
+    pub cache_lookups: AtomicU64,
+    /// CTPS-cache lookups served from a cached entry.
+    pub cache_hits: AtomicU64,
+    /// CTPS-cache lookups that found nothing.
+    pub cache_misses: AtomicU64,
+    /// CTPS tables promoted into the caches.
+    pub cache_promotions: AtomicU64,
+    /// CTPS tables evicted from the caches.
+    pub cache_evictions: AtomicU64,
+    /// Bytes currently held by the caches (gauge).
+    pub cache_bytes: AtomicU64,
 }
 
 impl ServiceStats {
@@ -78,6 +91,17 @@ impl ServiceStats {
         Self::inc(&self.batch_hist[bucket]);
     }
 
+    /// Publishes the worker's CTPS-cache totals (gauge semantics: the
+    /// caches outlive batches, so each publish replaces the last).
+    pub(crate) fn record_cache(&self, totals: &csaw_core::ctps_cache::CacheSnapshot) {
+        self.cache_lookups.store(totals.lookups, Relaxed);
+        self.cache_hits.store(totals.hits, Relaxed);
+        self.cache_misses.store(totals.misses, Relaxed);
+        self.cache_promotions.store(totals.promotions, Relaxed);
+        self.cache_evictions.store(totals.evictions, Relaxed);
+        self.cache_bytes.store(totals.bytes, Relaxed);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -95,6 +119,12 @@ impl ServiceStats {
             transfers: self.transfers.load(Relaxed),
             bytes_transferred: self.bytes_transferred.load(Relaxed),
             batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Relaxed)),
+            cache_lookups: self.cache_lookups.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            cache_promotions: self.cache_promotions.load(Relaxed),
+            cache_evictions: self.cache_evictions.load(Relaxed),
+            cache_bytes: self.cache_bytes.load(Relaxed),
         }
     }
 }
@@ -117,6 +147,12 @@ pub struct StatsSnapshot {
     pub transfers: u64,
     pub bytes_transferred: u64,
     pub batch_hist: [u64; NUM_BUCKETS],
+    pub cache_lookups: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_promotions: u64,
+    pub cache_evictions: u64,
+    pub cache_bytes: u64,
 }
 
 impl StatsSnapshot {

@@ -252,3 +252,35 @@ fn expired_request_leaves_a_gap_batchmates_survive() {
     assert_eq!(rb.output.instances, solo_b.instances);
     assert!(svc.shutdown().fully_accounted());
 }
+
+#[test]
+fn ctps_cache_is_shared_across_batches_and_conserved() {
+    // Two sequential batches of the same static-bias algorithm: the
+    // second re-hits tables the first built, the gauges obey the
+    // conservation identities, and a cached service answers exactly
+    // what a cache-disabled service answers.
+    let svc = engine_service(ServiceConfig::default());
+    let r1 =
+        svc.submit(SamplingRequest::new(spec("biased-walk"), vec![0, 8])).unwrap().wait().unwrap();
+    let mid = svc.stats();
+    assert!(
+        mid.cache_lookups > 0 && mid.cache_lookups == mid.cache_hits + mid.cache_misses,
+        "{mid:?}"
+    );
+    let r2 =
+        svc.submit(SamplingRequest::new(spec("biased-walk"), vec![0, 8])).unwrap().wait().unwrap();
+    let snap = svc.shutdown();
+    assert_eq!(snap.cache_lookups, snap.cache_hits + snap.cache_misses, "{snap:?}");
+    assert!(snap.cache_hits > mid.cache_hits, "batch 2 must re-hit batch 1's tables: {snap:?}");
+    assert!(snap.cache_bytes > 0);
+
+    let bare = engine_service(ServiceConfig { ctps_cache_budget: 0, ..ServiceConfig::default() });
+    let b1 =
+        bare.submit(SamplingRequest::new(spec("biased-walk"), vec![0, 8])).unwrap().wait().unwrap();
+    let b2 =
+        bare.submit(SamplingRequest::new(spec("biased-walk"), vec![0, 8])).unwrap().wait().unwrap();
+    let bare_snap = bare.shutdown();
+    assert_eq!(bare_snap.cache_lookups, 0, "budget 0 must disable the cache: {bare_snap:?}");
+    assert_eq!(r1.output.instances, b1.output.instances);
+    assert_eq!(r2.output.instances, b2.output.instances);
+}

@@ -13,6 +13,7 @@
 
 use csaw::core::algorithms::registry::{AlgoSpec, AlgorithmId};
 use csaw::core::api::FrontierMode;
+use csaw::core::ctps_cache::CtpsCache;
 use csaw::core::select::SelectConfig;
 use csaw::core::step::{
     CsrAccess, EmitSink, PoolSink, PoolSlot, StepEntry, StepKernel, StepScratch, TrialCounter,
@@ -31,6 +32,7 @@ static ALLOC: CountingAllocator = CountingAllocator::new();
 #[derive(Default)]
 struct DriverBufs {
     pool: Vec<PoolSlot>,
+    pool_biases: Vec<f64>,
     frontier: Vec<PoolSlot>,
     visited: HashSet<VertexId>,
     out: Vec<(VertexId, VertexId)>,
@@ -121,6 +123,7 @@ fn run_rep(kernel: &StepKernel<'_>, g: &Csr, chunks: &[Vec<VertexId>], b: &mut D
                 }
             }
             FrontierMode::BiasedReplace => {
+                b.pool_biases.clear();
                 for depth in 0..cfg.depth {
                     if b.pool.is_empty() {
                         break;
@@ -132,6 +135,7 @@ fn run_rep(kernel: &StepKernel<'_>, g: &Csr, chunks: &[Vec<VertexId>], b: &mut D
                         depth as u32,
                         home,
                         &mut b.pool,
+                        &mut b.pool_biases,
                         &mut sink,
                         &mut b.scratch,
                         &mut b.stats,
@@ -173,7 +177,14 @@ fn steady_state_step_allocates_nothing() {
             .map(|i| (0..seeds_per).map(|j| ((i * seeds_per + j) as VertexId * 131) % n).collect())
             .collect();
 
-        let kernel = StepKernel::new(&*algo, 0x5eed).with_select(SelectConfig::paper_best());
+        // A generous-budget CTPS cache rides along: the warm-up
+        // repetitions populate it, so the measured repetition runs its
+        // static-bias lookups as cache hits — which must be just as
+        // allocation-free as the rebuild path they replace.
+        let cache = CtpsCache::new(64 << 20);
+        let kernel = StepKernel::new(&*algo, 0x5eed)
+            .with_select(SelectConfig::paper_best())
+            .with_ctps_cache(Some(&cache));
         let mut bufs = DriverBufs::default();
 
         let warm1 = run_rep(&kernel, &g, &chunks, &mut bufs);
