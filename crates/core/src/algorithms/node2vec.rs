@@ -9,7 +9,7 @@
 //! - otherwise               → `w(v,u) / q` (explore, distance 2).
 
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize};
-use csaw_graph::Csr;
+use csaw_graph::{Csr, VertexId};
 
 /// Node2vec second-order walk.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +49,25 @@ impl Algorithm for Node2Vec {
                 }
             }
         }
+    }
+    /// Every candidate bias is `w(v,u)` scaled by one of
+    /// `{1, 1/p, 1/q}`, so `max(w) * max(1, 1/p, 1/q)` dominates all of
+    /// them. On unweighted graphs `max(w)` is 1.0 and the bound is O(1);
+    /// on weighted graphs it is one streaming pass over the weight lane —
+    /// still far cheaper than the `degree(v)` `has_edge` probes a full
+    /// bias pass costs. This is what lets the adaptive kernel serve
+    /// node2vec by rejection: each throw evaluates a *single* candidate's
+    /// bias.
+    fn edge_bias_bound(&self, g: &Csr, v: VertexId, prev: Option<VertexId>) -> Option<f64> {
+        let w_max = match g.neighbor_weights(v) {
+            Some(ws) => ws.iter().copied().fold(0.0f32, f32::max) as f64,
+            None => 1.0,
+        };
+        if !w_max.is_finite() || w_max <= 0.0 {
+            return None;
+        }
+        let scale = if prev.is_none() { 1.0 } else { (1.0 / self.p).max(1.0 / self.q).max(1.0) };
+        scale.is_finite().then_some(w_max * scale)
     }
 }
 

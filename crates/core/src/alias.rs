@@ -11,46 +11,85 @@
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
 
+/// Reusable worklists for [`AliasTable::rebuild`], so steady-state table
+/// builds allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct AliasBuildScratch {
+    small: Vec<usize>,
+    large: Vec<usize>,
+}
+
 /// A built alias table.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AliasTable {
     /// Probability of keeping bin `i`'s primary candidate.
     prob: Vec<f64>,
     /// The alternate candidate stored in bin `i`.
-    alias: Vec<usize>,
+    alias: Vec<u32>,
 }
 
 impl AliasTable {
-    /// Builds the table with Vose's O(n) algorithm. Returns `None` when no
-    /// bias is positive. Preprocessing work is charged to `stats`
-    /// (one pass to scale + one pass to pair bins).
+    /// An empty table, for use as a [`AliasTable::rebuild`] target.
+    pub fn empty() -> AliasTable {
+        AliasTable { prob: Vec::new(), alias: Vec::new() }
+    }
+
+    /// Builds the table with Vose's O(n) algorithm. Returns `None` when
+    /// the bias array is empty, contains a non-finite or negative entry
+    /// (matching the CTPS build contract), or sums to zero.
+    /// Preprocessing work is charged to `stats` (one pass to scale + one
+    /// pass to pair bins).
     pub fn build(biases: &[f64], stats: &mut SimStats) -> Option<AliasTable> {
+        let mut t = AliasTable::empty();
+        t.rebuild(biases, &mut AliasBuildScratch::default(), stats).then_some(t)
+    }
+
+    /// Allocation-free form of [`AliasTable::build`]: rebuilds `self` in
+    /// place over `biases`, reusing its own buffers and the caller's
+    /// worklists. Returns `false` (leaving the table empty) on the same
+    /// inputs `build` rejects.
+    pub fn rebuild(
+        &mut self,
+        biases: &[f64],
+        scratch: &mut AliasBuildScratch,
+        stats: &mut SimStats,
+    ) -> bool {
+        self.prob.clear();
+        self.alias.clear();
         let n = biases.len();
+        // Validate per entry, not just the sum: `[2.0, -1.0]` must not
+        // slip through on `total > 0` and produce out-of-range `prob`
+        // entries and bogus alias rows.
+        if n == 0 || biases.iter().any(|&b| !b.is_finite() || b < 0.0) {
+            return false;
+        }
         let total: f64 = biases.iter().sum();
-        if n == 0 || total.is_nan() || total <= 0.0 {
-            return None;
+        if total <= 0.0 {
+            return false;
         }
         stats.warp_cycles += 2 * n as u64; // scale pass + pairing pass
 
-        let mut prob: Vec<f64> = biases.iter().map(|&b| b * n as f64 / total).collect();
-        let mut alias = vec![0usize; n];
-        let mut small: Vec<usize> = (0..n).filter(|&i| prob[i] < 1.0).collect();
-        let mut large: Vec<usize> = (0..n).filter(|&i| prob[i] >= 1.0).collect();
+        self.prob.extend(biases.iter().map(|&b| b * n as f64 / total));
+        self.alias.resize(n, 0);
+        scratch.small.clear();
+        scratch.large.clear();
+        scratch.small.extend((0..n).filter(|&i| self.prob[i] < 1.0));
+        scratch.large.extend((0..n).filter(|&i| self.prob[i] >= 1.0));
 
-        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-            small.pop();
-            alias[s] = l;
-            prob[l] -= 1.0 - prob[s];
-            if prob[l] < 1.0 {
-                large.pop();
-                small.push(l);
+        while let (Some(&s), Some(&l)) = (scratch.small.last(), scratch.large.last()) {
+            scratch.small.pop();
+            self.alias[s] = l as u32;
+            self.prob[l] -= 1.0 - self.prob[s];
+            if self.prob[l] < 1.0 {
+                scratch.large.pop();
+                scratch.small.push(l);
             }
         }
         // Remaining bins are exactly 1 up to FP error.
-        for &i in small.iter().chain(large.iter()) {
-            prob[i] = 1.0;
+        for &i in scratch.small.iter().chain(scratch.large.iter()) {
+            self.prob[i] = 1.0;
         }
-        Some(AliasTable { prob, alias })
+        true
     }
 
     /// Number of bins.
@@ -72,7 +111,7 @@ impl AliasTable {
         if rng.uniform() < self.prob[bin] {
             bin
         } else {
-            self.alias[bin]
+            self.alias[bin] as usize
         }
     }
 }
@@ -146,5 +185,35 @@ mod tests {
         let mut s2 = SimStats::new();
         AliasTable::build(&vec![1.0; 200], &mut s2).unwrap();
         assert_eq!(s2.warp_cycles, 2 * s1.warp_cycles);
+    }
+
+    /// Regression: `[2.0, -1.0]` sums to 1.0 and used to pass the
+    /// sum-only validation, producing a `prob` entry of 4.0 and a bogus
+    /// alias row. Every invalid entry must now be rejected outright.
+    #[test]
+    fn negative_or_non_finite_entries_are_rejected() {
+        let mut s = SimStats::new();
+        assert!(AliasTable::build(&[2.0, -1.0], &mut s).is_none());
+        assert!(AliasTable::build(&[1.0, f64::NAN], &mut s).is_none());
+        assert!(AliasTable::build(&[1.0, f64::INFINITY], &mut s).is_none());
+        assert!(AliasTable::build(&[1.0, f64::NEG_INFINITY], &mut s).is_none());
+        // A rejected build charges no preprocessing work.
+        assert_eq!(s.warp_cycles, 0);
+    }
+
+    #[test]
+    fn rebuild_matches_build_and_reuses_buffers() {
+        let biases = [3.0, 6.0, 2.0, 2.0, 2.0];
+        let mut s = SimStats::new();
+        let built = AliasTable::build(&biases, &mut s).unwrap();
+        let mut t = AliasTable::empty();
+        let mut scratch = AliasBuildScratch::default();
+        // Dirty the table first, then rebuild over the same biases.
+        assert!(t.rebuild(&[1.0, 9.0], &mut scratch, &mut s));
+        assert!(t.rebuild(&biases, &mut scratch, &mut s));
+        assert_eq!(t, built);
+        // A failed rebuild leaves the table empty, not half-written.
+        assert!(!t.rebuild(&[2.0, -1.0], &mut scratch, &mut s));
+        assert!(t.is_empty());
     }
 }

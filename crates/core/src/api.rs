@@ -155,6 +155,20 @@ pub trait Algorithm: Sync + Send {
         self.edge_bias_is_uniform()
     }
 
+    /// An a-priori upper bound on [`Algorithm::edge_bias`] over *all* of
+    /// `v`'s candidate edges in the state `prev`, or `None` when no cheap
+    /// bound exists. A sound bound lets the adaptive kernel serve
+    /// dynamic-bias expansions by rejection: propose a uniform candidate,
+    /// evaluate only *its* bias against `uniform() * bound`, instead of
+    /// materializing all `degree(v)` biases for ITS. The bound must
+    /// dominate every candidate's bias — an under-estimate silently clips
+    /// the distribution — and must cost far less than a full bias pass
+    /// (ideally O(1)) or it defeats the purpose. Default: no bound,
+    /// which keeps the kernel on ITS.
+    fn edge_bias_bound(&self, _g: &Csr, _v: VertexId, _prev: Option<VertexId>) -> Option<f64> {
+        None
+    }
+
     /// `UPDATE` (Eq. 4): vertex added to the frontier pool after sampling
     /// `e`. Receives the instance's home seed (for restarts) and an RNG
     /// (for probabilistic jumps). Default: add the sampled neighbor.
@@ -208,6 +222,9 @@ macro_rules! forward_algorithm {
             }
             fn edge_bias_is_static(&self) -> bool {
                 (**self).edge_bias_is_static()
+            }
+            fn edge_bias_bound(&self, g: &Csr, v: VertexId, prev: Option<VertexId>) -> Option<f64> {
+                (**self).edge_bias_bound(g, v, prev)
             }
             fn update(
                 &self,

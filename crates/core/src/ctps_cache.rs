@@ -28,6 +28,7 @@
 //! stale entries are lazily dropped on the next lookup — modelling that a
 //! real GPU would free cached tables along with the partition's memory.
 
+use crate::alias::AliasTable;
 use crate::api::{Algorithm, EdgeCand};
 use crate::ctps::Ctps;
 use csaw_gpu::stats::SimStats;
@@ -43,6 +44,12 @@ pub const ENTRY_OVERHEAD_BYTES: usize = 64;
 /// Bytes one cached entry of `len` bounds charges against the budget.
 pub fn entry_bytes(len: usize) -> usize {
     ENTRY_OVERHEAD_BYTES + 8 * len
+}
+
+/// Bytes one cached *alias-table* entry of `len` bins charges against the
+/// budget: per bin, one f64 keep-probability plus one u32 alias row.
+pub fn alias_entry_bytes(len: usize) -> usize {
+    ENTRY_OVERHEAD_BYTES + 12 * len
 }
 
 /// True when every region of `ctps` has positive width exactly where the
@@ -111,16 +118,24 @@ pub struct CacheSnapshot {
     pub budget: u64,
     /// Entries currently cached.
     pub entries: u64,
+    /// Hits served from an alias-table payload (subset of `hits`).
+    pub alias_hits: u64,
+    /// Promotions that stored an alias-table payload (subset of
+    /// `promotions`).
+    pub alias_promotions: u64,
 }
 
 impl CacheSnapshot {
     /// The conservation identities every consistent snapshot satisfies:
-    /// `lookups == hits + misses`, `promotions <= misses`, and
-    /// `bytes <= budget`.
+    /// `lookups == hits + misses`, `promotions <= misses`,
+    /// `bytes <= budget`, and the alias gauges never exceed their parent
+    /// counters.
     pub fn is_conserved(&self) -> bool {
         self.lookups == self.hits + self.misses
             && self.promotions <= self.misses
             && self.bytes <= self.budget
+            && self.alias_hits <= self.hits
+            && self.alias_promotions <= self.promotions
     }
 }
 
@@ -133,12 +148,37 @@ struct Counters {
     evictions: AtomicU64,
     admission_rejects: AtomicU64,
     bytes: AtomicU64,
+    alias_hits: AtomicU64,
+    alias_promotions: AtomicU64,
+}
+
+/// What a cached entry holds. Both flavors live under the same byte
+/// budget, epoch invalidation, and degree-aware clock; which flavor a
+/// vertex carries follows from how it was promoted. A lookup for one
+/// flavor that finds the other reports a miss but leaves the entry alone
+/// (it only arises when runs with different method policies share a
+/// cache; pressure from the clock resolves it).
+#[derive(Debug)]
+enum Payload {
+    /// Cumulative transition-probability bounds (ITS binary-searches it).
+    Ctps(Ctps),
+    /// A Vose alias table (O(1) draws for hot static-bias vertices).
+    Alias(AliasTable),
+}
+
+impl Payload {
+    fn bytes(&self) -> usize {
+        match self {
+            Payload::Ctps(c) => entry_bytes(c.len()),
+            Payload::Alias(t) => alias_entry_bytes(t.len()),
+        }
+    }
 }
 
 #[derive(Debug)]
 struct Entry {
     vertex: VertexId,
-    ctps: Ctps,
+    payload: Payload,
     selectable: u32,
     degree: u32,
     epoch: u64,
@@ -160,7 +200,7 @@ impl Shard {
         let e = self.slots[i].take().expect("evicting an occupied slot");
         self.map.remove(&e.vertex);
         self.free.push(i);
-        let freed = entry_bytes(e.ctps.len());
+        let freed = e.payload.bytes();
         self.bytes -= freed;
         freed
     }
@@ -226,15 +266,56 @@ impl CtpsCache {
                 self.counters.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
             } else {
                 let e = shard.slots[slot].as_mut().expect("mapped slot occupied");
-                e.referenced = true;
-                dst.assign(&e.ctps);
-                let out = CacheOutcome::Hit { selectable: e.selectable, degree: e.degree };
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                return out;
+                if let Payload::Ctps(ref ctps) = e.payload {
+                    e.referenced = true;
+                    dst.assign(ctps);
+                    let out = CacheOutcome::Hit { selectable: e.selectable, degree: e.degree };
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return out;
+                }
+                // Alias-flavored entry: a miss for the ITS path (see
+                // [`Payload`]); the entry stays.
             }
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         CacheOutcome::Miss
+    }
+
+    /// Runs `f` over vertex `v`'s cached alias table (plus its selectable
+    /// count) at residency `epoch`, *under the shard lock* — the alias
+    /// win is O(1) draws with no O(degree) copy-out, so the closure
+    /// samples in place. Returns `None` on a miss (absent, stale-epoch —
+    /// dropped like [`CtpsCache::lookup_into`] — or CTPS-flavored entry).
+    /// Charges nothing; callers charge their cost model.
+    pub fn with_alias_entry<R>(
+        &self,
+        v: VertexId,
+        epoch: u64,
+        f: impl FnOnce(&AliasTable, u32) -> R,
+    ) -> Option<R> {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(v).lock().unwrap();
+        if let Some(&slot) = shard.map.get(&v) {
+            let stale = shard.slots[slot].as_ref().expect("mapped slot occupied").epoch != epoch;
+            if stale {
+                let freed = shard.evict_slot(slot);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                self.counters.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
+            } else {
+                let e = shard.slots[slot].as_mut().expect("mapped slot occupied");
+                if matches!(e.payload, Payload::Alias(_)) {
+                    e.referenced = true;
+                    let selectable = e.selectable;
+                    let Payload::Alias(ref table) = e.payload else { unreachable!() };
+                    let out = f(table, selectable);
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.alias_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(out);
+                }
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Offers vertex `v`'s freshly built CTPS for admission at residency
@@ -258,8 +339,58 @@ impl CtpsCache {
     ) -> bool {
         debug_assert_eq!(ctps.len(), degree as usize);
         debug_assert!(selectable as usize <= ctps.len());
-        let needed = entry_bytes(ctps.len());
-        if ctps.is_empty() || needed > self.shard_budget {
+        if ctps.is_empty() {
+            self.counters.admission_rejects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.admit(v, epoch, entry_bytes(ctps.len()), selectable, degree, || {
+            let mut stored = Ctps::empty();
+            stored.assign(ctps);
+            Payload::Ctps(stored)
+        })
+    }
+
+    /// [`CtpsCache::promote`] for an alias-table payload: same budget,
+    /// same clock, same epoch semantics; on admission the table is cloned
+    /// into the entry and `alias_promotions` ticks alongside
+    /// `promotions`. Alias tables are built over the full candidate lane,
+    /// so `table.len()` is the vertex degree.
+    pub fn promote_alias(
+        &self,
+        v: VertexId,
+        epoch: u64,
+        table: &AliasTable,
+        selectable: u32,
+    ) -> bool {
+        debug_assert!(selectable as usize <= table.len());
+        if table.is_empty() {
+            self.counters.admission_rejects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let degree = table.len() as u32;
+        let admitted =
+            self.admit(v, epoch, alias_entry_bytes(table.len()), selectable, degree, || {
+                Payload::Alias(table.clone())
+            });
+        if admitted {
+            self.counters.alias_promotions.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// Shared admission path: budget check, re-promotion race check, the
+    /// degree-aware clock, then storage. `make` is called only once the
+    /// entry is certain to be stored.
+    fn admit(
+        &self,
+        v: VertexId,
+        epoch: u64,
+        needed: usize,
+        selectable: u32,
+        degree: u32,
+        make: impl FnOnce() -> Payload,
+    ) -> bool {
+        if needed > self.shard_budget {
             self.counters.admission_rejects.fetch_add(1, Ordering::Relaxed);
             return false;
         }
@@ -299,9 +430,8 @@ impl CtpsCache {
             return false;
         }
 
-        let mut stored = Ctps::empty();
-        stored.assign(ctps);
-        let entry = Entry { vertex: v, ctps: stored, selectable, degree, epoch, referenced: false };
+        let entry =
+            Entry { vertex: v, payload: make(), selectable, degree, epoch, referenced: false };
         let slot = match shard.free.pop() {
             Some(i) => {
                 shard.slots[i] = Some(entry);
@@ -342,6 +472,8 @@ impl CtpsCache {
             bytes: self.counters.bytes.load(Ordering::Relaxed),
             budget: self.budget as u64,
             entries: self.len() as u64,
+            alias_hits: self.counters.alias_hits.load(Ordering::Relaxed),
+            alias_promotions: self.counters.alias_promotions.load(Ordering::Relaxed),
         }
     }
 }
@@ -470,6 +602,48 @@ mod tests {
         assert!(widths_agree(&ctps, &[1.0, 0.0, 2.0]));
         assert!(!widths_agree(&ctps, &[1.0, 1.0, 2.0]));
         assert!(!widths_agree(&ctps, &[1.0, 0.0]));
+    }
+
+    #[test]
+    fn alias_payloads_share_budget_and_flavor_mismatch_is_a_miss() {
+        let g = toy_graph();
+        let cache = CtpsCache::new(1 << 20);
+        // v8's static degree-bias lane and an alias table over it.
+        let algo = BiasedRandomWalk { length: 1 };
+        let mut biases = Vec::new();
+        let mut ctps = Ctps::empty();
+        let mut s = SimStats::new();
+        assert!(build_vertex_ctps(&g, &algo, 8, &mut biases, &mut ctps, &mut s));
+        let table = AliasTable::build(&biases, &mut s).unwrap();
+        let selectable = biases.iter().filter(|&&b| b > 0.0).count() as u32;
+
+        // Promote the alias flavor; the ITS lookup flavor-misses but must
+        // leave the entry resident.
+        assert!(cache.promote_alias(8, 0, &table, selectable));
+        let mut dst = Ctps::empty();
+        assert_eq!(cache.lookup_into(8, 0, &mut dst), CacheOutcome::Miss);
+        assert_eq!(cache.len(), 1, "flavor miss must not evict");
+
+        // The alias lookup hits and samples in place under the lock.
+        let mut rng = csaw_gpu::Philox::new(1);
+        let drawn = cache.with_alias_entry(8, 0, |t, sel| {
+            assert_eq!(sel, selectable);
+            t.sample(&mut rng, &mut s)
+        });
+        assert!(drawn.is_some_and(|i| i < table.len()));
+        let snap = cache.snapshot();
+        assert_eq!(snap.alias_promotions, 1);
+        assert_eq!(snap.alias_hits, 1);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.bytes as usize, alias_entry_bytes(table.len()));
+        assert!(snap.is_conserved());
+
+        // Stale epochs drop alias entries exactly like CTPS entries.
+        assert!(cache.with_alias_entry(8, 1, |_, _| ()).is_none());
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries, 0);
+        assert_eq!(snap.bytes, 0);
+        assert!(snap.is_conserved());
     }
 
     #[test]

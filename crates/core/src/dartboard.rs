@@ -18,15 +18,41 @@ pub struct Dartboard {
 }
 
 impl Dartboard {
+    /// An empty board, for use as a [`Dartboard::rebuild`] target.
+    pub fn empty() -> Dartboard {
+        Dartboard { biases: Vec::new(), max_bias: 0.0 }
+    }
+
     /// Builds the board (just records the max bar height — O(n) but with a
     /// trivial constant; this is the method's appeal).
     pub fn build(biases: &[f64], stats: &mut SimStats) -> Option<Dartboard> {
+        let mut d = Dartboard::empty();
+        d.rebuild(biases, stats).then_some(d)
+    }
+
+    /// Allocation-free form of [`Dartboard::build`]: rebuilds `self` in
+    /// place, reusing its bias buffer. Returns `false` (leaving the board
+    /// empty) on the inputs `build` rejects.
+    ///
+    /// Entries must be finite and non-negative: `fold(0.0, f64::max)`
+    /// silently swallows NaN (so a NaN guard on the result is dead code),
+    /// and a `+inf` bar makes every later [`Dartboard::sample`] throw
+    /// land below the board ceiling forever — a non-terminating loop, not
+    /// a bad sample. Reject at build time instead.
+    pub fn rebuild(&mut self, biases: &[f64], stats: &mut SimStats) -> bool {
+        self.biases.clear();
+        self.max_bias = 0.0;
+        if biases.is_empty() || biases.iter().any(|&b| !b.is_finite() || b < 0.0) {
+            return false;
+        }
         let max_bias = biases.iter().copied().fold(0.0f64, f64::max);
-        if biases.is_empty() || max_bias.is_nan() || max_bias <= 0.0 {
-            return None;
+        if max_bias <= 0.0 {
+            return false;
         }
         stats.warp_cycles += biases.len().div_ceil(32) as u64; // warp max-reduce
-        Some(Dartboard { biases: biases.to_vec(), max_bias })
+        self.biases.extend_from_slice(biases);
+        self.max_bias = max_bias;
+        true
     }
 
     /// Number of candidates.
@@ -112,6 +138,34 @@ mod tests {
         let mut s = SimStats::new();
         assert!(Dartboard::build(&[], &mut s).is_none());
         assert!(Dartboard::build(&[0.0], &mut s).is_none());
+    }
+
+    /// Regression: a `+inf` bar used to survive `build` (the NaN guard
+    /// checked the folded max, which can never be NaN), and the resulting
+    /// board's `sample()` rejected forever — this test hung before the
+    /// build-time guard.
+    #[test]
+    fn non_finite_biases_are_rejected_at_build() {
+        let mut s = SimStats::new();
+        assert!(Dartboard::build(&[1.0, f64::INFINITY], &mut s).is_none());
+        assert!(Dartboard::build(&[f64::NAN, 1.0], &mut s).is_none());
+        assert!(Dartboard::build(&[1.0, f64::NAN], &mut s).is_none());
+        assert!(Dartboard::build(&[1.0, -2.0], &mut s).is_none());
+        // Rejected builds charge no work.
+        assert_eq!(s.warp_cycles, 0);
+    }
+
+    #[test]
+    fn rebuild_matches_build_and_reuses_buffers() {
+        let biases = [3.0, 6.0, 2.0];
+        let mut s = SimStats::new();
+        let built = Dartboard::build(&biases, &mut s).unwrap();
+        let mut d = Dartboard::empty();
+        assert!(d.rebuild(&[5.0, 1.0, 1.0, 1.0], &mut s));
+        assert!(d.rebuild(&biases, &mut s));
+        assert_eq!(d, built);
+        assert!(!d.rebuild(&[1.0, f64::INFINITY], &mut s));
+        assert!(d.is_empty());
     }
 
     #[test]

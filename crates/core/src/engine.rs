@@ -143,6 +143,12 @@ pub struct RunOptions {
     /// edge biases; sampled output is bit-identical with or without it.
     /// `None` (the default) disables cross-instance CTPS reuse.
     pub ctps_cache: Option<std::sync::Arc<crate::ctps_cache::CtpsCache>>,
+    /// Sampling-method policy (see [`crate::method`]). The default,
+    /// [`crate::method::MethodPolicy::ForceIts`], keeps output
+    /// bit-identical to the pinned goldens;
+    /// [`crate::method::MethodPolicy::Adaptive`] picks alias/rejection
+    /// per expansion and is distribution-equal instead.
+    pub method_policy: crate::method::MethodPolicy,
 }
 
 impl Default for RunOptions {
@@ -153,6 +159,7 @@ impl Default for RunOptions {
             use_simt_select: false,
             instance_base: 0,
             ctps_cache: None,
+            method_policy: crate::method::MethodPolicy::ForceIts,
         }
     }
 }
@@ -288,7 +295,8 @@ fn run_instance(
     let kernel = StepKernel::new(algo, opts.seed)
         .with_select(opts.select)
         .with_simt_select(opts.use_simt_select)
-        .with_ctps_cache(opts.ctps_cache.as_deref());
+        .with_ctps_cache(opts.ctps_cache.as_deref())
+        .with_method_policy(opts.method_policy);
     let instance = opts.instance_base + instance;
     let mut stats = SimStats::new();
     let mut access = CsrAccess { graph: g };

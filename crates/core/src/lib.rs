@@ -48,6 +48,7 @@ pub mod dartboard;
 pub mod engine;
 pub mod estimators;
 pub mod frontier;
+pub mod method;
 pub mod onepass;
 pub mod output;
 pub mod precompute;
@@ -60,6 +61,7 @@ pub mod step;
 pub use algorithms::registry::{AlgoSpec, AlgorithmId, RegistryError};
 pub use api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, UpdateAction};
 pub use engine::{RunError, RunOptions, Sampler};
+pub use method::{MethodPolicy, SelectMethod};
 pub use output::SampleOutput;
 pub use select::{CollisionDetectorKind, SelectStrategy};
 pub use step::{FrontierSink, NeighborAccess, PoolSlot, StepEntry, StepKernel};

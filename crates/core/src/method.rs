@@ -1,0 +1,259 @@
+//! Runtime-adaptive sampling-method selection.
+//!
+//! C-SAW hardwires inverse transform sampling (ITS) into the kernel, but
+//! ThunderRW and FlexiWalker (PAPERS.md) show no single method wins: ITS,
+//! alias tables, and rejection each dominate a different
+//! (degree, bias-skew, reuse) regime. This module owns the decision
+//! table; [`crate::step::StepKernel`] consults it once per expansion:
+//!
+//! | bias class            | regime                           | method |
+//! |-----------------------|----------------------------------|--------|
+//! | uniform               | any                              | [`SelectMethod::ClosedFormUniform`] |
+//! | any                   | without-replacement / pool modes | [`SelectMethod::Its`] |
+//! | static, cache present | degree ≥ 2                       | [`SelectMethod::CachedAlias`] |
+//! | static, no cache      | any                              | [`SelectMethod::Its`] |
+//! | dynamic, bound known  | degree ≥ 4, acceptance healthy   | [`SelectMethod::Rejection`] |
+//! | dynamic, no bound     | any                              | [`SelectMethod::Its`] |
+//!
+//! The contract split: [`MethodPolicy::ForceIts`] (the default) keeps the
+//! kernel bit-identical to the pinned `step_golden` output, because ITS
+//! consumes exactly one draw per selection from the per-task Philox
+//! stream. [`MethodPolicy::Adaptive`] lets the chooser pick methods that
+//! consume *different* draws (alias: 2, rejection: 2 per throw), so its
+//! output is validated by chi-square distribution equality instead of
+//! bit-exactness — every method samples the same target distribution, so
+//! swapping methods mid-run is sound even when the choice depends on
+//! racy cache state.
+
+/// Which sampling methods the kernel may use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MethodPolicy {
+    /// Inverse transform sampling everywhere (plus the pre-existing
+    /// closed-form uniform path): bit-identical to the pinned goldens.
+    #[default]
+    ForceIts,
+    /// Per-expansion method choice by [`choose_method`]. Distribution-
+    /// equal to `ForceIts`, not bit-equal.
+    Adaptive,
+}
+
+/// The method chosen for one expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectMethod {
+    /// Build/lookup the CTPS and binary-search it (the paper's kernel).
+    Its,
+    /// O(1) draws from an alias table cached per hot static-bias vertex.
+    CachedAlias,
+    /// Bounded dartboard throws evaluating only the proposed candidate's
+    /// bias — the win for dynamic biases like node2vec, where ITS must
+    /// evaluate all `d` candidate biases per step.
+    Rejection,
+    /// The closed-form uniform CTPS (no table at all).
+    ClosedFormUniform,
+}
+
+/// Minimum frontier degree before a cached alias table pays for itself
+/// (below this, the CTPS rebuild is a couple of adds).
+pub const ALIAS_MIN_DEGREE: usize = 2;
+
+/// Minimum frontier degree before rejection can beat ITS: each ITS step
+/// evaluates all `d` candidate biases, each rejection throw evaluates
+/// one, so the break-even sits near the expected trial count.
+pub const REJECTION_MIN_DEGREE: usize = 4;
+
+/// Throw cap per rejection-served pick: past this the kernel falls back
+/// to the exact ITS lane (a termination guarantee; mixing exact methods
+/// preserves the target distribution).
+pub const REJECTION_MAX_TRIALS: u64 = 32;
+
+/// Expected-trials ceiling: when the measured (or estimated) skew
+/// `n·max/Σ` exceeds this, rejection is throwing too many darts and ITS
+/// is cheaper.
+pub const MAX_EXPECTED_TRIALS: f64 = 8.0;
+
+/// Everything the decision table looks at for one expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodContext {
+    /// `Algorithm::edge_bias_is_uniform()`.
+    pub uniform: bool,
+    /// `Algorithm::edge_bias_is_static()`.
+    pub static_bias: bool,
+    /// Sampling without replacement (bitmap/linear-search SELECT loops).
+    pub without_replacement: bool,
+    /// Degree of the frontier vertex being expanded.
+    pub degree: usize,
+    /// A `CtpsCache` is attached and eligible (static bias, stable epoch).
+    pub cache_available: bool,
+    /// `Algorithm::edge_bias_bound` returned a finite positive bound.
+    pub bound_available: bool,
+    /// Live acceptance feedback says rejection is currently healthy.
+    pub rejection_allowed: bool,
+    /// Cheap `n·max/Σ` skew estimate when the bias lane has already been
+    /// materialized this expansion; `None` when it would cost a pass.
+    pub skew: Option<f64>,
+}
+
+/// The decision table (pure; the kernel threads live state in through
+/// [`MethodContext`]).
+pub fn choose_method(ctx: &MethodContext) -> SelectMethod {
+    if ctx.uniform {
+        return SelectMethod::ClosedFormUniform;
+    }
+    if ctx.without_replacement {
+        // The SELECT collision loops re-search one CTPS k times; alias
+        // and rejection would rebuild their acceptance state per pick.
+        return SelectMethod::Its;
+    }
+    if ctx.static_bias {
+        if ctx.cache_available && ctx.degree >= ALIAS_MIN_DEGREE {
+            return SelectMethod::CachedAlias;
+        }
+        return SelectMethod::Its;
+    }
+    // Dynamic bias: rejection only with a sound upper bound, enough
+    // candidates to amortize, healthy live acceptance, and (when the
+    // lane is already materialized) tolerable skew.
+    if ctx.bound_available
+        && ctx.degree >= REJECTION_MIN_DEGREE
+        && ctx.rejection_allowed
+        && ctx.skew.is_none_or(|s| s <= MAX_EXPECTED_TRIALS)
+    {
+        return SelectMethod::Rejection;
+    }
+    SelectMethod::Its
+}
+
+/// Per-worker live feedback for the rejection sampler: when measured
+/// acceptance collapses (heavy skew the a-priori bound can't see), stop
+/// choosing rejection for a cooldown window, then re-probe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RejectionFeedback {
+    trials: u64,
+    expansions: u64,
+    cooldown: u32,
+}
+
+/// Throws observed before the acceptance rate is judged.
+const FEEDBACK_WINDOW_TRIALS: u64 = 512;
+/// Expansions to route to ITS after a collapse before re-probing.
+const FEEDBACK_COOLDOWN: u32 = 1024;
+
+impl RejectionFeedback {
+    /// Fresh feedback (rejection allowed).
+    pub fn new() -> RejectionFeedback {
+        RejectionFeedback::default()
+    }
+
+    /// Whether the chooser may pick rejection right now. Counts down the
+    /// cooldown while disabled so the sampler re-probes periodically.
+    pub fn allow(&mut self) -> bool {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return false;
+        }
+        true
+    }
+
+    /// Records one rejection-served expansion that took `trials` throws
+    /// (exhausted expansions count the full cap). Once a window's mean
+    /// trials/expansion exceeds [`MAX_EXPECTED_TRIALS`], trips the
+    /// cooldown.
+    pub fn record(&mut self, trials: u64) {
+        self.trials += trials;
+        self.expansions += 1;
+        if self.trials >= FEEDBACK_WINDOW_TRIALS {
+            if self.trials as f64 > MAX_EXPECTED_TRIALS * self.expansions as f64 {
+                self.cooldown = FEEDBACK_COOLDOWN;
+            }
+            self.trials = 0;
+            self.expansions = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> MethodContext {
+        MethodContext {
+            uniform: false,
+            static_bias: false,
+            without_replacement: false,
+            degree: 16,
+            cache_available: false,
+            bound_available: false,
+            rejection_allowed: true,
+            skew: None,
+        }
+    }
+
+    #[test]
+    fn uniform_always_closed_form() {
+        let c = MethodContext { uniform: true, ..ctx() };
+        assert_eq!(choose_method(&c), SelectMethod::ClosedFormUniform);
+        let c = MethodContext { uniform: true, without_replacement: true, ..ctx() };
+        assert_eq!(choose_method(&c), SelectMethod::ClosedFormUniform);
+    }
+
+    #[test]
+    fn without_replacement_stays_its() {
+        let c = MethodContext {
+            without_replacement: true,
+            static_bias: true,
+            cache_available: true,
+            ..ctx()
+        };
+        assert_eq!(choose_method(&c), SelectMethod::Its);
+    }
+
+    #[test]
+    fn static_bias_uses_cached_alias_only_with_a_cache() {
+        let c = MethodContext { static_bias: true, cache_available: true, ..ctx() };
+        assert_eq!(choose_method(&c), SelectMethod::CachedAlias);
+        let c = MethodContext { static_bias: true, ..ctx() };
+        assert_eq!(choose_method(&c), SelectMethod::Its);
+        let c = MethodContext { static_bias: true, cache_available: true, degree: 1, ..ctx() };
+        assert_eq!(choose_method(&c), SelectMethod::Its);
+    }
+
+    #[test]
+    fn dynamic_bias_needs_bound_degree_and_health() {
+        let c = MethodContext { bound_available: true, ..ctx() };
+        assert_eq!(choose_method(&c), SelectMethod::Rejection);
+        assert_eq!(
+            choose_method(&MethodContext { bound_available: false, ..c }),
+            SelectMethod::Its
+        );
+        assert_eq!(choose_method(&MethodContext { degree: 2, ..c }), SelectMethod::Its);
+        assert_eq!(
+            choose_method(&MethodContext { rejection_allowed: false, ..c }),
+            SelectMethod::Its
+        );
+        assert_eq!(choose_method(&MethodContext { skew: Some(100.0), ..c }), SelectMethod::Its);
+        assert_eq!(choose_method(&MethodContext { skew: Some(2.0), ..c }), SelectMethod::Rejection);
+    }
+
+    #[test]
+    fn feedback_trips_on_collapsed_acceptance_and_reprobes() {
+        let mut f = RejectionFeedback::new();
+        assert!(f.allow());
+        // A healthy window: 512 throws over 512 expansions.
+        for _ in 0..512 {
+            f.record(1);
+        }
+        assert!(f.allow());
+        // A collapsed window: every expansion exhausts a 32-throw cap.
+        for _ in 0..16 {
+            f.record(32);
+        }
+        assert!(!f.allow(), "collapsed acceptance must trip the cooldown");
+        // The cooldown expires after FEEDBACK_COOLDOWN denials.
+        let mut denials = 1;
+        while !f.allow() {
+            denials += 1;
+            assert!(denials <= 1025, "cooldown never expired");
+        }
+        assert!(f.allow());
+    }
+}

@@ -65,7 +65,9 @@ pub fn random_node(g: &Csr, fraction: f64, seed: u64) -> OnePassOutput {
     let device = Device::v100();
     let n = g.num_vertices() as VertexId;
     // Phase 1: per-vertex coins (warp-strided scan of the vertex array).
-    let kept: Vec<bool> = {
+    // Keep the launch's stats alongside its outputs — the coin flips are
+    // real device work, not free.
+    let (kept, coin_stats): (Vec<bool>, SimStats) = {
         let launch = device.launch((0..n).collect(), |_, v| {
             let mut rng = Philox::for_task(seed, v as u64);
             let mut s = SimStats::new();
@@ -73,7 +75,7 @@ pub fn random_node(g: &Csr, fraction: f64, seed: u64) -> OnePassOutput {
             s.warp_cycles += 4;
             (rng.chance(fraction), s)
         });
-        launch.outputs
+        (launch.outputs, launch.stats)
     };
     // Phase 2: one pass over the kept vertices' adjacency, inducing edges.
     let launch = device.launch((0..n).collect(), |_, v| {
@@ -89,7 +91,7 @@ pub fn random_node(g: &Csr, fraction: f64, seed: u64) -> OnePassOutput {
         (out, s)
     });
     let mut stats = launch.stats;
-    stats.rng_draws += n as u64;
+    stats.merge(&coin_stats);
     let edges: Vec<(VertexId, VertexId)> = launch.outputs.into_iter().flatten().collect();
     let vertices: Vec<VertexId> = (0..n).filter(|&v| kept[v as usize]).collect();
     OnePassOutput { edges, vertices, stats }
@@ -236,6 +238,23 @@ mod tests {
         assert!(out.stats.gmem_bytes as usize >= 4 * g.num_edges());
         assert!(out.stats.rng_draws as usize >= g.num_edges());
         assert_eq!(out.stats.sampled_edges as usize, out.edges.len());
+
+        // random_node conservation: exactly one coin per vertex, and the
+        // phase-1 coin-flip cycles must survive into the merged totals.
+        // With fraction 0 the induction phase does no work at all, so the
+        // totals are exactly the phase-1 launch — this regressed when only
+        // `outputs` was taken from that launch (warp_cycles read 0 here).
+        let n = g.num_vertices() as u64;
+        let none = random_node(&g, 0.0, 3);
+        assert_eq!(none.stats.rng_draws, n, "one coin per vertex, counted once");
+        assert_eq!(none.stats.warp_cycles, 4 * n, "phase-1 cycles merged, not dropped");
+        assert_eq!(none.stats.sampled_edges, 0);
+        // And with a real fraction the coins are still counted exactly
+        // once (the old code re-added `n` draws by hand; a merge on top of
+        // that would have doubled them).
+        let half = random_node(&g, 0.5, 3);
+        assert_eq!(half.stats.rng_draws, n);
+        assert!(half.stats.warp_cycles >= 4 * n);
     }
 
     #[test]

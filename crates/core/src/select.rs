@@ -405,6 +405,55 @@ pub fn select_one(biases: &[f64], rng: &mut Philox, stats: &mut SimStats) -> Opt
     select_one_with(biases, &mut ctps, rng, stats)
 }
 
+/// Selects one of `n` candidates with probability proportional to
+/// `bias_of(i)` by **rejection sampling** against the a-priori upper
+/// bound `bound` (must dominate every candidate's bias): each throw
+/// proposes a uniform candidate and accepts it with probability
+/// `bias/bound`, evaluating only the *proposed* candidate's bias — where
+/// the ITS lane must evaluate all `n` of them. The method of choice for
+/// low-degree dynamic-bias frontiers (node2vec) under
+/// [`crate::method::MethodPolicy::Adaptive`].
+///
+/// Returns `None` when `max_trials` throws all rejected (heavy skew the
+/// bound cannot see) — the caller falls back to the exact ITS lane,
+/// which guarantees termination and, because both methods are exact,
+/// leaves the sampled distribution unchanged. Each throw charges two
+/// RNG draws, one selection iteration, and one rejection trial;
+/// only an accepted throw counts a selection.
+pub fn select_one_rejection(
+    n: usize,
+    bound: f64,
+    max_trials: u64,
+    mut bias_of: impl FnMut(usize) -> f64,
+    rng: &mut Philox,
+    stats: &mut SimStats,
+) -> Option<usize> {
+    debug_assert!(bound.is_finite() && bound > 0.0, "rejection needs a positive finite bound");
+    if n == 0 {
+        return None;
+    }
+    for _ in 0..max_trials {
+        // One column draw + one height draw, then a single candidate
+        // bias evaluation.
+        stats.rng_draws += 2;
+        stats.select_iterations += 1;
+        stats.rejection_trials += 1;
+        stats.warp_cycles += 12;
+        let col = rng.below(n as u64) as usize;
+        let height = rng.uniform() * bound;
+        let b = bias_of(col);
+        debug_assert!(
+            b <= bound * (1.0 + 1e-9),
+            "edge_bias_bound ({bound}) violated by candidate bias {b}"
+        );
+        if height < b {
+            stats.selections += 1;
+            return Some(col);
+        }
+    }
+    None
+}
+
 /// [`select_one_with`] when `ctps` already holds the bounds for the
 /// candidate pool (a hot-vertex cache hit): skips the rebuild — the caller
 /// charges the cache-hit cost model instead — and consumes exactly one

@@ -31,13 +31,18 @@
 //! identical no matter which runtime executes it or in what order —
 //! the property the cross-runtime equivalence tests pin down.
 
+use crate::alias::{AliasBuildScratch, AliasTable};
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, UpdateAction};
 use crate::collision::{charge_visited_check, DetectorKind};
 use crate::ctps_cache::{self, CacheOutcome, CtpsCache};
+use crate::method::{
+    choose_method, MethodContext, MethodPolicy, RejectionFeedback, SelectMethod,
+    REJECTION_MAX_TRIALS,
+};
 use crate::select::{
-    select_one_preloaded, select_one_uniform, select_one_with, select_without_replacement_into,
-    select_without_replacement_preloaded_into, select_without_replacement_uniform_into,
-    SelectConfig, SelectScratch, SelectStrategy,
+    select_one_preloaded, select_one_rejection, select_one_uniform, select_one_with,
+    select_without_replacement_into, select_without_replacement_preloaded_into,
+    select_without_replacement_uniform_into, SelectConfig, SelectScratch, SelectStrategy,
 };
 use crate::select_simt::select_without_replacement_simt_into;
 use csaw_gpu::rng::task_key;
@@ -334,6 +339,14 @@ pub struct StepScratch {
     biases: Vec<f64>,
     /// The SELECT arena (CTPS, detector bitmap, lane buffers).
     select: SelectScratch,
+    /// Alias-method lane: the table rebuilt on an adaptive cache miss
+    /// (then cloned into the cache by admission).
+    alias: AliasTable,
+    /// Vose worklists for the alias lane.
+    alias_build: AliasBuildScratch,
+    /// Live rejection-acceptance feedback for the method chooser (one per
+    /// worker, like the rest of the arena — health is a local property).
+    rej_feedback: RejectionFeedback,
     /// Debug-only rebuild lane: cache hits re-derive the CTPS here and
     /// assert it matches the cached bounds bit for bit.
     #[cfg(debug_assertions)]
@@ -370,6 +383,7 @@ pub struct StepKernel<'a> {
     seed: u64,
     cache: Option<&'a CtpsCache>,
     force_rebuild: bool,
+    method_policy: MethodPolicy,
 }
 
 impl<'a> StepKernel<'a> {
@@ -383,7 +397,19 @@ impl<'a> StepKernel<'a> {
             seed,
             cache: None,
             force_rebuild: false,
+            method_policy: MethodPolicy::ForceIts,
         }
+    }
+
+    /// Sets the sampling-method policy. The default,
+    /// [`MethodPolicy::ForceIts`], keeps the kernel bit-identical to the
+    /// pinned goldens; [`MethodPolicy::Adaptive`] lets
+    /// [`crate::method::choose_method`] pick alias/rejection per
+    /// expansion (distribution-equal, not bit-equal — the methods consume
+    /// different Philox draws).
+    pub fn with_method_policy(mut self, policy: MethodPolicy) -> Self {
+        self.method_policy = policy;
+        self
     }
 
     /// Overrides the SELECT configuration.
@@ -484,6 +510,21 @@ impl<'a> StepKernel<'a> {
             task_key(entry.instance, entry.depth, entry.vertex, entry.trial),
         );
 
+        // The method chooser covers independent per-vertex, with-
+        // replacement, non-uniform expansions — the regime where ITS,
+        // alias, and rejection actually compete. Everything else (uniform
+        // closed-form, without-replacement collision loops, pool-level
+        // steps) keeps its existing ITS-shaped path per the decision
+        // table in [`crate::method`].
+        if self.method_policy == MethodPolicy::Adaptive
+            && !self.force_rebuild
+            && !self.cfg.without_replacement
+            && !self.algo.edge_bias_is_uniform()
+        {
+            self.expand_adaptive(access, entry, home, &mut rng, sink, scratch, stats);
+            return;
+        }
+
         let cache = self.effective_cache();
         let epoch = access.epoch();
         if let Some(cache) = cache {
@@ -524,6 +565,9 @@ impl<'a> StepKernel<'a> {
         }
         let StepScratch { biases, select, .. } = scratch;
         if self.uniform_closed_form() {
+            if self.method_policy == MethodPolicy::Adaptive {
+                stats.method_uniform += 1;
+            }
             // The bias lane would be all-ones: charge its (skipped) fill
             // and serve SELECT closed-form — bit-identical picks and
             // charges, no lane write, no materialized CTPS.
@@ -548,6 +592,9 @@ impl<'a> StepKernel<'a> {
                 }
             }
         } else {
+            if self.method_policy == MethodPolicy::Adaptive {
+                stats.method_its += 1;
+            }
             self.fill_biases(&gat, v, entry.prev, biases, stats);
             self.select_picks_into(biases, k, &mut rng, select, stats);
             if let Some(cache) = cache {
@@ -583,6 +630,12 @@ impl<'a> StepKernel<'a> {
         stats: &mut SimStats,
     ) {
         let v = entry.vertex;
+        if self.method_policy == MethodPolicy::Adaptive {
+            // Only without-replacement static-bias kernels reach here
+            // under Adaptive (with-replacement ones branch to
+            // `expand_adaptive`) — and those stay on ITS per the table.
+            stats.method_its += 1;
+        }
         // Cached-table read: the row header plus the bound words a binary
         // search touches (≤ 8 modeled probes, as in the eager A7 cache).
         stats.read_gmem(16 + 8 * degree.min(8));
@@ -627,6 +680,179 @@ impl<'a> StepKernel<'a> {
         }
         let pick_bytes = 4 + if gat.graph.is_weighted() { 4 } else { 0 };
         self.emit_picks(&gat, entry, home, &select.out, pick_bytes, rng, sink, stats);
+    }
+
+    /// The adaptive per-vertex expand: [`crate::method::choose_method`]
+    /// picks the sampling method per expansion.
+    ///
+    /// - **Static bias, cache attached** — alias fast path. A hit samples
+    ///   O(1) rows straight off the cached table *under the shard lock*
+    ///   (no O(d) copy-out); a miss builds the table once in the scratch
+    ///   lane, samples it, and offers it for admission.
+    /// - **Dynamic bias with an a-priori bound** — rejection: each throw
+    ///   evaluates only the *proposed* candidate's bias, where ITS must
+    ///   evaluate all `d` of them (the node2vec win). A trial cap with an
+    ///   exact-ITS fallback guarantees termination; mixing exact methods
+    ///   preserves the target distribution.
+    /// - Everything else — the existing ITS lane.
+    ///
+    /// Every method draws from the same per-task Philox stream but
+    /// consumes different draw counts, so Adaptive output is
+    /// distribution-equal (chi-square validated) to `ForceIts`, never
+    /// bit-equal.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_adaptive<N: NeighborAccess, S: FrontierSink>(
+        &self,
+        access: &mut N,
+        entry: &StepEntry,
+        home: VertexId,
+        rng: &mut Philox,
+        sink: &mut S,
+        scratch: &mut StepScratch,
+        stats: &mut SimStats,
+    ) {
+        let v = entry.vertex;
+        let epoch = access.epoch();
+        let static_bias = self.algo.edge_bias_is_static();
+        let cache = if static_bias { self.cache } else { None };
+
+        if let Some(cache) = cache {
+            let select = &mut scratch.select;
+            let served = cache.with_alias_entry(v, epoch, |table, _selectable| {
+                let degree = table.len();
+                let k = self.cfg.neighbor_size.realize(degree, rng);
+                select.out.clear();
+                // Cached-row read: the header once, one alias row per draw.
+                stats.read_gmem(16);
+                for _ in 0..k {
+                    stats.read_gmem(12);
+                    select.out.push(table.sample(rng, stats));
+                }
+                stats.selections += select.out.len() as u64;
+                degree
+            });
+            if let Some(degree) = served {
+                stats.ctps_cache_hits += 1;
+                stats.method_alias += 1;
+                let gat = access.fetch(v);
+                debug_assert_eq!(
+                    gat.neighbors.len(),
+                    degree,
+                    "cached degree diverged from adjacency"
+                );
+                let pick_bytes = 4 + if gat.graph.is_weighted() { 4 } else { 0 };
+                self.emit_picks(
+                    &gat,
+                    entry,
+                    home,
+                    &scratch.select.out,
+                    pick_bytes,
+                    rng,
+                    sink,
+                    stats,
+                );
+                return;
+            }
+            stats.ctps_cache_misses += 1;
+        }
+
+        let gat = access.gather(v, stats);
+        let g = gat.graph;
+        if gat.neighbors.is_empty() {
+            match self.algo.on_dead_end(g, v, home, rng) {
+                UpdateAction::Add(w) => self.offer(entry, w, Some(v), sink, stats),
+                UpdateAction::Discard => {}
+            }
+            return;
+        }
+        let n = gat.neighbors.len();
+        let k = self.cfg.neighbor_size.realize(n, rng);
+        if k == 0 {
+            return;
+        }
+
+        let StepScratch { biases, select, alias, alias_build, rej_feedback, .. } = scratch;
+        let bound = if static_bias {
+            None
+        } else {
+            self.algo.edge_bias_bound(g, v, entry.prev).filter(|b| b.is_finite() && *b > 0.0)
+        };
+        let ctx = MethodContext {
+            uniform: false,
+            static_bias,
+            without_replacement: false,
+            degree: n,
+            cache_available: cache.is_some(),
+            bound_available: bound.is_some(),
+            rejection_allowed: !static_bias && rej_feedback.allow(),
+            skew: None,
+        };
+        match choose_method(&ctx) {
+            SelectMethod::CachedAlias => {
+                // Cache miss: build the table once, sample O(1) per pick,
+                // then offer it for admission so the next expansion of v
+                // hits without the O(d) build.
+                self.fill_biases(&gat, v, entry.prev, biases, stats);
+                if alias.rebuild(biases, alias_build, stats) {
+                    stats.method_alias += 1;
+                    select.out.clear();
+                    for _ in 0..k {
+                        select.out.push(alias.sample(rng, stats));
+                    }
+                    stats.selections += select.out.len() as u64;
+                    let selectable = biases.iter().filter(|&&b| b > 0.0).count();
+                    cache.expect("CachedAlias implies cache_available").promote_alias(
+                        v,
+                        epoch,
+                        alias,
+                        selectable as u32,
+                    );
+                } else {
+                    // Degenerate lane (all-zero biases): the exact ITS
+                    // lane is the arbiter — it yields no picks either.
+                    stats.method_its += 1;
+                    self.select_picks_into(biases, k, rng, select, stats);
+                }
+            }
+            SelectMethod::Rejection => {
+                stats.method_rejection += 1;
+                let bound = bound.expect("Rejection implies bound_available");
+                select.out.clear();
+                let mut deferred = 0usize;
+                for _ in 0..k {
+                    let before = stats.rejection_trials;
+                    let pick = select_one_rejection(
+                        n,
+                        bound,
+                        REJECTION_MAX_TRIALS,
+                        |col| self.algo.edge_bias(g, &gat.edge(col, v, entry.prev)),
+                        rng,
+                        stats,
+                    );
+                    rej_feedback.record(stats.rejection_trials - before);
+                    match pick {
+                        Some(col) => select.out.push(col),
+                        None => deferred += 1,
+                    }
+                }
+                if deferred > 0 {
+                    // Cap exhausted (skew the bound could not see): serve
+                    // the remaining picks from the exact ITS lane.
+                    self.fill_biases(&gat, v, entry.prev, biases, stats);
+                    for _ in 0..deferred {
+                        if let Some(i) = select_one_with(biases, &mut select.ctps, rng, stats) {
+                            select.out.push(i);
+                        }
+                    }
+                }
+            }
+            SelectMethod::Its | SelectMethod::ClosedFormUniform => {
+                stats.method_its += 1;
+                self.fill_biases(&gat, v, entry.prev, biases, stats);
+                self.select_picks_into(biases, k, rng, select, stats);
+            }
+        }
+        self.emit_picks(&gat, entry, home, &select.out, 0, rng, sink, stats);
     }
 
     /// The accept → emit → UPDATE → offer tail of a per-vertex step,

@@ -51,6 +51,21 @@ pub struct SimStats {
     pub ctps_cache_hits: u64,
     /// Static-bias expansions that missed the CTPS cache and rebuilt.
     pub ctps_cache_misses: u64,
+    /// Expansions served by inverse transform sampling under the adaptive
+    /// method chooser (counted only when the chooser ran: the `ForceIts`
+    /// policy leaves all four `method_*` counters at zero).
+    pub method_its: u64,
+    /// Adaptive expansions served by a cached (or freshly built) alias
+    /// table.
+    pub method_alias: u64,
+    /// Adaptive expansions served by bounded rejection (dartboard) trials.
+    pub method_rejection: u64,
+    /// Adaptive expansions served by the closed-form uniform path.
+    pub method_uniform: u64,
+    /// Total rejection throws across `method_rejection` expansions
+    /// (accepted + rejected); trials / accepts is the live skew signal the
+    /// chooser feeds back on.
+    pub rejection_trials: u64,
 }
 
 impl SimStats {
@@ -76,6 +91,11 @@ impl SimStats {
         self.frontier_ops += other.frontier_ops;
         self.ctps_cache_hits += other.ctps_cache_hits;
         self.ctps_cache_misses += other.ctps_cache_misses;
+        self.method_its += other.method_its;
+        self.method_alias += other.method_alias;
+        self.method_rejection += other.method_rejection;
+        self.method_uniform += other.method_uniform;
+        self.rejection_trials += other.rejection_trials;
     }
 
     /// Merge that consumes the right-hand side (for fold/reduce).

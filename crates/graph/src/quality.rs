@@ -165,6 +165,35 @@ pub fn effective_diameter(g: &Csr, sources: usize, seed: u64) -> f64 {
     dists[(dists.len() as f64 * 0.9) as usize % dists.len()] as f64
 }
 
+/// Pearson chi-square statistic of observed category counts against
+/// expected probabilities: `Σ (observed − expected)² / expected` over
+/// categories with `expected > 0`. Used by the sampling-method
+/// equivalence suite to test that two samplers draw from the same
+/// distribution — compare against a chi-square quantile for
+/// `categories − 1` degrees of freedom (rule of thumb: the 99.9th
+/// percentile is roughly `df + 4·√(2·df) + 7` for the df sizes used in
+/// tests).
+///
+/// Panics if the shapes disagree or a category with zero expected
+/// probability was observed (those draws are impossible under the
+/// reference distribution — a correctness bug, not statistical noise).
+pub fn chi_square_stat(observed: &[u64], probs: &[f64]) -> f64 {
+    assert_eq!(observed.len(), probs.len(), "category count mismatch");
+    let n: u64 = observed.iter().sum();
+    let total: f64 = probs.iter().sum();
+    let mut stat = 0.0;
+    for (&o, &p) in observed.iter().zip(probs) {
+        let e = n as f64 * p / total;
+        if e <= 0.0 {
+            assert_eq!(o, 0, "observed draws from a zero-probability category");
+            continue;
+        }
+        let d = o as f64 - e;
+        stat += d * d / e;
+    }
+    stat
+}
+
 /// A bundle of quality metrics comparing a sample against its original.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QualityReport {
@@ -264,6 +293,33 @@ mod tests {
         assert_eq!(triangle_count(&ring_lattice(10, 1)), 0);
         // toy graph triangles: (3,4,7), (4,5,7), (0,6,7), (5,7,8).
         assert_eq!(triangle_count(&toy_graph()), 4);
+    }
+
+    #[test]
+    fn chi_square_is_zero_on_exact_proportions() {
+        // 100 draws split exactly per the probabilities.
+        assert_eq!(chi_square_stat(&[50, 30, 20], &[0.5, 0.3, 0.2]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_grows_with_distortion() {
+        let probs = [0.5, 0.5];
+        let mild = chi_square_stat(&[520, 480], &probs);
+        let wild = chi_square_stat(&[900, 100], &probs);
+        assert!(mild < 5.0, "mild distortion should look like noise: {mild}");
+        assert!(wild > 100.0, "gross distortion must blow up: {wild}");
+    }
+
+    #[test]
+    fn chi_square_normalizes_unnormalized_probs() {
+        // Bias weights, not probabilities — the helper normalizes.
+        assert_eq!(chi_square_stat(&[75, 25], &[3.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn chi_square_rejects_impossible_draws() {
+        chi_square_stat(&[10, 1], &[1.0, 0.0]);
     }
 
     #[test]

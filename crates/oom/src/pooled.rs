@@ -113,7 +113,9 @@ pub(crate) fn run_pooled<A: Algorithm>(
     let algo = runner.algo;
     let cfg = algo.config();
     debug_assert_ne!(cfg.frontier, FrontierMode::IndependentPerVertex);
-    let kernel = StepKernel::new(algo, runner.seed).with_select(runner.select);
+    let kernel = StepKernel::new(algo, runner.seed)
+        .with_select(runner.select)
+        .with_method_policy(runner.method_policy);
     let mut access = ResidentAccess::new(runner.graph, parts, &runner.cfg, runner.device.pcie_gbps);
     let mut outputs: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seed_sets.len()];
     let mut stats = SimStats::new();

@@ -46,6 +46,7 @@ use csaw_core::api::{AlgoConfig, Algorithm, FrontierMode};
 use csaw_core::collision::{charge_visited_check, DetectorKind};
 use csaw_core::ctps_cache::CtpsCache;
 use csaw_core::frontier::{FrontierEntry, FrontierQueue};
+use csaw_core::method::MethodPolicy;
 use csaw_core::select::SelectConfig;
 use csaw_core::step::{with_thread_scratch, FrontierSink, PartitionAccess, StepEntry, StepKernel};
 use csaw_gpu::config::DeviceConfig;
@@ -227,6 +228,7 @@ pub struct OomRunner<'g, A: Algorithm> {
     pub(crate) seed: u64,
     pub(crate) instance_base: u32,
     pub(crate) ctps_cache_budget: usize,
+    pub(crate) method_policy: MethodPolicy,
 }
 
 impl<'g, A: Algorithm> OomRunner<'g, A> {
@@ -246,6 +248,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             seed: 0x5eed,
             instance_base: 0,
             ctps_cache_budget: 0,
+            method_policy: MethodPolicy::ForceIts,
         }
     }
 
@@ -282,6 +285,14 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
     /// Sampled output is bit-identical with or without the cache.
     pub fn with_ctps_cache_budget(mut self, budget: usize) -> Self {
         self.ctps_cache_budget = budget;
+        self
+    }
+
+    /// Sampling-method policy (see `csaw_core::method`): `ForceIts` (the
+    /// default) stays bit-identical to the in-memory engine; `Adaptive`
+    /// picks alias/rejection per expansion (distribution-equal).
+    pub fn with_method_policy(mut self, policy: MethodPolicy) -> Self {
+        self.method_policy = policy;
         self
     }
 
@@ -581,7 +592,8 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
     ) -> (StreamRound, SimStats) {
         let kernel = StepKernel::new(self.algo, self.seed)
             .with_select(self.select)
-            .with_ctps_cache(task.cache.as_deref());
+            .with_ctps_cache(task.cache.as_deref())
+            .with_method_policy(self.method_policy);
         let mut access = PartitionAccess { graph: self.graph, parts, epoch: task.epoch };
         let mut queue = task.queue;
         let mut shard = task.shard;

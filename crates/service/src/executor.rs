@@ -145,7 +145,8 @@ impl BatchExecutor for OomExecutor {
             .with_seed(opts.seed)
             .with_select(opts.select)
             .with_instance_base(opts.instance_base)
-            .with_ctps_cache_budget(cache_budget);
+            .with_ctps_cache_budget(cache_budget)
+            .with_method_policy(opts.method_policy);
         let out = if algo.config().frontier == FrontierMode::IndependentPerVertex {
             // The service shapes one single-seed instance per vertex for
             // per-vertex-frontier algorithms; the scheduler's plain entry

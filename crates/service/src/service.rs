@@ -62,6 +62,11 @@ pub struct ServiceConfig {
     /// Coalesced same-graph requests re-hit transition-probability
     /// tables built for earlier batches of the same algorithm.
     pub ctps_cache_budget: usize,
+    /// Sampling-method policy applied to every launch (see
+    /// `csaw_core::method`). `ForceIts` (the default) keeps responses
+    /// bit-identical to solo engine runs; `Adaptive` picks
+    /// alias/rejection per expansion and is distribution-equal instead.
+    pub method_policy: csaw_core::method::MethodPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +77,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             start_paused: false,
             ctps_cache_budget: 4 << 20,
+            method_policy: csaw_core::method::MethodPolicy::ForceIts,
         }
     }
 }
@@ -466,6 +472,7 @@ fn process_batch(
             seed: rng_seed,
             instance_base: seg[0].instance_base,
             ctps_cache: cache.clone(),
+            method_policy: shared.config.method_policy,
             ..RunOptions::default()
         };
         let result =
@@ -482,6 +489,7 @@ fn process_batch(
                 ServiceStats::add(&stats.sampled_edges, out.stats.sampled_edges);
                 ServiceStats::add(&stats.transfers, out.transfers);
                 ServiceStats::add(&stats.bytes_transferred, out.bytes_transferred);
+                stats.record_methods(&out.stats);
                 let counts: Vec<usize> = seg.iter().map(|q| q.seed_sets.len()).collect();
                 let parts = out.sample.split_by_counts(&counts);
                 let completed_at = Instant::now();
@@ -521,6 +529,8 @@ fn process_batch(
         totals.promotions += s.promotions;
         totals.evictions += s.evictions;
         totals.bytes += s.bytes;
+        totals.alias_hits += s.alias_hits;
+        totals.alias_promotions += s.alias_promotions;
     }
     stats.record_cache(&totals);
 }

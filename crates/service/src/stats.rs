@@ -68,6 +68,23 @@ pub struct ServiceStats {
     pub cache_evictions: AtomicU64,
     /// Bytes currently held by the caches (gauge).
     pub cache_bytes: AtomicU64,
+    /// Cache lookups served from a cached *alias table* (gauge, subset
+    /// of `cache_hits`; nonzero only under the adaptive method policy).
+    pub cache_alias_hits: AtomicU64,
+    /// Alias tables promoted into the caches (gauge, subset of
+    /// `cache_promotions`).
+    pub cache_alias_promotions: AtomicU64,
+    /// Expansions served by ITS when the method chooser ran (batch
+    /// totals; all four `method_*` counters stay zero under `ForceIts`).
+    pub method_its: AtomicU64,
+    /// Expansions served from a cached or freshly built alias table.
+    pub method_alias: AtomicU64,
+    /// Expansions served by bounded rejection sampling.
+    pub method_rejection: AtomicU64,
+    /// Expansions served by the closed-form uniform path.
+    pub method_uniform: AtomicU64,
+    /// Total rejection throws across rejection-served expansions.
+    pub rejection_trials: AtomicU64,
 }
 
 impl ServiceStats {
@@ -100,6 +117,17 @@ impl ServiceStats {
         self.cache_promotions.store(totals.promotions, Relaxed);
         self.cache_evictions.store(totals.evictions, Relaxed);
         self.cache_bytes.store(totals.bytes, Relaxed);
+        self.cache_alias_hits.store(totals.alias_hits, Relaxed);
+        self.cache_alias_promotions.store(totals.alias_promotions, Relaxed);
+    }
+
+    /// Accumulates one launch's per-method expansion counters.
+    pub(crate) fn record_methods(&self, stats: &csaw_gpu::stats::SimStats) {
+        Self::add(&self.method_its, stats.method_its);
+        Self::add(&self.method_alias, stats.method_alias);
+        Self::add(&self.method_rejection, stats.method_rejection);
+        Self::add(&self.method_uniform, stats.method_uniform);
+        Self::add(&self.rejection_trials, stats.rejection_trials);
     }
 
     /// A point-in-time copy of every counter.
@@ -125,6 +153,13 @@ impl ServiceStats {
             cache_promotions: self.cache_promotions.load(Relaxed),
             cache_evictions: self.cache_evictions.load(Relaxed),
             cache_bytes: self.cache_bytes.load(Relaxed),
+            cache_alias_hits: self.cache_alias_hits.load(Relaxed),
+            cache_alias_promotions: self.cache_alias_promotions.load(Relaxed),
+            method_its: self.method_its.load(Relaxed),
+            method_alias: self.method_alias.load(Relaxed),
+            method_rejection: self.method_rejection.load(Relaxed),
+            method_uniform: self.method_uniform.load(Relaxed),
+            rejection_trials: self.rejection_trials.load(Relaxed),
         }
     }
 }
@@ -153,6 +188,13 @@ pub struct StatsSnapshot {
     pub cache_promotions: u64,
     pub cache_evictions: u64,
     pub cache_bytes: u64,
+    pub cache_alias_hits: u64,
+    pub cache_alias_promotions: u64,
+    pub method_its: u64,
+    pub method_alias: u64,
+    pub method_rejection: u64,
+    pub method_uniform: u64,
+    pub rejection_trials: u64,
 }
 
 impl StatsSnapshot {
