@@ -32,7 +32,13 @@
 //! assert!(seps > 0.0);
 //! ```
 
-pub mod fenwick;
+/// Fenwick tree — compatibility re-export. The implementation was
+/// promoted to the framework (`csaw_core::fenwick`, backed by
+/// `csaw_graph::fenwick`); existing `csaw_baselines::fenwick::Fenwick`
+/// callers keep compiling through this alias.
+pub mod fenwick {
+    pub use csaw_core::fenwick::Fenwick;
+}
 pub mod graphsaint;
 pub mod knightking;
 

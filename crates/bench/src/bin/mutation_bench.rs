@@ -1,0 +1,243 @@
+//! Mutation-rate sweep for the mutable-graph overlay: walk throughput
+//! (steps/sec) and edit throughput (edits/sec) at varying overlay
+//! fractions, against the static-CSR baseline.
+//!
+//! The workload is the epoch contract's sweet spot: an **untouched hot
+//! set** — walks seed at the highest-degree vertices while edits land on
+//! the coldest vertices, so the overlay grows without touching what the
+//! walks mostly read. The interesting question is how much the overlay
+//! indirection (per-accessor dirty-bit test, hash probe on mutated
+//! vertices) costs when almost every probe answers "untouched": at ≤1%
+//! overlay the snapshot path should hold within 10% of the static-CSR
+//! baseline (recorded as `rel_to_static` in every row).
+//!
+//! Each row's baseline is a static run on the **compacted CSR of the
+//! same epoch** (`GraphSnapshot::to_csr`) — by the determinism contract
+//! those walks are bit-identical to the snapshot walks, so the two
+//! timings cover exactly the same sampling work and their ratio isolates
+//! the representation overhead. Every row asserts that bit-identity; the
+//! 0%-overlay row additionally pins the epoch-0 snapshot to the
+//! untouched input CSR.
+//!
+//! Usage: `mutation_bench [--quick] [--label NAME] [--json PATH] [--csv PATH]`
+
+use csaw_core::algorithms::BiasedRandomWalk;
+use csaw_core::engine::{RunOptions, Sampler};
+use csaw_graph::generators::{rmat, RmatParams};
+use csaw_graph::{EdgeEdit, MutableGraph, VertexId};
+use std::time::Instant;
+
+struct Row {
+    overlay_frac: f64,
+    overlay_vertices: usize,
+    edits: usize,
+    edits_per_sec: f64,
+    steps: u64,
+    steps_per_sec: f64,
+    rel_to_static: f64,
+    compact_folded: usize,
+    compact_ms: f64,
+}
+
+/// Fractions of the vertex set carrying a live delta. 0.01 is the
+/// acceptance point; the tail shows where the indirection starts to bite.
+const OVERLAY_FRACS: [f64; 6] = [0.0, 0.001, 0.01, 0.05, 0.10, 0.25];
+
+fn count_steps(out: &csaw_core::SampleOutput) -> u64 {
+    out.instances.iter().map(|i| i.len() as u64).sum()
+}
+
+/// Interleaved A/B timing: alternates single reps of the two samplers so
+/// slow machine-load drift hits both sides equally, which is what makes
+/// the throughput *ratio* stable even when absolute steps/sec wobbles.
+/// Returns (steps_a, secs_a, secs_b) over `timed_reps` reps each, after
+/// one warm-up rep per side.
+fn timed_pair(
+    a: &Sampler<'_, BiasedRandomWalk>,
+    b: &Sampler<'_, BiasedRandomWalk>,
+    seeds: &[VertexId],
+    timed_reps: usize,
+) -> (u64, f64, f64) {
+    a.run_single_seeds(seeds);
+    b.run_single_seeds(seeds);
+    let (mut steps_a, mut secs_a, mut secs_b) = (0u64, 0.0f64, 0.0f64);
+    for _ in 0..timed_reps {
+        let t = Instant::now();
+        let out = a.run_single_seeds(seeds);
+        secs_a += t.elapsed().as_secs_f64();
+        steps_a += count_steps(&out);
+        let t = Instant::now();
+        b.run_single_seeds(seeds);
+        secs_b += t.elapsed().as_secs_f64();
+    }
+    (steps_a, secs_a, secs_b)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let label = flag("--label").unwrap_or_else(|| "run".to_string());
+    let json_path = flag("--json");
+    let csv_path = flag("--csv");
+
+    let (scale, num_seeds, walk_len, timed_reps) =
+        if quick { (9, 32, 8, 2) } else { (12, 256, 16, 40) };
+    let g = rmat(scale, 8, RmatParams::MILD, 42);
+    let n = g.num_vertices();
+    let algo = BiasedRandomWalk { length: walk_len };
+
+    // Hot set: the highest-degree vertices seed the walks. Cold set:
+    // edits land on the lowest-degree vertices, hot set excluded.
+    let mut by_degree: Vec<VertexId> = (0..n as VertexId).collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let seeds: Vec<VertexId> = by_degree[..num_seeds].to_vec();
+    let cold: Vec<VertexId> =
+        by_degree[num_seeds..].iter().rev().copied().filter(|&v| g.degree(v) > 0).collect();
+
+    println!(
+        "mutation_bench [{label}]: rmat scale={scale}, {num_seeds} hot seeds, \
+         walk length {walk_len}, {timed_reps} timed reps"
+    );
+
+    // Untouched input CSR baseline (pins the 0% row bit-for-bit).
+    let opts = RunOptions { seed: 0x5eed, ..RunOptions::default() };
+    let base_instances =
+        Sampler::new(&g, &algo).with_options(opts.clone()).run_single_seeds(&seeds).instances;
+    println!(
+        "{:>9} {:>9} {:>8} {:>12} {:>12} {:>8} {:>8} {:>10}",
+        "overlay%", "vertices", "edits", "edits/sec", "steps/sec", "rel", "folded", "compact_ms"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for frac in OVERLAY_FRACS {
+        let touched = ((n as f64 * frac) as usize).min(cold.len());
+        // Two inserts per cold vertex, applied in service-sized batches.
+        let edits: Vec<EdgeEdit> = cold[..touched]
+            .iter()
+            .flat_map(|&v| {
+                [
+                    EdgeEdit::Insert { src: v, dst: (v + 1) % n as VertexId, weight: 1.0 },
+                    EdgeEdit::Insert { src: v, dst: (v + 7) % n as VertexId, weight: 1.0 },
+                ]
+            })
+            .collect();
+        let mut mg = MutableGraph::new(g.clone());
+        let t0 = Instant::now();
+        for batch in edits.chunks(256) {
+            mg.apply_batch(batch).expect("in-range inserts");
+        }
+        let edit_secs = t0.elapsed().as_secs_f64();
+        let edits_per_sec = if edits.is_empty() { 0.0 } else { edits.len() as f64 / edit_secs };
+
+        let snap = mg.snapshot();
+        let snap_opts =
+            RunOptions { seed: 0x5eed, snapshot: Some(snap.clone()), ..RunOptions::default() };
+        // Same-epoch static baseline: the compacted CSR runs the exact
+        // same walks (determinism contract), so the interleaved timing
+        // ratio isolates the overlay-representation overhead.
+        let compacted = snap.to_csr();
+        let snap_sampler = Sampler::new(snap.base(), &algo).with_options(snap_opts);
+        let static_sampler = Sampler::new(&compacted, &algo).with_options(opts.clone());
+        let instances = snap_sampler.run_single_seeds(&seeds).instances;
+        assert_eq!(
+            instances,
+            static_sampler.run_single_seeds(&seeds).instances,
+            "snapshot walks diverged from the compacted CSR at {frac} overlay"
+        );
+        if frac == 0.0 {
+            // Correctness gate: an empty-overlay snapshot is the
+            // untouched input graph, bit for bit.
+            assert_eq!(instances, base_instances, "epoch-0 snapshot diverged from static run");
+        }
+        let (steps, snap_secs, static_secs) =
+            timed_pair(&snap_sampler, &static_sampler, &seeds, timed_reps);
+        let sps = steps as f64 / snap_secs;
+        let static_sps = steps as f64 / static_secs;
+        if std::env::var_os("MUTATION_BENCH_CONTROL").is_some() {
+            let (_, ca, cb) = timed_pair(&static_sampler, &static_sampler, &seeds, timed_reps);
+            eprintln!("control static/static at {frac}: {:.3}", cb / ca);
+        }
+
+        let t1 = Instant::now();
+        let compact_folded = mg.compact();
+        let compact_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let row = Row {
+            overlay_frac: frac,
+            overlay_vertices: touched,
+            edits: edits.len(),
+            edits_per_sec,
+            steps,
+            steps_per_sec: sps,
+            rel_to_static: sps / static_sps,
+            compact_folded,
+            compact_ms,
+        };
+        println!(
+            "{:>8.1}% {:>9} {:>8} {:>12.0} {:>12.0} {:>8.3} {:>8} {:>10.2}",
+            row.overlay_frac * 100.0,
+            row.overlay_vertices,
+            row.edits,
+            row.edits_per_sec,
+            row.steps_per_sec,
+            row.rel_to_static,
+            row.compact_folded,
+            row.compact_ms
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = json_path {
+        let mut s = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "  {{\"label\": \"{}\", \"graph\": \"rmat-{}\", \"overlay_frac\": {:.3}, \
+                 \"overlay_vertices\": {}, \"edits\": {}, \"edits_per_sec\": {:.1}, \
+                 \"steps\": {}, \"steps_per_sec\": {:.1}, \"rel_to_static\": {:.4}, \
+                 \"compact_folded\": {}, \"compact_ms\": {:.3}}}{}\n",
+                label,
+                scale,
+                r.overlay_frac,
+                r.overlay_vertices,
+                r.edits,
+                r.edits_per_sec,
+                r.steps,
+                r.steps_per_sec,
+                r.rel_to_static,
+                r.compact_folded,
+                r.compact_ms,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("]\n");
+        std::fs::write(&path, s).expect("write json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = csv_path {
+        let mut s = String::from(
+            "label,graph,overlay_frac,overlay_vertices,edits,edits_per_sec,steps,\
+             steps_per_sec,rel_to_static,compact_folded,compact_ms\n",
+        );
+        for r in &rows {
+            s.push_str(&format!(
+                "{},rmat-{},{:.3},{},{},{:.1},{},{:.1},{:.4},{},{:.3}\n",
+                label,
+                scale,
+                r.overlay_frac,
+                r.overlay_vertices,
+                r.edits,
+                r.edits_per_sec,
+                r.steps,
+                r.steps_per_sec,
+                r.rel_to_static,
+                r.compact_folded,
+                r.compact_ms
+            ));
+        }
+        std::fs::write(&path, s).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -72,15 +72,15 @@ fn run_boxed(g: &csaw_graph::Csr, algo: &dyn Algorithm, seeds: &[Vec<u32>]) -> u
         fn config(&self) -> csaw_core::api::AlgoConfig {
             self.0.config()
         }
-        fn vertex_bias(&self, g: &csaw_graph::Csr, v: u32) -> f64 {
+        fn vertex_bias(&self, g: csaw_graph::GraphView<'_>, v: u32) -> f64 {
             self.0.vertex_bias(g, v)
         }
-        fn edge_bias(&self, g: &csaw_graph::Csr, e: &csaw_core::api::EdgeCand) -> f64 {
+        fn edge_bias(&self, g: csaw_graph::GraphView<'_>, e: &csaw_core::api::EdgeCand) -> f64 {
             self.0.edge_bias(g, e)
         }
         fn update(
             &self,
-            g: &csaw_graph::Csr,
+            g: csaw_graph::GraphView<'_>,
             e: &csaw_core::api::EdgeCand,
             home: u32,
             rng: &mut csaw_gpu::Philox,
@@ -89,7 +89,7 @@ fn run_boxed(g: &csaw_graph::Csr, algo: &dyn Algorithm, seeds: &[Vec<u32>]) -> u
         }
         fn accept(
             &self,
-            g: &csaw_graph::Csr,
+            g: csaw_graph::GraphView<'_>,
             e: &csaw_core::api::EdgeCand,
             rng: &mut csaw_gpu::Philox,
         ) -> Option<u32> {
@@ -97,7 +97,7 @@ fn run_boxed(g: &csaw_graph::Csr, algo: &dyn Algorithm, seeds: &[Vec<u32>]) -> u
         }
         fn on_dead_end(
             &self,
-            g: &csaw_graph::Csr,
+            g: csaw_graph::GraphView<'_>,
             v: u32,
             home: u32,
             rng: &mut csaw_gpu::Philox,

@@ -6,7 +6,7 @@
 //! SELECT.
 
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize};
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{GraphView, VertexId};
 
 /// Layer sampling with a per-layer budget.
 #[derive(Debug, Clone, Copy)]
@@ -29,7 +29,7 @@ impl Algorithm for LayerSampling {
             without_replacement: true,
         }
     }
-    fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+    fn edge_bias(&self, g: GraphView<'_>, e: &EdgeCand) -> f64 {
         // Importance ∝ candidate degree (static bias per Table I).
         g.degree(e.u) as f64
     }
@@ -45,7 +45,12 @@ impl Algorithm for LayerSampling {
     /// without replacement, where one CTPS serves all `layer_size`
     /// picks), so this hook exists for per-vertex reconfigurations and to
     /// document the bound's shape for degree-biased algorithms.
-    fn edge_bias_bound(&self, g: &Csr, v: VertexId, _prev: Option<VertexId>) -> Option<f64> {
+    fn edge_bias_bound(
+        &self,
+        g: GraphView<'_>,
+        v: VertexId,
+        _prev: Option<VertexId>,
+    ) -> Option<f64> {
         let max_deg = g.neighbors(v).iter().map(|&u| g.degree(u)).max()?;
         (max_deg > 0).then_some(max_deg as f64)
     }

@@ -8,7 +8,7 @@
 //! the Fig. 9b workload (GraphSAINT comparison).
 
 use crate::api::{AlgoConfig, Algorithm, FrontierMode, NeighborSize};
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{GraphView, VertexId};
 
 /// Multi-dimensional random walk.
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +50,7 @@ impl Algorithm for MultiDimRandomWalk {
         }
     }
     // Fig. 3b: VERTEXBIAS = degree, EDGEBIAS = 1, UPDATE = add sampled u.
-    fn vertex_bias(&self, g: &Csr, v: VertexId) -> f64 {
+    fn vertex_bias(&self, g: GraphView<'_>, v: VertexId) -> f64 {
         g.degree(v) as f64
     }
     fn edge_bias_is_uniform(&self) -> bool {

@@ -2,7 +2,7 @@
 //! the DGL `NeighborSampler` workload and the GCN mini-batch sampler).
 
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize};
-use csaw_graph::Csr;
+use csaw_graph::GraphView;
 
 fn ns_config(ns: usize, depth: usize) -> AlgoConfig {
     AlgoConfig {
@@ -53,7 +53,7 @@ impl Algorithm for BiasedNeighborSampling {
     fn config(&self) -> AlgoConfig {
         ns_config(self.neighbor_size, self.depth)
     }
-    fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+    fn edge_bias(&self, g: GraphView<'_>, e: &EdgeCand) -> f64 {
         if g.is_weighted() {
             e.weight as f64
         } else {

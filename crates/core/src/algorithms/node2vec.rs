@@ -9,7 +9,7 @@
 //! - otherwise               → `w(v,u) / q` (explore, distance 2).
 
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize};
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{GraphView, VertexId};
 
 /// Node2vec second-order walk.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +34,7 @@ impl Algorithm for Node2Vec {
             without_replacement: false,
         }
     }
-    fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+    fn edge_bias(&self, g: GraphView<'_>, e: &EdgeCand) -> f64 {
         let w = e.weight as f64;
         match e.prev {
             // First step: no second-order context, plain weight.
@@ -58,7 +58,12 @@ impl Algorithm for Node2Vec {
     /// bias pass costs. This is what lets the adaptive kernel serve
     /// node2vec by rejection: each throw evaluates a *single* candidate's
     /// bias.
-    fn edge_bias_bound(&self, g: &Csr, v: VertexId, prev: Option<VertexId>) -> Option<f64> {
+    fn edge_bias_bound(
+        &self,
+        g: GraphView<'_>,
+        v: VertexId,
+        prev: Option<VertexId>,
+    ) -> Option<f64> {
         let w_max = match g.neighbor_weights(v) {
             Some(ws) => ws.iter().copied().fold(0.0f32, f32::max) as f64,
             None => 1.0,
@@ -137,7 +142,7 @@ mod tests {
         let g = probe_graph();
         let algo = Node2Vec { length: 1, p: 0.001, q: 1000.0 };
         let e = EdgeCand { v: 0, u: 1, weight: 2.0, prev: None };
-        assert_eq!(algo.edge_bias(&g, &e), 2.0);
+        assert_eq!(algo.edge_bias(g.view(), &e), 2.0);
     }
 
     #[test]

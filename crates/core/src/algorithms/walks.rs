@@ -2,7 +2,7 @@
 
 use crate::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, UpdateAction};
 use csaw_gpu::Philox;
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{GraphView, VertexId};
 
 fn walk_config(length: usize) -> AlgoConfig {
     AlgoConfig {
@@ -80,7 +80,7 @@ impl Algorithm for MetropolisHastingsWalk {
     fn config(&self) -> AlgoConfig {
         walk_config(self.length)
     }
-    fn accept(&self, g: &Csr, e: &EdgeCand, rng: &mut Philox) -> Option<VertexId> {
+    fn accept(&self, g: GraphView<'_>, e: &EdgeCand, rng: &mut Philox) -> Option<VertexId> {
         let dv = g.degree(e.v) as f64;
         let du = g.degree(e.u) as f64;
         if du <= dv || rng.uniform() < dv / du {
@@ -111,7 +111,13 @@ impl Algorithm for RandomWalkWithJump {
     fn config(&self) -> AlgoConfig {
         walk_config(self.length)
     }
-    fn update(&self, g: &Csr, e: &EdgeCand, _home: VertexId, rng: &mut Philox) -> UpdateAction {
+    fn update(
+        &self,
+        g: GraphView<'_>,
+        e: &EdgeCand,
+        _home: VertexId,
+        rng: &mut Philox,
+    ) -> UpdateAction {
         if rng.chance(self.p_jump) {
             UpdateAction::Add(rng.below(g.num_vertices() as u64) as VertexId)
         } else {
@@ -120,7 +126,7 @@ impl Algorithm for RandomWalkWithJump {
     }
     fn on_dead_end(
         &self,
-        g: &Csr,
+        g: GraphView<'_>,
         _v: VertexId,
         _home: VertexId,
         rng: &mut Philox,
@@ -150,7 +156,13 @@ impl Algorithm for RandomWalkWithRestart {
     fn config(&self) -> AlgoConfig {
         walk_config(self.length)
     }
-    fn update(&self, _g: &Csr, e: &EdgeCand, home: VertexId, rng: &mut Philox) -> UpdateAction {
+    fn update(
+        &self,
+        _g: GraphView<'_>,
+        e: &EdgeCand,
+        home: VertexId,
+        rng: &mut Philox,
+    ) -> UpdateAction {
         if rng.chance(self.p_restart) {
             UpdateAction::Add(home)
         } else {
@@ -159,7 +171,7 @@ impl Algorithm for RandomWalkWithRestart {
     }
     fn on_dead_end(
         &self,
-        _g: &Csr,
+        _g: GraphView<'_>,
         _v: VertexId,
         home: VertexId,
         _rng: &mut Philox,
@@ -186,7 +198,7 @@ impl Algorithm for BiasedRandomWalk {
     fn config(&self) -> AlgoConfig {
         walk_config(self.length)
     }
-    fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+    fn edge_bias(&self, g: GraphView<'_>, e: &EdgeCand) -> f64 {
         g.degree(e.u) as f64
     }
     fn edge_bias_is_static(&self) -> bool {

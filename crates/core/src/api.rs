@@ -14,7 +14,7 @@
 //! mitigation, queues, out-of-memory scheduling.
 
 use csaw_gpu::Philox;
-use csaw_graph::{Csr, VertexId, Weight};
+use csaw_graph::{GraphView, VertexId, Weight};
 
 /// A candidate edge `(v, u)` handed to `EDGEBIAS`/`UPDATE`: `u` is a
 /// neighbor of frontier vertex `v`. `prev` is the vertex the instance
@@ -123,12 +123,12 @@ pub trait Algorithm: Sync + Send {
     fn config(&self) -> AlgoConfig;
 
     /// `VERTEXBIAS` (Eq. 2): bias of pool candidate `v`. Default: uniform.
-    fn vertex_bias(&self, _g: &Csr, _v: VertexId) -> f64 {
+    fn vertex_bias(&self, _g: GraphView<'_>, _v: VertexId) -> f64 {
         1.0
     }
 
     /// `EDGEBIAS` (Eq. 3): bias of neighbor `e.u`. Default: uniform.
-    fn edge_bias(&self, _g: &Csr, _e: &EdgeCand) -> f64 {
+    fn edge_bias(&self, _g: GraphView<'_>, _e: &EdgeCand) -> f64 {
         1.0
     }
 
@@ -165,14 +165,25 @@ pub trait Algorithm: Sync + Send {
     /// the distribution — and must cost far less than a full bias pass
     /// (ideally O(1)) or it defeats the purpose. Default: no bound,
     /// which keeps the kernel on ITS.
-    fn edge_bias_bound(&self, _g: &Csr, _v: VertexId, _prev: Option<VertexId>) -> Option<f64> {
+    fn edge_bias_bound(
+        &self,
+        _g: GraphView<'_>,
+        _v: VertexId,
+        _prev: Option<VertexId>,
+    ) -> Option<f64> {
         None
     }
 
     /// `UPDATE` (Eq. 4): vertex added to the frontier pool after sampling
     /// `e`. Receives the instance's home seed (for restarts) and an RNG
     /// (for probabilistic jumps). Default: add the sampled neighbor.
-    fn update(&self, _g: &Csr, e: &EdgeCand, _home: VertexId, _rng: &mut Philox) -> UpdateAction {
+    fn update(
+        &self,
+        _g: GraphView<'_>,
+        e: &EdgeCand,
+        _home: VertexId,
+        _rng: &mut Philox,
+    ) -> UpdateAction {
         UpdateAction::Add(e.u)
     }
 
@@ -180,7 +191,7 @@ pub trait Algorithm: Sync + Send {
     /// recorded (metropolis-hastings stays at `v` with some probability).
     /// Returning `None` keeps the proposed edge; returning `Some(w)`
     /// replaces the move's destination with `w`.
-    fn accept(&self, _g: &Csr, _e: &EdgeCand, _rng: &mut Philox) -> Option<VertexId> {
+    fn accept(&self, _g: GraphView<'_>, _e: &EdgeCand, _rng: &mut Philox) -> Option<VertexId> {
         None
     }
 
@@ -190,7 +201,7 @@ pub trait Algorithm: Sync + Send {
     /// walk with restart.
     fn on_dead_end(
         &self,
-        _g: &Csr,
+        _g: GraphView<'_>,
         _v: VertexId,
         _home: VertexId,
         _rng: &mut Philox,
@@ -211,10 +222,10 @@ macro_rules! forward_algorithm {
             fn config(&self) -> AlgoConfig {
                 (**self).config()
             }
-            fn vertex_bias(&self, g: &Csr, v: VertexId) -> f64 {
+            fn vertex_bias(&self, g: GraphView<'_>, v: VertexId) -> f64 {
                 (**self).vertex_bias(g, v)
             }
-            fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+            fn edge_bias(&self, g: GraphView<'_>, e: &EdgeCand) -> f64 {
                 (**self).edge_bias(g, e)
             }
             fn edge_bias_is_uniform(&self) -> bool {
@@ -223,24 +234,29 @@ macro_rules! forward_algorithm {
             fn edge_bias_is_static(&self) -> bool {
                 (**self).edge_bias_is_static()
             }
-            fn edge_bias_bound(&self, g: &Csr, v: VertexId, prev: Option<VertexId>) -> Option<f64> {
+            fn edge_bias_bound(
+                &self,
+                g: GraphView<'_>,
+                v: VertexId,
+                prev: Option<VertexId>,
+            ) -> Option<f64> {
                 (**self).edge_bias_bound(g, v, prev)
             }
             fn update(
                 &self,
-                g: &Csr,
+                g: GraphView<'_>,
                 e: &EdgeCand,
                 home: VertexId,
                 rng: &mut Philox,
             ) -> UpdateAction {
                 (**self).update(g, e, home, rng)
             }
-            fn accept(&self, g: &Csr, e: &EdgeCand, rng: &mut Philox) -> Option<VertexId> {
+            fn accept(&self, g: GraphView<'_>, e: &EdgeCand, rng: &mut Philox) -> Option<VertexId> {
                 (**self).accept(g, e, rng)
             }
             fn on_dead_end(
                 &self,
-                g: &Csr,
+                g: GraphView<'_>,
                 v: VertexId,
                 home: VertexId,
                 rng: &mut Philox,
@@ -306,11 +322,11 @@ mod tests {
     fn defaults_are_unbiased_and_additive() {
         let g = csaw_graph::generators::toy_graph();
         let a = Uniform;
-        assert_eq!(a.vertex_bias(&g, 0), 1.0);
+        assert_eq!(a.vertex_bias(g.view(), 0), 1.0);
         let e = EdgeCand { v: 8, u: 7, weight: 1.0, prev: None };
-        assert_eq!(a.edge_bias(&g, &e), 1.0);
+        assert_eq!(a.edge_bias(g.view(), &e), 1.0);
         let mut rng = Philox::new(0);
-        assert_eq!(a.update(&g, &e, 8, &mut rng), UpdateAction::Add(7));
-        assert_eq!(a.accept(&g, &e, &mut rng), None);
+        assert_eq!(a.update(g.view(), &e, 8, &mut rng), UpdateAction::Add(7));
+        assert_eq!(a.accept(g.view(), &e, &mut rng), None);
     }
 }

@@ -32,7 +32,7 @@ use crate::alias::AliasTable;
 use crate::api::{Algorithm, EdgeCand};
 use crate::ctps::Ctps;
 use csaw_gpu::stats::SimStats;
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{GraphView, VertexId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -67,7 +67,7 @@ pub fn widths_agree(ctps: &Ctps, biases: &[f64]) -> bool {
 /// CTPS empty — for zero-degree or zero-total-bias vertices. Charges the
 /// scan/normalize work into `stats`; gather charges are the caller's.
 pub fn build_vertex_ctps<A: Algorithm + ?Sized>(
-    g: &Csr,
+    g: GraphView<'_>,
     algo: &A,
     v: VertexId,
     biases: &mut Vec<f64>,
@@ -107,8 +107,22 @@ pub struct CacheSnapshot {
     pub misses: u64,
     /// Entries admitted into the cache.
     pub promotions: u64,
-    /// Entries removed: clock eviction, stale epoch, or re-promotion race.
+    /// Entries removed, total: `evictions_clock + evictions_stale +
+    /// evictions_replaced`.
     pub evictions: u64,
+    /// Evictions by the degree-aware clock making room under budget
+    /// pressure (the unreferenced-and-not-bigger sweep branch).
+    pub evictions_clock: u64,
+    /// Evictions of entries whose tag no longer matches the current
+    /// lookup/admission epoch — residency bumps and mutated-vertex
+    /// version bumps land here, whether dropped lazily at lookup or
+    /// reaped by the admission sweep.
+    pub evictions_stale: u64,
+    /// Evictions where an admission found `v` already cached under a
+    /// *different* epoch tag and replaced it (the re-promotion race
+    /// across an epoch change; same-epoch races keep the first copy and
+    /// count nothing).
+    pub evictions_replaced: u64,
     /// Promotions refused by the budget (entry too large, or the clock
     /// declined to evict hotter/bigger entries for it).
     pub admission_rejects: u64,
@@ -128,14 +142,16 @@ pub struct CacheSnapshot {
 impl CacheSnapshot {
     /// The conservation identities every consistent snapshot satisfies:
     /// `lookups == hits + misses`, `promotions <= misses`,
-    /// `bytes <= budget`, and the alias gauges never exceed their parent
-    /// counters.
+    /// `bytes <= budget`, the alias gauges never exceed their parent
+    /// counters, and the eviction split sums to the total.
     pub fn is_conserved(&self) -> bool {
         self.lookups == self.hits + self.misses
             && self.promotions <= self.misses
             && self.bytes <= self.budget
             && self.alias_hits <= self.hits
             && self.alias_promotions <= self.promotions
+            && self.evictions
+                == self.evictions_clock + self.evictions_stale + self.evictions_replaced
     }
 }
 
@@ -146,6 +162,9 @@ struct Counters {
     misses: AtomicU64,
     promotions: AtomicU64,
     evictions: AtomicU64,
+    evictions_clock: AtomicU64,
+    evictions_stale: AtomicU64,
+    evictions_replaced: AtomicU64,
     admission_rejects: AtomicU64,
     bytes: AtomicU64,
     alias_hits: AtomicU64,
@@ -263,6 +282,7 @@ impl CtpsCache {
             if stale {
                 let freed = shard.evict_slot(slot);
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                self.counters.evictions_stale.fetch_add(1, Ordering::Relaxed);
                 self.counters.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
             } else {
                 let e = shard.slots[slot].as_mut().expect("mapped slot occupied");
@@ -300,6 +320,7 @@ impl CtpsCache {
             if stale {
                 let freed = shard.evict_slot(slot);
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                self.counters.evictions_stale.fetch_add(1, Ordering::Relaxed);
                 self.counters.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
             } else {
                 let e = shard.slots[slot].as_mut().expect("mapped slot occupied");
@@ -395,16 +416,33 @@ impl CtpsCache {
             return false;
         }
         let mut shard = self.shard_of(v).lock().unwrap();
-        if shard.map.contains_key(&v) {
-            // Another worker promoted `v` between our miss and now; the
-            // cached copy is identical (static bias), keep it.
-            return false;
+        if let Some(&slot) = shard.map.get(&v) {
+            let same = shard.slots[slot].as_ref().expect("mapped slot occupied").epoch == epoch;
+            if same {
+                // Another worker promoted `v` between our miss and now; the
+                // cached copy is identical (static bias), keep it.
+                return false;
+            }
+            // The resident copy was built under a different tag (residency
+            // or mutation-version change): replace it with the incoming
+            // entry, which was built against the current adjacency.
+            let freed = shard.evict_slot(slot);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            self.counters.evictions_replaced.fetch_add(1, Ordering::Relaxed);
+            self.counters.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
         }
 
-        // Degree-aware clock: sweep at most two full revolutions.
+        // Degree-aware clock: sweep at most two full revolutions. Entries
+        // whose tag differs from the promoting entry's epoch go first —
+        // under uniform epochs (residency bumps) they are genuinely stale;
+        // under per-vertex version tags this is a heuristic (a
+        // differently-versioned neighbor may still be valid), but evicting
+        // a valid entry is always safe and sweep pressure only exists
+        // over-budget.
         let len = shard.slots.len();
         let mut probes = 0usize;
-        let mut evicted = 0u64;
+        let mut evicted_stale = 0u64;
+        let mut evicted_clock = 0u64;
         let mut freed = 0u64;
         while shard.bytes + needed > self.shard_budget && probes < 2 * len {
             let i = shard.hand;
@@ -413,16 +451,18 @@ impl CtpsCache {
             let Some(e) = shard.slots[i].as_mut() else { continue };
             if e.epoch != epoch {
                 freed += shard.evict_slot(i) as u64;
-                evicted += 1;
+                evicted_stale += 1;
             } else if e.referenced {
                 e.referenced = false;
             } else if e.degree <= degree {
                 freed += shard.evict_slot(i) as u64;
-                evicted += 1;
+                evicted_clock += 1;
             }
         }
-        if evicted > 0 {
-            self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+        if evicted_stale + evicted_clock > 0 {
+            self.counters.evictions.fetch_add(evicted_stale + evicted_clock, Ordering::Relaxed);
+            self.counters.evictions_stale.fetch_add(evicted_stale, Ordering::Relaxed);
+            self.counters.evictions_clock.fetch_add(evicted_clock, Ordering::Relaxed);
             self.counters.bytes.fetch_sub(freed, Ordering::Relaxed);
         }
         if shard.bytes + needed > self.shard_budget {
@@ -468,6 +508,9 @@ impl CtpsCache {
             misses: self.counters.misses.load(Ordering::Relaxed),
             promotions: self.counters.promotions.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            evictions_clock: self.counters.evictions_clock.load(Ordering::Relaxed),
+            evictions_stale: self.counters.evictions_stale.load(Ordering::Relaxed),
+            evictions_replaced: self.counters.evictions_replaced.load(Ordering::Relaxed),
             admission_rejects: self.counters.admission_rejects.load(Ordering::Relaxed),
             bytes: self.counters.bytes.load(Ordering::Relaxed),
             budget: self.budget as u64,
@@ -484,12 +527,12 @@ mod tests {
     use crate::algorithms::BiasedRandomWalk;
     use csaw_graph::generators::{rmat, toy_graph, RmatParams};
 
-    fn built(g: &Csr, v: VertexId) -> (Ctps, usize) {
+    fn built(g: &csaw_graph::Csr, v: VertexId) -> (Ctps, usize) {
         let algo = BiasedRandomWalk { length: 1 };
         let mut biases = Vec::new();
         let mut ctps = Ctps::empty();
         let mut s = SimStats::new();
-        assert!(build_vertex_ctps(g, &algo, v, &mut biases, &mut ctps, &mut s));
+        assert!(build_vertex_ctps(g.view(), &algo, v, &mut biases, &mut ctps, &mut s));
         let selectable = biases.iter().filter(|&&b| b > 0.0).count();
         assert!(widths_agree(&ctps, &biases));
         (ctps, selectable)
@@ -596,6 +639,62 @@ mod tests {
     }
 
     #[test]
+    fn eviction_split_attributes_every_removal() {
+        let g = toy_graph();
+        let cache = CtpsCache::new(1 << 20);
+        let (ctps, selectable) = built(&g, 8);
+        let mut dst = Ctps::empty();
+
+        // Stale: cached at epoch 0, looked up at epoch 1.
+        assert_eq!(cache.lookup_into(8, 0, &mut dst), CacheOutcome::Miss);
+        assert!(cache.promote(8, 0, &ctps, selectable as u32, ctps.len() as u32));
+        assert_eq!(cache.lookup_into(8, 1, &mut dst), CacheOutcome::Miss);
+        let snap = cache.snapshot();
+        assert_eq!(snap.evictions_stale, 1);
+        assert_eq!((snap.evictions_clock, snap.evictions_replaced), (0, 0));
+        assert_eq!(snap.evictions, 1);
+        assert!(snap.is_conserved());
+
+        // Replaced: a re-promotion under a *newer* epoch evicts the old
+        // tag in place; a same-epoch re-promotion still counts nothing.
+        // (The vertex-3 miss keeps `promotions <= misses` honest without
+        // touching vertex 8's resident entry.)
+        assert!(cache.promote(8, 1, &ctps, selectable as u32, ctps.len() as u32));
+        assert!(!cache.promote(8, 1, &ctps, selectable as u32, ctps.len() as u32));
+        assert_eq!(cache.lookup_into(3, 1, &mut dst), CacheOutcome::Miss);
+        assert!(cache.promote(8, 2, &ctps, selectable as u32, ctps.len() as u32));
+        let snap = cache.snapshot();
+        assert_eq!(snap.evictions_replaced, 1);
+        assert_eq!(snap.evictions_stale, 1);
+        assert_eq!(snap.entries, 1);
+        assert!(snap.is_conserved());
+
+        // Clock: a single-shard cache under budget pressure sweeps
+        // same-epoch entries out by degree.
+        let big = rmat(8, 8, RmatParams::MILD, 7);
+        let tight = CtpsCache::with_shards(4 * 1024, 1);
+        for v in 0..big.num_vertices() as VertexId {
+            if big.degree(v) == 0 {
+                continue;
+            }
+            let algo = BiasedRandomWalk { length: 1 };
+            let mut biases = Vec::new();
+            let mut c = Ctps::empty();
+            let mut s = SimStats::new();
+            if build_vertex_ctps(big.view(), &algo, v, &mut biases, &mut c, &mut s) {
+                let sel = biases.iter().filter(|&&b| b > 0.0).count() as u32;
+                if tight.lookup_into(v, 0, &mut dst) == CacheOutcome::Miss {
+                    tight.promote(v, 0, &c, sel, c.len() as u32);
+                }
+            }
+        }
+        let snap = tight.snapshot();
+        assert!(snap.evictions_clock > 0, "tight budget never swept: {snap:?}");
+        assert_eq!((snap.evictions_stale, snap.evictions_replaced), (0, 0));
+        assert!(snap.is_conserved());
+    }
+
+    #[test]
     fn widths_agree_detects_mismatch() {
         let mut s = SimStats::new();
         let ctps = Ctps::build(&[1.0, 0.0, 2.0], &mut s).unwrap();
@@ -613,7 +712,7 @@ mod tests {
         let mut biases = Vec::new();
         let mut ctps = Ctps::empty();
         let mut s = SimStats::new();
-        assert!(build_vertex_ctps(&g, &algo, 8, &mut biases, &mut ctps, &mut s));
+        assert!(build_vertex_ctps(g.view(), &algo, 8, &mut biases, &mut ctps, &mut s));
         let table = AliasTable::build(&biases, &mut s).unwrap();
         let selectable = biases.iter().filter(|&&b| b > 0.0).count() as u32;
 
@@ -659,6 +758,6 @@ mod tests {
         let mut biases = Vec::new();
         let mut ctps = Ctps::empty();
         let mut s = SimStats::new();
-        assert!(!build_vertex_ctps(&chain, &algo, 1, &mut biases, &mut ctps, &mut s));
+        assert!(!build_vertex_ctps(chain.view(), &algo, 1, &mut biases, &mut ctps, &mut s));
     }
 }

@@ -26,13 +26,13 @@ use crate::api::{Algorithm, FrontierMode};
 use crate::output::SampleOutput;
 use crate::select::SelectConfig;
 use crate::step::{
-    with_thread_scratch, CsrAccess, EmitSink, PoolSink, PoolSlot, StepEntry, StepKernel,
-    TrialCounter,
+    with_thread_scratch, CsrAccess, DeltaAccess, EmitSink, NeighborAccess, PoolSink, PoolSlot,
+    StepEntry, StepKernel, TrialCounter,
 };
 use csaw_gpu::device::LaunchResult;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Device;
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{Csr, GraphSnapshot, VertexId};
 use std::collections::HashSet;
 
 /// Folds one launch's results into a run's totals: merges the kernel
@@ -149,6 +149,16 @@ pub struct RunOptions {
     /// [`crate::method::MethodPolicy::Adaptive`] picks alias/rejection
     /// per expansion and is distribution-equal instead.
     pub method_policy: crate::method::MethodPolicy,
+    /// Optional epoch snapshot of a [`csaw_graph::MutableGraph`]. When
+    /// set, every instance gathers through the snapshot's delta overlay
+    /// ([`DeltaAccess`]) instead of the bare CSR: mutated vertices serve
+    /// their merged adjacency, untouched vertices serve the base slices
+    /// verbatim. RNG streams are keyed by `(instance, depth, vertex,
+    /// trial)` only, so a snapshot run is bit-identical to a from-scratch
+    /// run on the compacted CSR of the same epoch. `None` (the default)
+    /// is the static path, byte-for-byte what it was before overlays
+    /// existed.
+    pub snapshot: Option<GraphSnapshot>,
 }
 
 impl Default for RunOptions {
@@ -160,6 +170,7 @@ impl Default for RunOptions {
             instance_base: 0,
             ctps_cache: None,
             method_policy: crate::method::MethodPolicy::ForceIts,
+            snapshot: None,
         }
     }
 }
@@ -187,6 +198,15 @@ impl<'g, A: Algorithm> Sampler<'g, A> {
     /// Overrides the simulated device.
     pub fn with_device(mut self, device: Device) -> Self {
         self.device = device;
+        self
+    }
+
+    /// Binds an epoch snapshot: all instances of this run sample the
+    /// snapshot's logical graph (base + delta overlay) instead of the
+    /// bare CSR. The snapshot's base must be the graph this sampler was
+    /// constructed over for the run to be meaningful.
+    pub fn with_snapshot(mut self, snapshot: GraphSnapshot) -> Self {
+        self.opts.snapshot = Some(snapshot);
         self
     }
 
@@ -291,6 +311,28 @@ fn run_instance(
     instance: u32,
     seeds: &[VertexId],
 ) -> (Vec<(VertexId, VertexId)>, SimStats) {
+    match opts.snapshot.as_ref() {
+        Some(snapshot) => {
+            let mut access = DeltaAccess { snapshot };
+            drive_instance(&mut access, algo, opts, instance, seeds)
+        }
+        None => {
+            let mut access = CsrAccess { graph: g };
+            drive_instance(&mut access, algo, opts, instance, seeds)
+        }
+    }
+}
+
+/// The per-instance depth loop, generic over how adjacency is gathered
+/// (bare CSR or epoch snapshot) — the loop itself is identical, which is
+/// what makes the two paths bit-identical on identical adjacency.
+fn drive_instance<N: NeighborAccess>(
+    access: &mut N,
+    algo: &dyn Algorithm,
+    opts: &RunOptions,
+    instance: u32,
+    seeds: &[VertexId],
+) -> (Vec<(VertexId, VertexId)>, SimStats) {
     let cfg = algo.config();
     let kernel = StepKernel::new(algo, opts.seed)
         .with_select(opts.select)
@@ -299,7 +341,6 @@ fn run_instance(
         .with_method_policy(opts.method_policy);
     let instance = opts.instance_base + instance;
     let mut stats = SimStats::new();
-    let mut access = CsrAccess { graph: g };
     let mut out: Vec<(VertexId, VertexId)> = Vec::new();
 
     let mut pool: Vec<PoolSlot> = seeds.iter().map(|&v| PoolSlot::seed(v)).collect();
@@ -339,7 +380,7 @@ fn run_instance(
                         next: &mut pool,
                         out: &mut out,
                     };
-                    kernel.expand(&mut access, &entry, home, &mut sink, scratch, &mut stats);
+                    kernel.expand(access, &entry, home, &mut sink, scratch, &mut stats);
                 }
             }
         }
@@ -360,13 +401,7 @@ fn run_instance(
                     out: &mut out,
                 };
                 kernel.expand_layer(
-                    &mut access,
-                    instance,
-                    depth,
-                    &frontier,
-                    &mut sink,
-                    scratch,
-                    &mut stats,
+                    access, instance, depth, &frontier, &mut sink, scratch, &mut stats,
                 );
             }
         }
@@ -381,7 +416,7 @@ fn run_instance(
                 }
                 let mut sink = EmitSink(&mut out);
                 kernel.expand_replace(
-                    &mut access,
+                    access,
                     instance,
                     depth,
                     home,

@@ -1,0 +1,10 @@
+//! Fenwick (binary indexed) tree — canonical re-export.
+//!
+//! The implementation lives in [`csaw_graph::fenwick`] because the
+//! mutable-graph overlay ([`csaw_graph::dynamic`]) indexes its per-vertex
+//! weights with it and `csaw-graph` sits below this crate in the
+//! dependency DAG. Framework code should name it as `csaw_core::fenwick`;
+//! `csaw_baselines::fenwick` re-exports it again for compatibility with
+//! pre-promotion callers.
+
+pub use csaw_graph::fenwick::Fenwick;

@@ -47,6 +47,7 @@ pub mod ctps_cache;
 pub mod dartboard;
 pub mod engine;
 pub mod estimators;
+pub mod fenwick;
 pub mod frontier;
 pub mod method;
 pub mod onepass;
@@ -64,4 +65,4 @@ pub use engine::{RunError, RunOptions, Sampler};
 pub use method::{MethodPolicy, SelectMethod};
 pub use output::SampleOutput;
 pub use select::{CollisionDetectorKind, SelectStrategy};
-pub use step::{FrontierSink, NeighborAccess, PoolSlot, StepEntry, StepKernel};
+pub use step::{DeltaAccess, FrontierSink, NeighborAccess, PoolSlot, StepEntry, StepKernel};

@@ -41,7 +41,7 @@ impl EagerCtpsCache {
         let mut scratch = Ctps::empty();
         let tables: Vec<Option<Ctps>> = (0..g.num_vertices() as VertexId)
             .map(|v| {
-                build_vertex_ctps(g, algo, v, &mut biases, &mut scratch, &mut build_stats)
+                build_vertex_ctps(g.view(), algo, v, &mut biases, &mut scratch, &mut build_stats)
                     .then(|| scratch.clone())
             })
             .collect();

@@ -48,7 +48,7 @@ use crate::select_simt::select_without_replacement_simt_into;
 use csaw_gpu::rng::task_key;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::Philox;
-use csaw_graph::{Csr, PartitionSet, VertexId, Weight};
+use csaw_graph::{Csr, GraphSnapshot, GraphView, PartitionSet, VertexId, Weight};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
@@ -108,9 +108,9 @@ pub fn gather_bytes(weighted: bool, deg: usize) -> usize {
 /// [`Gathered::edge`] is the paper's `e = (v, u, w)` constructed in
 /// registers at use sites.
 pub struct Gathered<'a> {
-    /// The underlying graph (hooks always see the full CSR — biases may
-    /// inspect global structure such as degrees).
-    pub graph: &'a Csr,
+    /// The full logical graph at this access's epoch (hooks may inspect
+    /// global structure such as degrees).
+    pub graph: GraphView<'a>,
     /// `v`'s neighbor list.
     pub neighbors: &'a [VertexId],
     /// Per-neighbor edge weights (`None` on unweighted graphs).
@@ -129,9 +129,9 @@ impl Gathered<'_> {
 /// Where the kernel's GATHERNEIGHBORS reads adjacency from, and what the
 /// runtime's memory system charges for it.
 pub trait NeighborAccess {
-    /// The underlying graph (algorithm hooks always see the full CSR —
-    /// biases may inspect global structure such as degrees).
-    fn graph(&self) -> &Csr;
+    /// The full logical graph at this access's epoch (algorithm hooks may
+    /// inspect global structure such as degrees).
+    fn graph(&self) -> GraphView<'_>;
 
     /// Gathers `v`'s neighbor list and edge weights as borrowed slices,
     /// charging whatever the runtime models for the read (global-memory
@@ -153,6 +153,17 @@ pub trait NeighborAccess {
     fn epoch(&self) -> u64 {
         0
     }
+
+    /// Cache-invalidation tag for *vertex* `v`'s cached per-vertex state
+    /// (CTPS/alias entries). Defaults to the access-wide [`Self::epoch`];
+    /// snapshot accesses over a mutable graph override it with the
+    /// vertex's mutation version so an epoch bump only invalidates the
+    /// vertices the mutation actually touched — hot untouched vertices
+    /// keep their entries across epochs.
+    fn entry_epoch(&self, v: VertexId) -> u64 {
+        let _ = v;
+        self.epoch()
+    }
 }
 
 /// In-memory access: the whole CSR is resident; a gather costs its
@@ -163,8 +174,8 @@ pub struct CsrAccess<'g> {
 }
 
 impl NeighborAccess for CsrAccess<'_> {
-    fn graph(&self) -> &Csr {
-        self.graph
+    fn graph(&self) -> GraphView<'_> {
+        self.graph.view()
     }
 
     fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
@@ -174,7 +185,7 @@ impl NeighborAccess for CsrAccess<'_> {
 
     fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
         Gathered {
-            graph: self.graph,
+            graph: self.graph.view(),
             neighbors: self.graph.neighbors(v),
             weights: self.graph.neighbor_weights(v),
         }
@@ -197,8 +208,8 @@ pub struct PartitionAccess<'g> {
 }
 
 impl NeighborAccess for PartitionAccess<'_> {
-    fn graph(&self) -> &Csr {
-        self.graph
+    fn graph(&self) -> GraphView<'_> {
+        self.graph.view()
     }
 
     fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
@@ -209,11 +220,109 @@ impl NeighborAccess for PartitionAccess<'_> {
 
     fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
         let p = self.parts.get(self.parts.partition_of(v));
-        Gathered { graph: self.graph, neighbors: p.neighbors(v), weights: p.neighbor_weights(v) }
+        Gathered {
+            graph: self.graph.view(),
+            neighbors: p.neighbors(v),
+            weights: p.neighbor_weights(v),
+        }
     }
 
     fn epoch(&self) -> u64 {
         self.epoch
+    }
+}
+
+/// Snapshot access: adjacency comes from a [`GraphSnapshot`] of a mutable
+/// graph — base CSR slices for untouched vertices, merged overlay slices
+/// for mutated ones. Charges the same gather bytes as [`CsrAccess`] over
+/// the *logical* degree, so a snapshot run and a run on the compacted CSR
+/// of the same epoch count identical global-memory traffic.
+///
+/// `entry_epoch` reports the per-vertex 1-hop mutation version
+/// ([`GraphSnapshot::entry_version`]), not the graph epoch: cached
+/// CTPS/alias entries for vertices whose neighborhood is untouched
+/// (tag 0, the same tag [`CsrAccess`] uses) stay valid across epochs and
+/// across compaction, while entries whose bias inputs an edit touched —
+/// the edited vertex *and* its neighbors, since static biases such as
+/// degree bias read the far endpoint's adjacency — go stale lazily the
+/// next time they are looked up.
+pub struct DeltaAccess<'g> {
+    /// The frozen snapshot this access reads.
+    pub snapshot: &'g GraphSnapshot,
+}
+
+impl NeighborAccess for DeltaAccess<'_> {
+    fn graph(&self) -> GraphView<'_> {
+        self.snapshot.view()
+    }
+
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
+        let view = self.snapshot.view();
+        stats.read_gmem(gather_bytes(view.is_weighted(), view.degree(v)));
+        self.fetch(v)
+    }
+
+    fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
+        let view = self.snapshot.view();
+        Gathered { graph: view, neighbors: view.neighbors(v), weights: view.neighbor_weights(v) }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    fn entry_epoch(&self, v: VertexId) -> u64 {
+        self.snapshot.entry_version(v)
+    }
+}
+
+/// Snapshot access for the out-of-memory scheduler: untouched vertices
+/// read their owning partition's resident slice (partitions are built
+/// from the snapshot's base CSR), mutated vertices read their merged
+/// overlay slice (the overlay is small and host-pinned; its transfer is
+/// not separately modeled — see DESIGN.md). `entry_epoch` composes the
+/// stream's residency epoch with the vertex's mutation version so either
+/// a partition swap *or* a mutation invalidates a cached entry.
+pub struct DeltaPartitionAccess<'g> {
+    /// The frozen snapshot this access reads.
+    pub snapshot: &'g GraphSnapshot,
+    /// Partitioning of the snapshot's base CSR.
+    pub parts: &'g PartitionSet,
+    /// Residency epoch of the stream this access serves.
+    pub residency_epoch: u64,
+}
+
+impl NeighborAccess for DeltaPartitionAccess<'_> {
+    fn graph(&self) -> GraphView<'_> {
+        self.snapshot.view()
+    }
+
+    fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
+        let deg = match self.snapshot.delta_adjacency(v) {
+            Some((n, _)) => n.len(),
+            None => self.parts.get(self.parts.partition_of(v)).degree(v),
+        };
+        stats.read_gmem(gather_bytes(self.snapshot.view().is_weighted(), deg));
+        self.fetch(v)
+    }
+
+    fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
+        let graph = self.snapshot.view();
+        match self.snapshot.delta_adjacency(v) {
+            Some((neighbors, weights)) => Gathered { graph, neighbors, weights },
+            None => {
+                let p = self.parts.get(self.parts.partition_of(v));
+                Gathered { graph, neighbors: p.neighbors(v), weights: p.neighbor_weights(v) }
+            }
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.residency_epoch
+    }
+
+    fn entry_epoch(&self, v: VertexId) -> u64 {
+        (self.residency_epoch << 32) | (self.snapshot.entry_version(v) & 0xffff_ffff)
     }
 }
 
@@ -526,7 +635,9 @@ impl<'a> StepKernel<'a> {
         }
 
         let cache = self.effective_cache();
-        let epoch = access.epoch();
+        // The 1-hop mutation tag only keys the cache — computing it costs
+        // O(overlay ∩ adjacency), so the uncached path must not pay it.
+        let epoch = if cache.is_some() { access.entry_epoch(v) } else { 0 };
         if let Some(cache) = cache {
             match cache.lookup_into(v, epoch, &mut scratch.select.ctps) {
                 CacheOutcome::Hit { selectable, degree } => {
@@ -712,9 +823,10 @@ impl<'a> StepKernel<'a> {
         stats: &mut SimStats,
     ) {
         let v = entry.vertex;
-        let epoch = access.epoch();
         let static_bias = self.algo.edge_bias_is_static();
         let cache = if static_bias { self.cache } else { None };
+        // As in `expand`: the 1-hop tag is cache-keying cost only.
+        let epoch = if cache.is_some() { access.entry_epoch(v) } else { 0 };
 
         if let Some(cache) = cache {
             let select = &mut scratch.select;
@@ -1090,7 +1202,7 @@ impl<'a> StepKernel<'a> {
     /// (the shared-layer union pool).
     fn fill_biases_cands(
         &self,
-        g: &Csr,
+        g: GraphView<'_>,
         cands: &[EdgeCand],
         biases: &mut Vec<f64>,
         stats: &mut SimStats,

@@ -1,7 +1,13 @@
-//! Fenwick (binary indexed) tree over f64 weights — the frontier-pool
-//! selection structure of the GraphSAINT-style MDRW baseline: O(log n)
-//! weight update when a pool vertex is replaced, O(log n)
-//! proportional-to-weight selection via descent.
+//! Fenwick (binary indexed) tree over f64 weights — the O(log n)
+//! incremental weighted-sampling index.
+//!
+//! Two consumers share it: the GraphSAINT-style MDRW baseline's
+//! frontier-pool selection (O(log n) weight update when a pool vertex is
+//! replaced, O(log n) proportional-to-weight selection via descent), and
+//! the [`crate::dynamic`] overlay's per-vertex weight index (O(log d)
+//! reweight without recomputing the vertex's prefix sums from scratch).
+//! It lives in `csaw-graph` — the lowest layer both can depend on — and
+//! is canonically re-exported as `csaw_core::fenwick`.
 
 /// A Fenwick tree over non-negative weights.
 #[derive(Debug, Clone)]
@@ -105,7 +111,21 @@ impl Fenwick {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csaw_gpu::Philox;
+
+    /// Deterministic uniform draws for distribution checks (csaw-graph
+    /// cannot depend on csaw-gpu's Philox without a cycle; splitmix64 is
+    /// more than uniform enough for 1%-tolerance frequency tests).
+    struct SplitMix(u64);
+    impl SplitMix {
+        fn uniform(&mut self) -> f64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
 
     #[test]
     fn prefix_sums_match_naive() {
@@ -134,7 +154,7 @@ mod tests {
     fn select_is_weight_proportional() {
         let w = [3.0, 6.0, 2.0, 2.0, 2.0];
         let f = Fenwick::new(&w);
-        let mut rng = Philox::new(3);
+        let mut rng = SplitMix(3);
         let n = 200_000;
         let mut counts = [0usize; 5];
         for _ in 0..n {
@@ -150,7 +170,7 @@ mod tests {
     #[test]
     fn select_skips_zero_weights() {
         let f = Fenwick::new(&[0.0, 5.0, 0.0, 5.0]);
-        let mut rng = Philox::new(4);
+        let mut rng = SplitMix(4);
         for _ in 0..2000 {
             let s = f.select(rng.uniform() * f.total()).unwrap();
             assert!(s == 1 || s == 3, "selected zero-weight slot {s}");
@@ -168,7 +188,7 @@ mod tests {
     fn dynamic_updates_shift_distribution() {
         let mut f = Fenwick::new(&[1.0, 1.0]);
         f.set(0, 9.0);
-        let mut rng = Philox::new(5);
+        let mut rng = SplitMix(5);
         let hits = (0..50_000).filter(|_| f.select(rng.uniform() * f.total()) == Some(0)).count();
         let frac = hits as f64 / 50_000.0;
         assert!((frac - 0.9).abs() < 0.01, "{frac}");

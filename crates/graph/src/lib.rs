@@ -14,6 +14,11 @@
 //!   Barabási–Albert, k-regular rings) plus the paper's Fig. 1 toy graph.
 //! - [`datasets`]: a registry mirroring Table II of the paper with scaled
 //!   synthetic stand-ins for the SNAP/KONECT graphs.
+//! - [`dynamic`]: [`MutableGraph`], a delta overlay over the CSR with
+//!   epoch-versioned [`GraphSnapshot`]s for sampling under mutation.
+//! - [`view`]: [`GraphView`], the uniform read surface over a plain CSR
+//!   or a snapshot (base + overlay) that algorithm hooks consume.
+//! - [`fenwick`]: the O(log n) incremental weighted-sampling index.
 //! - [`partition`]: the contiguous vertex-range partitioner of §V-A.
 //! - [`io`]: edge-list and binary CSR readers/writers for real data.
 //! - [`quality`]: sample-quality metrics (degree KS, clustering,
@@ -23,6 +28,8 @@
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod dynamic;
+pub mod fenwick;
 pub mod generators;
 pub mod io;
 pub mod partition;
@@ -31,9 +38,13 @@ pub mod reorder;
 pub mod stats;
 pub mod traversal;
 pub mod types;
+pub mod view;
 
 pub use builder::CsrBuilder;
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetSpec};
+pub use dynamic::{EdgeEdit, EditError, GraphSnapshot, MutableGraph};
+pub use fenwick::Fenwick;
 pub use partition::{Partition, PartitionSet};
 pub use types::{EdgeId, VertexId, Weight};
+pub use view::GraphView;

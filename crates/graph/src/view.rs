@@ -1,0 +1,171 @@
+//! [`GraphView`]: the uniform read surface over a plain CSR or an
+//! epoch snapshot (base CSR + delta overlay).
+//!
+//! Algorithm hooks and the step kernel read adjacency through this view
+//! instead of `&Csr`, so the same code serves both the static path (the
+//! overlay is `None` and every call forwards straight to the CSR — the
+//! compiler sees a branch on a `Copy` option, not a vtable) and walks
+//! over a [`crate::dynamic::MutableGraph`] snapshot, where mutated
+//! vertices resolve to their merged overlay adjacency.
+
+use crate::csr::Csr;
+use crate::dynamic::OverlayState;
+use crate::types::{VertexId, Weight};
+
+/// A borrowed, copyable read view of a graph at a fixed epoch.
+///
+/// For vertices untouched by the overlay, every accessor returns exactly
+/// what the base [`Csr`] would — same slices, same order — which is what
+/// makes snapshot walks bit-identical to walks on the compacted CSR.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphView<'a> {
+    base: &'a Csr,
+    overlay: Option<&'a OverlayState>,
+}
+
+impl<'a> GraphView<'a> {
+    /// View over a bare CSR (no overlay).
+    #[inline]
+    pub fn new(base: &'a Csr) -> Self {
+        GraphView { base, overlay: None }
+    }
+
+    /// View over a CSR plus a delta overlay (used by
+    /// [`crate::dynamic::GraphSnapshot::view`]).
+    #[inline]
+    pub fn with_overlay(base: &'a Csr, overlay: &'a OverlayState) -> Self {
+        GraphView { base, overlay: Some(overlay) }
+    }
+
+    /// The underlying base CSR (adjacency of *mutated* vertices differs
+    /// from it — use the view accessors for logical adjacency).
+    #[inline]
+    pub fn base(&self) -> &'a Csr {
+        self.base
+    }
+
+    /// Number of vertices (mutations never add vertices).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Number of directed edges in the logical graph.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        match self.overlay {
+            Some(o) => (self.base.num_edges() as i64 + o.edge_delta()) as usize,
+            None => self.base.num_edges(),
+        }
+    }
+
+    /// Out-degree of `v` in the logical graph.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        match self.overlay.and_then(|o| o.delta(v)) {
+            Some(d) => d.neighbors().len(),
+            None => self.base.degree(v),
+        }
+    }
+
+    /// The neighbor list of `v` as a sorted slice.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &'a [VertexId] {
+        match self.overlay.and_then(|o| o.delta(v)) {
+            Some(d) => d.neighbors(),
+            None => self.base.neighbors(v),
+        }
+    }
+
+    /// The weight list of `v`, if the graph is weighted.
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> Option<&'a [Weight]> {
+        match self.overlay.and_then(|o| o.delta(v)) {
+            Some(d) => d.weights(),
+            None => self.base.neighbor_weights(v),
+        }
+    }
+
+    /// Weight of the `i`-th edge of `v` (1.0 for unweighted graphs).
+    #[inline]
+    pub fn edge_weight(&self, v: VertexId, i: usize) -> Weight {
+        match self.overlay.and_then(|o| o.delta(v)) {
+            Some(d) => d.weights().map_or(1.0, |w| w[i]),
+            None => self.base.edge_weight(v, i),
+        }
+    }
+
+    /// True if the graph stores per-edge weights (a property of the base;
+    /// overlays on an unweighted graph stay unweighted).
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.base.is_weighted()
+    }
+
+    /// Whether `u` appears in `v`'s neighbor list (binary search — both
+    /// base and overlay adjacencies are kept sorted).
+    #[inline]
+    pub fn has_edge(&self, v: VertexId, u: VertexId) -> bool {
+        self.neighbors(v).binary_search(&u).is_ok()
+    }
+
+    /// Average out-degree of the logical graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+impl<'a> From<&'a Csr> for GraphView<'a> {
+    #[inline]
+    fn from(base: &'a Csr) -> Self {
+        GraphView::new(base)
+    }
+}
+
+impl Csr {
+    /// A [`GraphView`] of this CSR (no overlay).
+    #[inline]
+    pub fn view(&self) -> GraphView<'_> {
+        GraphView::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::{EdgeEdit, MutableGraph};
+
+    #[test]
+    fn bare_view_matches_csr() {
+        let g = crate::generators::toy_graph();
+        let v = g.view();
+        assert_eq!(v.num_vertices(), g.num_vertices());
+        assert_eq!(v.num_edges(), g.num_edges());
+        for x in 0..g.num_vertices() as VertexId {
+            assert_eq!(v.degree(x), g.degree(x));
+            assert_eq!(v.neighbors(x), g.neighbors(x));
+            assert_eq!(v.neighbor_weights(x), g.neighbor_weights(x));
+        }
+        assert_eq!(v.is_weighted(), g.is_weighted());
+        assert!((v.avg_degree() - g.avg_degree()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlay_view_resolves_mutated_vertices_only() {
+        let g = crate::generators::toy_graph();
+        let base_deg0 = g.degree(0);
+        let base_n1 = g.neighbors(1).to_vec();
+        let mut mg = MutableGraph::new(g);
+        let far = (mg.snapshot().view().num_vertices() - 1) as VertexId;
+        mg.apply_batch(&[EdgeEdit::Insert { src: 0, dst: far, weight: 1.0 }]).unwrap();
+        let snap = mg.snapshot();
+        let v = snap.view();
+        assert_eq!(v.degree(0), base_deg0 + 1);
+        assert!(v.has_edge(0, far));
+        assert_eq!(v.neighbors(1), &base_n1[..], "untouched vertex serves base slice");
+    }
+}

@@ -27,7 +27,7 @@ use csaw_gpu::cost::gpu_kernel_seconds;
 use csaw_gpu::memory::DeviceMemory;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::transfer::TransferEngine;
-use csaw_graph::{Csr, Partition, PartitionSet, VertexId};
+use csaw_graph::{Csr, GraphSnapshot, GraphView, Partition, PartitionSet, VertexId};
 use std::collections::{HashSet, VecDeque};
 
 /// Demand-resident partition access: a gather whose partition is not on
@@ -37,6 +37,10 @@ use std::collections::{HashSet, VecDeque};
 struct ResidentAccess<'g> {
     graph: &'g Csr,
     parts: &'g PartitionSet,
+    /// Epoch snapshot, when the run samples a mutable graph: overlay
+    /// vertices serve their merged adjacency (device-resident, no
+    /// partition fault), untouched vertices page the base partitions.
+    snapshot: Option<&'g GraphSnapshot>,
     memory: DeviceMemory,
     engine: TransferEngine,
     fifo: VecDeque<usize>,
@@ -44,11 +48,18 @@ struct ResidentAccess<'g> {
 }
 
 impl<'g> ResidentAccess<'g> {
-    fn new(graph: &'g Csr, parts: &'g PartitionSet, cfg: &OomConfig, pcie_gbps: f64) -> Self {
+    fn new(
+        graph: &'g Csr,
+        parts: &'g PartitionSet,
+        snapshot: Option<&'g GraphSnapshot>,
+        cfg: &OomConfig,
+        pcie_gbps: f64,
+    ) -> Self {
         let max_part_bytes = parts.parts().iter().map(Partition::size_bytes).max().unwrap_or(1);
         ResidentAccess {
             graph,
             parts,
+            snapshot,
             memory: DeviceMemory::new(max_part_bytes * cfg.resident_partitions),
             engine: TransferEngine::new(1, pcie_gbps),
             fifo: VecDeque::new(),
@@ -73,30 +84,51 @@ impl<'g> ResidentAccess<'g> {
 }
 
 impl NeighborAccess for ResidentAccess<'_> {
-    fn graph(&self) -> &Csr {
-        self.graph
+    fn graph(&self) -> GraphView<'_> {
+        match self.snapshot {
+            Some(s) => s.view(),
+            None => self.graph.view(),
+        }
     }
 
     fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
+        if let Some(s) = self.snapshot {
+            if let Some((neighbors, weights)) = s.delta_adjacency(v) {
+                stats.read_gmem(gather_bytes(self.graph.is_weighted(), neighbors.len()));
+                return Gathered { graph: s.view(), neighbors, weights };
+            }
+        }
         let p = self.parts.partition_of(v);
         self.fault_in(p);
         let part = self.parts.get(p);
         stats.read_gmem(gather_bytes(self.graph.is_weighted(), part.degree(v)));
         Gathered {
-            graph: self.graph,
+            graph: self.graph(),
             neighbors: part.neighbors(v),
             weights: part.neighbor_weights(v),
         }
     }
 
     fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
+        if let Some(s) = self.snapshot {
+            if let Some((neighbors, weights)) = s.delta_adjacency(v) {
+                return Gathered { graph: s.view(), neighbors, weights };
+            }
+        }
         let p = self.parts.partition_of(v);
         self.fault_in(p);
         let part = self.parts.get(p);
         Gathered {
-            graph: self.graph,
+            graph: self.graph(),
             neighbors: part.neighbors(v),
             weights: part.neighbor_weights(v),
+        }
+    }
+
+    fn entry_epoch(&self, v: VertexId) -> u64 {
+        match self.snapshot {
+            Some(s) => s.entry_version(v),
+            None => 0,
         }
     }
 }
@@ -116,7 +148,13 @@ pub(crate) fn run_pooled<A: Algorithm>(
     let kernel = StepKernel::new(algo, runner.seed)
         .with_select(runner.select)
         .with_method_policy(runner.method_policy);
-    let mut access = ResidentAccess::new(runner.graph, parts, &runner.cfg, runner.device.pcie_gbps);
+    let mut access = ResidentAccess::new(
+        runner.graph,
+        parts,
+        runner.snapshot.as_ref(),
+        &runner.cfg,
+        runner.device.pcie_gbps,
+    );
     let mut outputs: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); seed_sets.len()];
     let mut stats = SimStats::new();
     let mut rounds = 0usize;

@@ -48,14 +48,17 @@ use csaw_core::ctps_cache::CtpsCache;
 use csaw_core::frontier::{FrontierEntry, FrontierQueue};
 use csaw_core::method::MethodPolicy;
 use csaw_core::select::SelectConfig;
-use csaw_core::step::{with_thread_scratch, FrontierSink, PartitionAccess, StepEntry, StepKernel};
+use csaw_core::step::{
+    with_thread_scratch, DeltaPartitionAccess, FrontierSink, NeighborAccess, PartitionAccess,
+    StepEntry, StepKernel,
+};
 use csaw_gpu::config::DeviceConfig;
 use csaw_gpu::cost::gpu_kernel_seconds_with_slots;
 use csaw_gpu::device::Device;
 use csaw_gpu::memory::DeviceMemory;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::transfer::TransferEngine;
-use csaw_graph::{Csr, Partition, PartitionSet, VertexId};
+use csaw_graph::{Csr, GraphSnapshot, Partition, PartitionSet, VertexId};
 use std::collections::{HashMap, HashSet};
 
 /// Fixed cost of launching one kernel (driver + scheduling), seconds.
@@ -229,6 +232,7 @@ pub struct OomRunner<'g, A: Algorithm> {
     pub(crate) instance_base: u32,
     pub(crate) ctps_cache_budget: usize,
     pub(crate) method_policy: MethodPolicy,
+    pub(crate) snapshot: Option<GraphSnapshot>,
 }
 
 impl<'g, A: Algorithm> OomRunner<'g, A> {
@@ -249,6 +253,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             instance_base: 0,
             ctps_cache_budget: 0,
             method_policy: MethodPolicy::ForceIts,
+            snapshot: None,
         }
     }
 
@@ -293,6 +298,20 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
     /// picks alias/rejection per expansion (distribution-equal).
     pub fn with_method_policy(mut self, policy: MethodPolicy) -> Self {
         self.method_policy = policy;
+        self
+    }
+
+    /// Binds an epoch snapshot of a `csaw_graph::MutableGraph`: every
+    /// gather resolves mutated vertices through the snapshot's delta
+    /// overlay (assumed device-resident — deltas are small relative to
+    /// partitions) while untouched vertices read the partitioned base
+    /// CSR. The snapshot's base must be the graph this runner was
+    /// constructed over. Cache tags compose residency epoch with the
+    /// per-vertex mutation version, so a partition swap still retires the
+    /// generation and a mutation still invalidates exactly the touched
+    /// vertices.
+    pub fn with_snapshot(mut self, snapshot: GraphSnapshot) -> Self {
+        self.snapshot = Some(snapshot);
         self
     }
 
@@ -594,12 +613,70 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             .with_select(self.select)
             .with_ctps_cache(task.cache.as_deref())
             .with_method_policy(self.method_policy);
-        let mut access = PartitionAccess { graph: self.graph, parts, epoch: task.epoch };
         let mut queue = task.queue;
         let mut shard = task.shard;
         let mut outbox: Vec<Outbound> = Vec::new();
         let mut edges: Vec<(usize, (VertexId, VertexId))> = Vec::new();
         let mut stats = SimStats::new();
+        let straggler_cycles = match self.snapshot.as_ref() {
+            Some(snapshot) => {
+                let mut access =
+                    DeltaPartitionAccess { snapshot, parts, residency_epoch: task.epoch };
+                self.drain_queue(
+                    &kernel,
+                    &mut access,
+                    parts,
+                    algo_cfg,
+                    instance_base,
+                    seeds,
+                    task.partition,
+                    &mut queue,
+                    &mut shard,
+                    &mut outbox,
+                    &mut edges,
+                    &mut stats,
+                )
+            }
+            None => {
+                let mut access = PartitionAccess { graph: self.graph, parts, epoch: task.epoch };
+                self.drain_queue(
+                    &kernel,
+                    &mut access,
+                    parts,
+                    algo_cfg,
+                    instance_base,
+                    seeds,
+                    task.partition,
+                    &mut queue,
+                    &mut shard,
+                    &mut outbox,
+                    &mut edges,
+                    &mut stats,
+                )
+            }
+        };
+        (StreamRound { queue, shard, outbox, edges, straggler_cycles }, stats)
+    }
+
+    /// The drain loop of one stream round, generic over how adjacency is
+    /// gathered (partitioned base CSR, or base + delta overlay). Returns
+    /// the straggler cycle bound for unbatched runs.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_queue<N: NeighborAccess>(
+        &self,
+        kernel: &StepKernel<'_>,
+        access: &mut N,
+        parts: &PartitionSet,
+        algo_cfg: &AlgoConfig,
+        instance_base: u32,
+        seeds: &[VertexId],
+        partition: usize,
+        queue: &mut FrontierQueue,
+        shard: &mut Vec<HashSet<VertexId>>,
+        outbox: &mut Vec<Outbound>,
+        edges: &mut Vec<(usize, (VertexId, VertexId))>,
+        stats: &mut SimStats,
+    ) -> u64 {
         let mut straggler_cycles: u64 = 0;
         let mut per_instance: HashMap<u32, u64> = HashMap::new();
         // Per-stream arena: stream tasks run one per host thread, so the
@@ -624,14 +701,14 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                     parts,
                     cfg: algo_cfg,
                     detector: self.select.detector,
-                    partition: task.partition,
+                    partition,
                     instance_base,
-                    queue: &mut queue,
-                    shard: &mut shard,
-                    outbox: &mut outbox,
-                    edges: &mut edges,
+                    queue,
+                    shard,
+                    outbox,
+                    edges,
                 };
-                kernel.expand(&mut access, &step, seeds[local], &mut sink, scratch, &mut stats);
+                kernel.expand(access, &step, seeds[local], &mut sink, scratch, stats);
                 if !self.cfg.batched {
                     let c = per_instance.entry(instance).or_insert(0);
                     *c += stats.warp_cycles - before;
@@ -642,7 +719,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                 break; // baseline: one pass per round
             }
         });
-        (StreamRound { queue, shard, outbox, edges, straggler_cycles }, stats)
+        straggler_cycles
     }
 }
 

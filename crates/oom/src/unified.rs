@@ -27,7 +27,7 @@ use csaw_core::step::{
 use csaw_gpu::config::DeviceConfig;
 use csaw_gpu::cost::gpu_kernel_seconds;
 use csaw_gpu::stats::SimStats;
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{Csr, GraphView, VertexId};
 use std::collections::{HashSet, VecDeque};
 
 /// Driver-side latency of servicing one GPU page fault (fault interrupt,
@@ -110,8 +110,8 @@ struct PagedAccess<'g> {
 }
 
 impl NeighborAccess for PagedAccess<'_> {
-    fn graph(&self) -> &Csr {
-        self.graph
+    fn graph(&self) -> GraphView<'_> {
+        self.graph.view()
     }
 
     fn gather(&mut self, v: VertexId, stats: &mut SimStats) -> Gathered<'_> {
@@ -121,7 +121,7 @@ impl NeighborAccess for PagedAccess<'_> {
         self.bytes_migrated += faulted * PAGE_BYTES as u64;
         stats.read_gmem(gather_bytes(self.graph.is_weighted(), deg));
         Gathered {
-            graph: self.graph,
+            graph: self.graph.view(),
             neighbors: self.graph.neighbors(v),
             weights: self.graph.neighbor_weights(v),
         }
@@ -129,7 +129,7 @@ impl NeighborAccess for PagedAccess<'_> {
 
     fn fetch(&mut self, v: VertexId) -> Gathered<'_> {
         Gathered {
-            graph: self.graph,
+            graph: self.graph.view(),
             neighbors: self.graph.neighbors(v),
             weights: self.graph.neighbor_weights(v),
         }

@@ -10,7 +10,7 @@
 use csaw_core::api::{Algorithm, FrontierMode};
 use csaw_core::engine::RunError;
 use csaw_core::{AlgoSpec, RegistryError, SampleOutput};
-use csaw_graph::VertexId;
+use csaw_graph::{EdgeEdit, VertexId};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,6 +97,33 @@ impl SamplingRequest {
             _ => self.seeds.iter().map(|&s| vec![s]).collect(),
         }
     }
+}
+
+/// A batch of graph edits to apply atomically. Applying it advances
+/// the service's graph to a new epoch; sampling batches launched after
+/// the apply see the new adjacency, in-flight batches keep the epoch
+/// they captured at launch.
+#[derive(Debug, Clone, Default)]
+pub struct MutationRequest {
+    /// Edits applied in order (a Delete may remove an edge an earlier
+    /// Insert in the same batch created).
+    pub edits: Vec<EdgeEdit>,
+}
+
+impl MutationRequest {
+    /// A mutation request from an edit list.
+    pub fn new(edits: Vec<EdgeEdit>) -> MutationRequest {
+        MutationRequest { edits }
+    }
+}
+
+/// What applying a [`MutationRequest`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationResponse {
+    /// The epoch the graph advanced to (unchanged for an empty batch).
+    pub epoch: u64,
+    /// Vertices carrying an uncompacted delta after the apply.
+    pub overlay_vertices: usize,
 }
 
 /// Why admission refused a request (the request itself is malformed).

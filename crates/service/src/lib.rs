@@ -42,7 +42,8 @@ pub mod service;
 pub mod stats;
 
 pub use api::{
-    RequestAlgo, RequestError, RequestStats, SamplingRequest, SamplingResponse, ServiceError,
+    MutationRequest, MutationResponse, RequestAlgo, RequestError, RequestStats, SamplingRequest,
+    SamplingResponse, ServiceError,
 };
 pub use executor::{BatchExecutor, BatchOutput, EngineExecutor, MultiGpuExecutor, OomExecutor};
 pub use service::{SamplingService, ServiceConfig, Ticket};

@@ -27,7 +27,8 @@
 //!   the worker.
 
 use crate::api::{
-    RequestAlgo, RequestError, RequestStats, SamplingRequest, SamplingResponse, ServiceError,
+    MutationRequest, MutationResponse, RequestAlgo, RequestError, RequestStats, SamplingRequest,
+    SamplingResponse, ServiceError,
 };
 use crate::executor::{BatchExecutor, EngineExecutor};
 use crate::stats::{ServiceStats, StatsSnapshot};
@@ -35,7 +36,7 @@ use csaw_core::algorithms::registry::AlgoKey;
 use csaw_core::api::Algorithm;
 use csaw_core::ctps_cache::CtpsCache;
 use csaw_core::engine::{validate_seed_sets, RunError, RunOptions};
-use csaw_graph::{Csr, VertexId};
+use csaw_graph::{Csr, EditError, MutableGraph, VertexId};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering::Relaxed;
@@ -125,6 +126,11 @@ struct Shared {
     cv: Condvar,
     stats: ServiceStats,
     config: ServiceConfig,
+    /// The live graph: the immutable CSR the service was started with
+    /// plus the delta overlay accumulated by [`SamplingService::mutate`].
+    /// Batches capture a snapshot at launch time, so every walk in a
+    /// batch sees exactly one epoch regardless of concurrent edits.
+    mutable: Mutex<MutableGraph>,
 }
 
 /// Handle to one submitted request.
@@ -183,6 +189,7 @@ impl SamplingService {
             cv: Condvar::new(),
             stats: ServiceStats::default(),
             config,
+            mutable: Mutex::new(MutableGraph::from_arc(Arc::clone(&graph))),
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -267,6 +274,44 @@ impl SamplingService {
         drop(st);
         self.shared.cv.notify_all();
         Ok(Ticket { request_id: id, instance_base, rx })
+    }
+
+    /// Applies a batch of edge edits to the live graph atomically and
+    /// returns the new epoch. Batches already launched keep the snapshot
+    /// they captured; batches dequeued after this call see the new epoch.
+    /// Walks on untouched vertices keep their cached CTPS entries — only
+    /// mutated vertices' cache tags change.
+    pub fn mutate(&self, req: MutationRequest) -> Result<MutationResponse, EditError> {
+        let stats = &self.shared.stats;
+        let mut g = self.shared.mutable.lock().unwrap();
+        let epoch = g.apply_batch(&req.edits)?;
+        let overlay_vertices = g.overlay_vertices();
+        drop(g);
+        ServiceStats::inc(&stats.mutations);
+        stats.graph_epoch.store(epoch, Relaxed);
+        stats.overlay_vertices.store(overlay_vertices as u64, Relaxed);
+        Ok(MutationResponse { epoch, overlay_vertices })
+    }
+
+    /// Folds the delta overlay into a fresh base CSR. Returns the number
+    /// of vertices folded. The epoch does not change, in-flight snapshots
+    /// stay valid, and walks remain bit-identical before vs after.
+    pub fn compact(&self) -> usize {
+        let stats = &self.shared.stats;
+        let mut g = self.shared.mutable.lock().unwrap();
+        let folded = g.compact();
+        let overlay_vertices = g.overlay_vertices();
+        drop(g);
+        if folded > 0 {
+            ServiceStats::inc(&stats.compactions);
+        }
+        stats.overlay_vertices.store(overlay_vertices as u64, Relaxed);
+        folded
+    }
+
+    /// The live graph's current epoch (0 until the first mutation).
+    pub fn graph_epoch(&self) -> u64 {
+        self.shared.mutable.lock().unwrap().epoch()
     }
 
     /// Unpauses a service started with [`ServiceConfig::start_paused`].
@@ -464,6 +509,14 @@ fn process_batch(
         }
     }
 
+    // Launch-time epoch capture: every segment of this batch runs against
+    // exactly this snapshot, even if `mutate` lands mid-batch. A
+    // never-mutated service (epoch 0) keeps the static path byte-for-byte:
+    // no snapshot is attached and the original CSR is used directly.
+    let snap = shared.mutable.lock().unwrap().snapshot();
+    let (run_graph, snapshot) =
+        if snap.epoch() > 0 { (snap.base(), Some(snap.clone())) } else { (graph, None) };
+
     let dequeued = Instant::now();
     for seg in segments {
         let seed_sets: Vec<Vec<VertexId>> =
@@ -473,10 +526,12 @@ fn process_batch(
             instance_base: seg[0].instance_base,
             ctps_cache: cache.clone(),
             method_policy: shared.config.method_policy,
+            snapshot: snapshot.clone(),
             ..RunOptions::default()
         };
-        let result =
-            catch_unwind(AssertUnwindSafe(|| executor.execute(graph, &*algo, &seed_sets, opts)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            executor.execute(run_graph, &*algo, &seed_sets, opts)
+        }));
         match result {
             Err(payload) => {
                 let msg = panic_message(&payload);
@@ -528,6 +583,9 @@ fn process_batch(
         totals.misses += s.misses;
         totals.promotions += s.promotions;
         totals.evictions += s.evictions;
+        totals.evictions_clock += s.evictions_clock;
+        totals.evictions_stale += s.evictions_stale;
+        totals.evictions_replaced += s.evictions_replaced;
         totals.bytes += s.bytes;
         totals.alias_hits += s.alias_hits;
         totals.alias_promotions += s.alias_promotions;

@@ -66,6 +66,17 @@ pub struct ServiceStats {
     pub cache_promotions: AtomicU64,
     /// CTPS tables evicted from the caches.
     pub cache_evictions: AtomicU64,
+    /// Evictions by clock-sweep capacity pressure (gauge, subset of
+    /// `cache_evictions`).
+    pub cache_evictions_clock: AtomicU64,
+    /// Entries dropped because their epoch tag went stale — residency
+    /// swaps and graph mutations both land here (gauge, subset of
+    /// `cache_evictions`). This is the "epoch-invalidated entries"
+    /// gauge for mutable-graph serving.
+    pub cache_evictions_stale: AtomicU64,
+    /// Entries replaced by a same-vertex promotion under a newer tag
+    /// (gauge, subset of `cache_evictions`).
+    pub cache_evictions_replaced: AtomicU64,
     /// Bytes currently held by the caches (gauge).
     pub cache_bytes: AtomicU64,
     /// Cache lookups served from a cached *alias table* (gauge, subset
@@ -85,6 +96,14 @@ pub struct ServiceStats {
     pub method_uniform: AtomicU64,
     /// Total rejection throws across rejection-served expansions.
     pub rejection_trials: AtomicU64,
+    /// Successful `mutate` calls applied to the service's graph.
+    pub mutations: AtomicU64,
+    /// `compact` calls that folded a non-empty overlay.
+    pub compactions: AtomicU64,
+    /// Current epoch of the service's mutable graph (gauge).
+    pub graph_epoch: AtomicU64,
+    /// Vertices currently carrying an uncompacted delta (gauge).
+    pub overlay_vertices: AtomicU64,
 }
 
 impl ServiceStats {
@@ -116,6 +135,9 @@ impl ServiceStats {
         self.cache_misses.store(totals.misses, Relaxed);
         self.cache_promotions.store(totals.promotions, Relaxed);
         self.cache_evictions.store(totals.evictions, Relaxed);
+        self.cache_evictions_clock.store(totals.evictions_clock, Relaxed);
+        self.cache_evictions_stale.store(totals.evictions_stale, Relaxed);
+        self.cache_evictions_replaced.store(totals.evictions_replaced, Relaxed);
         self.cache_bytes.store(totals.bytes, Relaxed);
         self.cache_alias_hits.store(totals.alias_hits, Relaxed);
         self.cache_alias_promotions.store(totals.alias_promotions, Relaxed);
@@ -152,6 +174,9 @@ impl ServiceStats {
             cache_misses: self.cache_misses.load(Relaxed),
             cache_promotions: self.cache_promotions.load(Relaxed),
             cache_evictions: self.cache_evictions.load(Relaxed),
+            cache_evictions_clock: self.cache_evictions_clock.load(Relaxed),
+            cache_evictions_stale: self.cache_evictions_stale.load(Relaxed),
+            cache_evictions_replaced: self.cache_evictions_replaced.load(Relaxed),
             cache_bytes: self.cache_bytes.load(Relaxed),
             cache_alias_hits: self.cache_alias_hits.load(Relaxed),
             cache_alias_promotions: self.cache_alias_promotions.load(Relaxed),
@@ -160,6 +185,10 @@ impl ServiceStats {
             method_rejection: self.method_rejection.load(Relaxed),
             method_uniform: self.method_uniform.load(Relaxed),
             rejection_trials: self.rejection_trials.load(Relaxed),
+            mutations: self.mutations.load(Relaxed),
+            compactions: self.compactions.load(Relaxed),
+            graph_epoch: self.graph_epoch.load(Relaxed),
+            overlay_vertices: self.overlay_vertices.load(Relaxed),
         }
     }
 }
@@ -187,6 +216,9 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     pub cache_promotions: u64,
     pub cache_evictions: u64,
+    pub cache_evictions_clock: u64,
+    pub cache_evictions_stale: u64,
+    pub cache_evictions_replaced: u64,
     pub cache_bytes: u64,
     pub cache_alias_hits: u64,
     pub cache_alias_promotions: u64,
@@ -195,6 +227,10 @@ pub struct StatsSnapshot {
     pub method_rejection: u64,
     pub method_uniform: u64,
     pub rejection_trials: u64,
+    pub mutations: u64,
+    pub compactions: u64,
+    pub graph_epoch: u64,
+    pub overlay_vertices: u64,
 }
 
 impl StatsSnapshot {

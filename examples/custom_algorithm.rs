@@ -17,7 +17,7 @@ use csaw::core::api::*;
 use csaw::core::engine::Sampler;
 use csaw::gpu::Philox;
 use csaw::graph::datasets;
-use csaw::graph::Csr;
+use csaw::graph::GraphView;
 
 /// Samples 2 neighbors per vertex per hop, biased by Jaccard-ish overlap
 /// with the current vertex, restarting 10% of updates.
@@ -26,7 +26,7 @@ struct SimilarityExplorer {
 }
 
 impl SimilarityExplorer {
-    fn overlap(g: &Csr, a: u32, b: u32) -> usize {
+    fn overlap(g: GraphView<'_>, a: u32, b: u32) -> usize {
         // Sorted-list intersection size.
         let (mut i, mut j) = (0, 0);
         let (na, nb) = (g.neighbors(a), g.neighbors(b));
@@ -59,12 +59,18 @@ impl Algorithm for SimilarityExplorer {
         }
     }
     // EDGEBIAS: 1 + |N(v) ∩ N(u)| — prefer structurally similar neighbors.
-    fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+    fn edge_bias(&self, g: GraphView<'_>, e: &EdgeCand) -> f64 {
         1.0 + Self::overlap(g, e.v, e.u) as f64
     }
     // UPDATE: occasionally refuse to expand (a probabilistic frontier
     // filter, the paper's example use of UPDATE).
-    fn update(&self, _g: &Csr, e: &EdgeCand, _home: u32, rng: &mut Philox) -> UpdateAction {
+    fn update(
+        &self,
+        _g: GraphView<'_>,
+        e: &EdgeCand,
+        _home: u32,
+        rng: &mut Philox,
+    ) -> UpdateAction {
         if rng.chance(0.1) {
             UpdateAction::Discard
         } else {

@@ -44,7 +44,7 @@
 //!
 //! ```
 //! use csaw::core::api::*;
-//! use csaw::graph::Csr;
+//! use csaw::graph::GraphView;
 //!
 //! /// A walk biased toward *low*-degree neighbors.
 //! struct ColdWalk;
@@ -58,7 +58,7 @@
 //!             without_replacement: false,
 //!         }
 //!     }
-//!     fn edge_bias(&self, g: &Csr, e: &EdgeCand) -> f64 {
+//!     fn edge_bias(&self, g: GraphView<'_>, e: &EdgeCand) -> f64 {
 //!         1.0 / g.degree(e.u).max(1) as f64
 //!     }
 //! }

@@ -7,7 +7,7 @@ use csaw::core::algorithms::{BiasedRandomWalk, MetropolisHastingsWalk, SimpleRan
 use csaw::core::api::*;
 use csaw::core::engine::Sampler;
 use csaw::graph::generators::{ring_lattice, toy_graph};
-use csaw::graph::Csr;
+use csaw::graph::GraphView;
 use std::collections::HashMap;
 
 /// Total variation distance between an empirical count map and an exact
@@ -115,7 +115,7 @@ fn custom_edge_bias_respected_end_to_end() {
                 without_replacement: false,
             }
         }
-        fn edge_bias(&self, _g: &Csr, e: &EdgeCand) -> f64 {
+        fn edge_bias(&self, _g: GraphView<'_>, e: &EdgeCand) -> f64 {
             (e.u as f64).powi(2)
         }
     }

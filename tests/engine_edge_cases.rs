@@ -4,7 +4,7 @@
 use csaw::core::algorithms::*;
 use csaw::core::api::*;
 use csaw::core::engine::Sampler;
-use csaw::graph::{Csr, CsrBuilder};
+use csaw::graph::{Csr, CsrBuilder, GraphView};
 
 #[test]
 fn depth_zero_samples_nothing() {
@@ -126,7 +126,7 @@ fn update_discard_everything_terminates_early() {
         }
         fn update(
             &self,
-            _g: &Csr,
+            _g: GraphView<'_>,
             _e: &EdgeCand,
             _home: u32,
             _rng: &mut csaw::gpu::Philox,

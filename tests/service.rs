@@ -6,7 +6,7 @@
 use csaw::core::api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, UpdateAction};
 use csaw::core::AlgoSpec;
 use csaw::graph::generators::toy_graph;
-use csaw::graph::Csr;
+use csaw::graph::GraphView;
 use csaw::service::{RequestAlgo, SamplingRequest, SamplingService, ServiceConfig, ServiceError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -57,7 +57,7 @@ impl Algorithm for SlowWalk {
             without_replacement: false,
         }
     }
-    fn edge_bias(&self, _g: &Csr, _e: &EdgeCand) -> f64 {
+    fn edge_bias(&self, _g: GraphView<'_>, _e: &EdgeCand) -> f64 {
         std::thread::sleep(self.step_sleep);
         1.0
     }
@@ -126,7 +126,7 @@ impl Algorithm for PanickingUpdate {
     }
     fn update(
         &self,
-        _g: &Csr,
+        _g: GraphView<'_>,
         _e: &EdgeCand,
         _home: u32,
         _rng: &mut csaw::gpu::Philox,
