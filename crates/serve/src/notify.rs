@@ -1,0 +1,116 @@
+//! Pub-sub completion notifications.
+//!
+//! A connection that sends `Subscribe` becomes a dedicated event
+//! receiver (Redis pub/sub style): the server thread serving it drains
+//! a per-subscriber channel of [`EventFrame`]s — one per request that
+//! reaches a terminal state — and forwards each as a `Frame::Event`.
+//! Publishing never blocks the request path: a subscriber that fell
+//! behind past its channel bound simply misses events (counted in
+//! `events_dropped`), it cannot exert backpressure on samplers.
+
+use crate::wire::EventFrame;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{mpsc, Mutex};
+
+/// Bound on a subscriber's pending events; beyond it, new events for
+/// that subscriber are dropped (slow consumers lose data, not latency).
+const SUBSCRIBER_DEPTH: usize = 1024;
+
+/// Fan-out hub for walk-finished events.
+#[derive(Default)]
+pub struct Notifier {
+    subscribers: Mutex<Vec<mpsc::SyncSender<EventFrame>>>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Notifier {
+    /// A hub with no subscribers.
+    pub fn new() -> Notifier {
+        Notifier::default()
+    }
+
+    /// Registers a subscriber; drop the receiver to unsubscribe.
+    pub fn subscribe(&self) -> mpsc::Receiver<EventFrame> {
+        let (tx, rx) = mpsc::sync_channel(SUBSCRIBER_DEPTH);
+        self.subscribers.lock().expect("notifier lock").push(tx);
+        rx
+    }
+
+    /// Publishes one event to every live subscriber, pruning dead ones.
+    pub fn publish(&self, event: &EventFrame) {
+        self.published.fetch_add(1, Relaxed);
+        let mut subs = self.subscribers.lock().expect("notifier lock");
+        subs.retain(|tx| match tx.try_send(event.clone()) {
+            Ok(()) => true,
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.dropped.fetch_add(1, Relaxed);
+                true
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => false,
+        });
+    }
+
+    /// Events published since start.
+    pub fn published(&self) -> u64 {
+        self.published.load(Relaxed)
+    }
+
+    /// Events dropped on full subscriber channels.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// Live subscriber count (dead ones prune on the next publish).
+    pub fn subscriber_count(&self) -> u64 {
+        self.subscribers.lock().expect("notifier lock").len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::EventKind;
+
+    fn event(id: u64) -> EventFrame {
+        EventFrame {
+            request_id: id,
+            tenant: "t".into(),
+            kind: EventKind::Completed,
+            sampled_edges: 1,
+            instances: 1,
+        }
+    }
+
+    #[test]
+    fn fan_out_reaches_every_subscriber() {
+        let hub = Notifier::new();
+        let rx1 = hub.subscribe();
+        let rx2 = hub.subscribe();
+        hub.publish(&event(1));
+        assert_eq!(rx1.try_recv().unwrap().request_id, 1);
+        assert_eq!(rx2.try_recv().unwrap().request_id, 1);
+        assert_eq!(hub.published(), 1);
+        assert_eq!(hub.dropped(), 0);
+    }
+
+    #[test]
+    fn dead_subscribers_are_pruned() {
+        let hub = Notifier::new();
+        let rx = hub.subscribe();
+        drop(rx);
+        hub.publish(&event(1));
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn slow_subscriber_loses_events_not_latency() {
+        let hub = Notifier::new();
+        let rx = hub.subscribe();
+        for i in 0..(SUBSCRIBER_DEPTH as u64 + 10) {
+            hub.publish(&event(i));
+        }
+        assert_eq!(hub.dropped(), 10);
+        assert_eq!(rx.try_recv().unwrap().request_id, 0);
+    }
+}

@@ -70,12 +70,25 @@ pub struct SamplingRequest {
     /// answered within it gets [`ServiceError::Expired`], checked both
     /// when the batcher dequeues it and when its batch completes.
     pub deadline: Option<Duration>,
+    /// Tenant label for multi-tenant accounting. A shed request charges
+    /// the per-tenant shed counter for this label (untagged requests
+    /// land under the empty label), so a front end can split the global
+    /// `rejected_queue_full` counter by tenant. Does not affect
+    /// coalescing: two tenants' requests with equal batch keys still
+    /// share a launch.
+    pub tenant: Option<String>,
 }
 
 impl SamplingRequest {
-    /// A request with RNG seed 1 and no deadline.
+    /// A request with RNG seed 1, no deadline, and no tenant label.
     pub fn new(algo: impl Into<RequestAlgo>, seeds: Vec<VertexId>) -> SamplingRequest {
-        SamplingRequest { algo: algo.into(), seeds, rng_seed: 1, deadline: None }
+        SamplingRequest { algo: algo.into(), seeds, rng_seed: 1, deadline: None, tenant: None }
+    }
+
+    /// Tags the request with a tenant label for shed accounting.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> SamplingRequest {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// Overrides the RNG seed.

@@ -211,69 +211,113 @@ impl SamplingService {
     /// on, or a typed rejection (malformed request, full queue,
     /// shutdown) — rejected requests never enter the queue.
     pub fn submit(&self, req: SamplingRequest) -> Result<Ticket, ServiceError> {
+        self.submit_group(vec![req]).map(|mut tickets| tickets.pop().expect("one ticket"))
+    }
+
+    /// Validates and enqueues a group of requests **atomically**: either
+    /// every request is admitted under one lock acquisition — so
+    /// same-key members receive *contiguous* `instance_base` ranges with
+    /// nothing interleaved between them — or none is (the first
+    /// validation error, a queue without room for the whole group, or
+    /// shutdown rejects the group as a unit). This is the hook a
+    /// streaming front end uses to split one long request into chunks
+    /// whose reassembly is bit-identical to the unsplit request: chunk
+    /// `k`'s instances are keyed exactly where the solo run would key
+    /// them.
+    pub fn submit_group(&self, reqs: Vec<SamplingRequest>) -> Result<Vec<Ticket>, ServiceError> {
         let stats = &self.shared.stats;
-        ServiceStats::inc(&stats.submitted);
+        let n = reqs.len() as u64;
+        ServiceStats::add(&stats.submitted, n);
 
         let invalid = |e: RequestError| {
-            ServiceStats::inc(&stats.rejected_invalid);
+            // All-or-nothing: every member of a rejected group reaches
+            // the same terminal counter.
+            ServiceStats::add(&stats.rejected_invalid, n);
             ServiceError::Invalid(e)
         };
-        let (algo, identity): (Arc<dyn Algorithm>, AlgoIdentity) = match &req.algo {
-            RequestAlgo::Spec(spec) => {
-                let key = spec.key();
-                let built = spec.build().map_err(|e| invalid(RequestError::Algorithm(e)))?;
-                (Arc::from(built), AlgoIdentity::Spec(key))
-            }
-            RequestAlgo::Custom(a) => {
-                let ptr = Arc::as_ptr(a) as *const () as usize;
-                (Arc::clone(a), AlgoIdentity::Custom(ptr))
-            }
-        };
-        if req.seeds.is_empty() {
-            // An empty seed list would occupy zero instances and could
-            // never be answered; reject it up front.
-            return Err(invalid(RequestError::Seeds(RunError::EmptySeedSet { instance: 0 })));
+        // Validate every member before touching the queue.
+        struct Validated {
+            key: BatchKey,
+            algo: Arc<dyn Algorithm>,
+            seed_sets: Vec<Vec<VertexId>>,
+            deadline: Option<Duration>,
+            tenant: Option<String>,
         }
-        let seed_sets = req.shape_seed_sets(&*algo);
-        validate_seed_sets(&self.graph, &seed_sets).map_err(|e| invalid(RequestError::Seeds(e)))?;
+        let mut validated = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let (algo, identity): (Arc<dyn Algorithm>, AlgoIdentity) = match &req.algo {
+                RequestAlgo::Spec(spec) => {
+                    let key = spec.key();
+                    let built = spec.build().map_err(|e| invalid(RequestError::Algorithm(e)))?;
+                    (Arc::from(built), AlgoIdentity::Spec(key))
+                }
+                RequestAlgo::Custom(a) => {
+                    let ptr = Arc::as_ptr(a) as *const () as usize;
+                    (Arc::clone(a), AlgoIdentity::Custom(ptr))
+                }
+            };
+            if req.seeds.is_empty() {
+                // An empty seed list would occupy zero instances and
+                // could never be answered; reject it up front.
+                return Err(invalid(RequestError::Seeds(RunError::EmptySeedSet { instance: 0 })));
+            }
+            let seed_sets = req.shape_seed_sets(&*algo);
+            validate_seed_sets(&self.graph, &seed_sets)
+                .map_err(|e| invalid(RequestError::Seeds(e)))?;
+            validated.push(Validated {
+                key: BatchKey { algo: identity, rng_seed: req.rng_seed },
+                algo,
+                seed_sets,
+                deadline: req.deadline,
+                tenant: req.tenant,
+            });
+        }
+        if validated.is_empty() {
+            return Ok(Vec::new());
+        }
 
-        let key = BatchKey { algo: identity, rng_seed: req.rng_seed };
-        let instances = seed_sets.len() as u32;
         let admitted = Instant::now();
-        let (tx, rx) = mpsc::channel();
-
         let mut st = self.shared.state.lock().unwrap();
         if st.shutdown {
-            ServiceStats::inc(&stats.rejected_shutdown);
+            ServiceStats::add(&stats.rejected_shutdown, n);
             return Err(ServiceError::ShuttingDown);
         }
-        if st.queue.len() >= self.shared.config.queue_capacity {
-            ServiceStats::inc(&stats.rejected_queue_full);
+        if st.queue.len() + validated.len() > self.shared.config.queue_capacity {
+            ServiceStats::add(&stats.rejected_queue_full, n);
+            for v in &validated {
+                stats.record_tenant_shed(v.tenant.as_deref().unwrap_or(""));
+            }
             // One batch window is roughly how long until the worker
             // next relieves the queue.
             let retry_after = self.shared.config.batch_window.max(Duration::from_micros(100));
             return Err(ServiceError::QueueFull { retry_after });
         }
-        let base_slot = st.next_base.entry(key.clone()).or_insert(0);
-        let instance_base = *base_slot;
-        *base_slot += instances;
-        let id = st.next_id;
-        st.next_id += 1;
-        st.queue.push_back(Queued {
-            id,
-            key,
-            algo,
-            seed_sets,
-            instance_base,
-            admitted,
-            expires: req.deadline.map(|d| admitted + d),
-            reply: tx,
-        });
-        ServiceStats::inc(&stats.accepted);
+        let mut tickets = Vec::with_capacity(validated.len());
+        for v in validated {
+            let instances = v.seed_sets.len() as u32;
+            let base_slot = st.next_base.entry(v.key.clone()).or_insert(0);
+            let instance_base = *base_slot;
+            *base_slot += instances;
+            let id = st.next_id;
+            st.next_id += 1;
+            let (tx, rx) = mpsc::channel();
+            st.queue.push_back(Queued {
+                id,
+                key: v.key,
+                algo: v.algo,
+                seed_sets: v.seed_sets,
+                instance_base,
+                admitted,
+                expires: v.deadline.map(|d| admitted + d),
+                reply: tx,
+            });
+            ServiceStats::inc(&stats.accepted);
+            tickets.push(Ticket { request_id: id, instance_base, rx });
+        }
         stats.queue_depth.store(st.queue.len() as u64, Relaxed);
         drop(st);
         self.shared.cv.notify_all();
-        Ok(Ticket { request_id: id, instance_base, rx })
+        Ok(tickets)
     }
 
     /// Applies a batch of edge edits to the live graph atomically and
@@ -283,8 +327,18 @@ impl SamplingService {
     /// mutated vertices' cache tags change.
     pub fn mutate(&self, req: MutationRequest) -> Result<MutationResponse, EditError> {
         let stats = &self.shared.stats;
+        ServiceStats::inc(&stats.mutations_submitted);
         let mut g = self.shared.mutable.lock().unwrap();
-        let epoch = g.apply_batch(&req.edits)?;
+        let epoch = match g.apply_batch(&req.edits) {
+            Ok(epoch) => epoch,
+            Err(e) => {
+                // A rejected batch is rolled back whole; the ledger
+                // still accounts for it (mutations_submitted ==
+                // mutations + mutations_rejected).
+                ServiceStats::inc(&stats.mutations_rejected);
+                return Err(e);
+            }
+        };
         let overlay_vertices = g.overlay_vertices();
         drop(g);
         ServiceStats::inc(&stats.mutations);
@@ -298,12 +352,15 @@ impl SamplingService {
     /// stay valid, and walks remain bit-identical before vs after.
     pub fn compact(&self) -> usize {
         let stats = &self.shared.stats;
+        ServiceStats::inc(&stats.compact_requests);
         let mut g = self.shared.mutable.lock().unwrap();
         let folded = g.compact();
         let overlay_vertices = g.overlay_vertices();
         drop(g);
         if folded > 0 {
             ServiceStats::inc(&stats.compactions);
+        } else {
+            ServiceStats::inc(&stats.compact_noops);
         }
         stats.overlay_vertices.store(overlay_vertices as u64, Relaxed);
         folded
@@ -323,6 +380,17 @@ impl SamplingService {
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Queue-full sheds split by tenant label (see
+    /// [`ServiceStats::tenant_sheds`]).
+    pub fn tenant_sheds(&self) -> Vec<(String, u64)> {
+        self.shared.stats.tenant_sheds()
+    }
+
+    /// The configured queue capacity (admissions beyond it are shed).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.config.queue_capacity
     }
 
     /// Requests currently queued.
@@ -532,6 +600,11 @@ fn process_batch(
         let result = catch_unwind(AssertUnwindSafe(|| {
             executor.execute(run_graph, &*algo, &seed_sets, opts)
         }));
+        // Publish cache totals before any reply goes out: a caller that
+        // has observed its response must also observe the cache-gauge
+        // deltas its batch caused (tests read `stats()` right after
+        // `wait()` returns).
+        publish_cache_totals(stats, caches);
         match result {
             Err(payload) => {
                 let msg = panic_message(&payload);
@@ -572,9 +645,11 @@ fn process_batch(
             }
         }
     }
+}
 
-    // Publish worker-lifetime cache totals (the caches outlive batches,
-    // so these are gauges: each batch's publish replaces the last).
+/// Publish worker-lifetime cache totals (the caches outlive batches, so
+/// these are gauges: each publish replaces the last).
+fn publish_cache_totals(stats: &ServiceStats, caches: &HashMap<AlgoIdentity, Arc<CtpsCache>>) {
     let mut totals = csaw_core::ctps_cache::CacheSnapshot::default();
     for c in caches.values() {
         let s = c.snapshot();

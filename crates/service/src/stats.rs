@@ -6,12 +6,24 @@
 //! ```text
 //! submitted == accepted + rejected_invalid + rejected_queue_full + rejected_shutdown
 //! accepted  == completed + expired + failed
+//! mutations_submitted == mutations + mutations_rejected
+//! compact_requests    == compactions + compact_noops
 //! ```
 //!
 //! [`StatsSnapshot::fully_accounted`] checks exactly that; the test
-//! suite asserts it after every drain.
+//! suite asserts it after every drain. Sampling, mutation, and compact
+//! requests are all conservation-checked — a front end that relays the
+//! ledger (the `/metrics` endpoint) can prove no request of any kind
+//! was silently dropped.
+//!
+//! Queue-full sheds are additionally split per tenant
+//! ([`ServiceStats::tenant_sheds`]): the global `rejected_queue_full`
+//! is always the sum of the per-tenant counters (untagged requests
+//! charge the empty label).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 
 /// Upper bounds (inclusive) of the batch-size histogram buckets,
 /// measured in sampling instances per coalesced launch. The last
@@ -96,14 +108,27 @@ pub struct ServiceStats {
     pub method_uniform: AtomicU64,
     /// Total rejection throws across rejection-served expansions.
     pub rejection_trials: AtomicU64,
+    /// Mutation requests ever handed to `mutate` (accepted or not).
+    pub mutations_submitted: AtomicU64,
     /// Successful `mutate` calls applied to the service's graph.
     pub mutations: AtomicU64,
+    /// Mutation requests rejected with a typed [`csaw_graph::EditError`]
+    /// (the batch was rolled back; the graph is unchanged).
+    pub mutations_rejected: AtomicU64,
+    /// `compact` calls ever made.
+    pub compact_requests: AtomicU64,
     /// `compact` calls that folded a non-empty overlay.
     pub compactions: AtomicU64,
+    /// `compact` calls that found nothing to fold.
+    pub compact_noops: AtomicU64,
     /// Current epoch of the service's mutable graph (gauge).
     pub graph_epoch: AtomicU64,
     /// Vertices currently carrying an uncompacted delta (gauge).
     pub overlay_vertices: AtomicU64,
+    /// Queue-full sheds split by tenant label (untagged requests charge
+    /// the empty label). Off the hot path: touched only when a request
+    /// is actually shed.
+    tenant_sheds: Mutex<HashMap<String, u64>>,
 }
 
 impl ServiceStats {
@@ -141,6 +166,23 @@ impl ServiceStats {
         self.cache_bytes.store(totals.bytes, Relaxed);
         self.cache_alias_hits.store(totals.alias_hits, Relaxed);
         self.cache_alias_promotions.store(totals.alias_promotions, Relaxed);
+    }
+
+    /// Charges a queue-full shed to `tenant`'s split counter. The caller
+    /// bumps the global `rejected_queue_full` separately; this keeps the
+    /// invariant `rejected_queue_full == Σ tenant_sheds`.
+    pub(crate) fn record_tenant_shed(&self, tenant: &str) {
+        let mut map = self.tenant_sheds.lock().unwrap();
+        *map.entry(tenant.to_string()).or_insert(0) += 1;
+    }
+
+    /// Queue-full sheds per tenant label, sorted by label. The sum over
+    /// all labels equals the global `rejected_queue_full` counter.
+    pub fn tenant_sheds(&self) -> Vec<(String, u64)> {
+        let map = self.tenant_sheds.lock().unwrap();
+        let mut v: Vec<(String, u64)> = map.iter().map(|(k, &n)| (k.clone(), n)).collect();
+        v.sort();
+        v
     }
 
     /// Accumulates one launch's per-method expansion counters.
@@ -185,8 +227,12 @@ impl ServiceStats {
             method_rejection: self.method_rejection.load(Relaxed),
             method_uniform: self.method_uniform.load(Relaxed),
             rejection_trials: self.rejection_trials.load(Relaxed),
+            mutations_submitted: self.mutations_submitted.load(Relaxed),
             mutations: self.mutations.load(Relaxed),
+            mutations_rejected: self.mutations_rejected.load(Relaxed),
+            compact_requests: self.compact_requests.load(Relaxed),
             compactions: self.compactions.load(Relaxed),
+            compact_noops: self.compact_noops.load(Relaxed),
             graph_epoch: self.graph_epoch.load(Relaxed),
             overlay_vertices: self.overlay_vertices.load(Relaxed),
         }
@@ -194,7 +240,7 @@ impl ServiceStats {
 }
 
 /// Plain-value copy of [`ServiceStats`] (see its field docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct StatsSnapshot {
     pub submitted: u64,
@@ -227,16 +273,21 @@ pub struct StatsSnapshot {
     pub method_rejection: u64,
     pub method_uniform: u64,
     pub rejection_trials: u64,
+    pub mutations_submitted: u64,
     pub mutations: u64,
+    pub mutations_rejected: u64,
+    pub compact_requests: u64,
     pub compactions: u64,
+    pub compact_noops: u64,
     pub graph_epoch: u64,
     pub overlay_vertices: u64,
 }
 
 impl StatsSnapshot {
-    /// True when every submitted request has reached exactly one
-    /// terminal state. Only meaningful when the service is idle (after
-    /// a drain); mid-flight requests are accepted but not yet terminal.
+    /// True when every submitted request — sampling, mutation, and
+    /// compact alike — has reached exactly one terminal state. Only
+    /// meaningful when the service is idle (after a drain); mid-flight
+    /// requests are accepted but not yet terminal.
     pub fn fully_accounted(&self) -> bool {
         self.submitted
             == self.accepted
@@ -244,6 +295,8 @@ impl StatsSnapshot {
                 + self.rejected_queue_full
                 + self.rejected_shutdown
             && self.accepted == self.completed + self.expired + self.failed
+            && self.mutations_submitted == self.mutations + self.mutations_rejected
+            && self.compact_requests == self.compactions + self.compact_noops
     }
 
     /// Launches recorded by the histogram (should equal `batches`).
@@ -283,5 +336,34 @@ mod tests {
         assert!(stats.snapshot().fully_accounted());
         ServiceStats::inc(&stats.submitted);
         assert!(!stats.snapshot().fully_accounted());
+    }
+
+    #[test]
+    fn mutation_and_compact_requests_are_conservation_checked() {
+        let stats = ServiceStats::default();
+        // A mutation that never reached a terminal counter breaks the
+        // ledger (this was the pre-fix behavior: only sampling requests
+        // were conservation-checked).
+        ServiceStats::inc(&stats.mutations_submitted);
+        assert!(!stats.snapshot().fully_accounted());
+        ServiceStats::inc(&stats.mutations_rejected);
+        assert!(stats.snapshot().fully_accounted());
+        ServiceStats::inc(&stats.compact_requests);
+        assert!(!stats.snapshot().fully_accounted());
+        ServiceStats::inc(&stats.compact_noops);
+        assert!(stats.snapshot().fully_accounted());
+    }
+
+    #[test]
+    fn tenant_sheds_split_the_global_counter() {
+        let stats = ServiceStats::default();
+        for t in ["a", "b", "a", ""] {
+            ServiceStats::inc(&stats.rejected_queue_full);
+            stats.record_tenant_shed(t);
+        }
+        let sheds = stats.tenant_sheds();
+        assert_eq!(sheds, vec![(String::new(), 1), ("a".to_string(), 2), ("b".to_string(), 1)]);
+        let total: u64 = sheds.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, stats.snapshot().rejected_queue_full);
     }
 }

@@ -47,7 +47,7 @@ impl Cli {
     pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         let mut it = args.iter();
         let command = it.next().ok_or_else(|| CliError::Usage(USAGE.to_string()))?.clone();
-        if !["info", "sample", "quality", "components", "partition", "convert", "ppr"]
+        if !["info", "sample", "quality", "components", "partition", "convert", "ppr", "serve"]
             .contains(&command.as_str())
         {
             return Err(CliError::Usage(format!("unknown command '{command}'\n{USAGE}")));
@@ -97,6 +97,8 @@ commands:
               relabeled first (--reorder degree|bfs)
   ppr         top-k personalized PageRank by restart walks
               (--source <v>, --alpha <f>, --topk <n>, --walks <n>)
+  serve       run the multi-tenant wire-protocol sampling server
+              (--addr <ip:port>, --metrics <ip:port>, --smoke self-test)
 
 graph sources:
   dataset:<ABBR>     Table-II stand-in (AM AS CP LJ OR RE WG YE FR TW)
@@ -424,6 +426,70 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
                             p.size_bytes() as f64 / 1e6
                         ),
                     );
+                }
+            }
+            Ok(())
+        }
+        "serve" => {
+            use crate::serve::{Client, CsawServer, ServeConfig, WireAlgo};
+            use crate::service::{SamplingService, ServiceConfig};
+
+            let mut serve_cfg = ServeConfig::default();
+            if let Some(addr) = cli.get("addr") {
+                serve_cfg.addr = addr.to_string();
+            }
+            match cli.get("metrics") {
+                Some("off") => serve_cfg.metrics_addr = None,
+                Some(addr) => serve_cfg.metrics_addr = Some(addr.to_string()),
+                None => {}
+            }
+            let nv = g.num_vertices().max(1) as u32;
+            let service =
+                SamplingService::with_engine(std::sync::Arc::new(g), ServiceConfig::default());
+            let server = CsawServer::start(service, serve_cfg)
+                .map_err(|e| CliError::Invalid(format!("cannot bind server: {e}")))?;
+            wr(out, format!("serving on {}", server.addr()));
+            if let Some(m) = server.metrics_addr() {
+                wr(out, format!("metrics on http://{m}/metrics"));
+            }
+            if cli.get("smoke").is_some() {
+                // Self-test: stream a request over loopback, scrape the
+                // metrics page, verify the ledger balances, shut down.
+                let mut client = Client::connect(server.addr(), "smoke")
+                    .map_err(|e| CliError::Invalid(format!("smoke connect: {e}")))?;
+                let streamed = client
+                    .sample_streamed(
+                        WireAlgo::by_name("biased-walk").with_depth(8),
+                        (0..16u32).map(|i| i % nv).collect(),
+                        7,
+                        4,
+                        |_| {},
+                    )
+                    .map_err(|e| CliError::Invalid(format!("smoke sample: {e}")))?;
+                wr(
+                    out,
+                    format!(
+                        "smoke: {} chunks, {} instances, {} edges (base {})",
+                        streamed.chunks.len(),
+                        streamed.reassemble().len(),
+                        streamed.end.sampled_edges,
+                        streamed.instance_base
+                    ),
+                );
+                let page = client
+                    .stats_text()
+                    .map_err(|e| CliError::Invalid(format!("smoke stats: {e}")))?;
+                let accounted = crate::serve::parse_value(&page, "csaw_ledger_fully_accounted");
+                wr(out, format!("smoke: ledger fully accounted = {}", accounted.unwrap_or(-1.0)));
+                let _ = client.goodbye();
+                server.shutdown();
+                if accounted != Some(1.0) {
+                    return Err(CliError::Invalid("smoke: ledger not fully accounted".into()));
+                }
+                wr(out, "smoke: ok".to_string());
+            } else {
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
                 }
             }
             Ok(())

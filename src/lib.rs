@@ -19,6 +19,10 @@
 //! - [`oom`]: out-of-memory and multi-GPU runtimes ([`csaw_oom`]).
 //! - [`service`]: a micro-batching sampling service with admission
 //!   control, deadlines, and per-request accounting ([`csaw_service`]).
+//! - [`serve`]: the multi-tenant wire-protocol front end — binary TCP
+//!   protocol with streaming responses, weighted-fair per-tenant
+//!   scheduling, Prometheus metrics, and completion events
+//!   ([`csaw_serve`]).
 //! - [`baselines`]: KnightKing- and GraphSAINT-style CPU comparators
 //!   ([`csaw_baselines`]).
 //!
@@ -75,4 +79,5 @@ pub use csaw_core as core;
 pub use csaw_gpu as gpu;
 pub use csaw_graph as graph;
 pub use csaw_oom as oom;
+pub use csaw_serve as serve;
 pub use csaw_service as service;

@@ -163,4 +163,55 @@ proptest! {
         }
         prop_assert!(svc.shutdown().fully_accounted());
     }
+
+    /// Wire transport: responses fetched over the TCP codec — both the
+    /// single-response path and the chunked streaming path — are
+    /// bit-identical to solo engine runs at the reported instance base,
+    /// and streamed chunks reassemble to exactly the unsplit response.
+    #[test]
+    fn wire_responses_match_solo_runs(
+        g in arb_graph(),
+        requests in arb_requests(),
+        chunk in 1u32..4,
+    ) {
+        use csaw::serve::{Client, CsawServer, ServeConfig, WireAlgo};
+
+        let g = Arc::new(g);
+        let svc = SamplingService::with_engine(Arc::clone(&g), ServiceConfig::default());
+        let server = CsawServer::start(
+            svc,
+            ServeConfig { metrics_addr: None, ..ServeConfig::default() },
+        ).expect("bind loopback");
+        let mut client = Client::connect(server.addr(), "prop").expect("connect");
+
+        for (choice, seeds, rng_seed) in &requests {
+            let spec = algo_spec(*choice);
+            let wire_algo = match *choice {
+                0 => WireAlgo::by_name("simple-walk").with_depth(6),
+                1 => WireAlgo::by_name("biased-walk").with_depth(5),
+                _ => WireAlgo::by_name("neighbor").with_depth(2),
+            };
+
+            let resp = client
+                .sample(wire_algo.clone(), seeds.clone(), *rng_seed, None)
+                .expect("wire sample");
+            let solo = solo_reference(&g, spec, seeds, *rng_seed, resp.instance_base);
+            prop_assert_eq!(
+                &resp.instances, &solo,
+                "wire response diverged from solo (base {})", resp.instance_base
+            );
+
+            let streamed = client
+                .sample_streamed(wire_algo, seeds.clone(), *rng_seed, chunk, |_| {})
+                .expect("streamed sample");
+            let solo = solo_reference(&g, spec, seeds, *rng_seed, streamed.instance_base);
+            prop_assert_eq!(
+                &streamed.reassemble(), &solo,
+                "reassembled stream diverged from solo (base {})", streamed.instance_base
+            );
+        }
+
+        client.goodbye().expect("goodbye");
+        prop_assert!(server.shutdown().stats().fully_accounted());
+    }
 }
