@@ -159,6 +159,16 @@ pub struct RunOptions {
     /// is the static path, byte-for-byte what it was before overlays
     /// existed.
     pub snapshot: Option<GraphSnapshot>,
+    /// Optional disk tier (see [`crate::residency`]). When set, every
+    /// instance gathers through a [`crate::residency::DiskAccess`] over
+    /// the store's memory-mapped segments instead of the resident CSR:
+    /// neighbor lists decode on demand into each worker thread's
+    /// byte-budgeted pool. Decode is bit-exact and RNG streams are keyed
+    /// by `(instance, depth, vertex, trial)` only, so a disk-backed run
+    /// is bit-identical to the in-memory run at every pool budget.
+    /// Mutually exclusive with `snapshot` — the store serves immutable
+    /// epochs.
+    pub disk: Option<crate::residency::DiskRunConfig>,
 }
 
 impl Default for RunOptions {
@@ -171,6 +181,7 @@ impl Default for RunOptions {
             ctps_cache: None,
             method_policy: crate::method::MethodPolicy::ForceIts,
             snapshot: None,
+            disk: None,
         }
     }
 }
@@ -207,6 +218,17 @@ impl<'g, A: Algorithm> Sampler<'g, A> {
     /// constructed over for the run to be meaningful.
     pub fn with_snapshot(mut self, snapshot: GraphSnapshot) -> Self {
         self.opts.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Binds a disk tier: all instances gather through the store's
+    /// mmap-backed segments with on-demand decode into per-thread pools
+    /// (see [`crate::residency`]). The store must hold the same logical
+    /// graph as the CSR this sampler was constructed over for the
+    /// bit-identity guarantee to be meaningful. Mutually exclusive with
+    /// [`Sampler::with_snapshot`].
+    pub fn with_disk(mut self, disk: crate::residency::DiskRunConfig) -> Self {
+        self.opts.disk = Some(disk);
         self
     }
 
@@ -311,12 +333,23 @@ fn run_instance(
     instance: u32,
     seeds: &[VertexId],
 ) -> (Vec<(VertexId, VertexId)>, SimStats) {
-    match opts.snapshot.as_ref() {
-        Some(snapshot) => {
+    match (opts.snapshot.as_ref(), opts.disk.as_ref()) {
+        (Some(_), Some(_)) => {
+            panic!("RunOptions.snapshot and RunOptions.disk are mutually exclusive")
+        }
+        (Some(snapshot), None) => {
             let mut access = DeltaAccess { snapshot };
             drive_instance(&mut access, algo, opts, instance, seeds)
         }
-        None => {
+        (None, Some(disk)) => crate::residency::with_thread_disk_access(disk, |access| {
+            let (out, mut stats) = drive_instance(access, algo, opts, instance, seeds);
+            // Attribute the disk work this instance caused on its worker
+            // thread (decodes, hits, evictions) to its own counters; the
+            // warm pool itself persists for the next instance.
+            access.flush_stats(&mut stats);
+            (out, stats)
+        }),
+        (None, None) => {
             let mut access = CsrAccess { graph: g };
             drive_instance(&mut access, algo, opts, instance, seeds)
         }

@@ -55,6 +55,7 @@ pub mod output;
 pub mod precompute;
 pub mod profile;
 pub mod reservoir;
+pub mod residency;
 pub mod select;
 pub mod select_simt;
 pub mod step;
@@ -64,5 +65,6 @@ pub use api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, Updat
 pub use engine::{RunError, RunOptions, Sampler};
 pub use method::{MethodPolicy, SelectMethod};
 pub use output::SampleOutput;
+pub use residency::{DiskAccess, DiskRunConfig, DiskTierStats, ResidencyHierarchy};
 pub use select::{CollisionDetectorKind, SelectStrategy};
 pub use step::{DeltaAccess, FrontierSink, NeighborAccess, PoolSlot, StepEntry, StepKernel};

@@ -66,6 +66,22 @@ pub struct SimStats {
     /// (accepted + rejected); trials / accepts is the live skew signal the
     /// chooser feeds back on.
     pub rejection_trials: u64,
+    /// Decoded-RAM pool lookups by the disk tier (one per adjacency read
+    /// through a `DiskAccess`; zero unless a run is disk-backed).
+    pub disk_pool_lookups: u64,
+    /// Disk-tier lookups served by an already-decoded resident partition.
+    pub disk_pool_hits: u64,
+    /// Disk-tier lookups that decoded a partition out of its mapped
+    /// segment (`disk_pool_lookups == disk_pool_hits + disk_pool_misses`).
+    pub disk_pool_misses: u64,
+    /// Decoded partitions evicted from the pool by the clock sweep.
+    pub disk_pool_evictions: u64,
+    /// RAM bytes produced by disk-tier decodes (each miss decodes one
+    /// whole partition).
+    pub disk_decode_bytes: u64,
+    /// Simulated 4 KiB page faults charged for streaming mapped segments
+    /// during decodes.
+    pub disk_mmap_faults: u64,
 }
 
 impl SimStats {
@@ -96,6 +112,12 @@ impl SimStats {
         self.method_rejection += other.method_rejection;
         self.method_uniform += other.method_uniform;
         self.rejection_trials += other.rejection_trials;
+        self.disk_pool_lookups += other.disk_pool_lookups;
+        self.disk_pool_hits += other.disk_pool_hits;
+        self.disk_pool_misses += other.disk_pool_misses;
+        self.disk_pool_evictions += other.disk_pool_evictions;
+        self.disk_decode_bytes += other.disk_decode_bytes;
+        self.disk_mmap_faults += other.disk_mmap_faults;
     }
 
     /// Merge that consumes the right-hand side (for fold/reduce).

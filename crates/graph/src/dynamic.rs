@@ -109,6 +109,10 @@ pub enum EditError {
         /// The offending weight.
         weight: Weight,
     },
+    /// The graph is served from an immutable backing store (e.g. the
+    /// disk tier's partitioned segment files), which cannot accept
+    /// edits at any epoch.
+    ImmutableStore,
 }
 
 impl std::fmt::Display for EditError {
@@ -123,6 +127,9 @@ impl std::fmt::Display for EditError {
             }
             EditError::BadWeight { weight } => {
                 write!(f, "weight {weight} must be finite and positive")
+            }
+            EditError::ImmutableStore => {
+                write!(f, "graph is served from an immutable backing store")
             }
         }
     }

@@ -21,6 +21,8 @@
 //! - [`fenwick`]: the O(log n) incremental weighted-sampling index.
 //! - [`partition`]: the contiguous vertex-range partitioner of §V-A.
 //! - [`io`]: edge-list and binary CSR readers/writers for real data.
+//! - [`store`]: the on-disk partitioned CSR store (mmap-backed segments
+//!   with delta/varint neighbor lists) behind the disk tier.
 //! - [`quality`]: sample-quality metrics (degree KS, clustering,
 //!   effective diameter) from the sampling literature.
 //! - [`stats`]: degree statistics used in the evaluation write-up.
@@ -36,6 +38,7 @@ pub mod partition;
 pub mod quality;
 pub mod reorder;
 pub mod stats;
+pub mod store;
 pub mod traversal;
 pub mod types;
 pub mod view;
@@ -46,5 +49,6 @@ pub use datasets::{Dataset, DatasetSpec};
 pub use dynamic::{EdgeEdit, EditError, GraphSnapshot, MutableGraph};
 pub use fenwick::Fenwick;
 pub use partition::{Partition, PartitionSet};
+pub use store::{DiskStore, StoreError};
 pub use types::{EdgeId, VertexId, Weight};
-pub use view::GraphView;
+pub use view::{GraphView, PagedAdjacency};

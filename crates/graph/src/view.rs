@@ -1,97 +1,170 @@
-//! [`GraphView`]: the uniform read surface over a plain CSR or an
-//! epoch snapshot (base CSR + delta overlay).
+//! [`GraphView`]: the uniform read surface over a plain CSR, an
+//! epoch snapshot (base CSR + delta overlay), or a paged (disk-backed)
+//! adjacency source.
 //!
 //! Algorithm hooks and the step kernel read adjacency through this view
-//! instead of `&Csr`, so the same code serves both the static path (the
+//! instead of `&Csr`, so the same code serves the static path (the
 //! overlay is `None` and every call forwards straight to the CSR — the
-//! compiler sees a branch on a `Copy` option, not a vtable) and walks
-//! over a [`crate::dynamic::MutableGraph`] snapshot, where mutated
-//! vertices resolve to their merged overlay adjacency.
+//! compiler sees a branch on a `Copy` option, not a vtable), walks over
+//! a [`crate::dynamic::MutableGraph`] snapshot where mutated vertices
+//! resolve to their merged overlay adjacency, and — through
+//! [`PagedAdjacency`] — walks over a graph whose neighbor lists live in
+//! an on-disk store and are decoded into a bounded RAM pool on demand.
 
 use crate::csr::Csr;
 use crate::dynamic::OverlayState;
 use crate::types::{VertexId, Weight};
 
+/// Adjacency served page-at-a-time from a backing store rather than a
+/// resident CSR. The disk tier's residency pool implements this; the
+/// contract is *logical equality* with the source CSR: for every vertex,
+/// [`PagedAdjacency::neighbors`] must return exactly the slice the
+/// in-memory CSR would (same ids, same order), which is what keeps
+/// disk-backed sampling output bit-identical.
+///
+/// Implementations may mutate interior caches during `neighbors` /
+/// `neighbor_weights` (on-demand decode), but returned slices must stay
+/// valid for the lifetime of the `&self` borrow — the residency pool
+/// guarantees this by deferring deallocation to its `&mut` maintenance
+/// points.
+pub trait PagedAdjacency: std::fmt::Debug {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+    /// True if the graph stores per-edge weights.
+    fn is_weighted(&self) -> bool;
+    /// Out-degree of `v` (must not require decoding `v`'s neighbor
+    /// list — hooks probe degrees of arbitrary vertices).
+    fn degree(&self, v: VertexId) -> usize;
+    /// The neighbor list of `v` as a sorted slice.
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+    /// The weight list of `v`, if the graph is weighted.
+    fn neighbor_weights(&self, v: VertexId) -> Option<&[Weight]>;
+}
+
+/// Which storage the view reads through.
+#[derive(Debug, Clone, Copy)]
+enum Source<'a> {
+    /// A resident CSR, optionally under a mutation overlay.
+    Csr { base: &'a Csr, overlay: Option<&'a OverlayState> },
+    /// A paged (disk-backed) adjacency source. Never combined with an
+    /// overlay: the disk tier serves immutable epochs.
+    Paged(&'a dyn PagedAdjacency),
+}
+
 /// A borrowed, copyable read view of a graph at a fixed epoch.
 ///
 /// For vertices untouched by the overlay, every accessor returns exactly
 /// what the base [`Csr`] would — same slices, same order — which is what
-/// makes snapshot walks bit-identical to walks on the compacted CSR.
+/// makes snapshot walks bit-identical to walks on the compacted CSR. The
+/// same contract binds paged sources (see [`PagedAdjacency`]).
 #[derive(Debug, Clone, Copy)]
 pub struct GraphView<'a> {
-    base: &'a Csr,
-    overlay: Option<&'a OverlayState>,
+    source: Source<'a>,
 }
 
 impl<'a> GraphView<'a> {
     /// View over a bare CSR (no overlay).
     #[inline]
     pub fn new(base: &'a Csr) -> Self {
-        GraphView { base, overlay: None }
+        GraphView { source: Source::Csr { base, overlay: None } }
     }
 
     /// View over a CSR plus a delta overlay (used by
     /// [`crate::dynamic::GraphSnapshot::view`]).
     #[inline]
     pub fn with_overlay(base: &'a Csr, overlay: &'a OverlayState) -> Self {
-        GraphView { base, overlay: Some(overlay) }
+        GraphView { source: Source::Csr { base, overlay: Some(overlay) } }
+    }
+
+    /// View over a paged (disk-backed) adjacency source.
+    #[inline]
+    pub fn paged(paged: &'a dyn PagedAdjacency) -> Self {
+        GraphView { source: Source::Paged(paged) }
     }
 
     /// The underlying base CSR (adjacency of *mutated* vertices differs
     /// from it — use the view accessors for logical adjacency).
+    ///
+    /// # Panics
+    /// Panics for paged views, which have no resident CSR; the callers
+    /// (snapshot compaction, mutation benches) only ever hold CSR-backed
+    /// views.
     #[inline]
     pub fn base(&self) -> &'a Csr {
-        self.base
+        match self.source {
+            Source::Csr { base, .. } => base,
+            Source::Paged(_) => panic!("paged GraphView has no resident base CSR"),
+        }
     }
 
     /// Number of vertices (mutations never add vertices).
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.base.num_vertices()
+        match self.source {
+            Source::Csr { base, .. } => base.num_vertices(),
+            Source::Paged(p) => p.num_vertices(),
+        }
     }
 
     /// Number of directed edges in the logical graph.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        match self.overlay {
-            Some(o) => (self.base.num_edges() as i64 + o.edge_delta()) as usize,
-            None => self.base.num_edges(),
+        match self.source {
+            Source::Csr { base, overlay: Some(o) } => {
+                (base.num_edges() as i64 + o.edge_delta()) as usize
+            }
+            Source::Csr { base, overlay: None } => base.num_edges(),
+            Source::Paged(p) => p.num_edges(),
         }
     }
 
     /// Out-degree of `v` in the logical graph.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        match self.overlay.and_then(|o| o.delta(v)) {
-            Some(d) => d.neighbors().len(),
-            None => self.base.degree(v),
+        match self.source {
+            Source::Csr { base, overlay } => match overlay.and_then(|o| o.delta(v)) {
+                Some(d) => d.neighbors().len(),
+                None => base.degree(v),
+            },
+            Source::Paged(p) => p.degree(v),
         }
     }
 
     /// The neighbor list of `v` as a sorted slice.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &'a [VertexId] {
-        match self.overlay.and_then(|o| o.delta(v)) {
-            Some(d) => d.neighbors(),
-            None => self.base.neighbors(v),
+        match self.source {
+            Source::Csr { base, overlay } => match overlay.and_then(|o| o.delta(v)) {
+                Some(d) => d.neighbors(),
+                None => base.neighbors(v),
+            },
+            Source::Paged(p) => p.neighbors(v),
         }
     }
 
     /// The weight list of `v`, if the graph is weighted.
     #[inline]
     pub fn neighbor_weights(&self, v: VertexId) -> Option<&'a [Weight]> {
-        match self.overlay.and_then(|o| o.delta(v)) {
-            Some(d) => d.weights(),
-            None => self.base.neighbor_weights(v),
+        match self.source {
+            Source::Csr { base, overlay } => match overlay.and_then(|o| o.delta(v)) {
+                Some(d) => d.weights(),
+                None => base.neighbor_weights(v),
+            },
+            Source::Paged(p) => p.neighbor_weights(v),
         }
     }
 
     /// Weight of the `i`-th edge of `v` (1.0 for unweighted graphs).
     #[inline]
     pub fn edge_weight(&self, v: VertexId, i: usize) -> Weight {
-        match self.overlay.and_then(|o| o.delta(v)) {
-            Some(d) => d.weights().map_or(1.0, |w| w[i]),
-            None => self.base.edge_weight(v, i),
+        match self.source {
+            Source::Csr { base, overlay } => match overlay.and_then(|o| o.delta(v)) {
+                Some(d) => d.weights().map_or(1.0, |w| w[i]),
+                None => base.edge_weight(v, i),
+            },
+            Source::Paged(p) => p.neighbor_weights(v).map_or(1.0, |w| w[i]),
         }
     }
 
@@ -99,7 +172,10 @@ impl<'a> GraphView<'a> {
     /// overlays on an unweighted graph stay unweighted).
     #[inline]
     pub fn is_weighted(&self) -> bool {
-        self.base.is_weighted()
+        match self.source {
+            Source::Csr { base, .. } => base.is_weighted(),
+            Source::Paged(p) => p.is_weighted(),
+        }
     }
 
     /// Whether `u` appears in `v`'s neighbor list (binary search — both
@@ -167,5 +243,57 @@ mod tests {
         assert_eq!(v.degree(0), base_deg0 + 1);
         assert!(v.has_edge(0, far));
         assert_eq!(v.neighbors(1), &base_n1[..], "untouched vertex serves base slice");
+    }
+
+    /// A trivially paged source: a CSR behind the trait object.
+    #[derive(Debug)]
+    struct PagedCsr(Csr);
+
+    impl PagedAdjacency for PagedCsr {
+        fn num_vertices(&self) -> usize {
+            self.0.num_vertices()
+        }
+        fn num_edges(&self) -> usize {
+            self.0.num_edges()
+        }
+        fn is_weighted(&self) -> bool {
+            self.0.is_weighted()
+        }
+        fn degree(&self, v: VertexId) -> usize {
+            self.0.degree(v)
+        }
+        fn neighbors(&self, v: VertexId) -> &[VertexId] {
+            self.0.neighbors(v)
+        }
+        fn neighbor_weights(&self, v: VertexId) -> Option<&[Weight]> {
+            self.0.neighbor_weights(v)
+        }
+    }
+
+    #[test]
+    fn paged_view_matches_csr() {
+        let g = crate::generators::toy_graph().with_unit_weights();
+        let paged = PagedCsr(g.clone());
+        let v = GraphView::paged(&paged);
+        assert_eq!(v.num_vertices(), g.num_vertices());
+        assert_eq!(v.num_edges(), g.num_edges());
+        assert!(v.is_weighted());
+        for x in 0..g.num_vertices() as VertexId {
+            assert_eq!(v.degree(x), g.degree(x));
+            assert_eq!(v.neighbors(x), g.neighbors(x));
+            assert_eq!(v.neighbor_weights(x), g.neighbor_weights(x));
+            if g.degree(x) > 0 {
+                assert_eq!(v.edge_weight(x, 0), g.edge_weight(x, 0));
+            }
+        }
+        assert!((v.avg_degree() - g.avg_degree()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no resident base CSR")]
+    fn paged_view_has_no_base() {
+        let paged = PagedCsr(crate::generators::toy_graph());
+        let v = GraphView::paged(&paged);
+        let _ = v.base();
     }
 }

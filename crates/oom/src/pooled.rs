@@ -20,6 +20,7 @@
 use crate::config::OomConfig;
 use crate::scheduler::{OomOutput, OomRunner, KERNEL_LAUNCH_OVERHEAD};
 use csaw_core::api::{Algorithm, FrontierMode};
+use csaw_core::residency::{with_thread_disk_access, DiskAccess};
 use csaw_core::step::{
     gather_bytes, EmitSink, Gathered, NeighborAccess, PoolSink, PoolSlot, StepKernel, StepScratch,
 };
@@ -34,24 +35,30 @@ use std::collections::{HashSet, VecDeque};
 /// the device first evicts (FIFO) until the partition fits, transfers it
 /// on stream 0, and then charges the same gather bytes every other
 /// runtime charges.
-struct ResidentAccess<'g> {
+struct ResidentAccess<'g, 'd> {
     graph: &'g Csr,
     parts: &'g PartitionSet,
     /// Epoch snapshot, when the run samples a mutable graph: overlay
     /// vertices serve their merged adjacency (device-resident, no
     /// partition fault), untouched vertices page the base partitions.
     snapshot: Option<&'g GraphSnapshot>,
+    /// Disk tier, when the run's host side is an on-disk store: the
+    /// device fault-in simulation runs unchanged, but the adjacency
+    /// bytes themselves come from the worker's decoded-partition pool
+    /// instead of the resident CSR slices.
+    disk: Option<&'d mut DiskAccess>,
     memory: DeviceMemory,
     engine: TransferEngine,
     fifo: VecDeque<usize>,
     now: f64,
 }
 
-impl<'g> ResidentAccess<'g> {
+impl<'g, 'd> ResidentAccess<'g, 'd> {
     fn new(
         graph: &'g Csr,
         parts: &'g PartitionSet,
         snapshot: Option<&'g GraphSnapshot>,
+        disk: Option<&'d mut DiskAccess>,
         cfg: &OomConfig,
         pcie_gbps: f64,
     ) -> Self {
@@ -60,6 +67,7 @@ impl<'g> ResidentAccess<'g> {
             graph,
             parts,
             snapshot,
+            disk,
             memory: DeviceMemory::new(max_part_bytes * cfg.resident_partitions),
             engine: TransferEngine::new(1, pcie_gbps),
             fifo: VecDeque::new(),
@@ -83,8 +91,11 @@ impl<'g> ResidentAccess<'g> {
     }
 }
 
-impl NeighborAccess for ResidentAccess<'_> {
+impl NeighborAccess for ResidentAccess<'_, '_> {
     fn graph(&self) -> GraphView<'_> {
+        if let Some(disk) = self.disk.as_deref() {
+            return disk.graph();
+        }
         match self.snapshot {
             Some(s) => s.view(),
             None => self.graph.view(),
@@ -100,12 +111,19 @@ impl NeighborAccess for ResidentAccess<'_> {
         }
         let p = self.parts.partition_of(v);
         self.fault_in(p);
-        let part = self.parts.get(p);
-        stats.read_gmem(gather_bytes(self.graph.is_weighted(), part.degree(v)));
-        Gathered {
-            graph: self.graph(),
-            neighbors: part.neighbors(v),
-            weights: part.neighbor_weights(v),
+        // Field-disjoint arms: the `disk` borrow must not overlap a
+        // whole-`self` method call in the fall-through.
+        match self.disk.as_deref_mut() {
+            Some(disk) => disk.gather(v, stats),
+            None => {
+                let part = self.parts.get(p);
+                stats.read_gmem(gather_bytes(self.graph.is_weighted(), part.degree(v)));
+                let graph = match self.snapshot {
+                    Some(s) => s.view(),
+                    None => self.graph.view(),
+                };
+                Gathered { graph, neighbors: part.neighbors(v), weights: part.neighbor_weights(v) }
+            }
         }
     }
 
@@ -117,15 +135,23 @@ impl NeighborAccess for ResidentAccess<'_> {
         }
         let p = self.parts.partition_of(v);
         self.fault_in(p);
-        let part = self.parts.get(p);
-        Gathered {
-            graph: self.graph(),
-            neighbors: part.neighbors(v),
-            weights: part.neighbor_weights(v),
+        match self.disk.as_deref_mut() {
+            Some(disk) => disk.fetch(v),
+            None => {
+                let part = self.parts.get(p);
+                let graph = match self.snapshot {
+                    Some(s) => s.view(),
+                    None => self.graph.view(),
+                };
+                Gathered { graph, neighbors: part.neighbors(v), weights: part.neighbor_weights(v) }
+            }
         }
     }
 
     fn entry_epoch(&self, v: VertexId) -> u64 {
+        if let Some(disk) = self.disk.as_deref() {
+            return disk.entry_epoch(v);
+        }
         match self.snapshot {
             Some(s) => s.entry_version(v),
             None => 0,
@@ -142,6 +168,20 @@ pub(crate) fn run_pooled<A: Algorithm>(
     parts: &PartitionSet,
     seed_sets: &[Vec<VertexId>],
 ) -> OomOutput {
+    match runner.disk.as_ref() {
+        Some(cfg) => {
+            with_thread_disk_access(cfg, |da| run_pooled_inner(runner, parts, seed_sets, Some(da)))
+        }
+        None => run_pooled_inner(runner, parts, seed_sets, None),
+    }
+}
+
+fn run_pooled_inner<A: Algorithm>(
+    runner: &OomRunner<'_, A>,
+    parts: &PartitionSet,
+    seed_sets: &[Vec<VertexId>],
+    disk: Option<&mut DiskAccess>,
+) -> OomOutput {
     let algo = runner.algo;
     let cfg = algo.config();
     debug_assert_ne!(cfg.frontier, FrontierMode::IndependentPerVertex);
@@ -152,6 +192,7 @@ pub(crate) fn run_pooled<A: Algorithm>(
         runner.graph,
         parts,
         runner.snapshot.as_ref(),
+        disk,
         &runner.cfg,
         runner.device.pcie_gbps,
     );
@@ -222,6 +263,9 @@ pub(crate) fn run_pooled<A: Algorithm>(
         rounds = rounds.max(steps);
     }
 
+    if let Some(disk) = access.disk.as_deref_mut() {
+        disk.flush_stats(&mut stats);
+    }
     stats.sampled_edges = outputs.iter().map(|o| o.len() as u64).sum();
     // One logical kernel per pool step amortized over the run; the
     // transfer timeline is serial on stream 0 (gathers are dependent, so

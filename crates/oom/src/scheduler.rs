@@ -233,6 +233,7 @@ pub struct OomRunner<'g, A: Algorithm> {
     pub(crate) ctps_cache_budget: usize,
     pub(crate) method_policy: MethodPolicy,
     pub(crate) snapshot: Option<GraphSnapshot>,
+    pub(crate) disk: Option<csaw_core::residency::DiskRunConfig>,
 }
 
 impl<'g, A: Algorithm> OomRunner<'g, A> {
@@ -254,6 +255,7 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             ctps_cache_budget: 0,
             method_policy: MethodPolicy::ForceIts,
             snapshot: None,
+            disk: None,
         }
     }
 
@@ -311,7 +313,24 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
     /// generation and a mutation still invalidates exactly the touched
     /// vertices.
     pub fn with_snapshot(mut self, snapshot: GraphSnapshot) -> Self {
+        assert!(self.disk.is_none(), "disk tier and mutation snapshot are mutually exclusive");
         self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Binds a disk tier below the simulated device: every gather reads
+    /// through the store's mmap-backed segments with on-demand decode
+    /// into per-worker pools (see [`csaw_core::residency`]), while the
+    /// device-side partition machinery — residency, transfers, epochs —
+    /// runs unchanged. Cache tags compose the stream's device-residency
+    /// epoch with the disk pool's per-partition epoch, so a CTPS entry
+    /// dies when either backing tier recycled its memory. The store must
+    /// hold the same logical graph as the CSR this runner was
+    /// constructed over; output stays bit-identical at every pool
+    /// budget. Mutually exclusive with [`OomRunner::with_snapshot`].
+    pub fn with_disk(mut self, disk: csaw_core::residency::DiskRunConfig) -> Self {
+        assert!(self.snapshot.is_none(), "disk tier and mutation snapshot are mutually exclusive");
+        self.disk = Some(disk);
         self
     }
 
@@ -618,8 +637,8 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
         let mut outbox: Vec<Outbound> = Vec::new();
         let mut edges: Vec<(usize, (VertexId, VertexId))> = Vec::new();
         let mut stats = SimStats::new();
-        let straggler_cycles = match self.snapshot.as_ref() {
-            Some(snapshot) => {
+        let straggler_cycles = match (self.snapshot.as_ref(), self.disk.as_ref()) {
+            (Some(snapshot), _) => {
                 let mut access =
                     DeltaPartitionAccess { snapshot, parts, residency_epoch: task.epoch };
                 self.drain_queue(
@@ -637,7 +656,35 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
                     &mut stats,
                 )
             }
-            None => {
+            (None, Some(disk)) => {
+                csaw_core::residency::with_thread_disk_access(disk, |da| {
+                    let cycles = {
+                        let mut access = csaw_core::residency::TieredDiskAccess {
+                            inner: da,
+                            residency_epoch: task.epoch,
+                        };
+                        self.drain_queue(
+                            &kernel,
+                            &mut access,
+                            parts,
+                            algo_cfg,
+                            instance_base,
+                            seeds,
+                            task.partition,
+                            &mut queue,
+                            &mut shard,
+                            &mut outbox,
+                            &mut edges,
+                            &mut stats,
+                        )
+                    };
+                    // This stream round's disk work travels with its
+                    // kernel counters into the round's cost model.
+                    da.flush_stats(&mut stats);
+                    cycles
+                })
+            }
+            (None, None) => {
                 let mut access = PartitionAccess { graph: self.graph, parts, epoch: task.epoch };
                 self.drain_queue(
                     &kernel,

@@ -169,6 +169,59 @@ pub fn render(
         snap.cache_alias_hits,
     );
 
+    // --- disk tier ------------------------------------------------------
+    // All zero unless the service fronts a disk store; gauges because the
+    // worker pools outlive batches and each publish replaces the last.
+    counter(&mut out, "csaw_disk_lookups_total", "Disk-tier pool lookups", snap.disk_lookups);
+    counter(
+        &mut out,
+        "csaw_disk_hits_total",
+        "Disk-tier lookups served by a resident decoded partition",
+        snap.disk_hits,
+    );
+    counter(
+        &mut out,
+        "csaw_disk_misses_total",
+        "Disk-tier lookups that decoded a partition from its segment",
+        snap.disk_misses,
+    );
+    counter(
+        &mut out,
+        "csaw_disk_evictions_total",
+        "Decoded partitions evicted by the clock sweep",
+        snap.disk_evictions,
+    );
+    gauge(
+        &mut out,
+        "csaw_disk_pool_bytes",
+        "Bytes held by decoded partitions across all pools",
+        snap.disk_pool_bytes,
+    );
+    counter(
+        &mut out,
+        "csaw_disk_mmap_faults_total",
+        "Simulated 4KiB page faults streaming mapped segments",
+        snap.disk_mmap_faults,
+    );
+    counter(
+        &mut out,
+        "csaw_disk_decode_bytes_total",
+        "RAM bytes produced by disk-tier decodes",
+        snap.disk_decode_bytes,
+    );
+    let _ = writeln!(out, "# HELP csaw_disk_decode_seconds Partition decode wall time");
+    let _ = writeln!(out, "# TYPE csaw_disk_decode_seconds histogram");
+    let mut cumulative = 0u64;
+    for (i, &ub_us) in csaw_core::residency::DECODE_BUCKETS_US.iter().enumerate() {
+        cumulative += snap.disk_decode_hist[i];
+        let ub_s = ub_us as f64 / 1e6;
+        let _ = writeln!(out, "csaw_disk_decode_seconds_bucket{{le=\"{ub_s}\"}} {cumulative}");
+    }
+    cumulative += snap.disk_decode_hist[csaw_core::residency::DECODE_BUCKETS_US.len()];
+    let _ = writeln!(out, "csaw_disk_decode_seconds_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "csaw_disk_decode_seconds_sum {}", snap.disk_decode_sum_us as f64 / 1e6);
+    let _ = writeln!(out, "csaw_disk_decode_seconds_count {}", snap.disk_decode_count);
+
     // --- sampling method counters --------------------------------------
     let _ =
         writeln!(out, "# HELP csaw_method_selections_total Neighbor selections by sampling method");

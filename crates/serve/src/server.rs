@@ -368,6 +368,7 @@ fn edit_error_code(e: &EditError) -> ErrorCode {
         EditError::EdgeNotFound { .. } => ErrorCode::EditEdgeNotFound,
         EditError::WeightOnUnweighted { .. } => ErrorCode::EditWeightOnUnweighted,
         EditError::BadWeight { .. } => ErrorCode::EditBadWeight,
+        EditError::ImmutableStore => ErrorCode::EditImmutableStore,
     }
 }
 

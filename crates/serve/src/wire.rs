@@ -157,6 +157,8 @@ pub enum ErrorCode {
     EditWeightOnUnweighted = 12,
     /// Mutation: weight not finite and positive.
     EditBadWeight = 13,
+    /// Mutation: the graph is served from an immutable backing store.
+    EditImmutableStore = 14,
 }
 
 impl ErrorCode {
@@ -177,6 +179,7 @@ impl ErrorCode {
             11 => EditEdgeNotFound,
             12 => EditWeightOnUnweighted,
             13 => EditBadWeight,
+            14 => EditImmutableStore,
             _ => return None,
         })
     }

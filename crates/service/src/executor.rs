@@ -152,6 +152,9 @@ impl BatchExecutor for OomExecutor {
             // the partitions the runner builds match the overlay's base.
             runner = runner.with_snapshot(snap.clone());
         }
+        if let Some(disk) = &opts.disk {
+            runner = runner.with_disk(disk.clone());
+        }
         let out = if algo.config().frontier == FrontierMode::IndependentPerVertex {
             // The service shapes one single-seed instance per vertex for
             // per-vertex-frontier algorithms; the scheduler's plain entry

@@ -68,6 +68,16 @@ pub struct ServiceConfig {
     /// bit-identical to solo engine runs; `Adaptive` picks
     /// alias/rejection per expansion and is distribution-equal instead.
     pub method_policy: csaw_core::method::MethodPolicy,
+    /// Optional disk tier (see `csaw_core::residency`): every launch
+    /// gathers through the store's mmap-backed segments with on-demand
+    /// decode into per-worker pools instead of the resident CSR.
+    /// Responses stay bit-identical to in-memory runs at every pool
+    /// budget. A disk-backed service serves immutable epochs:
+    /// [`SamplingService::mutate`] is rejected with
+    /// `EditError::ImmutableStore`. The service installs its own
+    /// [`csaw_core::residency::DiskTierStats`] sink when `shared` is
+    /// `None`, surfacing pool gauges through [`StatsSnapshot`].
+    pub disk: Option<csaw_core::residency::DiskRunConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +89,7 @@ impl Default for ServiceConfig {
             start_paused: false,
             ctps_cache_budget: 4 << 20,
             method_policy: csaw_core::method::MethodPolicy::ForceIts,
+            disk: None,
         }
     }
 }
@@ -176,8 +187,15 @@ impl SamplingService {
     pub fn new(
         graph: Arc<Csr>,
         executor: Arc<dyn BatchExecutor>,
-        config: ServiceConfig,
+        mut config: ServiceConfig,
     ) -> SamplingService {
+        // A disk-backed service owns the tier's observability sink so
+        // batch processing can publish pool gauges into the snapshot.
+        if let Some(disk) = config.disk.as_mut() {
+            if disk.shared.is_none() {
+                disk.shared = Some(Arc::new(csaw_core::residency::DiskTierStats::default()));
+            }
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -328,6 +346,12 @@ impl SamplingService {
     pub fn mutate(&self, req: MutationRequest) -> Result<MutationResponse, EditError> {
         let stats = &self.shared.stats;
         ServiceStats::inc(&stats.mutations_submitted);
+        if self.shared.config.disk.is_some() {
+            // The disk tier serves immutable epochs: segment files are
+            // write-once and pool decodes must stay bit-exact.
+            ServiceStats::inc(&stats.mutations_rejected);
+            return Err(EditError::ImmutableStore);
+        }
         let mut g = self.shared.mutable.lock().unwrap();
         let epoch = match g.apply_batch(&req.edits) {
             Ok(epoch) => epoch,
@@ -501,6 +525,25 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Queued>> {
             // Full, or draining — don't hold the batch open.
             break;
         }
+        // Early flush: if the queue is empty and every accepted request
+        // that hasn't reached a terminal state is already in this batch,
+        // no same-key arrival is possible until *this* batch answers —
+        // lockstep callers (serve loopback clients awaiting replies)
+        // would otherwise stall a full window per round trip. `accepted`
+        // is bumped under the state lock we hold, and the terminal
+        // counters lag only for requests this worker already finished,
+        // so the inflight read can only over-count — never under-count —
+        // requests outside the batch.
+        let stats = &shared.stats;
+        let inflight = stats
+            .accepted
+            .load(Relaxed)
+            .saturating_sub(stats.completed.load(Relaxed))
+            .saturating_sub(stats.expired.load(Relaxed))
+            .saturating_sub(stats.failed.load(Relaxed));
+        if st.queue.is_empty() && inflight == batch.len() as u64 {
+            break;
+        }
         let now = Instant::now();
         if now >= window_closes {
             break;
@@ -595,6 +638,7 @@ fn process_batch(
             ctps_cache: cache.clone(),
             method_policy: shared.config.method_policy,
             snapshot: snapshot.clone(),
+            disk: shared.config.disk.clone(),
             ..RunOptions::default()
         };
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -605,6 +649,9 @@ fn process_batch(
         // deltas its batch caused (tests read `stats()` right after
         // `wait()` returns).
         publish_cache_totals(stats, caches);
+        if let Some(tier) = shared.config.disk.as_ref().and_then(|d| d.shared.as_deref()) {
+            stats.record_disk(tier);
+        }
         match result {
             Err(payload) => {
                 let msg = panic_message(&payload);
@@ -724,6 +771,33 @@ mod tests {
         }
         assert_eq!(bases, vec![0, 2, 4, 6], "contiguous admission-order ranges");
         assert!(svc.shutdown().fully_accounted());
+    }
+
+    #[test]
+    fn lockstep_callers_do_not_pay_the_batch_window() {
+        // Regression: a sequential caller (submit, wait, repeat) used to
+        // stall one full batch window per round trip even though no other
+        // request could possibly join the batch. With the early flush,
+        // six round trips against a deliberately huge window must finish
+        // in a fraction of a single window.
+        let window = Duration::from_millis(500);
+        let svc =
+            engine_service(ServiceConfig { batch_window: window, ..ServiceConfig::default() });
+        let spec = AlgoSpec::by_name("simple-walk").unwrap();
+        let start = Instant::now();
+        for i in 0u32..6 {
+            let resp =
+                svc.submit(SamplingRequest::new(spec, vec![i % 13])).unwrap().wait().unwrap();
+            assert_eq!(resp.stats.batch_requests, 1);
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < window,
+            "6 lockstep round trips took {elapsed:?}; early flush should beat one {window:?} window"
+        );
+        let snap = svc.shutdown();
+        assert_eq!(snap.completed, 6);
+        assert!(snap.fully_accounted());
     }
 
     #[test]

@@ -125,6 +125,33 @@ pub struct ServiceStats {
     pub graph_epoch: AtomicU64,
     /// Vertices currently carrying an uncompacted delta (gauge).
     pub overlay_vertices: AtomicU64,
+    /// Disk-tier pool lookups across all worker pools (gauge, refreshed
+    /// after every batch of a disk-backed service; zero otherwise).
+    pub disk_lookups: AtomicU64,
+    /// Disk-tier lookups served by a resident decoded partition (gauge,
+    /// `disk_lookups == disk_hits + disk_misses`).
+    pub disk_hits: AtomicU64,
+    /// Disk-tier lookups that decoded a partition from its mapped
+    /// segment (gauge).
+    pub disk_misses: AtomicU64,
+    /// Decoded partitions evicted by the pools' clock sweeps (gauge,
+    /// `disk_evictions <= disk_misses`).
+    pub disk_evictions: AtomicU64,
+    /// Bytes currently held by decoded partitions across all pools
+    /// (gauge).
+    pub disk_pool_bytes: AtomicU64,
+    /// Simulated 4 KiB page faults charged for streaming mapped
+    /// segments during decodes (gauge).
+    pub disk_mmap_faults: AtomicU64,
+    /// RAM bytes produced by disk-tier decodes (gauge).
+    pub disk_decode_bytes: AtomicU64,
+    /// Decode wall-time histogram: bucket `i` counts decodes that took
+    /// ≤ `csaw_core::residency::DECODE_BUCKETS_US[i]` µs (gauge).
+    pub disk_decode_hist: [AtomicU64; csaw_core::residency::NUM_DECODE_BUCKETS],
+    /// Sum of decode wall times, microseconds (gauge).
+    pub disk_decode_sum_us: AtomicU64,
+    /// Decodes timed into the histogram (gauge).
+    pub disk_decode_count: AtomicU64,
     /// Queue-full sheds split by tenant label (untagged requests charge
     /// the empty label). Off the hot path: touched only when a request
     /// is actually shed.
@@ -166,6 +193,23 @@ impl ServiceStats {
         self.cache_bytes.store(totals.bytes, Relaxed);
         self.cache_alias_hits.store(totals.alias_hits, Relaxed);
         self.cache_alias_promotions.store(totals.alias_promotions, Relaxed);
+    }
+
+    /// Publishes the disk tier's totals (gauge semantics: the tier's
+    /// pools outlive batches, so each publish replaces the last).
+    pub(crate) fn record_disk(&self, tier: &csaw_core::residency::DiskTierStats) {
+        self.disk_lookups.store(tier.lookups.load(Relaxed), Relaxed);
+        self.disk_hits.store(tier.hits.load(Relaxed), Relaxed);
+        self.disk_misses.store(tier.misses.load(Relaxed), Relaxed);
+        self.disk_evictions.store(tier.evictions.load(Relaxed), Relaxed);
+        self.disk_pool_bytes.store(tier.pool_bytes.load(Relaxed), Relaxed);
+        self.disk_mmap_faults.store(tier.mmap_faults.load(Relaxed), Relaxed);
+        self.disk_decode_bytes.store(tier.decode_bytes.load(Relaxed), Relaxed);
+        for (dst, src) in self.disk_decode_hist.iter().zip(tier.decode_hist.iter()) {
+            dst.store(src.load(Relaxed), Relaxed);
+        }
+        self.disk_decode_sum_us.store(tier.decode_sum_us.load(Relaxed), Relaxed);
+        self.disk_decode_count.store(tier.decode_count.load(Relaxed), Relaxed);
     }
 
     /// Charges a queue-full shed to `tenant`'s split counter. The caller
@@ -235,6 +279,16 @@ impl ServiceStats {
             compact_noops: self.compact_noops.load(Relaxed),
             graph_epoch: self.graph_epoch.load(Relaxed),
             overlay_vertices: self.overlay_vertices.load(Relaxed),
+            disk_lookups: self.disk_lookups.load(Relaxed),
+            disk_hits: self.disk_hits.load(Relaxed),
+            disk_misses: self.disk_misses.load(Relaxed),
+            disk_evictions: self.disk_evictions.load(Relaxed),
+            disk_pool_bytes: self.disk_pool_bytes.load(Relaxed),
+            disk_mmap_faults: self.disk_mmap_faults.load(Relaxed),
+            disk_decode_bytes: self.disk_decode_bytes.load(Relaxed),
+            disk_decode_hist: std::array::from_fn(|i| self.disk_decode_hist[i].load(Relaxed)),
+            disk_decode_sum_us: self.disk_decode_sum_us.load(Relaxed),
+            disk_decode_count: self.disk_decode_count.load(Relaxed),
         }
     }
 }
@@ -281,6 +335,16 @@ pub struct StatsSnapshot {
     pub compact_noops: u64,
     pub graph_epoch: u64,
     pub overlay_vertices: u64,
+    pub disk_lookups: u64,
+    pub disk_hits: u64,
+    pub disk_misses: u64,
+    pub disk_evictions: u64,
+    pub disk_pool_bytes: u64,
+    pub disk_mmap_faults: u64,
+    pub disk_decode_bytes: u64,
+    pub disk_decode_hist: [u64; csaw_core::residency::NUM_DECODE_BUCKETS],
+    pub disk_decode_sum_us: u64,
+    pub disk_decode_count: u64,
 }
 
 impl StatsSnapshot {
@@ -297,6 +361,8 @@ impl StatsSnapshot {
             && self.accepted == self.completed + self.expired + self.failed
             && self.mutations_submitted == self.mutations + self.mutations_rejected
             && self.compact_requests == self.compactions + self.compact_noops
+            && self.disk_lookups == self.disk_hits + self.disk_misses
+            && self.disk_evictions <= self.disk_misses
     }
 
     /// Launches recorded by the histogram (should equal `batches`).

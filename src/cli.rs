@@ -118,6 +118,12 @@ options:
   --pf <f>           forest-fire burn probability (default 0.7)
   --seed <n>         RNG seed (default 1)
   --out <path>       write sampled edges to a file instead of stdout
+  --disk-store <dir> serve adjacency from a partitioned on-disk store in
+                     <dir> (written from --graph first when missing);
+                     output is bit-identical to the in-memory run
+  --disk-pool <n>    decoded-partition RAM budget in bytes when using
+                     --disk-store (default 4194304)
+  --disk-parts <n>   partitions when writing a new store (default 8)
 ";
 
 /// Loads a graph from a `--graph` source string.
@@ -186,6 +192,38 @@ pub fn pick_seeds(n: usize, num_vertices: usize) -> Vec<u32> {
     (0..n).map(|i| ((i as u64 * 2_654_435_761) % num_vertices.max(1) as u64) as u32).collect()
 }
 
+/// Resolves `--disk-store`: opens the store in the named directory
+/// (writing it from `g` first when missing) and returns a disk-tier
+/// config with a stats sink attached, or `None` when the flag is absent.
+pub fn disk_config(
+    cli: &Cli,
+    g: &Csr,
+) -> Result<Option<crate::core::residency::DiskRunConfig>, CliError> {
+    let Some(dir) = cli.get("disk-store") else { return Ok(None) };
+    let dir = std::path::Path::new(dir);
+    if !dir.join("store.meta").exists() {
+        let parts = cli.get_usize("disk-parts", 8)?.max(1);
+        crate::graph::store::write_store(dir, g, parts, 0).map_err(|e| {
+            CliError::Invalid(format!("cannot write store '{}': {e}", dir.display()))
+        })?;
+    }
+    let store = crate::graph::store::DiskStore::open(dir)
+        .map_err(|e| CliError::Invalid(format!("cannot open store '{}': {e}", dir.display())))?;
+    if store.num_vertices() != g.num_vertices() {
+        return Err(CliError::Invalid(format!(
+            "store '{}' holds {} vertices but --graph has {}",
+            dir.display(),
+            store.num_vertices(),
+            g.num_vertices()
+        )));
+    }
+    Ok(Some(crate::core::residency::DiskRunConfig {
+        store: std::sync::Arc::new(store),
+        pool_budget: cli.get_usize("disk-pool", 4 << 20)?,
+        shared: Some(std::sync::Arc::new(crate::core::residency::DiskTierStats::default())),
+    }))
+}
+
 /// Runs a boxed algorithm through the engine (monomorphized via the
 /// `&dyn Algorithm` forwarding impl in `csaw_core::api`).
 pub fn run_boxed(
@@ -194,7 +232,18 @@ pub fn run_boxed(
     instances: usize,
     seed: u64,
 ) -> crate::core::SampleOutput {
-    let opts = RunOptions { seed, ..Default::default() };
+    run_boxed_opts(g, algo, instances, RunOptions { seed, ..Default::default() })
+}
+
+/// [`run_boxed`] with caller-supplied [`RunOptions`] (the `sample`
+/// command threads the disk-tier config through here).
+pub fn run_boxed_opts(
+    g: &Csr,
+    algo: &dyn Algorithm,
+    instances: usize,
+    opts: RunOptions,
+) -> crate::core::SampleOutput {
+    let seed = opts.seed;
     let sampler = Sampler::new(g, &algo).with_options(opts);
     if algo.config().frontier == FrontierMode::BiasedReplace {
         let pools = MultiDimRandomWalk::seed_pools(g.num_vertices(), instances, 64, seed);
@@ -262,7 +311,24 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             let algo = build_algorithm(cli)?;
             let instances = cli.get_usize("instances", 16)?;
             let seed = cli.get_usize("seed", 1)? as u64;
-            let res = run_boxed(&g, algo.as_ref(), instances, seed);
+            let disk = disk_config(cli, &g)?;
+            let tier = disk.as_ref().and_then(|d| d.shared.clone());
+            let opts = RunOptions { seed, disk, ..Default::default() };
+            let res = run_boxed_opts(&g, algo.as_ref(), instances, opts);
+            if let Some(tier) = tier {
+                use std::sync::atomic::Ordering::Relaxed;
+                wr(
+                    out,
+                    format!(
+                        "# disk tier: {} lookups, {} hits, {} misses, {} evictions, {} pool bytes",
+                        tier.lookups.load(Relaxed),
+                        tier.hits.load(Relaxed),
+                        tier.misses.load(Relaxed),
+                        tier.evictions.load(Relaxed),
+                        tier.pool_bytes.load(Relaxed),
+                    ),
+                );
+            }
             wr(
                 out,
                 format!(
@@ -668,6 +734,33 @@ mod tests {
         assert!(!content.is_empty());
         for line in content.lines() {
             assert_eq!(line.split_whitespace().count(), 3, "instance src dst");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_sample_matches_memory() {
+        let dir = std::env::temp_dir().join("csaw-cli-disk-store");
+        std::fs::remove_dir_all(&dir).ok();
+        let base = "sample --graph rmat:7:3 --algo biased-walk --instances 4 --length 12";
+        let mem = {
+            let cli = Cli::parse(&args(base)).unwrap();
+            let mut buf = Vec::new();
+            execute(&cli, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        // First disk run writes the store; second reuses it. A tiny pool
+        // forces evictions without changing the output.
+        for pool in ["4096", "1048576"] {
+            let cmd =
+                format!("{base} --disk-store {} --disk-parts 4 --disk-pool {pool}", dir.display());
+            let cli = Cli::parse(&args(&cmd)).unwrap();
+            let mut buf = Vec::new();
+            execute(&cli, &mut buf).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            let (summary, edges) = text.split_once('\n').unwrap();
+            assert!(summary.contains("# disk tier:"), "{text}");
+            assert_eq!(edges, mem, "disk-backed output must be bit-identical (pool {pool})");
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -14,15 +14,19 @@
 use csaw::core::algorithms::registry::{AlgoSpec, AlgorithmId};
 use csaw::core::api::FrontierMode;
 use csaw::core::ctps_cache::CtpsCache;
+use csaw::core::residency::{DiskAccess, DiskRunConfig, ADMIT_TOUCHES};
 use csaw::core::select::SelectConfig;
 use csaw::core::step::{
-    CsrAccess, EmitSink, PoolSink, PoolSlot, StepEntry, StepKernel, StepScratch, TrialCounter,
+    CsrAccess, EmitSink, NeighborAccess, PoolSink, PoolSlot, StepEntry, StepKernel, StepScratch,
+    TrialCounter,
 };
 use csaw::gpu::alloc_count::CountingAllocator;
 use csaw::gpu::stats::SimStats;
 use csaw::graph::generators::{rmat, RmatParams};
-use csaw::graph::{Csr, VertexId};
+use csaw::graph::store::write_store;
+use csaw::graph::{Csr, DiskStore, VertexId};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
@@ -44,10 +48,14 @@ struct DriverBufs {
 /// One full repetition: every instance of the algorithm over its seed
 /// chunks. Deterministic (draws keyed by task), so every repetition
 /// performs identical work. Returns kernel step invocations.
-fn run_rep(kernel: &StepKernel<'_>, g: &Csr, chunks: &[Vec<VertexId>], b: &mut DriverBufs) -> u64 {
+fn run_rep(
+    kernel: &StepKernel<'_>,
+    access: &mut impl NeighborAccess,
+    chunks: &[Vec<VertexId>],
+    b: &mut DriverBufs,
+) -> u64 {
     let cfg = *kernel.cfg();
     let detector = kernel.select().detector;
-    let mut access = CsrAccess { graph: g };
     let mut steps = 0u64;
     for (inst, seeds) in chunks.iter().enumerate() {
         let inst = inst as u32;
@@ -85,7 +93,7 @@ fn run_rep(kernel: &StepKernel<'_>, g: &Csr, chunks: &[Vec<VertexId>], b: &mut D
                             out: &mut b.out,
                         };
                         kernel.expand(
-                            &mut access,
+                            access,
                             &entry,
                             home,
                             &mut sink,
@@ -111,7 +119,7 @@ fn run_rep(kernel: &StepKernel<'_>, g: &Csr, chunks: &[Vec<VertexId>], b: &mut D
                         out: &mut b.out,
                     };
                     kernel.expand_layer(
-                        &mut access,
+                        access,
                         inst,
                         depth as u32,
                         &b.frontier,
@@ -130,7 +138,7 @@ fn run_rep(kernel: &StepKernel<'_>, g: &Csr, chunks: &[Vec<VertexId>], b: &mut D
                     }
                     let mut sink = EmitSink(&mut b.out);
                     kernel.expand_replace(
-                        &mut access,
+                        access,
                         inst,
                         depth as u32,
                         home,
@@ -148,17 +156,13 @@ fn run_rep(kernel: &StepKernel<'_>, g: &Csr, chunks: &[Vec<VertexId>], b: &mut D
     steps
 }
 
-/// Every Table-I algorithm: two warm-up repetitions, then one measured
-/// repetition that must allocate nothing.
+/// Every Table-I algorithm through `access`: two warm-up repetitions,
+/// then one measured repetition that must allocate nothing.
 ///
 /// Two warm-ups, not one: the pool/frontier double buffer swaps roles
 /// when a repetition performs an odd number of depth steps, so the
 /// second pass warms the other parity's capacities.
-#[test]
-fn steady_state_step_allocates_nothing() {
-    // Power-law graph large enough to exercise long adjacency gathers
-    // and without-replacement retries, small enough for a test.
-    let g = rmat(9, 8, RmatParams::MILD, 42);
+fn gate_all(g: &Csr, access: &mut impl NeighborAccess, tag: &str) {
     let n = g.num_vertices() as VertexId;
 
     for id in AlgorithmId::ALL {
@@ -187,20 +191,20 @@ fn steady_state_step_allocates_nothing() {
             .with_ctps_cache(Some(&cache));
         let mut bufs = DriverBufs::default();
 
-        let warm1 = run_rep(&kernel, &g, &chunks, &mut bufs);
-        let warm2 = run_rep(&kernel, &g, &chunks, &mut bufs);
-        assert_eq!(warm1, warm2, "{}: repetitions must perform identical work", id.name());
+        let warm1 = run_rep(&kernel, access, &chunks, &mut bufs);
+        let warm2 = run_rep(&kernel, access, &chunks, &mut bufs);
+        assert_eq!(warm1, warm2, "{}/{tag}: repetitions must perform identical work", id.name());
 
         let before = ALLOC.snapshot();
-        let steps = run_rep(&kernel, &g, &chunks, &mut bufs);
+        let steps = run_rep(&kernel, access, &chunks, &mut bufs);
         let delta = ALLOC.snapshot().since(&before);
 
-        assert_eq!(steps, warm1, "{}: repetitions must perform identical work", id.name());
-        assert!(steps > 0, "{}: workload must actually step", id.name());
+        assert_eq!(steps, warm1, "{}/{tag}: repetitions must perform identical work", id.name());
+        assert!(steps > 0, "{}/{tag}: workload must actually step", id.name());
         assert_eq!(
             delta.allocations,
             0,
-            "{}: steady-state repetition allocated {} times ({} bytes) over {} steps — \
+            "{}/{tag}: steady-state repetition allocated {} times ({} bytes) over {} steps — \
              the zero-allocation hot path has regressed",
             id.name(),
             delta.allocations,
@@ -208,4 +212,47 @@ fn steady_state_step_allocates_nothing() {
             steps
         );
     }
+}
+
+#[test]
+fn steady_state_step_allocates_nothing() {
+    // Power-law graph large enough to exercise long adjacency gathers
+    // and without-replacement retries, small enough for a test.
+    let g = rmat(9, 8, RmatParams::MILD, 42);
+    gate_all(&g, &mut CsrAccess { graph: &g }, "csr");
+
+    // The same gate through the disk tier: with every partition
+    // admitted to a warm full-budget pool, stepping through
+    // [`DiskAccess`] — resolve hits, ring scans, graveyard upkeep — must
+    // be exactly as allocation-free as the in-memory CSR path.
+    let base = std::env::var_os("CSAW_DISK_TMPDIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let dir = base.join(format!("csaw-step-alloc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_store(&dir, &g, 8, 0).expect("write store");
+    let store = Arc::new(DiskStore::open(&dir).expect("open store"));
+    let cfg = DiskRunConfig {
+        store: Arc::clone(&store),
+        pool_budget: store.total_decoded_bytes(),
+        shared: None,
+    };
+    let mut access = DiskAccess::new(&cfg);
+    let mut warm_stats = SimStats::new();
+    for _ in 0..(2 * ADMIT_TOUCHES as usize + 2) {
+        for v in 0..g.num_vertices() as VertexId {
+            let _ = access.gather(v, &mut warm_stats);
+        }
+    }
+    let snap = access.snapshot();
+    assert_eq!(
+        snap.bytes,
+        store.total_decoded_bytes() as u64,
+        "warm-up must leave every partition resident: {snap:?}"
+    );
+    gate_all(&g, &mut access, "disk");
+    let snap = access.snapshot();
+    assert!(snap.is_conserved(), "{snap:?}");
+    assert_eq!(snap.evictions, 0, "full budget must never evict");
+    let _ = std::fs::remove_dir_all(&dir);
 }
