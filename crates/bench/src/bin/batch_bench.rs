@@ -1,0 +1,284 @@
+//! Depth-synchronous execution sweep: instance-major vs lockstep
+//! frontier execution across group size (chunk), prefetch distance, and
+//! graph scale.
+//!
+//! The engine's two schedules ([`ExecMode`]) are bit-identical by
+//! construction (see `tests/batch_equivalence.rs`), so this bench
+//! measures the only thing that differs: throughput. Instance-major
+//! execution chases one walker's CSR rows serially — every step is a
+//! dependent DRAM miss once the graph falls out of LLC. Depth-sync
+//! execution advances all walkers one depth at a time over a flat
+//! frontier, which buys software prefetch (rows are known a depth in
+//! advance), vertex grouping (co-located walkers share one gather and —
+//! for static-bias algorithms — one CTPS build), and batched Philox.
+//!
+//! Metric: **steps/sec**, where one step is one sampled edge (one SELECT
+//! resolution); work per run is identical across schedules, so the ratio
+//! is pure schedule speedup. Each depth-sync row also reports the mean
+//! vertex-group occupancy and prefetch coverage from the `batch_*`
+//! counters.
+//!
+//! Usage: `batch_bench [--quick] [--label NAME] [--json PATH] [--csv PATH]`
+//!
+//! The checked-in `BENCH_batch.json` is this bench's `--json` dump from
+//! the full sweep (out-of-LLC scale included).
+
+use csaw_core::api::Algorithm;
+use csaw_core::engine::{ExecMode, RunOptions, Sampler};
+use csaw_core::AlgoSpec;
+use csaw_graph::generators::{rmat, RmatParams};
+use csaw_graph::Csr;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    algo: Box<dyn Algorithm>,
+    walkers: usize,
+}
+
+/// Walk lengths / depths chosen so a full run touches far more vertices
+/// than fit in LLC at the large scale, while staying minutes-not-hours.
+/// Snowball expands *every* neighbor without replacement, so its
+/// frontier covers a large share of the graph by depth 2 — it gets few
+/// instances and shallow depth to keep the emitted-edge volume bounded.
+fn workloads(quick: bool) -> Vec<Workload> {
+    let (walkers, ns_walkers, sb_walkers) = if quick { (256, 128, 8) } else { (8_192, 2_048, 12) };
+    vec![
+        Workload {
+            name: "biased-walk",
+            algo: AlgoSpec::by_name("biased-walk").unwrap().with_depth(16).build().unwrap(),
+            walkers,
+        },
+        Workload {
+            name: "simple-walk",
+            algo: AlgoSpec::by_name("simple-walk").unwrap().with_depth(16).build().unwrap(),
+            walkers,
+        },
+        Workload {
+            name: "biased-neighbor",
+            algo: AlgoSpec::by_name("biased-neighbor").unwrap().with_depth(3).build().unwrap(),
+            walkers: ns_walkers,
+        },
+        Workload {
+            name: "snowball",
+            algo: AlgoSpec::by_name("snowball").unwrap().with_depth(2).build().unwrap(),
+            walkers: sb_walkers,
+        },
+    ]
+}
+
+struct Row {
+    algo: &'static str,
+    scale: u32,
+    exec: &'static str,
+    prefetch: usize,
+    chunk: String,
+    walkers: usize,
+    edges: u64,
+    secs: f64,
+    steps_per_sec: f64,
+    mean_group: f64,
+    prefetch_hit_rate: f64,
+    speedup: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    g: &Csr,
+    w: &Workload,
+    scale: u32,
+    exec: ExecMode,
+    prefetch: usize,
+    chunk: Option<usize>,
+    reps: usize,
+    baseline: Option<f64>,
+) -> Row {
+    let algo: &dyn Algorithm = w.algo.as_ref();
+    let n = g.num_vertices() as u32;
+    let seeds: Vec<u32> =
+        (0..w.walkers).map(|i| ((i as u64 * 2_654_435_761) % n as u64) as u32).collect();
+    let opts =
+        RunOptions { exec, prefetch_distance: prefetch, batch_chunk: chunk, ..Default::default() };
+
+    // One untimed pass warms page tables and per-thread arenas, then the
+    // timed repetitions measure steady state.
+    let sampler = Sampler::new(g, &algo).with_options(opts);
+    let warm = sampler.run_single_seeds(&seeds);
+    let t0 = Instant::now();
+    let mut edges = 0u64;
+    let mut out = warm;
+    for _ in 0..reps {
+        out = sampler.run_single_seeds(&seeds);
+        edges += out.stats.sampled_edges;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let steps_per_sec = edges as f64 / secs;
+    Row {
+        algo: w.name,
+        scale,
+        exec: if exec == ExecMode::DepthSync { "depth" } else { "instance" },
+        prefetch,
+        chunk: chunk.map_or("auto".to_string(), |c| c.to_string()),
+        walkers: w.walkers,
+        edges,
+        secs,
+        steps_per_sec,
+        mean_group: if out.stats.batch_groups > 0 {
+            out.stats.batch_group_entries as f64 / out.stats.batch_groups as f64
+        } else {
+            0.0
+        },
+        prefetch_hit_rate: if out.stats.batch_groups > 0 {
+            out.stats.batch_prefetch_hits as f64 / out.stats.batch_groups as f64
+        } else {
+            0.0
+        },
+        speedup: baseline.map_or(1.0, |b| steps_per_sec / b),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let label = flag("--label").unwrap_or_else(|| "run".to_string());
+    let json_path = flag("--json");
+    let csv_path = flag("--csv");
+
+    // Two scales: one comfortably in LLC, one whose CSR (index +
+    // adjacency + weights) is far out of it — the regime the loop
+    // interchange targets. Quick mode shrinks both for CI smoke.
+    let scales: &[(u32, usize, usize)] =
+        if quick { &[(10, 8, 2)] } else { &[(16, 16, 3), (20, 16, 1)] };
+    let prefetches: &[usize] = if quick { &[0, 8] } else { &[0, 8, 16] };
+    let chunks: &[Option<usize>] = if quick { &[None] } else { &[Some(256), Some(4096), None] };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(scale, ef, reps) in scales {
+        let g = rmat(scale, ef, RmatParams::GRAPH500, 42).with_unit_weights();
+        println!(
+            "batch_bench [{label}]: rmat scale={scale} ef={ef} ({} vertices, {} edges, {:.0} MB CSR)",
+            g.num_vertices(),
+            g.num_edges(),
+            g.size_bytes() as f64 / 1e6
+        );
+        println!(
+            "{:<18} {:>6} {:>9} {:>9} {:>6} {:>13} {:>10} {:>9} {:>8}",
+            "algorithm",
+            "scale",
+            "exec",
+            "prefetch",
+            "chunk",
+            "steps/sec",
+            "group",
+            "pf-hit",
+            "speedup"
+        );
+        for w in workloads(quick) {
+            let base = run_once(&g, &w, scale, ExecMode::InstanceMajor, 0, None, reps, None);
+            let baseline = base.steps_per_sec;
+            print_row(&base);
+            rows.push(base);
+            for &chunk in chunks {
+                for &prefetch in prefetches {
+                    let row = run_once(
+                        &g,
+                        &w,
+                        scale,
+                        ExecMode::DepthSync,
+                        prefetch,
+                        chunk,
+                        reps,
+                        Some(baseline),
+                    );
+                    print_row(&row);
+                    rows.push(row);
+                }
+            }
+        }
+    }
+
+    // Headline: best depth-sync speedup per (algo, scale).
+    println!("\nbest depth-sync speedup per workload:");
+    for &(scale, _, _) in scales {
+        for w in workloads(quick) {
+            let best = rows
+                .iter()
+                .filter(|r| r.algo == w.name && r.scale == scale && r.exec == "depth")
+                .map(|r| r.speedup)
+                .fold(0.0f64, f64::max);
+            println!("  {:<18} scale {:>2}: {:.2}x", w.name, scale, best);
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut s = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "  {{\"label\": \"{}\", \"algo\": \"{}\", \"scale\": {}, \"exec\": \"{}\", \
+                 \"prefetch\": {}, \"chunk\": \"{}\", \"walkers\": {}, \"edges\": {}, \
+                 \"secs\": {:.3}, \"steps_per_sec\": {:.1}, \"mean_group\": {:.2}, \
+                 \"prefetch_hit_rate\": {:.3}, \"speedup\": {:.3}}}{}\n",
+                label,
+                r.algo,
+                r.scale,
+                r.exec,
+                r.prefetch,
+                r.chunk,
+                r.walkers,
+                r.edges,
+                r.secs,
+                r.steps_per_sec,
+                r.mean_group,
+                r.prefetch_hit_rate,
+                r.speedup,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("]\n");
+        std::fs::write(&path, s).expect("write json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = csv_path {
+        let mut s = String::from(
+            "label,algo,scale,exec,prefetch,chunk,walkers,edges,secs,steps_per_sec,mean_group,prefetch_hit_rate,speedup\n",
+        );
+        for r in &rows {
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{:.3},{:.1},{:.2},{:.3},{:.3}\n",
+                label,
+                r.algo,
+                r.scale,
+                r.exec,
+                r.prefetch,
+                r.chunk,
+                r.walkers,
+                r.edges,
+                r.secs,
+                r.steps_per_sec,
+                r.mean_group,
+                r.prefetch_hit_rate,
+                r.speedup
+            ));
+        }
+        std::fs::write(&path, s).expect("write csv");
+        println!("wrote {path}");
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:<18} {:>6} {:>9} {:>9} {:>6} {:>13.0} {:>10.2} {:>9.2} {:>7.2}x",
+        r.algo,
+        r.scale,
+        r.exec,
+        r.prefetch,
+        r.chunk,
+        r.steps_per_sec,
+        r.mean_group,
+        r.prefetch_hit_rate,
+        r.speedup
+    );
+}

@@ -186,6 +186,39 @@ fn main() {
         );
     }
 
+    // Full-budget regression row: with `pool_bytes >= graph_bytes` the
+    // pool admits every partition on first touch (no second-chance
+    // admission filter), so the fully-resident run must never evict,
+    // must out-hit every starved budget, and must not be slower than
+    // the half-budget point — the anomaly this guards against was a
+    // full-budget run streaming mmap faults (1314 faults, 0 evictions)
+    // because cold partitions needed ADMIT_TOUCHES touches to decode.
+    if let Some(full) = rows.iter().find(|r| (r.budget_frac - 1.0).abs() < 1e-9) {
+        assert_eq!(full.evictions, 0, "full budget must never evict");
+        for r in rows.iter().filter(|r| r.budget_frac < 1.0) {
+            assert!(
+                full.hit_rate >= r.hit_rate,
+                "full budget hit rate {:.3} below {:.2}x-budget {:.3} — admission regressed",
+                full.hit_rate,
+                r.budget_frac,
+                r.hit_rate
+            );
+        }
+        if let Some(half) = rows.iter().find(|r| (r.budget_frac - 0.5).abs() < 1e-9) {
+            assert!(
+                full.steps_per_sec >= 0.9 * half.steps_per_sec,
+                "full budget ({:.0} steps/sec) slower than half budget ({:.0}) — \
+                 the first-touch admission bypass has regressed",
+                full.steps_per_sec,
+                half.steps_per_sec
+            );
+        }
+        println!(
+            "# full-budget regression row ok: {:.0} steps/sec, hit rate {:.3}, 0 evictions",
+            full.steps_per_sec, full.hit_rate
+        );
+    }
+
     if let Some(path) = json_path {
         let mut s = String::from("[\n");
         for (i, r) in rows.iter().enumerate() {

@@ -269,6 +269,27 @@ impl CtpsCache {
         &self.shards[v as usize % self.shards.len()]
     }
 
+    /// Hints the host memory system to pull vertex `v`'s shard header
+    /// toward the core — the depth-synchronous driver issues this a
+    /// configurable distance ahead of a group's expansion, alongside the
+    /// CSR row prefetch. Purely a wall-clock hint: no lock is taken, no
+    /// counter moves, and non-x86 hosts compile it to nothing.
+    pub fn prefetch_shard(&self, v: VertexId) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let shard = self.shard_of(v);
+            // SAFETY: the reference is live; _mm_prefetch only populates
+            // caches and never faults.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                    shard as *const Mutex<Shard> as *const i8,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
+    }
+
     /// Looks up vertex `v`'s CTPS at residency `epoch`. On a hit the
     /// cached bounds are copied into `dst` (allocation-free once `dst`'s
     /// capacity is warm) and the entry's clock reference bit is set. A

@@ -22,7 +22,8 @@
 //! [`csaw_gpu::rng::task_key`], so outputs are bit-identical regardless of
 //! host thread count, chunking, or which runtime executes the instance.
 
-use crate::api::{Algorithm, FrontierMode};
+use crate::api::{AlgoConfig, Algorithm, FrontierMode};
+use crate::batch::ChunkInstance;
 use crate::output::SampleOutput;
 use crate::select::SelectConfig;
 use crate::step::{
@@ -120,6 +121,26 @@ pub fn validate_single_seeds(graph: &Csr, seeds: &[VertexId]) -> Result<(), RunE
     }
 }
 
+/// Execution order of the MAIN loop over a run's instances.
+///
+/// Both modes run the *same* per-entry pipeline ([`StepKernel`]) over the
+/// *same* RNG streams (keyed by logical position, never schedule), so they
+/// are bit-identical on outputs and charge-identical on every counter
+/// except the `batch_*` group/prefetch observability fields, which only
+/// depth-synchronous execution populates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One simulated warp per instance, each run to completion — the
+    /// paper's §IV-A inter-warp layout and the engine's historical mode.
+    #[default]
+    InstanceMajor,
+    /// Advance all instances in lockstep one depth at a time over a flat
+    /// `(instance, vertex)` frontier (see [`crate::batch`]): prefetches
+    /// upcoming CSR rows, groups co-located walkers to share one gather +
+    /// CTPS build, and batch-generates Philox blocks per depth.
+    DepthSync,
+}
+
 /// Engine-level options shared by all instances of a run.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -169,6 +190,20 @@ pub struct RunOptions {
     /// Mutually exclusive with `snapshot` — the store serves immutable
     /// epochs.
     pub disk: Option<crate::residency::DiskRunConfig>,
+    /// Execution order over instances — see [`ExecMode`]. Output is
+    /// bit-identical across modes; only throughput and the `batch_*`
+    /// observability counters differ.
+    pub exec: ExecMode,
+    /// Depth-synchronous look-ahead, in vertex-groups: while group `g`
+    /// expands, the CSR index row of group `g + distance` and the
+    /// adjacency of group `g + max(1, distance/2)` are software-prefetched.
+    /// `0` disables prefetching. Ignored under instance-major execution.
+    pub prefetch_distance: usize,
+    /// Instances per depth-synchronous chunk (the unit of host
+    /// parallelism). `None` (the default) auto-sizes to roughly four
+    /// chunks per available worker thread. Ignored under instance-major
+    /// execution; any value yields bit-identical output.
+    pub batch_chunk: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -182,6 +217,9 @@ impl Default for RunOptions {
             method_policy: crate::method::MethodPolicy::ForceIts,
             snapshot: None,
             disk: None,
+            exec: ExecMode::InstanceMajor,
+            prefetch_distance: 8,
+            batch_chunk: None,
         }
     }
 }
@@ -281,6 +319,9 @@ impl<'g, A: Algorithm> Sampler<'g, A> {
     /// Runs one instance per seed *set* (multi-dimensional random walk
     /// pools `FrontierSize` seeds per instance).
     pub fn run(&self, seed_sets: &[Vec<VertexId>]) -> SampleOutput {
+        if self.opts.exec == ExecMode::DepthSync {
+            return self.run_depth_sync(seed_sets);
+        }
         let t0 = std::time::Instant::now();
         let tasks: Vec<(u32, &Vec<VertexId>)> =
             seed_sets.iter().enumerate().map(|(i, s)| (i as u32, s)).collect();
@@ -306,6 +347,47 @@ impl<'g, A: Algorithm> Sampler<'g, A> {
             warp_cycles: launch.warp_cycles,
             wall_seconds: t0.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Depth-synchronous run ([`ExecMode::DepthSync`]): instances are
+    /// split into chunks (the unit of host parallelism), and each chunk is
+    /// advanced in lockstep one depth at a time by [`crate::batch`]'s flat
+    /// frontier. Bit-identical to [`Sampler::run`] on outputs at any chunk
+    /// size, prefetch distance, or thread count; charge-identical on every
+    /// counter except the `batch_*` observability fields.
+    fn run_depth_sync(&self, seed_sets: &[Vec<VertexId>]) -> SampleOutput {
+        let t0 = std::time::Instant::now();
+        let cfg = self.algo.config();
+        let chunk = self.opts.batch_chunk.unwrap_or_else(|| {
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            seed_sets.len().div_ceil(4 * threads).max(1)
+        });
+        assert!(chunk > 0, "batch chunk size must be positive");
+        let tasks: Vec<(usize, &[Vec<VertexId>])> =
+            seed_sets.chunks(chunk).enumerate().map(|(ci, sets)| (ci * chunk, sets)).collect();
+        let graph = self.graph;
+        let algo = self.algo;
+        let opts = &self.opts;
+        let cfg_ref = &cfg;
+        let launch = self.device.launch(tasks, move |_, (base, sets)| {
+            let (outs, per_inst) = run_chunk_task(graph, algo, opts, cfg_ref, base, sets);
+            let total: SimStats = per_inst.iter().copied().sum();
+            ((outs, per_inst), total)
+        });
+        // Reassemble in task order — chunks partition the instance range
+        // contiguously, so concatenation restores instance order.
+        let mut instances = Vec::with_capacity(seed_sets.len());
+        let mut instance_stats = Vec::with_capacity(seed_sets.len());
+        for (outs, per_inst) in launch.outputs {
+            instances.extend(outs);
+            instance_stats.extend(per_inst);
+        }
+        // The chunk kernels leave `sampled_edges` at zero, as everywhere
+        // else: the outputs are the ground truth.
+        for (s, inst) in instance_stats.iter_mut().zip(&instances) {
+            s.sampled_edges = inst.len() as u64;
+        }
+        SampleOutput::from_instances(instances, instance_stats, t0.elapsed().as_secs_f64())
     }
 
     /// [`Sampler::run`] behind upfront validation: rejects empty seed
@@ -463,6 +545,163 @@ fn drive_instance<N: NeighborAccess>(
         }
     });
     (out, stats)
+}
+
+/// Executes one depth-synchronous chunk: dispatches the access layer the
+/// same way [`run_instance`] does, then hands the chunk to
+/// [`drive_chunk`]. Returns per-instance outputs and per-instance stats
+/// (disk-tier worker charges land on the chunk's first instance — the
+/// same "whoever ran on the warm pool pays" attribution the
+/// instance-major path applies per instance).
+fn run_chunk_task(
+    g: &Csr,
+    algo: &dyn Algorithm,
+    opts: &RunOptions,
+    cfg: &AlgoConfig,
+    base: usize,
+    sets: &[Vec<VertexId>],
+) -> (Vec<Vec<(VertexId, VertexId)>>, Vec<SimStats>) {
+    match (opts.snapshot.as_ref(), opts.disk.as_ref()) {
+        (Some(_), Some(_)) => {
+            panic!("RunOptions.snapshot and RunOptions.disk are mutually exclusive")
+        }
+        (Some(snapshot), None) => {
+            let mut access = DeltaAccess { snapshot };
+            drive_chunk(&mut access, algo, opts, cfg, base, sets)
+        }
+        (None, Some(disk)) => crate::residency::with_thread_disk_access(disk, |access| {
+            let (outs, mut per_inst) = drive_chunk(access, algo, opts, cfg, base, sets);
+            if let Some(first) = per_inst.first_mut() {
+                access.flush_stats(first);
+            }
+            (outs, per_inst)
+        }),
+        (None, None) => {
+            let mut access = CsrAccess { graph: g };
+            drive_chunk(&mut access, algo, opts, cfg, base, sets)
+        }
+    }
+}
+
+/// The depth-synchronous counterpart of [`drive_instance`] for one chunk
+/// of instances. `IndependentPerVertex` algorithms run through the flat
+/// grouped frontier of [`crate::batch::run_chunk`]; the layer modes
+/// (`SharedLayer`, `BiasedReplace`) expand whole per-instance layers per
+/// step, so "depth-synchronous" reduces to a loop interchange — depth
+/// outer, instances inner — which is trivially bit- and charge-identical
+/// because per-instance state is independent.
+fn drive_chunk<N: NeighborAccess>(
+    access: &mut N,
+    algo: &dyn Algorithm,
+    opts: &RunOptions,
+    cfg: &AlgoConfig,
+    base: usize,
+    sets: &[Vec<VertexId>],
+) -> (Vec<Vec<(VertexId, VertexId)>>, Vec<SimStats>) {
+    let kernel = StepKernel::new(algo, opts.seed)
+        .with_select(opts.select)
+        .with_simt_select(opts.use_simt_select)
+        .with_ctps_cache(opts.ctps_cache.as_deref())
+        .with_method_policy(opts.method_policy);
+    let mut outs: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); sets.len()];
+    let mut per_inst: Vec<SimStats> = vec![SimStats::new(); sets.len()];
+    let global_id = |i: usize| opts.instance_base + (base + i) as u32;
+
+    match cfg.frontier {
+        FrontierMode::IndependentPerVertex => {
+            let instances: Vec<ChunkInstance<'_>> = sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ChunkInstance { global_id: global_id(i), seeds: s })
+                .collect();
+            with_thread_scratch(|scratch| {
+                crate::batch::with_thread_arena(|arena| {
+                    crate::batch::run_chunk(
+                        &kernel,
+                        access,
+                        &instances,
+                        opts.seed,
+                        opts.prefetch_distance,
+                        &mut outs,
+                        &mut per_inst,
+                        arena,
+                        scratch,
+                    );
+                });
+            });
+        }
+        FrontierMode::SharedLayer => {
+            let mut pools: Vec<Vec<PoolSlot>> =
+                sets.iter().map(|s| s.iter().map(|&v| PoolSlot::seed(v)).collect()).collect();
+            let mut frontiers: Vec<Vec<PoolSlot>> = vec![Vec::new(); sets.len()];
+            let mut visiteds: Vec<HashSet<VertexId>> = sets
+                .iter()
+                .map(|s| {
+                    if cfg.without_replacement {
+                        s.iter().copied().collect()
+                    } else {
+                        HashSet::new()
+                    }
+                })
+                .collect();
+            with_thread_scratch(|scratch| {
+                for depth in 0..cfg.depth as u32 {
+                    for i in 0..sets.len() {
+                        if pools[i].is_empty() {
+                            continue;
+                        }
+                        std::mem::swap(&mut pools[i], &mut frontiers[i]);
+                        pools[i].clear();
+                        per_inst[i].frontier_ops += frontiers[i].len() as u64;
+                        let mut sink = PoolSink {
+                            cfg,
+                            detector: opts.select.detector,
+                            visited: &mut visiteds[i],
+                            next: &mut pools[i],
+                            out: &mut outs[i],
+                        };
+                        kernel.expand_layer(
+                            access,
+                            global_id(i),
+                            depth,
+                            &frontiers[i],
+                            &mut sink,
+                            scratch,
+                            &mut per_inst[i],
+                        );
+                    }
+                }
+            });
+        }
+        FrontierMode::BiasedReplace => {
+            let mut pools: Vec<Vec<PoolSlot>> =
+                sets.iter().map(|s| s.iter().map(|&v| PoolSlot::seed(v)).collect()).collect();
+            let mut pool_biases: Vec<Vec<f64>> = vec![Vec::new(); sets.len()];
+            with_thread_scratch(|scratch| {
+                for depth in 0..cfg.depth as u32 {
+                    for i in 0..sets.len() {
+                        if pools[i].is_empty() {
+                            continue;
+                        }
+                        let home = sets[i].first().copied().unwrap_or(0);
+                        let mut sink = EmitSink(&mut outs[i]);
+                        kernel.expand_replace(
+                            access,
+                            global_id(i),
+                            depth,
+                            home,
+                            &mut pools[i],
+                            &mut pool_biases[i],
+                            &mut sink,
+                            scratch,
+                            &mut per_inst[i],
+                        );
+                    }
+                }
+            });
+        }
+    }
+    (outs, per_inst)
 }
 
 #[cfg(test)]
@@ -707,6 +946,98 @@ mod tests {
         let sliced = out.slice(0..1);
         assert_eq!(sliced.instances, solo.instances);
         assert_eq!(sliced.stats, solo.stats);
+    }
+
+    /// Zeroes the depth-sync-only observability counters so a depth-sync
+    /// stat set can be compared against instance-major execution (which
+    /// never forms vertex groups).
+    fn scrub_batch_counters(mut s: SimStats) -> SimStats {
+        s.batch_groups = 0;
+        s.batch_group_entries = 0;
+        s.batch_group_hist = [0; 8];
+        s.batch_prefetch_hits = 0;
+        s.batch_prefetch_misses = 0;
+        s
+    }
+
+    #[test]
+    fn depth_sync_matches_instance_major_at_any_chunk_size() {
+        let g = toy_graph();
+        // Duplicate seeds force co-located walkers (shared groups, trial
+        // ordinals > 0) — the paths most likely to diverge.
+        let seeds: Vec<u32> = (0..17).map(|i| [8, 0, 8, 5, 2][i % 5]).collect();
+        for (name, algo) in [
+            ("walk", Box::new(TestWalk { len: 12 }) as Box<dyn Algorithm>),
+            ("ns", Box::new(TestNs { ns: 3, depth: 4 })),
+        ] {
+            let algo: &dyn Algorithm = algo.as_ref();
+            let reference = Sampler::new(&g, &algo).run_single_seeds(&seeds);
+            for chunk in [1usize, 2, 3, 7, 100] {
+                for prefetch in [0usize, 1, 8] {
+                    let opts = RunOptions {
+                        exec: ExecMode::DepthSync,
+                        batch_chunk: Some(chunk),
+                        prefetch_distance: prefetch,
+                        ..Default::default()
+                    };
+                    let out = Sampler::new(&g, &algo).with_options(opts).run_single_seeds(&seeds);
+                    assert_eq!(
+                        out.instances, reference.instances,
+                        "{name}: chunk={chunk} prefetch={prefetch}"
+                    );
+                    assert_eq!(
+                        scrub_batch_counters(out.stats),
+                        reference.stats,
+                        "{name}: chunk={chunk} prefetch={prefetch}"
+                    );
+                    let summed: SimStats = out.instance_stats.iter().copied().sum();
+                    assert_eq!(summed, out.stats, "per-instance stats must conserve");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_sync_matches_instance_major_on_layer_modes() {
+        // SharedLayer (layer sampling) and BiasedReplace (multi-dim walk)
+        // take the loop-interchange path rather than the flat frontier.
+        use crate::algorithms::registry::{AlgoSpec, AlgorithmId};
+        let g = toy_graph();
+        for id in [AlgorithmId::LayerSampling, AlgorithmId::MultiDimRandomWalk] {
+            let algo = AlgoSpec::new(id).with_depth(4).build().unwrap();
+            let algo: &dyn Algorithm = algo.as_ref();
+            let sets: Vec<Vec<u32>> = vec![vec![8, 0, 5], vec![2, 3, 4], vec![8, 0, 5]];
+            let reference = Sampler::new(&g, &algo).run(&sets);
+            for chunk in [1usize, 2, 100] {
+                let opts = RunOptions {
+                    exec: ExecMode::DepthSync,
+                    batch_chunk: Some(chunk),
+                    ..Default::default()
+                };
+                let out = Sampler::new(&g, &algo).with_options(opts).run(&sets);
+                assert_eq!(out.instances, reference.instances, "{id:?} chunk={chunk}");
+                assert_eq!(scrub_batch_counters(out.stats), reference.stats, "{id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_sync_populates_batch_observability() {
+        let g = toy_graph();
+        let algo = TestWalk { len: 10 };
+        let opts =
+            RunOptions { exec: ExecMode::DepthSync, batch_chunk: Some(100), ..Default::default() };
+        // All walkers start at one vertex: depth 0 is a single group of 8.
+        let out = Sampler::new(&g, &algo).with_options(opts).run_single_seeds(&[8; 8]);
+        assert!(out.stats.batch_groups > 0);
+        assert_eq!(out.stats.batch_group_hist.iter().sum::<u64>(), out.stats.batch_groups);
+        assert_eq!(
+            out.stats.batch_prefetch_hits + out.stats.batch_prefetch_misses,
+            out.stats.batch_groups,
+            "prefetch coverage must conserve"
+        );
+        assert!(out.stats.batch_group_entries >= out.stats.batch_groups);
+        assert_eq!(out.stats.batch_group_hist[3], 1, "depth-0 group of 8 lands in bucket 3");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod algorithms;
 pub mod alias;
 pub mod analysis;
 pub mod api;
+pub mod batch;
 pub mod bipartite;
 pub mod collision;
 pub mod ctps;
@@ -62,7 +63,7 @@ pub mod step;
 
 pub use algorithms::registry::{AlgoSpec, AlgorithmId, RegistryError};
 pub use api::{AlgoConfig, Algorithm, EdgeCand, FrontierMode, NeighborSize, UpdateAction};
-pub use engine::{RunError, RunOptions, Sampler};
+pub use engine::{ExecMode, RunError, RunOptions, Sampler};
 pub use method::{MethodPolicy, SelectMethod};
 pub use output::SampleOutput;
 pub use residency::{DiskAccess, DiskRunConfig, DiskTierStats, ResidencyHierarchy};

@@ -230,6 +230,15 @@ struct Pool {
     /// Misses per partition since its last admission (the admission
     /// filter's evidence of heat); reset when the full decode lands.
     touches: Vec<u8>,
+    /// Admission filter bypass: true when the budget fits the *whole*
+    /// decoded graph, in which case nothing can ever be evicted and
+    /// making partitions prove themselves hot only defers the inevitable
+    /// decode behind `ADMIT_TOUCHES` single-vertex scratch decodes each.
+    /// Without this, a full-budget pool paradoxically ran *slower* than a
+    /// half-budget one (`BENCH_disk.json` showed budget_frac=1.0 with
+    /// 1314 mmap faults and zero evictions): every partition paid the
+    /// filter tax despite eviction being impossible.
+    admit_all: bool,
     /// Scratch ring of single-vertex runs (FIFO, at most
     /// `SCRATCH_RING`); displaced entries go to `run_graveyard`.
     runs: Vec<(VertexId, *mut VertexRun)>,
@@ -364,6 +373,7 @@ impl ResidencyHierarchy {
             epochs: vec![0; k],
             global_epoch: 0,
             touches: vec![0; k],
+            admit_all: pool_budget >= store.total_decoded_bytes(),
             runs: Vec::with_capacity(SCRATCH_RING),
             graveyard: Vec::new(),
             run_graveyard: Vec::new(),
@@ -500,8 +510,10 @@ impl ResidencyHierarchy {
         pool.pend.misses += 1;
         pool.totals.misses += 1;
         pool.touches[p] = pool.touches[p].saturating_add(1);
-        if pool.touches[p] >= ADMIT_TOUCHES {
-            // The partition proved hot: decode it whole and admit.
+        if pool.admit_all || pool.touches[p] >= ADMIT_TOUCHES {
+            // The partition proved hot (or the budget fits the whole
+            // graph, making the filter pure overhead): decode it whole
+            // and admit.
             pool.touches[p] = 0;
             let t0 = Instant::now();
             let dec = self.store.decode_partition(p).unwrap_or_else(|e| {
@@ -784,6 +796,42 @@ mod tests {
         assert!(snap.evictions > 0, "tiny budget must evict: {snap:?}");
         assert_eq!(stats.disk_pool_lookups, snap.lookups);
         assert_eq!(stats.disk_pool_hits + stats.disk_pool_misses, stats.disk_pool_lookups);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_budget_admits_on_first_touch() {
+        // The BENCH_disk.json regression: at budget_frac=1.0 eviction is
+        // impossible, so the admission filter's ADMIT_TOUCHES deferral is
+        // pure overhead — 1314 faults and zero evictions made the full
+        // budget *slower* than half. A full-budget pool must admit every
+        // partition on its first miss.
+        let g = rmat(8, 6, RmatParams::GRAPH500, 21).with_unit_weights();
+        let k = 8;
+        let (store, dir) = open_store("fullbudget", &g, k);
+        let mut access = DiskAccess::new(&cfg(&store, store.total_decoded_bytes()));
+        let mut stats = SimStats::new();
+        for v in 0..g.num_vertices() as VertexId {
+            let gat = access.gather(v, &mut stats);
+            assert_eq!(gat.neighbors, g.neighbors(v));
+        }
+        access.flush_stats(&mut stats);
+        let snap = access.snapshot();
+        assert!(snap.is_conserved(), "{snap:?}");
+        assert_eq!(snap.evictions, 0, "nothing can evict at full budget");
+        assert_eq!(
+            snap.misses,
+            store.num_partitions() as u64,
+            "exactly one miss (the admitting decode) per partition: {snap:?}"
+        );
+        // Second sweep over the now-fully-resident pool: pure hits.
+        let before = access.snapshot().lookups;
+        for v in 0..g.num_vertices() as VertexId {
+            let _ = access.gather(v, &mut stats);
+        }
+        let snap = access.snapshot();
+        assert_eq!(snap.misses, store.num_partitions() as u64);
+        assert_eq!(snap.hits - (before - snap.misses), g.num_vertices() as u64);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -93,6 +93,24 @@ impl PoolSlot {
     }
 }
 
+/// The shared state of one vertex-group build (see
+/// [`StepKernel::prepare_group`]): the stats each group member replays in
+/// place of recomputing the bias fill and CTPS rebuild, plus the
+/// positive-bias candidate count the preloaded without-replacement SELECT
+/// needs. The lane data itself lives in the [`StepScratch`] the build
+/// filled.
+#[derive(Debug, Clone)]
+pub struct SharedBuild {
+    /// Stats the EDGEBIAS lane fill charged (replayed once per entry).
+    pub fill_delta: SimStats,
+    /// Stats the CTPS rebuild charged (replayed once per entry when
+    /// without replacement, once per *pick* with replacement — mirroring
+    /// `select_one_with`'s per-pick rebuild).
+    pub rebuild_delta: SimStats,
+    /// Number of positive-bias candidates in the shared lane.
+    pub selectable: usize,
+}
+
 /// Bytes read from global memory to gather one adjacency list: two
 /// row-pointer words plus the neighbor slice (+4 bytes/edge of weights on
 /// weighted graphs). Shared by every [`NeighborAccess`] implementation so
@@ -164,6 +182,22 @@ pub trait NeighborAccess {
         let _ = v;
         self.epoch()
     }
+
+    /// Hints the host memory system to pull `v`'s row-pointer cache line
+    /// toward the core — the depth-synchronous driver issues this a
+    /// configurable distance ahead of expansion (ThunderRW's step
+    /// interleaving). Purely a wall-clock hint: charges nothing, changes
+    /// nothing observable, and defaults to a no-op for accesses whose
+    /// adjacency is not a flat in-RAM array.
+    fn prefetch_index(&self, v: VertexId) {
+        let _ = v;
+    }
+
+    /// Hints the host memory system to pull the head of `v`'s neighbor
+    /// slice toward the core (see [`Self::prefetch_index`]).
+    fn prefetch_adjacency(&self, v: VertexId) {
+        let _ = v;
+    }
 }
 
 /// In-memory access: the whole CSR is resident; a gather costs its
@@ -189,6 +223,48 @@ impl NeighborAccess for CsrAccess<'_> {
             neighbors: self.graph.neighbors(v),
             weights: self.graph.neighbor_weights(v),
         }
+    }
+
+    fn prefetch_index(&self, v: VertexId) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let rp = self.graph.row_ptr();
+            if let Some(p) = rp.get(v as usize) {
+                // SAFETY: `p` points into a live slice; _mm_prefetch has
+                // no architectural effect beyond cache population.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                        p as *const usize as *const i8,
+                    );
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
+    }
+
+    fn prefetch_adjacency(&self, v: VertexId) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let n = self.graph.neighbors(v);
+            let bytes = std::mem::size_of_val(n).min(256);
+            let base = n.as_ptr() as *const i8;
+            let mut off = 0;
+            // Up to four cache lines of the neighbor slice — enough for
+            // the low-degree rows that dominate power-law frontiers.
+            while off < bytes {
+                // SAFETY: `off < bytes <= n.len() * 4`, so the address
+                // stays inside the slice; prefetch is side-effect free.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                        base.wrapping_add(off),
+                    );
+                }
+                off += 64;
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
     }
 }
 
@@ -460,6 +536,11 @@ pub struct StepScratch {
     /// assert it matches the cached bounds bit for bit.
     #[cfg(debug_assertions)]
     dbg_ctps: crate::ctps::Ctps,
+    /// Debug-only bias lane: group-shared expansions re-derive each
+    /// entry's own EDGEBIAS lane here and assert the shared build (keyed
+    /// by vertex alone) really is prev/instance-independent.
+    #[cfg(debug_assertions)]
+    dbg_biases: Vec<f64>,
 }
 
 impl StepScratch {
@@ -613,11 +694,32 @@ impl<'a> StepKernel<'a> {
         scratch: &mut StepScratch,
         stats: &mut SimStats,
     ) {
-        let v = entry.vertex;
-        let mut rng = Philox::for_task(
+        let rng = Philox::for_task(
             self.seed,
             task_key(entry.instance, entry.depth, entry.vertex, entry.trial),
         );
+        self.expand_rng(access, entry, home, rng, sink, scratch, stats)
+    }
+
+    /// [`Self::expand`] with the entry's RNG stream supplied by the
+    /// caller — the depth-synchronous driver batch-generates every
+    /// frontier entry's first Philox block up front (the cuRAND-style
+    /// 4-counters-per-call kernel) and hands each stream in via
+    /// [`Philox::with_first_block`]. The stream must be positioned at
+    /// draw 0 of `task_key(entry.instance, entry.depth, entry.vertex,
+    /// entry.trial)` or output determinism is lost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn expand_rng<N: NeighborAccess, S: FrontierSink>(
+        &self,
+        access: &mut N,
+        entry: &StepEntry,
+        home: VertexId,
+        mut rng: Philox,
+        sink: &mut S,
+        scratch: &mut StepScratch,
+        stats: &mut SimStats,
+    ) {
+        let v = entry.vertex;
 
         // The method chooser covers independent per-vertex, with-
         // replacement, non-uniform expansions — the regime where ITS,
@@ -715,6 +817,142 @@ impl<'a> StepKernel<'a> {
                 let selectable = biases.iter().filter(|&&b| b > 0.0).count();
                 if selectable > 0 && ctps_cache::widths_agree(&select.ctps, biases) {
                     cache.promote(v, epoch, &select.ctps, selectable as u32, biases.len() as u32);
+                }
+            }
+        }
+        self.emit_picks(&gat, entry, home, &select.out, 0, &mut rng, sink, stats);
+    }
+
+    /// The CTPS/alias cache this kernel's expansions may consult for
+    /// per-vertex state, if any — the depth-synchronous driver prefetches
+    /// the owning shard alongside the CSR row. A hint only: over-approxi-
+    /// mating (static-bias kernels whose SELECT ends up not consulting the
+    /// cache) costs one harmless prefetch, never correctness.
+    pub fn prefetch_cache(&self) -> Option<&'a CtpsCache> {
+        if self.algo.edge_bias_is_static() {
+            self.cache
+        } else {
+            None
+        }
+    }
+
+    /// True when co-located frontier entries (same current vertex, same
+    /// depth) may legally share one bias fill + CTPS build: the bias is
+    /// static (keyed by vertex alone — the CTPS cache's legality
+    /// argument), non-uniform (uniform selection is closed-form, there is
+    /// no build to share), and SELECT consumes the built CTPS unmodified.
+    /// A kernel with a CTPS cache attached already shares builds through
+    /// the cache, and an Adaptive with-replacement kernel branches to the
+    /// method chooser before the ITS lane — both opt out here. Entries of
+    /// a non-shareable kernel still benefit from grouped execution
+    /// (sorted-vertex locality, prefetch, batched Philox) via per-entry
+    /// [`Self::expand_rng`].
+    pub fn group_shareable(&self) -> bool {
+        !self.force_rebuild
+            && self.algo.edge_bias_is_static()
+            && !self.algo.edge_bias_is_uniform()
+            && self.select_reuses_ctps()
+            && self.effective_cache().is_none()
+            && (self.method_policy != MethodPolicy::Adaptive || self.cfg.without_replacement)
+    }
+
+    /// Builds the shared per-vertex state one vertex-group of co-located
+    /// walkers will reuse: the EDGEBIAS lane in `scratch.biases` and the
+    /// CTPS in `scratch.select.ctps`, via an **uncharged** fetch. The
+    /// work each walker would have charged for the fill and the rebuild
+    /// is captured in the returned deltas; [`Self::expand_in_group`]
+    /// replays them per entry so `SimStats` stay charge-identical to
+    /// instance-major execution while the actual compute runs once.
+    ///
+    /// Returns `None` when the group cannot share — empty adjacency
+    /// (dead-end hook needs the entry's own RNG) or a degenerate all-zero
+    /// bias lane — in which case nothing was charged and the caller falls
+    /// back to per-entry [`Self::expand_rng`].
+    pub fn prepare_group<N: NeighborAccess>(
+        &self,
+        access: &mut N,
+        v: VertexId,
+        prev: Option<VertexId>,
+        scratch: &mut StepScratch,
+    ) -> Option<SharedBuild> {
+        debug_assert!(self.group_shareable(), "prepare_group on a non-shareable kernel");
+        let gat = access.fetch(v);
+        if gat.neighbors.is_empty() {
+            return None;
+        }
+        let StepScratch { biases, select, .. } = scratch;
+        let mut fill_delta = SimStats::new();
+        self.fill_biases(&gat, v, prev, biases, &mut fill_delta);
+        let mut rebuild_delta = SimStats::new();
+        if !select.ctps.rebuild(biases, &mut rebuild_delta) {
+            return None;
+        }
+        let selectable = biases.iter().filter(|&&b| b > 0.0).count();
+        Some(SharedBuild { fill_delta, rebuild_delta, selectable })
+    }
+
+    /// Expands one entry of a vertex-group against the shared build left
+    /// in `scratch` by [`Self::prepare_group`] — same picks, same emitted
+    /// edges, same frontier offers, and same stats charges as
+    /// [`Self::expand`], with the bias fill and CTPS build(s) replayed
+    /// from `build`'s deltas instead of recomputed. The caller supplies
+    /// the entry's RNG stream (batched first blocks); `scratch.biases`
+    /// and `scratch.select.ctps` must be untouched since `prepare_group`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn expand_in_group<N: NeighborAccess, S: FrontierSink>(
+        &self,
+        access: &mut N,
+        entry: &StepEntry,
+        home: VertexId,
+        build: &SharedBuild,
+        mut rng: Philox,
+        sink: &mut S,
+        scratch: &mut StepScratch,
+        stats: &mut SimStats,
+    ) {
+        let v = entry.vertex;
+        let gat = access.gather(v, stats);
+        debug_assert!(!gat.neighbors.is_empty(), "prepare_group admitted a dead end");
+        let k = self.cfg.neighbor_size.realize(gat.neighbors.len(), &mut rng);
+        if k == 0 {
+            return;
+        }
+        if self.method_policy == MethodPolicy::Adaptive {
+            stats.method_its += 1;
+        }
+        stats.merge(&build.fill_delta);
+        #[cfg(debug_assertions)]
+        {
+            scratch.dbg_biases.clear();
+            scratch.dbg_biases.extend(
+                (0..gat.neighbors.len())
+                    .map(|i| self.algo.edge_bias(gat.graph, &gat.edge(i, v, entry.prev))),
+            );
+            assert_eq!(
+                scratch.dbg_biases, scratch.biases,
+                "edge_bias_is_static() contradicted: v{v}'s bias lane depends on the walker"
+            );
+        }
+        let select = &mut scratch.select;
+        if self.cfg.without_replacement {
+            // Instance-major charges one rebuild per entry inside
+            // `select_without_replacement_into`; replay it.
+            stats.merge(&build.rebuild_delta);
+            select_without_replacement_preloaded_into(
+                build.selectable,
+                k,
+                self.select,
+                select,
+                &mut rng,
+                stats,
+            );
+        } else {
+            // ...and one rebuild per *pick* via `select_one_with`.
+            select.out.clear();
+            for _ in 0..k {
+                stats.merge(&build.rebuild_delta);
+                if let Some(i) = select_one_preloaded(&select.ctps, &mut rng, stats) {
+                    select.out.push(i);
                 }
             }
         }

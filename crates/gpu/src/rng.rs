@@ -97,6 +97,44 @@ impl Philox {
         }
     }
 
+    /// The first 4-counter block of the `(seed, task)` stream — exactly
+    /// what the first `refill` of [`Philox::for_task`] produces. Batch
+    /// drivers generate blocks for many tasks back to back (one
+    /// independent 10-round pipeline per task, so the multiplies overlap
+    /// in flight) and resurrect full streams later with
+    /// [`Philox::with_first_block`].
+    #[inline]
+    pub fn first_block(seed: u64, task: u64) -> [u32; 4] {
+        philox4x32_10([0, 0, task as u32, (task >> 32) as u32], [seed as u32, (seed >> 32) as u32])
+    }
+
+    /// Reconstructs the `(seed, task)` stream from its precomputed first
+    /// block: the state is bit-identical to `Philox::for_task(seed, task)`
+    /// after its first internal refill, so every subsequent draw matches
+    /// the unbatched stream exactly.
+    #[inline]
+    pub fn with_first_block(seed: u64, task: u64, block: [u32; 4]) -> Self {
+        debug_assert_eq!(block, Self::first_block(seed, task), "block is not this stream's first");
+        Philox {
+            key: [seed as u32, (seed >> 32) as u32],
+            // The first refill consumed counter 0 and advanced the low
+            // 64-bit half to 1.
+            ctr: [1, 0, task as u32, (task >> 32) as u32],
+            buf: block,
+            buf_pos: 0,
+        }
+    }
+
+    /// Generates the first block of every `(seed, task)` stream in `tasks`
+    /// into `out` (cleared first). The per-task pipelines are independent,
+    /// so the compiler can overlap their 10-round multiply chains — the
+    /// batched analog of cuRAND generating 4 counters per call into a
+    /// lane buffer.
+    pub fn first_blocks_into(seed: u64, tasks: &[u64], out: &mut Vec<[u32; 4]>) {
+        out.clear();
+        out.extend(tasks.iter().map(|&t| Self::first_block(seed, t)));
+    }
+
     #[inline]
     fn refill(&mut self) {
         self.buf = philox4x32_10(self.ctr, self.key);
@@ -247,6 +285,26 @@ mod tests {
         let mut r = Philox::new(11);
         let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
         assert!((28_000..32_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn batched_first_blocks_reproduce_for_task_streams() {
+        // A stream resurrected from its batched first block must emit the
+        // same draws as the plain per-task stream — including across the
+        // first internal refill boundary (draw 5 onward exercises the
+        // reconstructed counter state, not just the copied buffer).
+        let seed = 0x5eed;
+        let tasks: Vec<u64> = (0..64u32).map(|i| task_key(i, i % 7, i * 131, 0)).collect();
+        let mut blocks = Vec::new();
+        Philox::first_blocks_into(seed, &tasks, &mut blocks);
+        assert_eq!(blocks.len(), tasks.len());
+        for (&task, &block) in tasks.iter().zip(&blocks) {
+            let mut plain = Philox::for_task(seed, task);
+            let mut batched = Philox::with_first_block(seed, task, block);
+            for draw in 0..12 {
+                assert_eq!(plain.next_u32(), batched.next_u32(), "task {task:#x} draw {draw}");
+            }
+        }
     }
 
     #[test]

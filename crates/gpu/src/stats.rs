@@ -82,6 +82,25 @@ pub struct SimStats {
     /// Simulated 4 KiB page faults charged for streaming mapped segments
     /// during decodes.
     pub disk_mmap_faults: u64,
+    /// Vertex-groups formed by the depth-synchronous frontier (one group
+    /// per distinct current vertex per depth per chunk; zero under
+    /// instance-major execution).
+    pub batch_groups: u64,
+    /// Frontier entries that passed through vertex-grouped expansion
+    /// (`batch_group_entries / batch_groups` is the mean co-location
+    /// factor — the number of walkers that shared one gather).
+    pub batch_group_entries: u64,
+    /// Log2-bucketed histogram of vertex-group sizes: bucket `i` counts
+    /// groups with `2^i <= size < 2^(i+1)`; the last bucket absorbs the
+    /// tail (`size >= 128`).
+    pub batch_group_hist: [u64; 8],
+    /// Vertex-groups whose CSR row was software-prefetched far enough
+    /// ahead to be resident when the group expanded (coverage model: every
+    /// group beyond the prefetch distance in its depth counts as a hit).
+    pub batch_prefetch_hits: u64,
+    /// Vertex-groups expanded before the prefetch pipeline warmed up (the
+    /// first `prefetch_distance` groups of each depth).
+    pub batch_prefetch_misses: u64,
 }
 
 impl SimStats {
@@ -118,6 +137,22 @@ impl SimStats {
         self.disk_pool_evictions += other.disk_pool_evictions;
         self.disk_decode_bytes += other.disk_decode_bytes;
         self.disk_mmap_faults += other.disk_mmap_faults;
+        self.batch_groups += other.batch_groups;
+        self.batch_group_entries += other.batch_group_entries;
+        for (dst, src) in self.batch_group_hist.iter_mut().zip(other.batch_group_hist.iter()) {
+            *dst += *src;
+        }
+        self.batch_prefetch_hits += other.batch_prefetch_hits;
+        self.batch_prefetch_misses += other.batch_prefetch_misses;
+    }
+
+    /// Records one vertex-group of `size` co-located frontier entries in
+    /// the group counters and the log2 size histogram.
+    pub fn record_batch_group(&mut self, size: usize) {
+        self.batch_groups += 1;
+        self.batch_group_entries += size as u64;
+        let bucket = (usize::BITS - 1 - size.max(1).leading_zeros()).min(7) as usize;
+        self.batch_group_hist[bucket] += 1;
     }
 
     /// Merge that consumes the right-hand side (for fold/reduce).
@@ -213,6 +248,25 @@ mod tests {
         ];
         let total: SimStats = parts.into_iter().sum();
         assert_eq!(total.selections, 3);
+    }
+
+    #[test]
+    fn batch_group_histogram_buckets_by_log2() {
+        let mut s = SimStats::new();
+        s.record_batch_group(1); // bucket 0
+        s.record_batch_group(2); // bucket 1
+        s.record_batch_group(3); // bucket 1
+        s.record_batch_group(127); // bucket 6
+        s.record_batch_group(128); // bucket 7
+        s.record_batch_group(100_000); // clamped to bucket 7
+        assert_eq!(s.batch_groups, 6);
+        assert_eq!(s.batch_group_entries, 1 + 2 + 3 + 127 + 128 + 100_000);
+        assert_eq!(s.batch_group_hist, [1, 2, 0, 0, 0, 0, 1, 2]);
+        let mut t = SimStats::new();
+        t.record_batch_group(4);
+        t.merge(&s);
+        assert_eq!(t.batch_group_hist, [1, 2, 1, 0, 0, 0, 1, 2]);
+        assert_eq!(t.batch_groups, 7);
     }
 
     #[test]

@@ -43,21 +43,25 @@
 use crate::config::OomConfig;
 use crate::timeline::{EventKind, TimelineEvent};
 use csaw_core::api::{AlgoConfig, Algorithm, FrontierMode};
+use csaw_core::batch::RecordSink;
 use csaw_core::collision::{charge_visited_check, DetectorKind};
 use csaw_core::ctps_cache::CtpsCache;
+use csaw_core::engine::ExecMode;
 use csaw_core::frontier::{FrontierEntry, FrontierQueue};
 use csaw_core::method::MethodPolicy;
 use csaw_core::select::SelectConfig;
 use csaw_core::step::{
     with_thread_scratch, DeltaPartitionAccess, FrontierSink, NeighborAccess, PartitionAccess,
-    StepEntry, StepKernel,
+    StepEntry, StepKernel, StepScratch,
 };
 use csaw_gpu::config::DeviceConfig;
 use csaw_gpu::cost::gpu_kernel_seconds_with_slots;
 use csaw_gpu::device::Device;
 use csaw_gpu::memory::DeviceMemory;
+use csaw_gpu::rng::task_key;
 use csaw_gpu::stats::SimStats;
 use csaw_gpu::transfer::TransferEngine;
+use csaw_gpu::Philox;
 use csaw_graph::{Csr, GraphSnapshot, Partition, PartitionSet, VertexId};
 use std::collections::{HashMap, HashSet};
 
@@ -234,7 +238,14 @@ pub struct OomRunner<'g, A: Algorithm> {
     pub(crate) method_policy: MethodPolicy,
     pub(crate) snapshot: Option<GraphSnapshot>,
     pub(crate) disk: Option<csaw_core::residency::DiskRunConfig>,
+    pub(crate) exec: ExecMode,
 }
+
+/// Look-ahead distance (in vertex-groups) for the depth-synchronous
+/// stream drain. Partition-access prefetch hooks default to no-ops, so
+/// on this runtime the distance mostly shapes the coverage counters; the
+/// value matches the engine's [`csaw_core::engine::RunOptions`] default.
+const OOM_PREFETCH_DISTANCE: usize = 8;
 
 impl<'g, A: Algorithm> OomRunner<'g, A> {
     /// A runner with the paper's experiment frame on a device whose memory
@@ -256,7 +267,19 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             method_policy: MethodPolicy::ForceIts,
             snapshot: None,
             disk: None,
+            exec: ExecMode::InstanceMajor,
         }
+    }
+
+    /// Execution order of each stream's queue drain
+    /// ([`csaw_core::engine::ExecMode`]): `DepthSync` sorts every drained
+    /// batch by current vertex so co-located entries share one gather +
+    /// CTPS build and Philox blocks generate in one batched pass, then
+    /// replays sink effects in drained order — sampled output and merged
+    /// stats totals are bit-identical to the default entry-order drain.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Overrides the device model.
@@ -733,33 +756,54 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             if batch.is_empty() {
                 break;
             }
-            for entry in batch {
-                let instance = entry.instance;
-                let local = (instance - instance_base) as usize;
-                let before = stats.warp_cycles;
-                let step = StepEntry {
-                    instance,
-                    depth: entry.depth,
-                    vertex: entry.vertex,
-                    prev: entry.prev,
-                    trial: 0,
-                };
-                let mut sink = StreamSink {
+            if self.exec == ExecMode::DepthSync {
+                self.drain_batch_grouped(
+                    kernel,
+                    access,
                     parts,
-                    cfg: algo_cfg,
-                    detector: self.select.detector,
-                    partition,
+                    algo_cfg,
                     instance_base,
+                    seeds,
+                    partition,
+                    &batch,
                     queue,
                     shard,
                     outbox,
                     edges,
-                };
-                kernel.expand(access, &step, seeds[local], &mut sink, scratch, stats);
-                if !self.cfg.batched {
-                    let c = per_instance.entry(instance).or_insert(0);
-                    *c += stats.warp_cycles - before;
-                    straggler_cycles = straggler_cycles.max(*c);
+                    stats,
+                    scratch,
+                    &mut per_instance,
+                    &mut straggler_cycles,
+                );
+            } else {
+                for entry in batch {
+                    let instance = entry.instance;
+                    let local = (instance - instance_base) as usize;
+                    let before = stats.warp_cycles;
+                    let step = StepEntry {
+                        instance,
+                        depth: entry.depth,
+                        vertex: entry.vertex,
+                        prev: entry.prev,
+                        trial: 0,
+                    };
+                    let mut sink = StreamSink {
+                        parts,
+                        cfg: algo_cfg,
+                        detector: self.select.detector,
+                        partition,
+                        instance_base,
+                        queue,
+                        shard,
+                        outbox,
+                        edges,
+                    };
+                    kernel.expand(access, &step, seeds[local], &mut sink, scratch, stats);
+                    if !self.cfg.batched {
+                        let c = per_instance.entry(instance).or_insert(0);
+                        *c += stats.warp_cycles - before;
+                        straggler_cycles = straggler_cycles.max(*c);
+                    }
                 }
             }
             if !self.cfg.workload_aware {
@@ -767,6 +811,179 @@ impl<'g, A: Algorithm> OomRunner<'g, A> {
             }
         });
         straggler_cycles
+    }
+
+    /// Depth-synchronous drain of one batch: entries are expanded in
+    /// vertex-sorted order — co-located entries (even of different
+    /// instances or depths: a static edge bias depends on the vertex
+    /// alone) share one gather + CTPS build, Philox first blocks generate
+    /// in one batched pass — and their recorded sink effects are then
+    /// replayed in **drained order** through the real [`StreamSink`].
+    /// Replay order is what preserves bit-identity with the entry-order
+    /// drain: queue self-feeding before the next `drain_all`, outbox
+    /// order at the round barrier, and the visited-shard charge sequence
+    /// all match exactly. Only the unbatched straggler bound may differ
+    /// slightly (expansion charges accrue in grouped order).
+    #[allow(clippy::too_many_arguments)]
+    fn drain_batch_grouped<N: NeighborAccess>(
+        &self,
+        kernel: &StepKernel<'_>,
+        access: &mut N,
+        parts: &PartitionSet,
+        algo_cfg: &AlgoConfig,
+        instance_base: u32,
+        seeds: &[VertexId],
+        partition: usize,
+        batch: &[FrontierEntry],
+        queue: &mut FrontierQueue,
+        shard: &mut Vec<HashSet<VertexId>>,
+        outbox: &mut Vec<Outbound>,
+        edges: &mut Vec<(usize, (VertexId, VertexId))>,
+        stats: &mut SimStats,
+        scratch: &mut StepScratch,
+        per_instance: &mut HashMap<u32, u64>,
+        straggler_cycles: &mut u64,
+    ) {
+        let n = batch.len();
+        // Queue entries carry their logical position; the queue path
+        // always expands trial 0 (duplicates of one (instance, depth,
+        // vertex) never coexist in a partition queue).
+        let tasks: Vec<u64> =
+            batch.iter().map(|e| task_key(e.instance, e.depth, e.vertex, 0)).collect();
+        let mut blocks: Vec<[u32; 4]> = Vec::with_capacity(n);
+        Philox::first_blocks_into(self.seed, &tasks, &mut blocks);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (batch[i as usize].vertex, i));
+        let mut group_starts: Vec<u32> = Vec::new();
+        for (pos, &i) in order.iter().enumerate() {
+            if pos == 0 || batch[i as usize].vertex != batch[order[pos - 1] as usize].vertex {
+                group_starts.push(pos as u32);
+            }
+        }
+        group_starts.push(n as u32);
+        let groups = group_starts.len() - 1;
+        let adj_dist = (OOM_PREFETCH_DISTANCE / 2).max(1);
+        let covered = groups.saturating_sub(adj_dist);
+        let shareable = kernel.group_shareable();
+        let cache = kernel.prefetch_cache();
+
+        let mut emits: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut offers: Vec<(VertexId, Option<VertexId>)> = Vec::new();
+        let mut spans: Vec<(u32, u32, u32, u32)> = vec![(0, 0, 0, 0); n];
+
+        for gi in 0..groups {
+            let start = group_starts[gi] as usize;
+            let end = group_starts[gi + 1] as usize;
+            let v = batch[order[start] as usize].vertex;
+            if let Some(&s) = group_starts.get(gi + OOM_PREFETCH_DISTANCE) {
+                if (s as usize) < n {
+                    access.prefetch_index(batch[order[s as usize] as usize].vertex);
+                }
+            }
+            if let Some(&s) = group_starts.get(gi + adj_dist) {
+                if (s as usize) < n {
+                    let pv = batch[order[s as usize] as usize].vertex;
+                    access.prefetch_adjacency(pv);
+                    if let Some(cache) = cache {
+                        cache.prefetch_shard(pv);
+                    }
+                }
+            }
+            stats.record_batch_group(end - start);
+            if gi < groups - covered {
+                stats.batch_prefetch_misses += 1;
+            } else {
+                stats.batch_prefetch_hits += 1;
+            }
+
+            let build = if shareable {
+                kernel.prepare_group(access, v, batch[order[start] as usize].prev, scratch)
+            } else {
+                None
+            };
+
+            for &i in &order[start..end] {
+                let idx = i as usize;
+                let e = &batch[idx];
+                let step = StepEntry {
+                    instance: e.instance,
+                    depth: e.depth,
+                    vertex: e.vertex,
+                    prev: e.prev,
+                    trial: 0,
+                };
+                let rng = Philox::with_first_block(self.seed, tasks[idx], blocks[idx]);
+                let local = (e.instance - instance_base) as usize;
+                let before = stats.warp_cycles;
+                let e0 = emits.len() as u32;
+                let o0 = offers.len() as u32;
+                {
+                    let mut sink = RecordSink { emits: &mut emits, offers: &mut offers };
+                    match &build {
+                        Some(b) => kernel.expand_in_group(
+                            access,
+                            &step,
+                            seeds[local],
+                            b,
+                            rng,
+                            &mut sink,
+                            scratch,
+                            stats,
+                        ),
+                        None => kernel.expand_rng(
+                            access,
+                            &step,
+                            seeds[local],
+                            rng,
+                            &mut sink,
+                            scratch,
+                            stats,
+                        ),
+                    }
+                }
+                spans[idx] = (e0, emits.len() as u32, o0, offers.len() as u32);
+                if !self.cfg.batched {
+                    let c = per_instance.entry(e.instance).or_insert(0);
+                    *c += stats.warp_cycles - before;
+                    *straggler_cycles = (*straggler_cycles).max(*c);
+                }
+            }
+        }
+
+        for (idx, e) in batch.iter().enumerate() {
+            let step = StepEntry {
+                instance: e.instance,
+                depth: e.depth,
+                vertex: e.vertex,
+                prev: e.prev,
+                trial: 0,
+            };
+            let (e0, e1, o0, o1) = spans[idx];
+            let before = stats.warp_cycles;
+            let mut sink = StreamSink {
+                parts,
+                cfg: algo_cfg,
+                detector: self.select.detector,
+                partition,
+                instance_base,
+                queue,
+                shard,
+                outbox,
+                edges,
+            };
+            for k in e0..e1 {
+                sink.emit(&step, emits[k as usize]);
+            }
+            for k in o0..o1 {
+                let (vx, pv) = offers[k as usize];
+                sink.push(&step, vx, pv, stats);
+            }
+            if !self.cfg.batched {
+                let c = per_instance.entry(e.instance).or_insert(0);
+                *c += stats.warp_cycles - before;
+                *straggler_cycles = (*straggler_cycles).max(*c);
+            }
+        }
     }
 }
 
@@ -824,6 +1041,44 @@ mod tests {
         assert_eq!(results[0], results[1], "BA changed the sample");
         assert_eq!(results[0], results[2], "WS changed the sample");
         assert_eq!(results[0], results[3], "BAL changed the sample");
+    }
+
+    #[test]
+    fn depth_sync_drain_is_bit_identical() {
+        // The grouped drain must reproduce the entry-order drain exactly —
+        // per-instance outputs in order (not just as sets) and stats
+        // totals modulo the depth-sync-only batch_* counters — across
+        // scheduling policies and both walk (with-replacement, shareable
+        // static bias) and neighbor-sampling (without-replacement) shapes.
+        let g = rmat(8, 4, RmatParams::GRAPH500, 5).with_unit_weights();
+        let seeds: Vec<u32> = (0..32).map(|i| (i * 7) % 256).collect();
+        let scrub = |mut s: SimStats| {
+            s.batch_groups = 0;
+            s.batch_group_entries = 0;
+            s.batch_group_hist = [0; 8];
+            s.batch_prefetch_hits = 0;
+            s.batch_prefetch_misses = 0;
+            s
+        };
+        for (label, cfg) in OomConfig::figure13_ladder() {
+            let ns = UnbiasedNeighborSampling { neighbor_size: 2, depth: 3 };
+            let walk = BiasedRandomWalk { length: 4 };
+            let reference = OomRunner::new(&g, &ns, cfg).with_device(tiny_device()).run(&seeds);
+            let grouped = OomRunner::new(&g, &ns, cfg)
+                .with_device(tiny_device())
+                .with_exec(ExecMode::DepthSync)
+                .run(&seeds);
+            assert_eq!(grouped.instances, reference.instances, "{label}: ns outputs");
+            assert_eq!(scrub(grouped.stats), reference.stats, "{label}: ns stats");
+            let reference = OomRunner::new(&g, &walk, cfg).with_device(tiny_device()).run(&seeds);
+            let grouped = OomRunner::new(&g, &walk, cfg)
+                .with_device(tiny_device())
+                .with_exec(ExecMode::DepthSync)
+                .run(&seeds);
+            assert_eq!(grouped.instances, reference.instances, "{label}: walk outputs");
+            assert_eq!(scrub(grouped.stats), reference.stats, "{label}: walk stats");
+            assert!(grouped.stats.batch_groups > 0, "{label}: grouped drain must group");
+        }
     }
 
     #[test]

@@ -253,6 +253,48 @@ pub fn render(
     let _ = writeln!(out, "csaw_batch_requests_bucket{{le=\"+Inf\"}} {cumulative}");
     let _ = writeln!(out, "csaw_batch_requests_count {cumulative}");
 
+    // --- depth-sync batch execution ------------------------------------
+    // All zero unless the service runs with `exec = DepthSync`; the
+    // conservation identities (hits + misses == groups, histogram sums
+    // to groups) fold into `csaw_ledger_fully_accounted` above.
+    counter(
+        &mut out,
+        "csaw_batch_groups_total",
+        "Same-vertex frontier groups expanded by the depth-sync driver",
+        snap.batch_groups,
+    );
+    counter(
+        &mut out,
+        "csaw_batch_group_entries_total",
+        "Frontier entries expanded through grouped depth-sync steps",
+        snap.batch_group_entries,
+    );
+    counter(
+        &mut out,
+        "csaw_batch_prefetch_hits_total",
+        "Frontier groups whose rows were software-prefetched ahead of use",
+        snap.batch_prefetch_hits,
+    );
+    counter(
+        &mut out,
+        "csaw_batch_prefetch_misses_total",
+        "Frontier groups expanded without prefetch coverage",
+        snap.batch_prefetch_misses,
+    );
+    // Log2-bucketed group occupancy: bucket `i` counts groups of
+    // [2^i, 2^(i+1)) co-located walkers, so `le` is `2^(i+1) - 1`.
+    let _ = writeln!(out, "# HELP csaw_batch_group_size Walkers co-located per frontier group");
+    let _ = writeln!(out, "# TYPE csaw_batch_group_size histogram");
+    let mut cumulative = 0u64;
+    for (i, count) in snap.batch_group_hist.iter().enumerate().take(7) {
+        cumulative += count;
+        let ub = (1u64 << (i + 1)) - 1;
+        let _ = writeln!(out, "csaw_batch_group_size_bucket{{le=\"{ub}\"}} {cumulative}");
+    }
+    cumulative += snap.batch_group_hist[7];
+    let _ = writeln!(out, "csaw_batch_group_size_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "csaw_batch_group_size_count {cumulative}");
+
     // --- per-tenant scheduler plane ------------------------------------
     for (name, help, get) in [
         (
@@ -366,6 +408,29 @@ mod tests {
         );
         assert_eq!(parse_value(&page, "csaw_ledger_fully_accounted"), Some(1.0));
         assert!(page.contains("# TYPE csaw_batch_requests histogram"));
+    }
+
+    #[test]
+    fn renders_depth_sync_batch_section() {
+        let snap = StatsSnapshot {
+            batch_groups: 5,
+            batch_group_entries: 40,
+            batch_prefetch_hits: 3,
+            batch_prefetch_misses: 2,
+            batch_group_hist: [1, 0, 0, 4, 0, 0, 0, 0],
+            ..Default::default()
+        };
+        let page = render(&snap, &[], &[], &ServeMetrics::default());
+        assert_eq!(parse_value(&page, "csaw_batch_groups_total"), Some(5.0));
+        assert_eq!(parse_value(&page, "csaw_batch_group_entries_total"), Some(40.0));
+        assert_eq!(parse_value(&page, "csaw_batch_prefetch_hits_total"), Some(3.0));
+        assert_eq!(parse_value(&page, "csaw_batch_prefetch_misses_total"), Some(2.0));
+        // Log2 buckets: one singleton group, four groups of 8-15 walkers.
+        assert_eq!(parse_value(&page, "csaw_batch_group_size_bucket{le=\"1\"}"), Some(1.0));
+        assert_eq!(parse_value(&page, "csaw_batch_group_size_bucket{le=\"7\"}"), Some(1.0));
+        assert_eq!(parse_value(&page, "csaw_batch_group_size_bucket{le=\"15\"}"), Some(5.0));
+        assert_eq!(parse_value(&page, "csaw_batch_group_size_bucket{le=\"+Inf\"}"), Some(5.0));
+        assert_eq!(parse_value(&page, "csaw_batch_group_size_count"), Some(5.0));
     }
 
     #[test]

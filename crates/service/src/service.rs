@@ -78,6 +78,17 @@ pub struct ServiceConfig {
     /// [`csaw_core::residency::DiskTierStats`] sink when `shared` is
     /// `None`, surfacing pool gauges through [`StatsSnapshot`].
     pub disk: Option<csaw_core::residency::DiskRunConfig>,
+    /// Execution order of every launch ([`csaw_core::engine::ExecMode`]):
+    /// `DepthSync` advances a whole coalesced batch one depth at a time —
+    /// co-located walkers (common under coalescing: same-key requests
+    /// share hot seed vertices) share gathers and CTPS builds. Responses
+    /// are bit-identical either way; the `batch_*` counters in
+    /// [`StatsSnapshot`] report the realized grouping.
+    pub exec: csaw_core::engine::ExecMode,
+    /// Depth-synchronous prefetch look-ahead, in vertex-groups (see
+    /// [`csaw_core::engine::RunOptions::prefetch_distance`]). Ignored
+    /// under instance-major execution.
+    pub prefetch_distance: usize,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +101,8 @@ impl Default for ServiceConfig {
             ctps_cache_budget: 4 << 20,
             method_policy: csaw_core::method::MethodPolicy::ForceIts,
             disk: None,
+            exec: csaw_core::engine::ExecMode::InstanceMajor,
+            prefetch_distance: 8,
         }
     }
 }
@@ -639,6 +652,8 @@ fn process_batch(
             method_policy: shared.config.method_policy,
             snapshot: snapshot.clone(),
             disk: shared.config.disk.clone(),
+            exec: shared.config.exec,
+            prefetch_distance: shared.config.prefetch_distance,
             ..RunOptions::default()
         };
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -665,6 +680,7 @@ fn process_batch(
                 ServiceStats::add(&stats.transfers, out.transfers);
                 ServiceStats::add(&stats.bytes_transferred, out.bytes_transferred);
                 stats.record_methods(&out.stats);
+                stats.record_batch_exec(&out.stats);
                 let counts: Vec<usize> = seg.iter().map(|q| q.seed_sets.len()).collect();
                 let parts = out.sample.split_by_counts(&counts);
                 let completed_at = Instant::now();

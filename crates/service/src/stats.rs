@@ -108,6 +108,23 @@ pub struct ServiceStats {
     pub method_uniform: AtomicU64,
     /// Total rejection throws across rejection-served expansions.
     pub rejection_trials: AtomicU64,
+    /// Vertex-groups formed by depth-synchronous launches (batch totals;
+    /// zero while the service executes instance-major).
+    pub batch_groups: AtomicU64,
+    /// Frontier entries that passed through vertex-grouped expansion
+    /// (`batch_group_entries / batch_groups` is the mean co-location
+    /// factor across all launches).
+    pub batch_group_entries: AtomicU64,
+    /// Log2-bucketed vertex-group size histogram (bucket `i`: groups of
+    /// `2^i..2^(i+1)` entries, last bucket open-ended) — the per-depth
+    /// frontier-occupancy shape, accumulated across launches.
+    pub batch_group_hist: [AtomicU64; 8],
+    /// Vertex-groups whose CSR row was prefetched far enough ahead to be
+    /// resident at expansion (batch totals).
+    pub batch_prefetch_hits: AtomicU64,
+    /// Vertex-groups expanded before the prefetch pipeline warmed up
+    /// (`batch_prefetch_hits + batch_prefetch_misses == batch_groups`).
+    pub batch_prefetch_misses: AtomicU64,
     /// Mutation requests ever handed to `mutate` (accepted or not).
     pub mutations_submitted: AtomicU64,
     /// Successful `mutate` calls applied to the service's graph.
@@ -238,6 +255,19 @@ impl ServiceStats {
         Self::add(&self.rejection_trials, stats.rejection_trials);
     }
 
+    /// Accumulates one launch's depth-synchronous frontier counters
+    /// (vertex groups, group-size histogram, prefetch coverage). A no-op
+    /// for instance-major launches, whose `batch_*` fields are all zero.
+    pub(crate) fn record_batch_exec(&self, stats: &csaw_gpu::stats::SimStats) {
+        Self::add(&self.batch_groups, stats.batch_groups);
+        Self::add(&self.batch_group_entries, stats.batch_group_entries);
+        for (dst, &src) in self.batch_group_hist.iter().zip(stats.batch_group_hist.iter()) {
+            Self::add(dst, src);
+        }
+        Self::add(&self.batch_prefetch_hits, stats.batch_prefetch_hits);
+        Self::add(&self.batch_prefetch_misses, stats.batch_prefetch_misses);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -271,6 +301,11 @@ impl ServiceStats {
             method_rejection: self.method_rejection.load(Relaxed),
             method_uniform: self.method_uniform.load(Relaxed),
             rejection_trials: self.rejection_trials.load(Relaxed),
+            batch_groups: self.batch_groups.load(Relaxed),
+            batch_group_entries: self.batch_group_entries.load(Relaxed),
+            batch_group_hist: std::array::from_fn(|i| self.batch_group_hist[i].load(Relaxed)),
+            batch_prefetch_hits: self.batch_prefetch_hits.load(Relaxed),
+            batch_prefetch_misses: self.batch_prefetch_misses.load(Relaxed),
             mutations_submitted: self.mutations_submitted.load(Relaxed),
             mutations: self.mutations.load(Relaxed),
             mutations_rejected: self.mutations_rejected.load(Relaxed),
@@ -327,6 +362,11 @@ pub struct StatsSnapshot {
     pub method_rejection: u64,
     pub method_uniform: u64,
     pub rejection_trials: u64,
+    pub batch_groups: u64,
+    pub batch_group_entries: u64,
+    pub batch_group_hist: [u64; 8],
+    pub batch_prefetch_hits: u64,
+    pub batch_prefetch_misses: u64,
     pub mutations_submitted: u64,
     pub mutations: u64,
     pub mutations_rejected: u64,
@@ -363,6 +403,8 @@ impl StatsSnapshot {
             && self.compact_requests == self.compactions + self.compact_noops
             && self.disk_lookups == self.disk_hits + self.disk_misses
             && self.disk_evictions <= self.disk_misses
+            && self.batch_prefetch_hits + self.batch_prefetch_misses == self.batch_groups
+            && self.batch_group_hist.iter().sum::<u64>() == self.batch_groups
     }
 
     /// Launches recorded by the histogram (should equal `batches`).

@@ -80,6 +80,16 @@ impl Cli {
             Some(v) => v.parse().map_err(|e| CliError::Invalid(format!("--{key} '{v}': {e}"))),
         }
     }
+
+    fn get_exec(&self) -> Result<crate::core::engine::ExecMode, CliError> {
+        match self.get("exec") {
+            None | Some("instance") => Ok(crate::core::engine::ExecMode::InstanceMajor),
+            Some("depth") => Ok(crate::core::engine::ExecMode::DepthSync),
+            Some(other) => Err(CliError::Invalid(format!(
+                "--exec must be 'instance' or 'depth', got '{other}'"
+            ))),
+        }
+    }
 }
 
 /// Usage text.
@@ -117,6 +127,11 @@ options:
   --p / --q <f>      node2vec parameters (default 1.0)
   --pf <f>           forest-fire burn probability (default 0.7)
   --seed <n>         RNG seed (default 1)
+  --exec <mode>      execution order: instance (default, one walker at a
+                     time) or depth (lockstep frontier, grouped + prefetched);
+                     both orders are bit-identical
+  --prefetch-distance <n>  depth-sync software-prefetch lookahead in
+                     frontier groups (default 8; 0 disables)
   --out <path>       write sampled edges to a file instead of stdout
   --disk-store <dir> serve adjacency from a partitioned on-disk store in
                      <dir> (written from --graph first when missing);
@@ -313,7 +328,9 @@ pub fn execute(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             let seed = cli.get_usize("seed", 1)? as u64;
             let disk = disk_config(cli, &g)?;
             let tier = disk.as_ref().and_then(|d| d.shared.clone());
-            let opts = RunOptions { seed, disk, ..Default::default() };
+            let exec = cli.get_exec()?;
+            let prefetch_distance = cli.get_usize("prefetch-distance", 8)?;
+            let opts = RunOptions { seed, disk, exec, prefetch_distance, ..Default::default() };
             let res = run_boxed_opts(&g, algo.as_ref(), instances, opts);
             if let Some(tier) = tier {
                 use std::sync::atomic::Ordering::Relaxed;
@@ -763,6 +780,26 @@ mod tests {
             assert_eq!(edges, mem, "disk-backed output must be bit-identical (pool {pool})");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exec_depth_matches_instance_major() {
+        for algo in ["biased-walk --length 12", "snowball --depth 3 --ns 2"] {
+            let base = format!("sample --graph rmat:7:3 --algo {algo} --instances 6");
+            let run = |cmd: &str| {
+                let cli = Cli::parse(&args(cmd)).unwrap();
+                let mut buf = Vec::new();
+                execute(&cli, &mut buf).unwrap();
+                String::from_utf8(buf).unwrap()
+            };
+            let reference = run(&base);
+            for extra in ["--exec depth", "--exec depth --prefetch-distance 0", "--exec instance"] {
+                assert_eq!(run(&format!("{base} {extra}")), reference, "{algo} {extra}");
+            }
+        }
+        // Unknown mode is rejected.
+        let cli = Cli::parse(&args("sample --graph rmat:6:2 --exec sideways")).unwrap();
+        assert!(execute(&cli, &mut Vec::new()).is_err());
     }
 
     #[test]

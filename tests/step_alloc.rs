@@ -13,6 +13,7 @@
 
 use csaw::core::algorithms::registry::{AlgoSpec, AlgorithmId};
 use csaw::core::api::FrontierMode;
+use csaw::core::batch::{run_chunk, BatchArena, ChunkInstance};
 use csaw::core::ctps_cache::CtpsCache;
 use csaw::core::residency::{DiskAccess, DiskRunConfig, ADMIT_TOUCHES};
 use csaw::core::select::SelectConfig;
@@ -214,12 +215,89 @@ fn gate_all(g: &Csr, access: &mut impl NeighborAccess, tag: &str) {
     }
 }
 
+/// The depth-synchronous driver under the same gate: every per-vertex-
+/// frontier algorithm through [`run_chunk`] with a warm [`BatchArena`].
+/// Grouped expansion, batched Philox, the record/replay lanes, and the
+/// prefetch bookkeeping must all run in warmed capacity — a steady-state
+/// batched depth allocates exactly as much as an instance-major one:
+/// nothing. No CTPS cache here so static-bias algorithms take the
+/// shared-build (`prepare_group`/`expand_in_group`) path.
+fn gate_batched(g: &Csr, access: &mut impl NeighborAccess) {
+    let n = g.num_vertices() as VertexId;
+
+    for id in AlgorithmId::ALL {
+        let spec = if id.uses_walk_length() {
+            AlgoSpec::new(id).with_depth(12)
+        } else {
+            AlgoSpec::new(id)
+        };
+        let algo = spec.build().expect("registry specs are valid");
+        if algo.config().frontier != FrontierMode::IndependentPerVertex {
+            continue;
+        }
+        let seeds: Vec<Vec<VertexId>> = (0..16).map(|i| vec![(i as VertexId * 131) % n]).collect();
+        let chunk: Vec<ChunkInstance<'_>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ChunkInstance { global_id: i as u32, seeds: s })
+            .collect();
+        let kernel = StepKernel::new(&*algo, 0x5eed).with_select(SelectConfig::paper_best());
+        let mut arena = BatchArena::new();
+        let mut scratch = StepScratch::new();
+        let mut outs = vec![Vec::new(); chunk.len()];
+        let mut per_inst = vec![SimStats::new(); chunk.len()];
+        fn rep<N: NeighborAccess>(
+            kernel: &StepKernel<'_>,
+            chunk: &[ChunkInstance<'_>],
+            access: &mut N,
+            outs: &mut [Vec<(VertexId, VertexId)>],
+            per_inst: &mut [SimStats],
+            arena: &mut BatchArena,
+            scratch: &mut StepScratch,
+        ) -> usize {
+            for o in outs.iter_mut() {
+                o.clear();
+            }
+            per_inst.fill(SimStats::new());
+            run_chunk(kernel, access, chunk, 0x5eed, 8, outs, per_inst, arena, scratch);
+            outs.iter().map(Vec::len).sum::<usize>()
+        }
+
+        // Two warm-ups for the cur/next double buffer's parity, as above.
+        let warm1 =
+            rep(&kernel, &chunk, access, &mut outs, &mut per_inst, &mut arena, &mut scratch);
+        let warm2 =
+            rep(&kernel, &chunk, access, &mut outs, &mut per_inst, &mut arena, &mut scratch);
+        assert_eq!(warm1, warm2, "{}/batched: repetitions must be identical", id.name());
+
+        let before = ALLOC.snapshot();
+        let edges =
+            rep(&kernel, &chunk, access, &mut outs, &mut per_inst, &mut arena, &mut scratch);
+        let delta = ALLOC.snapshot().since(&before);
+
+        assert_eq!(edges, warm1, "{}/batched: repetitions must be identical", id.name());
+        assert!(edges > 0, "{}/batched: workload must actually sample", id.name());
+        let total: SimStats = per_inst.iter().copied().sum();
+        assert!(total.batch_groups > 0, "{}/batched: must form groups", id.name());
+        assert_eq!(
+            delta.allocations,
+            0,
+            "{}/batched: steady-state batched depth allocated {} times ({} bytes) — \
+             the zero-allocation gate has regressed in depth-sync mode",
+            id.name(),
+            delta.allocations,
+            delta.bytes,
+        );
+    }
+}
+
 #[test]
 fn steady_state_step_allocates_nothing() {
     // Power-law graph large enough to exercise long adjacency gathers
     // and without-replacement retries, small enough for a test.
     let g = rmat(9, 8, RmatParams::MILD, 42);
     gate_all(&g, &mut CsrAccess { graph: &g }, "csr");
+    gate_batched(&g, &mut CsrAccess { graph: &g });
 
     // The same gate through the disk tier: with every partition
     // admitted to a warm full-budget pool, stepping through

@@ -18,14 +18,14 @@ use csaw::core::algorithms::{
     RandomWalkWithRestart, SimpleRandomWalk, Snowball, UnbiasedNeighborSampling,
 };
 use csaw::core::api::Algorithm;
-use csaw::core::engine::Sampler;
+use csaw::core::engine::{ExecMode, RunOptions, Sampler};
 use csaw::graph::generators::toy_graph;
 
 /// Runs one algorithm on the toy graph and formats its instances as one
 /// snapshot line: `name: (a-b a-c ...) (d-e ...)`.
-fn snapshot_line<A: Algorithm>(algo: &A, seed_sets: &[Vec<u32>]) -> String {
+fn snapshot_line_opts<A: Algorithm>(algo: &A, seed_sets: &[Vec<u32>], opts: RunOptions) -> String {
     let g = toy_graph();
-    let out = Sampler::new(&g, algo).run(seed_sets);
+    let out = Sampler::new(&g, algo).with_options(opts).run(seed_sets);
     let insts: Vec<String> = out
         .instances
         .iter()
@@ -39,27 +39,35 @@ fn snapshot_line<A: Algorithm>(algo: &A, seed_sets: &[Vec<u32>]) -> String {
 
 /// All thirteen Table-I algorithms with small fixed parameters, two
 /// instances each (seeds 0 and 8; two 3-vertex pools for the
-/// pool-frontier algorithms).
-fn snapshot() -> String {
+/// pool-frontier algorithms), under `opts` — the pinned snapshot is
+/// produced with the defaults, and [`ExecMode::DepthSync`] must
+/// reproduce it bit-for-bit.
+fn snapshot_with(opts: &RunOptions) -> String {
     let singles: Vec<Vec<u32>> = vec![vec![0], vec![8]];
     let pools: Vec<Vec<u32>> = vec![vec![0, 5, 8], vec![2, 7, 12]];
+    let line =
+        |algo: &dyn Algorithm, sets: &[Vec<u32>]| snapshot_line_opts(&algo, sets, opts.clone());
     let mut lines = vec![
-        snapshot_line(&SimpleRandomWalk { length: 4 }, &singles),
-        snapshot_line(&MetropolisHastingsWalk { length: 4 }, &singles),
-        snapshot_line(&RandomWalkWithJump { length: 4, p_jump: 0.25 }, &singles),
-        snapshot_line(&RandomWalkWithRestart { length: 4, p_restart: 0.25 }, &singles),
-        snapshot_line(&MultiIndependentRandomWalk { length: 4 }, &singles),
-        snapshot_line(&BiasedRandomWalk { length: 4 }, &singles),
-        snapshot_line(&Node2Vec { length: 4, p: 0.5, q: 2.0 }, &singles),
-        snapshot_line(&UnbiasedNeighborSampling { neighbor_size: 2, depth: 2 }, &singles),
-        snapshot_line(&BiasedNeighborSampling { neighbor_size: 2, depth: 2 }, &singles),
-        snapshot_line(&ForestFire { pf: 0.6, depth: 2 }, &singles),
-        snapshot_line(&Snowball { depth: 2 }, &singles),
-        snapshot_line(&LayerSampling { layer_size: 3, depth: 2 }, &pools),
-        snapshot_line(&MultiDimRandomWalk { budget: 5 }, &pools),
+        line(&SimpleRandomWalk { length: 4 }, &singles),
+        line(&MetropolisHastingsWalk { length: 4 }, &singles),
+        line(&RandomWalkWithJump { length: 4, p_jump: 0.25 }, &singles),
+        line(&RandomWalkWithRestart { length: 4, p_restart: 0.25 }, &singles),
+        line(&MultiIndependentRandomWalk { length: 4 }, &singles),
+        line(&BiasedRandomWalk { length: 4 }, &singles),
+        line(&Node2Vec { length: 4, p: 0.5, q: 2.0 }, &singles),
+        line(&UnbiasedNeighborSampling { neighbor_size: 2, depth: 2 }, &singles),
+        line(&BiasedNeighborSampling { neighbor_size: 2, depth: 2 }, &singles),
+        line(&ForestFire { pf: 0.6, depth: 2 }, &singles),
+        line(&Snowball { depth: 2 }, &singles),
+        line(&LayerSampling { layer_size: 3, depth: 2 }, &pools),
+        line(&MultiDimRandomWalk { budget: 5 }, &pools),
     ];
     lines.push(String::new());
     lines.join("\n")
+}
+
+fn snapshot() -> String {
+    snapshot_with(&RunOptions::default())
 }
 
 /// The pinned snapshot. Every line is two instances of one algorithm on
@@ -90,6 +98,29 @@ fn table_one_outputs_are_pinned() {
          (see module docs) and document the break in DESIGN.md.\n\
          --- got ---\n{got}"
     );
+}
+
+/// Depth-synchronous execution is a schedule change, not a semantics
+/// change: all thirteen algorithms must reproduce the pinned snapshot
+/// bit-for-bit under `ExecMode::DepthSync`, at any chunk size and with
+/// prefetching on or off.
+#[test]
+fn depth_sync_reproduces_the_pinned_golden() {
+    for (chunk, prefetch) in [(None, 8), (Some(1), 0), (Some(2), 1)] {
+        let opts = RunOptions {
+            exec: ExecMode::DepthSync,
+            prefetch_distance: prefetch,
+            batch_chunk: chunk,
+            ..Default::default()
+        };
+        let got = snapshot_with(&opts);
+        assert_eq!(
+            got, GOLDEN,
+            "depth-sync (chunk {chunk:?}, prefetch {prefetch}) diverged from the \
+             instance-major golden — execution order has leaked into sampling \
+             semantics.\n--- got ---\n{got}"
+        );
+    }
 }
 
 /// Prints the current snapshot for regeneration (see module docs).
